@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure from the
+paper (or one ablation from DESIGN.md §4).  Conventions:
+
+- expensive setup (simulations, log collection) happens once per module
+  in session-scoped fixtures;
+- each test *prints* the paper-format rows/series so running
+  ``pytest benchmarks/ --benchmark-only -s`` reproduces the artifacts;
+- each test asserts the paper's qualitative shape, so a regression in
+  any subsystem fails the harness;
+- the ``benchmark`` fixture times the representative computational
+  kernel of the experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import re
+
+#: Every printed table is also dropped here as CSV, ready for plotting.
+ARTIFACTS_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def _slug(title: str) -> str:
+    head = title.split(":", 1)[0]
+    return re.sub(r"[^a-z0-9]+", "_", head.lower()).strip("_")
+
+
+def _save_csv(title: str, headers: list, rows: list) -> None:
+    os.makedirs(ARTIFACTS_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACTS_DIR, _slug(title) + ".csv")
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Print a compact aligned table and save it as a CSV artifact."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title}")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    _save_csv(title, headers, rows)
+
+
+def print_series(title: str, x_label: str, xs, series: dict) -> None:
+    """Print a figure as aligned columns (x plus one column per line)."""
+    headers = [x_label] + list(series)
+    rows = [
+        [xs[i]] + [series[name][i] for name in series]
+        for i in range(len(xs))
+    ]
+    print_table(title, headers, rows)

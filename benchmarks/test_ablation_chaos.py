@@ -1,0 +1,120 @@
+"""Ablation abl-chaos: fault injection broadens exploration.
+
+§5: "reliability testing in distributed systems can trigger uneven
+traffic and extreme conditions that lead to broader exploration. ...
+we could leverage Netflix's open-source Chaos Monkey ... Such
+randomized failures, and the systems' responses, would generate
+valuable exploration data."
+
+We collect uniform-random logs with and without a chaos monkey and
+measure how much more of the context space (per-server load levels and
+imbalances) the chaotic log covers — the raw material for evaluating
+policies whose long-term effects reach extreme-load states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosMonkey, FaultSpec
+from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+from repro.loadbalance.harvest import dataset_from_access_log
+from repro.loadbalance.policies import random_policy
+from repro.simsys.random_source import RandomSource
+
+from benchmarks.conftest import print_table
+
+N_COLLECT = 15000
+
+
+def collect(with_chaos):
+    workload = Workload(10.0, randomness=RandomSource(5, _name="wl"))
+    monkey = ChaosMonkey(seed=2) if with_chaos else None
+    sim = LoadBalancerSim(
+        fig5_servers(), random_policy(), workload, seed=5, chaos=monkey
+    )
+    return sim.run(N_COLLECT), monkey
+
+
+def coverage(result):
+    conns = np.array([list(e.connections) for e in result.access_log])
+    imbalance = np.abs(conns[:, 0] - conns[:, 1])
+    distinct_states = len({tuple(row) for row in conns})
+    return {
+        "max_conns": int(conns.max()),
+        "p99_imbalance": float(np.percentile(imbalance, 99)),
+        "distinct_states": distinct_states,
+        "frac_over_10": float(np.mean(conns.max(axis=1) > 10)),
+        "mean_latency": result.mean_latency,
+    }
+
+
+@pytest.fixture(scope="module")
+def study():
+    baseline, _ = collect(False)
+    chaotic, monkey = collect(True)
+    return coverage(baseline), coverage(chaotic), monkey
+
+
+class TestChaosAblation:
+    def test_chaos_extends_load_range(self, study):
+        base, chaos, _ = study
+        assert chaos["max_conns"] > 3 * base["max_conns"]
+
+    def test_chaos_extends_imbalance_tail(self, study):
+        base, chaos, _ = study
+        assert chaos["p99_imbalance"] > 3 * base["p99_imbalance"]
+
+    def test_chaos_visits_more_distinct_states(self, study):
+        base, chaos, _ = study
+        assert chaos["distinct_states"] > 2 * base["distinct_states"]
+
+    def test_baseline_never_sees_heavy_load(self, study):
+        """The §5 premise: normal operation alone never produces the
+        extreme states a degenerate policy would create."""
+        base, chaos, _ = study
+        assert base["frac_over_10"] < 0.01
+        assert chaos["frac_over_10"] > 0.10
+
+    def test_faults_were_actually_injected(self, study):
+        _, _, monkey = study
+        assert len(monkey.history) > 5
+        kinds = {fault.kind for fault in monkey.history}
+        assert "latency-spike" in kinds
+
+    def test_harvested_dataset_remains_valid(self, study):
+        """Chaos doesn't break harvesting: the log still yields a valid
+        exploration dataset with uniform propensities."""
+        chaotic, _ = collect(True)
+        dataset = dataset_from_access_log(chaotic.access_log)
+        assert len(dataset) == N_COLLECT
+        assert dataset.min_propensity() == pytest.approx(0.5, abs=0.05)
+
+    def test_print_table(self, study):
+        base, chaos, monkey = study
+        rows = [
+            ["without chaos", base["max_conns"],
+             f"{base['p99_imbalance']:.1f}", base["distinct_states"],
+             f"{base['frac_over_10']:.2%}", f"{base['mean_latency']:.3f}s"],
+            [f"with chaos ({len(monkey.history)} faults)",
+             chaos["max_conns"], f"{chaos['p99_imbalance']:.1f}",
+             chaos["distinct_states"], f"{chaos['frac_over_10']:.2%}",
+             f"{chaos['mean_latency']:.3f}s"],
+        ]
+        print_table(
+            "Ablation abl-chaos: context coverage of harvested logs",
+            ["log", "max conns", "p99 imbalance", "distinct load states",
+             ">10 conns", "mean latency"],
+            rows,
+        )
+
+    def test_benchmark_chaotic_collection(self, benchmark):
+        def run_small():
+            workload = Workload(10.0, randomness=RandomSource(9, _name="wl"))
+            monkey = ChaosMonkey(seed=9)
+            sim = LoadBalancerSim(
+                fig5_servers(), random_policy(), workload, seed=9,
+                chaos=monkey,
+            )
+            return sim.run(1500)
+
+        benchmark.pedantic(run_small, rounds=1, iterations=1)

@@ -1,0 +1,158 @@
+"""Ablation abl-coverage: per-request vs windowed randomization.
+
+§5 "Exploration coverage": "a uniform random load balancing policy
+will almost never choose the same server twenty times in a row.  We
+will thus lack data to evaluate the long-term impact of a policy that
+always sends to one server. ... instead of randomizing each request, a
+load balancer could randomize the share of traffic sent to each server
+during the next N requests."
+
+We collect exploration logs under (a) per-request uniform randomization
+and (b) per-window randomized weights, and compare:
+
+- how often the log contains runs of >= 20 consecutive sends to the
+  same server (the long-sequence coverage);
+- how much of the load-imbalance context space each log visits;
+- the nonzero-match fraction of a horizon-20 trajectory estimator for
+  the send-to-1 policy (zero without windowed exploration).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.trajectory import TrajectoryISEstimator
+from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+from repro.loadbalance.harvest import dataset_from_access_log
+from repro.loadbalance.policies import (
+    random_policy,
+    send_to_policy,
+    window_randomized_weights_policy,
+)
+from repro.simsys.random_source import RandomSource
+
+from benchmarks.conftest import print_table
+
+N_COLLECT = 20000
+RUN_LENGTH = 20
+
+
+def collect(policy, seed=42):
+    workload = Workload(10.0, randomness=RandomSource(seed, _name="wl"))
+    sim = LoadBalancerSim(fig5_servers(), policy, workload, seed=seed)
+    return sim.run(N_COLLECT)
+
+
+def longest_runs(upstreams):
+    """Count runs of >= RUN_LENGTH consecutive identical choices."""
+    count = 0
+    for _, group in itertools.groupby(upstreams):
+        if len(list(group)) >= RUN_LENGTH:
+            count += 1
+    return count
+
+
+def coverage_stats(result):
+    upstreams = [e.upstream for e in result.access_log]
+    conns = np.array([list(e.connections) for e in result.access_log])
+    imbalance = np.abs(conns[:, 0] - conns[:, 1])
+    return {
+        "long_runs": longest_runs(upstreams),
+        "p99_imbalance": float(np.percentile(imbalance, 99)),
+        "max_imbalance": float(imbalance.max()),
+        "mean_latency": result.mean_latency,
+    }
+
+
+@pytest.fixture(scope="module")
+def study():
+    per_request = collect(random_policy())
+    windowed = collect(
+        window_randomized_weights_policy(2, window=50, seed=1,
+                                         concentration=0.3)
+    )
+    stats = {
+        "per-request uniform": coverage_stats(per_request),
+        "windowed weights": coverage_stats(windowed),
+    }
+    # Horizon-20 trajectory evaluation of send-to-1 on each log.
+    matches = {}
+    for name, result in (("per-request uniform", per_request),
+                         ("windowed weights", windowed)):
+        dataset = dataset_from_access_log(result.access_log)
+        estimate = TrajectoryISEstimator(RUN_LENGTH).estimate(
+            send_to_policy(0), dataset
+        )
+        matches[name] = (
+            estimate.details["nonzero_weight"] / estimate.details["episodes"]
+        )
+    return stats, matches
+
+
+class TestExplorationCoverage:
+    def test_uniform_almost_never_runs_twenty(self, study):
+        stats, _ = study
+        # P(20 identical coin flips) ~ 2 * 2^-20; ~20000 requests ->
+        # essentially never.
+        assert stats["per-request uniform"]["long_runs"] == 0
+
+    def test_windowed_produces_long_runs(self, study):
+        stats, _ = study
+        assert stats["windowed weights"]["long_runs"] > 10
+
+    def test_windowed_visits_imbalanced_contexts(self, study):
+        stats, _ = study
+        assert (
+            stats["windowed weights"]["p99_imbalance"]
+            > 1.5 * stats["per-request uniform"]["p99_imbalance"]
+        )
+
+    def test_windowed_enables_long_horizon_evaluation(self, study):
+        """Horizon-20 trajectory matching for send-to-1: essentially
+        zero on uniform logs, materially positive on windowed logs."""
+        _, matches = study
+        assert matches["per-request uniform"] < 1e-4
+        assert matches["windowed weights"] > 20 * max(
+            matches["per-request uniform"], 1e-6
+        )
+
+    def test_exploration_cost_is_bounded(self, study):
+        """Richer exploration costs some live latency, but not a
+        catastrophic amount (the 'less invasive than deploying a new
+        learning system' argument)."""
+        stats, _ = study
+        assert (
+            stats["windowed weights"]["mean_latency"]
+            < 2.0 * stats["per-request uniform"]["mean_latency"]
+        )
+
+    def test_print_table(self, study):
+        stats, matches = study
+        rows = [
+            [
+                name,
+                s["long_runs"],
+                f"{s['p99_imbalance']:.1f}",
+                f"{s['max_imbalance']:.0f}",
+                f"{s['mean_latency']:.3f}s",
+                f"{matches[name]:.5f}",
+            ]
+            for name, s in stats.items()
+        ]
+        print_table(
+            "Ablation abl-coverage: exploration coverage of logging "
+            f"schemes ({N_COLLECT} requests)",
+            ["logging policy", f">={RUN_LENGTH}-runs", "p99 imbalance",
+             "max imbalance", "mean latency", f"h={RUN_LENGTH} match frac"],
+            rows,
+        )
+
+    def test_benchmark_windowed_collection(self, benchmark):
+        def run_small():
+            return collect(
+                window_randomized_weights_policy(2, window=50, seed=2),
+                seed=5,
+            ).n_requests
+
+        benchmark.pedantic(run_small, rounds=1, iterations=1)

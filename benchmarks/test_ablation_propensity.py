@@ -1,0 +1,151 @@
+"""Ablation abl-propensity: declared vs inferred propensities.
+
+§3: "In our experience, p can often be inferred from code inspection,
+but a more robust approach is to do a regression on the ⟨x, a, r⟩ data
+to learn the probability distribution over actions."
+
+We harvest the same Nginx-style log three ways — declared (code
+inspection says uniform), empirical frequencies, and softmax-regression
+inference — and compare the resulting IPS estimates for fixed policies
+against the declared-propensity gold standard and against online truth.
+A fourth, *misdeclared* variant (claiming the logger favored server 0)
+quantifies the cost of getting step 2 wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IPSEstimator, UniformRandomPolicy
+from repro.core.propensity import (
+    DeclaredPropensityModel,
+    EmpiricalPropensityModel,
+    RegressionPropensityModel,
+)
+from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+from repro.loadbalance.harvest import exploration_dataset_from_entries
+from repro.loadbalance.policies import (
+    least_loaded_policy,
+    random_policy,
+    weighted_random_policy,
+)
+from repro.simsys.random_source import RandomSource
+
+from benchmarks.conftest import print_table
+
+N_COLLECT = 12000
+
+
+@pytest.fixture(scope="module")
+def study():
+    workload = Workload(10.0, randomness=RandomSource(42, _name="wl"))
+    collector = LoadBalancerSim(
+        fig5_servers(), random_policy(), workload, seed=42
+    )
+    entries = collector.run(N_COLLECT).access_log
+
+    online_workload = Workload(10.0, randomness=RandomSource(7, _name="wl"))
+    online_ll = LoadBalancerSim(
+        fig5_servers(), least_loaded_policy(), online_workload, seed=7
+    ).run(8000).mean_latency
+
+    contexts = []
+    for entry in entries:
+        context = {
+            f"conns_{i}": float(c) for i, c in enumerate(entry.connections)
+        }
+        context["req_weight"] = entry.request_weight
+        contexts.append(context)
+    actions = [entry.upstream for entry in entries]
+
+    models = {
+        "declared (uniform)": DeclaredPropensityModel(UniformRandomPolicy()),
+        "empirical": EmpiricalPropensityModel().fit(actions),
+        "regression": RegressionPropensityModel(2, epochs=2).fit(
+            contexts, actions
+        ),
+        "misdeclared (70/30)": DeclaredPropensityModel(
+            weighted_random_policy([0.7, 0.3])
+        ),
+    }
+    ips = IPSEstimator()
+    estimates = {}
+    for name, model in models.items():
+        dataset = exploration_dataset_from_entries(entries, model)
+        estimates[name] = {
+            "random": ips.estimate(random_policy(), dataset).value,
+            "least-loaded": ips.estimate(least_loaded_policy(), dataset).value,
+        }
+    sample_mean = float(
+        np.mean([entry.upstream_response_time for entry in entries])
+    )
+    return estimates, sample_mean, online_ll
+
+
+class TestPropensityAblation:
+    def test_empirical_matches_declared(self, study):
+        estimates, _, _ = study
+        for policy in ("random", "least-loaded"):
+            assert estimates["empirical"][policy] == pytest.approx(
+                estimates["declared (uniform)"][policy], rel=0.05
+            )
+
+    def test_regression_matches_declared(self, study):
+        estimates, _, _ = study
+        for policy in ("random", "least-loaded"):
+            assert estimates["regression"][policy] == pytest.approx(
+                estimates["declared (uniform)"][policy], rel=0.10
+            )
+
+    def test_declared_random_estimate_equals_sample_mean(self, study):
+        estimates, sample_mean, _ = study
+        assert estimates["declared (uniform)"]["random"] == pytest.approx(
+            sample_mean
+        )
+
+    def test_inferred_propensities_give_accurate_ll_estimate(self, study):
+        """Least-loaded doesn't shift the context distribution much, so
+        even its *inferred*-propensity offline estimate lands near its
+        online truth."""
+        estimates, _, online_ll = study
+        assert estimates["empirical"]["least-loaded"] == pytest.approx(
+            online_ll, rel=0.25
+        )
+
+    def test_misdeclared_propensities_bias_the_estimate(self, study):
+        """Getting step 2 wrong breaks unbiasedness: claiming the
+        logger favored server 0 visibly skews the random-policy
+        estimate away from the sample mean."""
+        estimates, sample_mean, _ = study
+        error_good = abs(
+            estimates["declared (uniform)"]["random"] - sample_mean
+        )
+        error_bad = abs(
+            estimates["misdeclared (70/30)"]["random"] - sample_mean
+        )
+        assert error_bad > 10 * max(error_good, 1e-12)
+
+    def test_print_table(self, study):
+        estimates, sample_mean, online_ll = study
+        rows = [
+            [name, f"{vals['random']:.3f}s", f"{vals['least-loaded']:.3f}s"]
+            for name, vals in estimates.items()
+        ]
+        rows.append(["(truth)", f"{sample_mean:.3f}s", f"{online_ll:.3f}s"])
+        print_table(
+            "Ablation abl-propensity: IPS estimates under different "
+            "propensity models",
+            ["propensity model", "random policy", "least-loaded"],
+            rows,
+        )
+
+    def test_benchmark_regression_inference(self, benchmark):
+        rng = np.random.default_rng(0)
+        contexts = [{"x": float(rng.uniform())} for _ in range(2000)]
+        actions = [int(rng.integers(2)) for _ in range(2000)]
+
+        def fit():
+            return RegressionPropensityModel(2, epochs=1).fit(
+                contexts, actions
+            )
+
+        benchmark(fit)

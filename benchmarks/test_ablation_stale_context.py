@@ -1,0 +1,128 @@
+"""Ablation abl-stale: CB robustness to stale load information.
+
+§5 "Data collection and distributed state": balancers may not see
+fresh backend state — "collecting this data will inevitably result in
+stale or incomplete contexts.  We suspect that CB algorithms can
+naturally tolerate staleness."
+
+We deploy the load-aware policies with connection counts refreshed only
+every S virtual seconds and measure online latency vs staleness.
+Expected shape: mild staleness costs little (the paper's suspicion);
+extreme staleness degrades load-aware policies toward — but, thanks to
+the learned base-latency preference, not beyond — load-oblivious
+routing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import UniformRandomPolicy
+from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+from repro.loadbalance.harvest import dataset_from_access_log, train_cb_policy
+from repro.loadbalance.policies import least_loaded_policy, random_policy
+from repro.simsys.random_source import RandomSource
+
+from benchmarks.conftest import print_table
+
+STALENESS = [0.0, 0.5, 2.0, 8.0, 32.0]
+N_ONLINE = 8000
+
+
+def run_online(policy, staleness, seeds=(7, 8)):
+    latencies = []
+    for seed in seeds:
+        workload = Workload(10.0, randomness=RandomSource(seed, _name="wl"))
+        sim = LoadBalancerSim(
+            fig5_servers(), policy, workload, seed=seed,
+            context_refresh_interval=staleness,
+        )
+        latencies.append(sim.run(N_ONLINE).mean_latency)
+    return float(np.mean(latencies))
+
+
+@pytest.fixture(scope="module")
+def study():
+    # Train the CB policy on fresh-context exploration data.
+    workload = Workload(10.0, randomness=RandomSource(42, _name="wl"))
+    collector = LoadBalancerSim(
+        fig5_servers(), random_policy(), workload, seed=42
+    )
+    dataset = dataset_from_access_log(
+        collector.run(12000).access_log, logging_policy=UniformRandomPolicy()
+    )
+    cb = train_cb_policy(dataset, n_servers=2)
+
+    curves = {"least-loaded": {}, "CB policy": {}}
+    for staleness in STALENESS:
+        curves["least-loaded"][staleness] = run_online(
+            least_loaded_policy(), staleness
+        )
+        curves["CB policy"][staleness] = run_online(cb, staleness)
+    baseline_random = run_online(random_policy(), 0.0)
+    return curves, baseline_random
+
+
+class TestStaleContextAblation:
+    def test_fresh_context_is_best(self, study):
+        curves, _ = study
+        for name, curve in curves.items():
+            assert curve[0.0] <= min(curve.values()) + 1e-9
+
+    def test_mild_staleness_tolerated(self, study):
+        """The §5 suspicion: CB tolerates staleness.  Half-second-stale
+        load data costs the CB policy < 10% extra latency."""
+        curves, _ = study
+        cb = curves["CB policy"]
+        assert cb[0.5] < 1.10 * cb[0.0]
+
+    def test_staleness_degrades_monotonically_ish(self, study):
+        curves, _ = study
+        for curve in curves.values():
+            assert curve[32.0] > curve[0.0]
+
+    def test_cb_degrades_more_gracefully_than_least_loaded(self, study):
+        """With stale loads the CB policy still has its learned
+        base-latency/type preferences; least-loaded becomes noise."""
+        curves, _ = study
+        cb_blowup = curves["CB policy"][32.0] / curves["CB policy"][0.0]
+        ll_blowup = (
+            curves["least-loaded"][32.0] / curves["least-loaded"][0.0]
+        )
+        assert cb_blowup < ll_blowup
+
+    def test_moderately_stale_cb_still_beats_random(self, study):
+        """Up to ~2s-stale load data the CB policy still beats load-
+        oblivious routing; beyond that, deterministic policies herd
+        (all requests between refreshes see the same snapshot and pile
+        onto one server) and staleness must be engineered around —
+        the §5 'assist the learner' discussion."""
+        curves, baseline_random = study
+        assert curves["CB policy"][2.0] < baseline_random
+        # The herding regime exists and is visible:
+        assert curves["CB policy"][32.0] > baseline_random
+
+    def test_print_table(self, study):
+        curves, baseline_random = study
+        rows = [
+            [s, f"{curves['least-loaded'][s]:.3f}s",
+             f"{curves['CB policy'][s]:.3f}s"]
+            for s in STALENESS
+        ]
+        rows.append(["(random, fresh)", f"{baseline_random:.3f}s", "-"])
+        print_table(
+            "Ablation abl-stale: online latency vs context staleness "
+            "(refresh interval, virtual seconds)",
+            ["staleness", "least-loaded", "CB policy"],
+            rows,
+        )
+
+    def test_benchmark_stale_run(self, benchmark):
+        def run_small():
+            workload = Workload(10.0, randomness=RandomSource(1, _name="wl"))
+            sim = LoadBalancerSim(
+                fig5_servers(), least_loaded_policy(), workload, seed=1,
+                context_refresh_interval=2.0,
+            )
+            return sim.run(1000)
+
+        benchmark.pedantic(run_small, rounds=1, iterations=1)

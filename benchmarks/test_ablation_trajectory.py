@@ -1,0 +1,125 @@
+"""Ablation abl-traj: trajectory estimators on the load balancer.
+
+§5's diagnosis of the Table 2 failure: plain IPS ignores a policy's
+long-term impact on contexts.  Its proposed fix reweighs *sequences* of
+actions ("the probability of matching sequences of actions rather than
+single actions"), which is unbiased but suffers variance that grows
+with the horizon: "since the probability of matching long sequences is
+very low, these estimators suffer from high variance."
+
+We measure both halves of that trade-off on the Fig. 5 exploration log
+when evaluating the degenerate send-to-1 policy:
+
+- *effective data collapses geometrically*: the fraction of episodes
+  with nonzero weight decays like (1/2)^h;
+- the trajectory estimator is *less optimistic* than plain IPS about
+  send-to-1 (its surviving episodes contain consecutive sends to
+  server 1, which already show the latency build-up).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IPSEstimator, UniformRandomPolicy
+from repro.core.estimators.trajectory import (
+    PerDecisionISEstimator,
+    TrajectoryISEstimator,
+)
+from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+from repro.loadbalance.harvest import dataset_from_access_log
+from repro.loadbalance.policies import random_policy, send_to_policy
+from repro.simsys.random_source import RandomSource
+
+from benchmarks.conftest import print_table
+
+HORIZONS = [1, 2, 4, 6, 8]
+N_COLLECT = 30000
+
+
+@pytest.fixture(scope="module")
+def study():
+    workload = Workload(10.0, randomness=RandomSource(42, _name="wl"))
+    sim = LoadBalancerSim(fig5_servers(), random_policy(), workload, seed=42)
+    result = sim.run(N_COLLECT)
+    dataset = dataset_from_access_log(
+        result.access_log, logging_policy=UniformRandomPolicy()
+    )
+    online_workload = Workload(10.0, randomness=RandomSource(7, _name="wl"))
+    online = LoadBalancerSim(
+        fig5_servers(), send_to_policy(0), online_workload, seed=7
+    ).run(8000).mean_latency
+
+    target = send_to_policy(0)
+    ips_value = IPSEstimator().estimate(target, dataset).value
+    rows = {}
+    for horizon in HORIZONS:
+        estimate = TrajectoryISEstimator(horizon).estimate(target, dataset)
+        pdis = PerDecisionISEstimator(horizon).estimate(target, dataset)
+        rows[horizon] = {
+            "tis_value": estimate.value,
+            "tis_se": estimate.std_error,
+            "match_fraction": estimate.details["nonzero_weight"]
+            / estimate.details["episodes"],
+            "pdis_se": pdis.std_error,
+        }
+    return dataset, rows, ips_value, online
+
+
+class TestTrajectoryAblation:
+    def test_match_fraction_decays_geometrically(self, study):
+        _, rows, _, _ = study
+        for horizon in HORIZONS:
+            expected = 0.5**horizon
+            assert rows[horizon]["match_fraction"] == pytest.approx(
+                expected, rel=0.35
+            )
+
+    def test_variance_grows_with_horizon(self, study):
+        _, rows, _, _ = study
+        ses = [rows[h]["tis_se"] for h in HORIZONS]
+        assert ses[-1] > 2 * ses[0]
+
+    def test_pdis_never_worse_than_full_trajectory(self, study):
+        _, rows, _, _ = study
+        for horizon in HORIZONS:
+            assert rows[horizon]["pdis_se"] <= rows[horizon]["tis_se"] * 1.001
+
+    def test_trajectory_less_optimistic_than_ips(self, study):
+        """Surviving length-h episodes contain h consecutive sends to
+        server 1, whose later requests already feel the queue build-up,
+        so the sequence estimate drifts *upward* toward the online
+        truth as h grows."""
+        _, rows, ips_value, online = study
+        long_h = rows[HORIZONS[-1]]["tis_value"]
+        assert long_h > ips_value
+        # And it closes part of the offline->online gap.
+        assert (long_h - ips_value) / (online - ips_value) > 0.1
+
+    def test_ips_badly_underestimates_online(self, study):
+        _, _, ips_value, online = study
+        assert online > 1.8 * ips_value
+
+    def test_print_table(self, study):
+        _, rows, ips_value, online = study
+        table = [
+            [
+                h,
+                f"{rows[h]['tis_value']:.3f}",
+                f"{rows[h]['tis_se']:.3f}",
+                f"{rows[h]['match_fraction']:.4f}",
+                f"{rows[h]['pdis_se']:.3f}",
+            ]
+            for h in HORIZONS
+        ]
+        print_table(
+            f"Ablation abl-traj: evaluating send-to-1 "
+            f"(IPS={ips_value:.3f}s, online truth={online:.3f}s)",
+            ["horizon", "trajectory-IS value", "std err", "match frac",
+             "PDIS std err"],
+            table,
+        )
+
+    def test_benchmark_trajectory_estimate(self, study, benchmark):
+        dataset, _, _, _ = study
+        estimator = TrajectoryISEstimator(4)
+        benchmark(estimator.estimate, send_to_policy(0), dataset[:5000])

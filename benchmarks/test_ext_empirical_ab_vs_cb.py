@@ -1,0 +1,205 @@
+"""Extension ext-fig1-empirical: Fig. 1's claim, measured.
+
+Fig. 1 compares A/B testing and CB evaluation through their *bounds*.
+This bench runs the horse race empirically on a known synthetic
+environment, at a fixed interaction budget N:
+
+- **A/B**: split N evenly over the K candidates, run each on its
+  slice, pick the best arm.
+- **CB**: spend the same N on uniform-random exploration once, IPS-
+  evaluate all K candidates offline, pick the best.
+
+We score both by the *regret* of the policy they pick (true value of
+the best candidate minus true value of the picked one), averaged over
+replications.  As K grows with N fixed, A/B's per-arm slice starves
+and its picks degrade; CB's shared log keeps identifying near-best
+policies — the measured form of "exponentially more data-efficient".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.ips import IPSEstimator
+from repro.core.policies import LinearThresholdPolicy, Policy, UniformRandomPolicy
+from repro.core.types import ActionSpace, Dataset, Interaction
+
+from benchmarks.conftest import print_table
+
+N_BUDGET = 3000
+K_GRID = [2, 8, 32, 128]
+N_REPLICATIONS = 40
+N_ACTIONS = 3
+
+
+def reward_mean(context, action):
+    return 0.2 + 0.15 * action + 0.3 * context["x"] * (1 if action == 2 else -1)
+
+
+def draw_reward(context, action, rng):
+    return float(np.clip(reward_mean(context, action) + rng.normal(0, 0.1),
+                         0, 1))
+
+
+def make_candidates(k, rng) -> list[Policy]:
+    """K linear-threshold candidates (plus useful diversity)."""
+    policies = []
+    for index in range(k):
+        weights = rng.normal(0.0, 1.0, size=(N_ACTIONS, 2))
+        policies.append(
+            LinearThresholdPolicy(weights, ["x"], name=f"cand-{index}")
+        )
+    return policies
+
+
+def true_value(policy, contexts):
+    actions = [policy.action(c, list(range(N_ACTIONS))) for c in contexts]
+    return float(np.mean([reward_mean(c, a) for c, a in zip(contexts, actions)]))
+
+
+def _chosen_actions(weight_stack: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Vectorized argmax actions: (K, A, 2) weights x (N,) contexts →
+    (K, N) chosen actions.  Matches LinearThresholdPolicy exactly."""
+    phi = np.stack([xs, np.ones_like(xs)])  # (2, N)
+    scores = weight_stack @ phi  # (K, A, N)
+    return scores.argmax(axis=1)
+
+
+def _reward_means(xs: np.ndarray, actions: np.ndarray) -> np.ndarray:
+    """Vectorized reward_mean over contexts/action arrays."""
+    sign = np.where(actions == 2, 1.0, -1.0)
+    return 0.2 + 0.15 * actions + 0.3 * xs * sign
+
+
+@pytest.fixture(scope="module")
+def study():
+    eval_rng = np.random.default_rng(999)
+    eval_xs = eval_rng.uniform(-1, 1, size=3000)
+
+    regrets = {"ab": {}, "cb": {}}
+    for k in K_GRID:
+        weight_rng = np.random.default_rng(k)
+        weight_stack = weight_rng.normal(0.0, 1.0, size=(k, N_ACTIONS, 2))
+        truth_actions = _chosen_actions(weight_stack, eval_xs)  # (K, N)
+        truths = _reward_means(eval_xs[None, :], truth_actions).mean(axis=1)
+        best = truths.max()
+
+        ab_regret, cb_regret = [], []
+        for rep in range(N_REPLICATIONS):
+            rng = np.random.default_rng(1000 * k + rep)
+
+            # --- A/B: each arm runs on its slice of live traffic.
+            per_arm = N_BUDGET // k
+            ab_xs = rng.uniform(-1, 1, size=(k, per_arm))
+            means = np.empty(k)
+            for index in range(k):
+                actions = _chosen_actions(
+                    weight_stack[index:index + 1], ab_xs[index]
+                )[0]
+                rewards = np.clip(
+                    _reward_means(ab_xs[index], actions)
+                    + rng.normal(0, 0.1, size=per_arm),
+                    0, 1,
+                )
+                means[index] = rewards.mean()
+            ab_regret.append(best - truths[int(np.argmax(means))])
+
+            # --- CB: one uniform-random log, IPS for every candidate.
+            log_xs = rng.uniform(-1, 1, size=N_BUDGET)
+            log_actions = rng.integers(N_ACTIONS, size=N_BUDGET)
+            log_rewards = np.clip(
+                _reward_means(log_xs, log_actions)
+                + rng.normal(0, 0.1, size=N_BUDGET),
+                0, 1,
+            )
+            chosen = _chosen_actions(weight_stack, log_xs)  # (K, N)
+            matches = chosen == log_actions[None, :]
+            estimates = (matches * log_rewards[None, :] * N_ACTIONS).mean(
+                axis=1
+            )
+            cb_regret.append(best - truths[int(np.argmax(estimates))])
+        regrets["ab"][k] = float(np.mean(ab_regret))
+        regrets["cb"][k] = float(np.mean(cb_regret))
+    return regrets
+
+
+class TestEmpiricalABvsCB:
+    def test_vectorization_matches_policy_objects(self):
+        """The fast path must agree with LinearThresholdPolicy and
+        IPSEstimator exactly (spot-checked on a small instance)."""
+        rng = np.random.default_rng(5)
+        weight_stack = rng.normal(size=(4, N_ACTIONS, 2))
+        xs = rng.uniform(-1, 1, size=50)
+        fast = _chosen_actions(weight_stack, xs)
+        for index in range(4):
+            policy = LinearThresholdPolicy(weight_stack[index], ["x"])
+            slow = [
+                policy.action({"x": float(x)}, list(range(N_ACTIONS)))
+                for x in xs
+            ]
+            assert fast[index].tolist() == slow
+
+        # Vectorized IPS == IPSEstimator on the same log.
+        log_actions = rng.integers(N_ACTIONS, size=50)
+        log_rewards = rng.uniform(0, 1, size=50)
+        log = Dataset(action_space=ActionSpace(N_ACTIONS))
+        for t in range(50):
+            log.append(
+                Interaction({"x": float(xs[t])}, int(log_actions[t]),
+                            float(log_rewards[t]), 1 / N_ACTIONS, float(t))
+            )
+        policy = LinearThresholdPolicy(weight_stack[0], ["x"])
+        slow_estimate = IPSEstimator().estimate(policy, log).value
+        matches = fast[0] == log_actions
+        fast_estimate = float((matches * log_rewards * N_ACTIONS).mean())
+        assert fast_estimate == pytest.approx(slow_estimate)
+
+    def test_cb_regret_stays_flat_as_k_grows(self, study):
+        cb = [study["cb"][k] for k in K_GRID]
+        assert cb[-1] < 0.05  # still near-best at K=128
+
+    def test_ab_regret_grows_with_k(self, study):
+        ab = study["ab"]
+        assert ab[K_GRID[-1]] > ab[K_GRID[0]]
+
+    def test_cb_beats_ab_at_large_k(self, study):
+        k = K_GRID[-1]
+        assert study["cb"][k] < study["ab"][k]
+
+    def test_comparable_at_small_k(self, study):
+        """With K=2 both methods have plenty of data per candidate —
+        neither should be badly wrong."""
+        assert study["ab"][2] < 0.05
+        assert study["cb"][2] < 0.05
+
+    def test_print_table(self, study):
+        rows = [
+            [k, f"{study['ab'][k]:.4f}", f"{study['cb'][k]:.4f}"]
+            for k in K_GRID
+        ]
+        print_table(
+            f"Extension ext-fig1-empirical: regret of the selected "
+            f"policy (budget N={N_BUDGET}, {N_REPLICATIONS} reps)",
+            ["K candidates", "A/B regret", "CB (offline) regret"],
+            rows,
+        )
+
+    def test_benchmark_cb_selection(self, benchmark):
+        rng = np.random.default_rng(0)
+        candidates = make_candidates(16, rng)
+        log = Dataset(action_space=ActionSpace(N_ACTIONS))
+        for t in range(500):
+            context = {"x": float(rng.uniform(-1, 1))}
+            action = int(rng.integers(N_ACTIONS))
+            log.append(
+                Interaction(context, action,
+                            draw_reward(context, action, rng),
+                            1 / N_ACTIONS, float(t))
+            )
+        ips = IPSEstimator()
+
+        def select():
+            return int(np.argmax(
+                [ips.estimate(p, log).value for p in candidates]
+            ))
+
+        benchmark.pedantic(select, rounds=2, iterations=1)

@@ -1,0 +1,115 @@
+"""Extension ext-zipf: the cache substrate on a classic workload.
+
+Table 3's big/small workload is adversarial by design.  This bench
+validates the cache substrate on the standard Zipf-popularity workload
+(where recency/frequency heuristics *should* win), both as a sanity
+check of the simulator and to show the freq/size policy is not a
+one-trick pony:
+
+- LRU and LFU beat random eviction (the textbook result);
+- with heterogeneous item sizes, freq/size is at least competitive
+  with the best classic heuristic.
+"""
+
+import pytest
+
+from repro.cache import (
+    CacheSim,
+    ZipfWorkload,
+    freq_size_policy,
+    lfu_policy,
+    lru_policy,
+    random_eviction_policy,
+)
+from repro.cache.eviction import ScoredEvictionPolicy
+from repro.simsys.random_source import RandomSource
+
+from benchmarks.conftest import print_table
+
+N_ITEMS = 2000
+ALPHA = 0.9
+N_REQUESTS = 50000
+SAMPLE_SIZE = 10
+POOL_SIZE = 16
+
+
+def total_bytes():
+    return sum(
+        ZipfWorkload(
+            n_items=N_ITEMS, alpha=ALPHA, randomness=RandomSource(0)
+        ).size_of(f"item-{i}")
+        for i in range(N_ITEMS)
+    )
+
+
+@pytest.fixture(scope="module")
+def study():
+    capacity = int(total_bytes() * 0.2)  # a 20% cache
+    results = {}
+    for policy in (
+        random_eviction_policy(),
+        lru_policy(),
+        lfu_policy(),
+        freq_size_policy(),
+    ):
+        pool = POOL_SIZE if isinstance(policy, ScoredEvictionPolicy) else 0
+        workload = ZipfWorkload(
+            n_items=N_ITEMS, alpha=ALPHA,
+            randomness=RandomSource(3, _name="wl"),
+        )
+        sim = CacheSim(
+            capacity, policy, sample_size=SAMPLE_SIZE, seed=3,
+            pool_size=pool,
+        )
+        results[policy.name] = sim.run(
+            workload.requests(N_REQUESTS), keep_log=False
+        ).hit_rate
+    return results, capacity
+
+
+class TestZipfCache:
+    def test_lru_beats_random(self, study):
+        results, _ = study
+        assert results["lru"] > results["random-eviction"] + 0.01
+
+    def test_lfu_beats_random(self, study):
+        """On a stationary Zipf workload frequency is the right signal
+        (unlike the big/small trap, where it backfires)."""
+        results, _ = study
+        assert results["lfu"] > results["random-eviction"] + 0.01
+
+    def test_freq_size_competitive_with_best_heuristic(self, study):
+        results, _ = study
+        best_classic = max(results["lru"], results["lfu"])
+        assert results["freq/size"] > best_classic - 0.02
+
+    def test_hit_rates_sane(self, study):
+        results, _ = study
+        for name, rate in results.items():
+            assert 0.1 < rate < 0.95, f"{name} hit rate {rate} implausible"
+
+    def test_print_table(self, study):
+        results, capacity = study
+        print_table(
+            f"Extension ext-zipf: Zipf({ALPHA}) workload, {N_ITEMS} items, "
+            f"{capacity}-byte cache (20%)",
+            ["Policy", "Hit rate"],
+            [[name, f"{rate:.1%}"] for name, rate in results.items()],
+        )
+
+    def test_benchmark_zipf_run(self, benchmark):
+        workload = ZipfWorkload(
+            n_items=N_ITEMS, alpha=ALPHA,
+            randomness=RandomSource(5, _name="wl"),
+        )
+        requests = list(workload.requests(5000))
+        capacity = int(total_bytes() * 0.2)
+
+        def run_once():
+            sim = CacheSim(
+                capacity, lru_policy(), sample_size=SAMPLE_SIZE, seed=5,
+                pool_size=POOL_SIZE,
+            )
+            return sim.run(requests, keep_log=False)
+
+        benchmark.pedantic(run_once, rounds=2, iterations=1)

@@ -1,0 +1,108 @@
+"""Figure 1: data required to evaluate K policies — A/B vs CB.
+
+Paper: "The amount of data (N) required to simultaneously evaluate K
+policies, using typical constants.  Contextual bandits is exponentially
+more efficient than A/B testing, and can evaluate policies offline."
+
+We regenerate both curves from the §4 bounds (target error 0.05,
+δ = 0.01) for ε ∈ {0.1, 0.04}, and verify the claims that define the
+figure's shape:
+
+- A/B's required N grows (super)linearly in K;
+- CB's required N grows logarithmically in K;
+- the curves cross near K = 1/ε and diverge by orders of magnitude.
+"""
+
+import math
+
+import pytest
+
+from repro.core.estimators.bounds import (
+    ab_testing_sample_size,
+    crossover_k,
+    ips_sample_size,
+)
+
+from benchmarks.conftest import print_series
+
+TARGET_ERROR = 0.05
+DELTA = 0.01
+K_GRID = [1, 10, 10**2, 10**3, 10**4, 10**5, 10**6, 10**7, 10**8, 10**9]
+EPSILONS = (0.1, 0.04)
+
+
+def compute_fig1():
+    """The Fig. 1 series: N(K) for A/B and for CB at each ε."""
+    series = {
+        "ab_testing": [
+            ab_testing_sample_size(TARGET_ERROR, k=k, delta=DELTA)
+            for k in K_GRID
+        ]
+    }
+    for epsilon in EPSILONS:
+        series[f"cb_eps={epsilon}"] = [
+            ips_sample_size(TARGET_ERROR, epsilon, k=k, delta=DELTA)
+            for k in K_GRID
+        ]
+    return series
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return compute_fig1()
+
+
+class TestFig1:
+    def test_ab_grows_superlinearly_in_k(self, fig1):
+        ab = fig1["ab_testing"]
+        for i in range(1, len(K_GRID)):
+            growth = ab[i] / ab[i - 1]
+            k_growth = K_GRID[i] / K_GRID[i - 1]
+            assert growth >= k_growth  # linear in K times a log factor
+
+    def test_cb_grows_logarithmically_in_k(self, fig1):
+        for epsilon in EPSILONS:
+            cb = fig1[f"cb_eps={epsilon}"]
+            # N(K) proportional to log(K/delta): successive differences
+            # of equal K-ratios are equal.
+            diffs = [cb[i + 1] - cb[i] for i in range(1, len(cb) - 1)]
+            for a, b in zip(diffs, diffs[1:]):
+                assert a == pytest.approx(b, rel=1e-6)
+
+    def test_exponential_separation_at_large_k(self, fig1):
+        """At K = 10^9, A/B needs ~10^8x more data than CB."""
+        ab = fig1["ab_testing"][-1]
+        cb = fig1["cb_eps=0.1"][-1]
+        assert ab / cb > 10**7
+
+    def test_crossover_near_one_over_epsilon(self):
+        """For K below 1/ε A/B can be cheaper; beyond, CB always wins."""
+        for epsilon in EPSILONS:
+            k_cross = crossover_k(epsilon)
+            k_above = 100 * k_cross
+            assert ips_sample_size(
+                TARGET_ERROR, epsilon, k=k_above, delta=DELTA
+            ) < ab_testing_sample_size(TARGET_ERROR, k=k_above, delta=DELTA)
+
+    def test_offline_reuse_means_single_log_serves_all_k(self, fig1):
+        """CB's N at K=10^9 is within a small factor of its N at K=1 —
+        one exploration log evaluates a billion policies."""
+        cb = fig1["cb_eps=0.04"]
+        # Exactly the log-ratio: log(K/δ)/log(1/δ) ≈ 5.5 for K = 1e9.
+        assert cb[-1] / cb[0] == pytest.approx(
+            math.log(10**9 / DELTA) / math.log(1 / DELTA)
+        )
+        assert cb[-1] / cb[0] < 6.0
+
+    def test_print_figure(self, fig1):
+        print_series(
+            "Figure 1: N required to evaluate K policies "
+            f"(error {TARGET_ERROR}, delta {DELTA})",
+            "K",
+            [f"{k:.0e}" for k in K_GRID],
+            {name: [f"{n:.3g}" for n in values]
+             for name, values in fig1.items()},
+        )
+
+    def test_benchmark_bound_computation(self, benchmark):
+        benchmark(compute_fig1)

@@ -1,0 +1,115 @@
+"""Figure 4: convergence of CB training on the machine-health data.
+
+Paper: "Using a CB algorithm for policy optimization, and simulating
+10,000 exploration datapoints from the dataset, we learn a policy that
+obtains an average reward (on a testing set) within 15% of a policy
+trained using supervised learning on the full feedback dataset.  The
+CB algorithm converges very quickly, getting within 20% using only
+2000 points."
+
+We stream simulated exploration data through the online CB learner and
+checkpoint its ground-truth downtime against the supervised ceiling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SupervisedTrainer
+from repro.core.learners.cb import EpsilonGreedyLearner
+from repro.machinehealth import (
+    build_full_feedback_dataset,
+    default_policy_reward,
+    ground_truth_value,
+    simulate_exploration,
+)
+
+from benchmarks.conftest import print_table
+
+CHECKPOINTS = [250, 500, 1000, 2000, 4000, 7000, 10000]
+N_ACTIONS = 10
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    scenario = build_full_feedback_dataset(
+        n_events=20000, n_machines=1000, seed=3
+    )
+    train, test = scenario.split(0.5)
+    rng = np.random.default_rng(0)
+    exploration = simulate_exploration(train, rng)
+
+    supervised = SupervisedTrainer(N_ACTIONS, maximize=False).fit(train)
+    ceiling = ground_truth_value(supervised.policy(), test)
+    default = default_policy_reward(test)
+
+    learner = EpsilonGreedyLearner(
+        N_ACTIONS, maximize=False, learning_rate=0.5
+    )
+    curve = {}
+    checkpoint_index = 0
+    for count, interaction in enumerate(exploration, start=1):
+        learner.observe(interaction)
+        if (checkpoint_index < len(CHECKPOINTS)
+                and count == CHECKPOINTS[checkpoint_index]):
+            curve[count] = ground_truth_value(learner.policy(), test)
+            checkpoint_index += 1
+    return curve, ceiling, default
+
+
+class TestFig4:
+    def test_within_20_percent_at_2000_points(self, experiment):
+        curve, ceiling, _ = experiment
+        assert curve[2000] <= 1.20 * ceiling
+
+    def test_within_15_percent_at_10000_points(self, experiment):
+        curve, ceiling, _ = experiment
+        assert curve[10000] <= 1.15 * ceiling
+
+    def test_converges_toward_ceiling(self, experiment):
+        """Late-curve values are closer to the ceiling than early ones."""
+        curve, ceiling, _ = experiment
+        early = curve[250] / ceiling
+        late = curve[10000] / ceiling
+        assert late < early
+
+    def test_always_beats_deployed_default_after_warm_start(self, experiment):
+        """Even the 250-point policy already beats the wait-10 default —
+        the optimization power that convinced the Azure team."""
+        curve, _, default = experiment
+        assert all(value < default for value in curve.values())
+
+    def test_ceiling_not_reached_exactly(self, experiment):
+        """Partial feedback costs something: the CB policy stays above
+        the idealized (undeployable) full-feedback model."""
+        curve, ceiling, _ = experiment
+        assert curve[10000] > ceiling
+
+    def test_print_figure(self, experiment):
+        curve, ceiling, default = experiment
+        rows = [
+            [n, f"{v:.1f}", f"{v / ceiling:.3f}"]
+            for n, v in sorted(curve.items())
+        ]
+        print_table(
+            f"Figure 4: CB convergence (supervised ceiling {ceiling:.1f} "
+            f"VM-min, deployed default {default:.1f})",
+            ["exploration points", "CB downtime", "ratio to ceiling"],
+            rows,
+        )
+
+    def test_benchmark_online_updates(self, benchmark):
+        """Throughput of the online learner (the incremental-learning
+        requirement of §5's A2 discussion)."""
+        scenario = build_full_feedback_dataset(
+            n_events=1000, n_machines=200, seed=9
+        )
+        rng = np.random.default_rng(1)
+        exploration = simulate_exploration(scenario.full, rng)
+
+        def train_once():
+            learner = EpsilonGreedyLearner(
+                N_ACTIONS, maximize=False, learning_rate=0.5
+            )
+            learner.observe_all(exploration)
+
+        benchmark(train_once)

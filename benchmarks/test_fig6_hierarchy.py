@@ -1,0 +1,149 @@
+"""Figure 6: hierarchical harvesting (Azure Front Door).
+
+Fig. 6 is an architecture figure: the edge proxy balances over service
+endpoints (clusters) while standard load balancers distribute within
+each cluster.  §5's quantitative point: "This reduces the action space
+at each level, allowing us to apply our methodology to both levels."
+
+We run the two-level simulation, harvest *both* levels, and measure:
+
+- each level's ε is 1/(its small action count), so by Eq. 1 each level
+  needs far less data than a flat policy over all servers;
+- both levels' datasets support off-policy evaluation (the edge-level
+  estimate correctly ranks clusters by speed).
+"""
+
+import pytest
+
+from repro.core import IPSEstimator, UniformRandomPolicy, ips_sample_size
+from repro.loadbalance.frontdoor import Cluster, FrontDoorSim
+from repro.loadbalance.policies import send_to_policy
+from repro.loadbalance.server import ServerConfig
+from repro.loadbalance.workload import Workload
+from repro.simsys.random_source import RandomSource
+
+from benchmarks.conftest import print_table
+
+N_CLUSTERS = 4
+SERVERS_PER_CLUSTER = 8
+TOTAL_SERVERS = N_CLUSTERS * SERVERS_PER_CLUSTER
+N_REQUESTS = 20000
+TARGET_ERROR = 0.05
+K_POLICIES = 10**6
+
+
+def make_clusters():
+    clusters = []
+    for c in range(N_CLUSTERS):
+        configs = [
+            ServerConfig(
+                server_id=s,
+                base_latency=0.15 + 0.03 * c,  # cluster 0 fastest
+                latency_per_connection=0.02,
+            )
+            for s in range(SERVERS_PER_CLUSTER)
+        ]
+        clusters.append(Cluster(f"cluster-{c}", configs, UniformRandomPolicy()))
+    return clusters
+
+
+@pytest.fixture(scope="module")
+def frontdoor():
+    workload = Workload(30.0, randomness=RandomSource(3, _name="wl"))
+    sim = FrontDoorSim(
+        make_clusters(), UniformRandomPolicy(), workload, seed=3
+    )
+    return sim.run(N_REQUESTS)
+
+
+class TestFig6:
+    def test_both_levels_harvested_in_full(self, frontdoor):
+        assert len(frontdoor.edge_dataset) == N_REQUESTS
+        assert sum(
+            len(d) for d in frontdoor.cluster_datasets.values()
+        ) == N_REQUESTS
+
+    def test_per_level_epsilons(self, frontdoor):
+        assert frontdoor.edge_min_propensity == pytest.approx(1 / N_CLUSTERS)
+        for dataset in frontdoor.cluster_datasets.values():
+            assert dataset.min_propensity() == pytest.approx(
+                1 / SERVERS_PER_CLUSTER
+            )
+
+    def test_hierarchy_reduces_data_requirement(self):
+        """Eq. 1 at each level's ε vs a flat 32-action policy."""
+        flat = ips_sample_size(TARGET_ERROR, 1 / TOTAL_SERVERS, k=K_POLICIES)
+        edge = ips_sample_size(TARGET_ERROR, 1 / N_CLUSTERS, k=K_POLICIES)
+        local = ips_sample_size(
+            TARGET_ERROR, 1 / SERVERS_PER_CLUSTER, k=K_POLICIES
+        )
+        assert flat / edge == pytest.approx(TOTAL_SERVERS / N_CLUSTERS)
+        assert flat / local == pytest.approx(
+            TOTAL_SERVERS / SERVERS_PER_CLUSTER
+        )
+        assert flat > 4 * max(edge, local) - 1e-9
+
+    def test_edge_level_evaluation_ranks_clusters(self, frontdoor):
+        """Off-policy evaluation on the edge log alone correctly orders
+        the clusters by speed."""
+        ips = IPSEstimator()
+        estimates = [
+            ips.estimate(send_to_policy(c), frontdoor.edge_dataset).value
+            for c in range(N_CLUSTERS)
+        ]
+        assert estimates == sorted(estimates)
+
+    def test_edge_context_hides_server_detail(self, frontdoor):
+        """The edge sees aggregate cluster load only — the reduced
+        action space comes with reduced (but sufficient) context."""
+        context = frontdoor.edge_dataset[100].context
+        cluster_keys = [k for k in context if k.startswith("cluster_conns_")]
+        assert len(cluster_keys) == N_CLUSTERS
+
+    def test_print_figure(self, frontdoor):
+        ips = IPSEstimator()
+        rows = [
+            [
+                "edge",
+                N_CLUSTERS,
+                f"{frontdoor.edge_min_propensity:.3f}",
+                len(frontdoor.edge_dataset),
+                f"{ips_sample_size(TARGET_ERROR, 1 / N_CLUSTERS, k=K_POLICIES):,.0f}",
+            ]
+        ]
+        for name, dataset in frontdoor.cluster_datasets.items():
+            rows.append(
+                [
+                    name,
+                    SERVERS_PER_CLUSTER,
+                    f"{dataset.min_propensity():.3f}",
+                    len(dataset),
+                    f"{ips_sample_size(TARGET_ERROR, 1 / SERVERS_PER_CLUSTER, k=K_POLICIES):,.0f}",
+                ]
+            )
+        rows.append(
+            [
+                "flat (no hierarchy)",
+                TOTAL_SERVERS,
+                f"{1 / TOTAL_SERVERS:.3f}",
+                "-",
+                f"{ips_sample_size(TARGET_ERROR, 1 / TOTAL_SERVERS, k=K_POLICIES):,.0f}",
+            ]
+        )
+        print_table(
+            "Figure 6: hierarchical harvesting — per-level action spaces "
+            f"and Eq. 1 data needs (error {TARGET_ERROR}, K={K_POLICIES:.0e})",
+            ["level", "actions", "epsilon", "tuples harvested",
+             "N needed (Eq. 1)"],
+            rows,
+        )
+
+    def test_benchmark_two_level_simulation(self, benchmark):
+        def run_small():
+            workload = Workload(30.0, randomness=RandomSource(4, _name="wl"))
+            sim = FrontDoorSim(
+                make_clusters(), UniformRandomPolicy(), workload, seed=4
+            )
+            return sim.run(1000)
+
+        benchmark(run_small)

@@ -1,0 +1,136 @@
+"""Table 2: load-balancing policies, off-policy vs online evaluation.
+
+Paper (Nginx, two-server Fig. 5 setup):
+
+    Policy        | Off-policy eval | Online eval
+    Random        | 0.44s           | 0.44s
+    Least loaded  | 0.36s           | 0.38s
+    Send to 1     | 0.31s           | 0.70s    <- OPE breaks
+    CB policy     | 0.32s           | 0.35s
+
+The qualitative shape we assert:
+
+- random's offline estimate matches its online value (IPS is unbiased
+  for the logging policy);
+- send-to-1 has the *best* offline estimate but the *worst* online
+  latency, by roughly a 2x blow-up — the A1 violation;
+- the learned CB policy beats least-loaded online (optimization works
+  even where evaluation fails).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IPSEstimator, UniformRandomPolicy
+from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+from repro.loadbalance.harvest import dataset_from_access_log, train_cb_policy
+from repro.loadbalance.policies import (
+    least_loaded_policy,
+    random_policy,
+    send_to_policy,
+)
+from repro.simsys.random_source import RandomSource
+
+from benchmarks.conftest import print_table
+
+ARRIVAL_RATE = 10.0
+N_COLLECT = 12000
+N_ONLINE = 8000
+ONLINE_SEEDS = (7, 8, 9)
+
+
+def run_online(policy, n=N_ONLINE, seeds=ONLINE_SEEDS):
+    latencies = []
+    for seed in seeds:
+        workload = Workload(
+            ARRIVAL_RATE, randomness=RandomSource(seed, _name="wl")
+        )
+        sim = LoadBalancerSim(fig5_servers(), policy, workload, seed=seed)
+        latencies.append(sim.run(n).mean_latency)
+    return float(np.mean(latencies))
+
+
+@pytest.fixture(scope="module")
+def table2():
+    workload = Workload(ARRIVAL_RATE, randomness=RandomSource(42, _name="wl"))
+    collector = LoadBalancerSim(
+        fig5_servers(), random_policy(), workload, seed=42
+    )
+    collection = collector.run(N_COLLECT)
+    dataset = dataset_from_access_log(
+        collection.access_log, logging_policy=UniformRandomPolicy()
+    )
+    candidates = {
+        "Random": random_policy(),
+        "Least loaded": least_loaded_policy(),
+        "Send to 1": send_to_policy(0),
+        "CB policy": train_cb_policy(dataset, n_servers=2),
+    }
+    ips = IPSEstimator()
+    return {
+        name: (ips.estimate(policy, dataset).value, run_online(policy))
+        for name, policy in candidates.items()
+    }
+
+
+class TestTable2:
+    def test_random_offline_matches_online(self, table2):
+        offline, online = table2["Random"]
+        assert offline == pytest.approx(online, rel=0.08)
+
+    def test_send_to_one_has_best_offline_estimate(self, table2):
+        send_offline = table2["Send to 1"][0]
+        assert send_offline < table2["Random"][0]
+        assert send_offline < table2["Least loaded"][0]
+
+    def test_send_to_one_is_worst_online(self, table2):
+        send_online = table2["Send to 1"][1]
+        assert all(
+            send_online > online
+            for name, (_, online) in table2.items()
+            if name != "Send to 1"
+        )
+
+    def test_send_to_one_online_blowup(self, table2):
+        """The paper's 0.31 → 0.70 is a ~2.3x offline-to-online gap;
+        ours must blow up by at least ~1.8x."""
+        offline, online = table2["Send to 1"]
+        assert online > 1.8 * offline
+
+    def test_least_loaded_beats_random_both_ways(self, table2):
+        assert table2["Least loaded"][0] < table2["Random"][0]
+        assert table2["Least loaded"][1] < table2["Random"][1]
+
+    def test_cb_policy_beats_least_loaded_online(self, table2):
+        assert table2["CB policy"][1] < table2["Least loaded"][1]
+
+    def test_cb_policy_offline_estimate_is_honest(self, table2):
+        """Unlike send-to-1, the CB policy's offline estimate is close
+        to its online value (it keeps load balanced, so the logged
+        context distribution stays representative)."""
+        offline, online = table2["CB policy"]
+        assert abs(online - offline) / online < 0.35
+
+    def test_print_table(self, table2):
+        rows = [
+            [name, f"{offline:.2f}s", f"{online:.2f}s"]
+            for name, (offline, online) in table2.items()
+        ]
+        print_table(
+            "Table 2: mean request latency (Nginx sim)",
+            ["Policy", "Off-policy evaluation", "Online evaluation"],
+            rows,
+        )
+
+    def test_benchmark_ips_evaluation(self, table2, benchmark):
+        workload = Workload(
+            ARRIVAL_RATE, randomness=RandomSource(1, _name="wl")
+        )
+        sim = LoadBalancerSim(
+            fig5_servers(), random_policy(), workload, seed=1
+        )
+        dataset = dataset_from_access_log(
+            sim.run(2000).access_log, logging_policy=UniformRandomPolicy()
+        )
+        ips = IPSEstimator()
+        benchmark(ips.estimate, least_loaded_policy(), dataset)

@@ -1,0 +1,129 @@
+"""Table 3: cache-eviction hit rates on the big/small workload.
+
+Paper (Redis):
+
+    Policy   | Random | LRU   | LFU   | CB policy | Freq/size
+    Hit rate | 48.5%  | 48.2% | 44.0% | 48.7%     | 58.9%
+
+"Both the CB policy and LRU perform as poorly as random eviction,
+because they greedily keep the large items ... a policy manually
+designed to take size into account (by optimizing the ratio of access
+frequency to size) has a hitrate 10 percentage points higher."
+
+Shape we assert: CB ≈ LRU ≈ random (within a couple of points), LFU at
+or below that cluster, and freq/size clearly on top.  Our sampled-
+eviction substrate reproduces the ordering with a somewhat smaller
+winning margin (~5 points; see EXPERIMENTS.md for why).
+"""
+
+import pytest
+
+from repro.cache import (
+    BigSmallWorkload,
+    CacheSim,
+    eviction_dataset_from_log,
+    freq_size_policy,
+    lfu_policy,
+    lru_policy,
+    random_eviction_policy,
+    train_cb_eviction,
+)
+from repro.cache.eviction import ScoredEvictionPolicy
+from repro.simsys.random_source import RandomSource
+
+from benchmarks.conftest import print_table
+
+CAPACITY = 700       # bytes; total item population is 1400
+SAMPLE_SIZE = 10     # Redis maxmemory-samples
+POOL_SIZE = 16       # Redis eviction pool, for deterministic policies
+N_REQUESTS = 50000
+DEPLOY_SEED = 3
+
+
+def deploy(policy):
+    """Ground-truth hit rate of a policy in the prototype."""
+    pool = POOL_SIZE if isinstance(policy, ScoredEvictionPolicy) else 0
+    workload = BigSmallWorkload(
+        randomness=RandomSource(DEPLOY_SEED, _name="wl")
+    )
+    sim = CacheSim(
+        CAPACITY, policy, sample_size=SAMPLE_SIZE, seed=DEPLOY_SEED,
+        pool_size=pool,
+    )
+    return sim.run(workload.requests(N_REQUESTS), keep_log=False).hit_rate
+
+
+@pytest.fixture(scope="module")
+def table3():
+    # Collect exploration data under the random policy (plain sampling,
+    # clean 1/k propensities), harvest, train the CB policy.
+    workload = BigSmallWorkload(randomness=RandomSource(11, _name="wl"))
+    collector = CacheSim(
+        CAPACITY, random_eviction_policy(), sample_size=SAMPLE_SIZE, seed=11
+    )
+    collection = collector.run(workload.requests(N_REQUESTS))
+    dataset = eviction_dataset_from_log(
+        collection.log_lines, sample_size=SAMPLE_SIZE
+    )
+    cb_policy = train_cb_eviction(dataset)
+    return {
+        "Random": deploy(random_eviction_policy()),
+        "LRU": deploy(lru_policy()),
+        "LFU": deploy(lfu_policy()),
+        "CB policy": deploy(cb_policy),
+        "Freq/size": deploy(freq_size_policy()),
+    }
+
+
+class TestTable3:
+    def test_freq_size_wins(self, table3):
+        best_other = max(
+            v for name, v in table3.items() if name != "Freq/size"
+        )
+        assert table3["Freq/size"] > best_other + 0.03
+
+    def test_cb_clusters_with_random_and_lru(self, table3):
+        """The greedy CB policy is no better than the simple
+        heuristics — the long-term-reward failure."""
+        cluster = [table3["Random"], table3["LRU"], table3["CB policy"]]
+        assert max(cluster) - min(cluster) < 0.03
+
+    def test_lfu_at_bottom_of_cluster(self, table3):
+        """LFU keeps the (individually hotter) big items hardest."""
+        assert table3["LFU"] <= table3["Random"]
+        assert table3["LFU"] <= table3["LRU"] + 0.01
+
+    def test_absolute_scale_near_paper(self, table3):
+        """Random should land in the paper's neighborhood (~48%)."""
+        assert 0.40 < table3["Random"] < 0.56
+
+    def test_only_size_awareness_escapes_the_trap(self, table3):
+        """Every policy that ignores item size sits within a few points
+        of random; the size-aware one escapes by a clear margin."""
+        size_blind = [
+            table3[name] for name in ("Random", "LRU", "LFU", "CB policy")
+        ]
+        assert table3["Freq/size"] - max(size_blind) > 2 * (
+            max(size_blind) - min(size_blind)
+        ) / 2
+
+    def test_print_table(self, table3):
+        print_table(
+            "Table 3: hit rates of eviction policies (Redis sim, "
+            "big/small workload)",
+            ["Policy", "Hit rate"],
+            [[name, f"{rate:.1%}"] for name, rate in table3.items()],
+        )
+
+    def test_benchmark_cache_run(self, benchmark):
+        workload = BigSmallWorkload(randomness=RandomSource(5, _name="wl"))
+        requests = list(workload.requests(5000))
+
+        def run_once():
+            sim = CacheSim(
+                CAPACITY, random_eviction_policy(),
+                sample_size=SAMPLE_SIZE, seed=5,
+            )
+            return sim.run(requests, keep_log=False)
+
+        benchmark(run_once)

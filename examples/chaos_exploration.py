@@ -1,0 +1,64 @@
+"""Chaos-broadened exploration (§5, "exploration coverage").
+
+Per-request randomization almost never visits extreme states — a
+uniform-random balancer "will almost never choose the same server
+twenty times in a row", so logs contain no data about heavily-skewed
+load.  §5 proposes harvesting *reliability testing*: Chaos-Monkey-style
+fault injection pushes the system into extreme conditions, and the
+responses land in the same logs.
+
+This example measures the coverage difference: the distribution of
+per-server connection counts observed in logs collected with and
+without fault injection.
+
+Run:  python examples/chaos_exploration.py
+"""
+
+import numpy as np
+
+from repro.chaos import ChaosMonkey
+from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+from repro.loadbalance.policies import random_policy
+from repro.simsys.random_source import RandomSource
+
+N_REQUESTS = 15_000
+
+
+def collect(with_chaos: bool):
+    """Run the random balancer, optionally under fault injection."""
+    workload = Workload(10.0, randomness=RandomSource(5, _name="wl"))
+    monkey = ChaosMonkey(seed=2) if with_chaos else None
+    sim = LoadBalancerSim(
+        fig5_servers(), random_policy(), workload, seed=5, chaos=monkey
+    )
+    result = sim.run(N_REQUESTS)
+    return result, monkey
+
+
+def coverage_report(label: str, result) -> None:
+    """Summarize the context (load) coverage of one collected log."""
+    conns = np.array([list(e.connections) for e in result.access_log])
+    imbalance = np.abs(conns[:, 0] - conns[:, 1])
+    print(f"{label}:")
+    print(f"  mean latency          {result.mean_latency:8.3f}s")
+    print(f"  max connections seen  {conns.max():8d}")
+    print(f"  p99 load imbalance    {np.percentile(imbalance, 99):8.1f}")
+    print(f"  contexts with >10 conns on a server: "
+          f"{np.mean(conns.max(axis=1) > 10):.2%}")
+
+
+def main() -> None:
+    baseline, _ = collect(with_chaos=False)
+    chaotic, monkey = collect(with_chaos=True)
+    coverage_report("without chaos", baseline)
+    print()
+    coverage_report(f"with chaos ({len(monkey.history)} faults injected)",
+                    chaotic)
+    print("\nThe injected faults push servers into load regimes the "
+          "random policy alone\nnever produces — exactly the data needed "
+          "to evaluate policies with long-term\nload effects (e.g. "
+          "'send everything to one server').")
+
+
+if __name__ == "__main__":
+    main()

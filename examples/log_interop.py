@@ -1,0 +1,79 @@
+"""Log interop: text logs in, VW-format exploration data out.
+
+The methodology is *non-invasive*: everything starts from logs a
+system already writes.  This example exercises the whole data plumbing
+on the machine-health scenario:
+
+1. a fleet "writes" an Azure-style incident log (plain text, one line
+   per incident, full downtime profile under the wait-10 default);
+2. we scavenge the text log back into a full-feedback dataset;
+3. we simulate exploration and export it in Vowpal Wabbit's ``--cb``
+   format — the interchange format of production CB stacks;
+4. we reload the VW file and verify estimators see identical data.
+
+Run:  python examples/log_interop.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core import ConstantPolicy, IPSEstimator
+from repro.core.vw_format import load_vw, save_vw
+from repro.machinehealth import (
+    dataset_from_incident_log,
+    generate_failures,
+    generate_fleet,
+    read_incident_log,
+    simulate_exploration,
+    write_incident_log,
+)
+from repro.machinehealth.fleet import FleetConfig
+from repro.simsys.random_source import RandomSource
+
+N_INCIDENTS = 3000
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="harvest-")
+    incident_path = os.path.join(workdir, "incidents.log")
+    vw_path = os.path.join(workdir, "exploration.vw")
+
+    # 1. The "production system" writes its incident log.
+    fleet = generate_fleet(FleetConfig(n_machines=400), RandomSource(3))
+    events = generate_failures(fleet, N_INCIDENTS, RandomSource(4))
+    write_incident_log(events, incident_path)
+    size_kb = os.path.getsize(incident_path) / 1024
+    print(f"wrote {N_INCIDENTS} incidents to {incident_path} "
+          f"({size_kb:.0f} KiB)")
+
+    # 2. Scavenge the text log (step 1 of the methodology).
+    records = read_incident_log(incident_path)
+    dataset = dataset_from_incident_log(records)
+    print(f"scavenged {len(dataset)} full-feedback interactions "
+          f"({len(records) - len(dataset)} dropped)")
+
+    # 3. Simulate exploration and export as VW --cb data.
+    exploration = simulate_exploration(dataset, np.random.default_rng(0))
+    lines = save_vw(exploration, vw_path)
+    print(f"exported {lines} VW --cb lines to {vw_path}")
+    with open(vw_path) as f:
+        print("  sample line:", f.readline().strip()[:76], "...")
+
+    # 4. Round-trip check: the estimators see identical data.
+    reloaded = load_vw(vw_path, action_space=exploration.action_space)
+    ips = IPSEstimator()
+    for wait_index in (0, 4, 9):
+        policy = ConstantPolicy(wait_index, name=f"wait-{wait_index + 1}min")
+        original = ips.estimate(policy, exploration).value
+        roundtrip = ips.estimate(policy, reloaded).value
+        status = "ok" if abs(original - roundtrip) < 1e-6 else "MISMATCH"
+        print(f"  {policy.name}: {original:8.2f} vs {roundtrip:8.2f}  "
+              f"[{status}]")
+
+    print(f"\nartifacts left in {workdir} for inspection")
+
+
+if __name__ == "__main__":
+    main()

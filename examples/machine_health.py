@@ -1,0 +1,77 @@
+"""Machine health (Azure Compute scenario): the paper's success story.
+
+Reproduces the §4 pipeline end to end:
+
+- generate a fleet and failure incidents with full-feedback downtime
+  logs (the wait-10 default reveals every shorter wait's outcome);
+- simulate partial-feedback exploration from the full-feedback data;
+- train a CB policy on the exploration data;
+- evaluate it offline with IPS and compare against the exact ground
+  truth that full feedback makes available.
+
+Run:  python examples/machine_health.py
+"""
+
+import numpy as np
+
+from repro.core import ConstantPolicy, IPSEstimator, SupervisedTrainer
+from repro.core.features import Featurizer
+from repro.core.learners.cb import EpsilonGreedyLearner
+from repro.machinehealth import (
+    build_full_feedback_dataset,
+    default_policy_reward,
+    ground_truth_value,
+    simulate_exploration,
+)
+
+N_INCIDENTS = 8_000
+N_ACTIONS = 10  # wait 1..10 minutes
+
+
+def main() -> None:
+    print("generating fleet and failure incidents ...")
+    scenario = build_full_feedback_dataset(n_events=N_INCIDENTS, seed=7)
+    train, test = scenario.split(0.5)
+
+    default_downtime = default_policy_reward(test)
+    print(f"default policy (wait 10 min): {default_downtime:7.1f} "
+          f"VM-minutes of downtime per incident")
+    best_constant = min(
+        (ground_truth_value(ConstantPolicy(a), test), a) for a in range(N_ACTIONS)
+    )
+    print(f"best constant policy (wait {best_constant[1] + 1} min): "
+          f"{best_constant[0]:7.1f}")
+
+    # Train a CB policy on simulated exploration data.
+    rng = np.random.default_rng(0)
+    exploration = simulate_exploration(train, rng)
+    learner = EpsilonGreedyLearner(
+        N_ACTIONS, featurizer=Featurizer(64), learning_rate=0.5, maximize=False
+    )
+    for _ in range(3):
+        learner.observe_all(exploration)
+    cb_policy = learner.policy()
+    cb_truth = ground_truth_value(cb_policy, test)
+    print(f"learned CB policy:            {cb_truth:7.1f}")
+
+    # The supervised ceiling (only possible because feedback is full).
+    supervised = SupervisedTrainer(N_ACTIONS, maximize=False).fit(train)
+    sup_truth = ground_truth_value(supervised.policy(), test)
+    print(f"supervised (full feedback):   {sup_truth:7.1f}")
+    print(f"CB is within {100 * (cb_truth / sup_truth - 1):.0f}% of the "
+          f"full-feedback ceiling, and saves "
+          f"{100 * (1 - cb_truth / default_downtime):.0f}% of downtime "
+          f"vs the deployed default.")
+
+    # Off-policy evaluation: estimate the CB policy's value from fresh
+    # exploration data only, then compare to truth.
+    test_exploration = simulate_exploration(test, rng)
+    estimate = IPSEstimator().estimate(cb_policy, test_exploration)
+    truth = ground_truth_value(cb_policy, test)
+    print(f"\nIPS estimate from {len(test_exploration)} exploration points: "
+          f"{estimate.value:.1f} (truth {truth:.1f}, "
+          f"error {100 * abs(estimate.value - truth) / truth:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

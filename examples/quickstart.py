@@ -1,0 +1,77 @@
+"""Quickstart: harvest randomness from a toy system in 60 lines.
+
+A minimal end-to-end pass through the paper's methodology:
+
+1. a "production system" makes randomized decisions and writes logs;
+2. we scavenge ⟨x, a, r⟩ from the logs and infer propensities;
+3. we evaluate candidate policies offline — without deploying them —
+   and check the estimates against the truth.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ConstantPolicy,
+    Dataset,
+    EmpiricalPropensityModel,
+    Interaction,
+    IPSEstimator,
+    UniformRandomPolicy,
+)
+
+RNG = np.random.default_rng(seed=42)
+N_DECISIONS = 5_000
+N_ACTIONS = 3
+
+
+def production_system(n: int) -> list[dict]:
+    """A toy system: for each request it picks one of three handlers
+    uniformly at random and observes a context-dependent reward.
+    Handler 1 is best when load is high; handler 0 otherwise."""
+    logs = []
+    for t in range(n):
+        load = RNG.uniform()
+        action = int(RNG.integers(N_ACTIONS))
+        base = [0.7 - 0.4 * load, 0.3 + 0.5 * load, 0.5][action]
+        reward = float(np.clip(base + RNG.normal(0, 0.05), 0, 1))
+        logs.append({"t": t, "load": load, "handler": action, "reward": reward})
+    return logs
+
+
+def main() -> None:
+    # Step 0: the live system runs and logs (we never modify it).
+    logs = production_system(N_DECISIONS)
+
+    # Step 1+2: scavenge ⟨x, a, r⟩ and infer propensities empirically.
+    propensities = EmpiricalPropensityModel().fit([r["handler"] for r in logs])
+    dataset = Dataset()
+    for record in logs:
+        context = {"load": record["load"]}
+        action = record["handler"]
+        p = propensities.propensity(context, action, list(range(N_ACTIONS)))
+        dataset.append(
+            Interaction(context, action, record["reward"], p, record["t"])
+        )
+    print(f"harvested {len(dataset)} exploration points "
+          f"(min propensity {dataset.min_propensity():.3f})")
+
+    # Step 3: evaluate candidate policies offline.
+    ips = IPSEstimator()
+    candidates = [ConstantPolicy(a) for a in range(N_ACTIONS)]
+    candidates.append(UniformRandomPolicy())
+    print(f"\n{'policy':>16s} {'offline estimate':>18s} {'95% CI':>22s}")
+    for policy in candidates:
+        result = ips.estimate(policy, dataset)
+        lo, hi = result.confidence_interval()
+        print(f"{policy.name:>16s} {result.value:>18.4f} "
+              f"[{lo:>9.4f}, {hi:>8.4f}]")
+
+    # Truth (we know the simulator): E[r|a=0] = 0.5, E[r|a=1] = 0.55,
+    # E[r|a=2] = 0.5 — the offline estimates should match without any
+    # of these policies having been deployed.
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Harvesting Randomness to Optimize Distributed Systems — reproduction.
+
+A faithful, from-scratch reproduction of the HotNets 2017 paper.  The
+package is organized as:
+
+- :mod:`repro.core` — the paper's contribution: contextual-bandit
+  exploration data, off-policy estimators (IPS, SNIPS, DM, DR,
+  trajectory IS), confidence bounds (Eq. 1), CB learners, propensity
+  inference, and the scavenge→infer→evaluate harvesting pipeline.
+- :mod:`repro.simsys` — a discrete-event simulation kernel.
+- :mod:`repro.loadbalance` — an Nginx-like reverse-proxy simulation
+  (Table 2, Fig. 5) plus the Front Door hierarchy (Fig. 6).
+- :mod:`repro.cache` — a Redis-like cache with sampled eviction
+  (Table 3).
+- :mod:`repro.machinehealth` — a synthetic Azure-Compute machine-health
+  scenario with full-feedback logs (Figs. 3–4).
+- :mod:`repro.chaos` — fault injection for exploration-coverage
+  experiments (§5).
+"""
+
+__version__ = "1.0.0"
+
+from repro import core
+
+__all__ = ["core", "__version__"]

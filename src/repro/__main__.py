@@ -1,0 +1,52 @@
+"""``python -m repro`` — orientation for the command line.
+
+Prints the package version, the experiment catalog, and how to run
+things.  The benchmarks themselves run under pytest (each one asserts
+its paper artifact's shape); this entry point just tells you where
+they are.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+
+EXPERIMENTS = [
+    ("fig1", "benchmarks/test_fig1_ab_vs_cb.py", "A/B vs CB data needs"),
+    ("fig2", "benchmarks/test_fig2_theoretical_accuracy.py", "Eq. 1 curves"),
+    ("fig3", "benchmarks/test_fig3_ope_error.py", "IPS error vs N"),
+    ("fig4", "benchmarks/test_fig4_cb_convergence.py", "CB vs ceiling"),
+    ("table2", "benchmarks/test_table2_loadbalance.py",
+     "LB offline vs online"),
+    ("table3", "benchmarks/test_table3_caching.py", "eviction hit rates"),
+    ("fig6", "benchmarks/test_fig6_hierarchy.py", "Front Door hierarchy"),
+    ("abl-*", "benchmarks/test_ablation_*.py", "design-choice ablations"),
+    ("ext-*", "benchmarks/test_ext_*.py", "extensions beyond the paper"),
+]
+
+EXAMPLES = [
+    "quickstart", "machine_health", "load_balancing", "caching",
+    "frontdoor_hierarchy", "chaos_exploration", "log_interop",
+    "experiment_planning",
+]
+
+
+def main(argv: list[str]) -> int:
+    print(f"repro {repro.__version__} — Harvesting Randomness to Optimize "
+          f"Distributed Systems (HotNets 2017), reproduced\n")
+    print("experiments (run with `pytest <file> -s` to see the rows):")
+    for exp_id, path, blurb in EXPERIMENTS:
+        print(f"  {exp_id:<8s} {path:<46s} {blurb}")
+    print("\nexamples (run with `python examples/<name>.py`):")
+    print("  " + ", ".join(EXAMPLES))
+    print("\nsuites:")
+    print("  pytest tests/                      # unit/integration/property")
+    print("  pytest benchmarks/ -s              # every table & figure")
+    print("  pytest benchmarks/ --benchmark-only  # timing kernels")
+    print("\ndocs: README.md, DESIGN.md, EXPERIMENTS.md, docs/methodology.md")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,166 @@
+"""Harvesting the keyspace log (steps 1–2 for Redis).
+
+The reward of an eviction — time until the evicted item is next
+accessed — is not in any single log record, because "Redis does not
+maintain state for evicted items.  Instead, we reconstruct this
+information during step 1 by looking ahead in the logs to when the
+item next appears" (§3).  :func:`reconstruct_rewards` performs exactly
+that look-ahead; evictions whose victim never reappears get the
+censoring cap (evicting a never-again-used item is the best possible
+outcome).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cache.eviction import candidate_features
+from repro.cache.keyspace_log import KeyspaceEvent, parse_keyspace_line
+from repro.core.features import Featurizer
+from repro.core.learners.cb import PerActionFeaturesLearner
+from repro.core.policies import Policy, UniformRandomPolicy
+from repro.core.propensity import DeclaredPropensityModel
+from repro.core.types import ActionSpace, Context, Dataset, Interaction, RewardRange
+
+#: Censoring cap for "never accessed again", in workload time units.
+DEFAULT_REWARD_CAP = 2000.0
+
+
+def _context_from_candidates(
+    candidates: Sequence[tuple[str, float, float, float, float]]
+) -> Context:
+    context: dict[str, float] = {}
+    for slot, (_key, idle, freq, size, age) in enumerate(candidates):
+        context[f"cand{slot}_idle"] = idle
+        context[f"cand{slot}_freq"] = freq
+        context[f"cand{slot}_size"] = size
+        context[f"cand{slot}_age"] = age
+    return context
+
+
+def reconstruct_rewards(
+    events: Sequence[KeyspaceEvent],
+    reward_cap: float = DEFAULT_REWARD_CAP,
+) -> list[tuple[KeyspaceEvent, float]]:
+    """Pair each EVICT event with its look-ahead reward.
+
+    One forward pass: for every key, collect the sorted times of its
+    GETs; for each eviction, binary-search the first access after the
+    eviction time.  Rewards are clipped at ``reward_cap`` (also the
+    value assigned when the key never reappears).
+    """
+    import bisect
+
+    access_times: dict[str, list[float]] = {}
+    for event in events:
+        if event.kind == "GET":
+            access_times.setdefault(event.key, []).append(event.time)
+    # Log shippers may reorder lines; the look-ahead keys on
+    # timestamps, so sort each key's accesses before binary search.
+    for times in access_times.values():
+        times.sort()
+    rewarded = []
+    for event in events:
+        if event.kind != "EVICT":
+            continue
+        times = access_times.get(event.key, [])
+        index = bisect.bisect_right(times, event.time)
+        if index < len(times):
+            reward = min(times[index] - event.time, reward_cap)
+        else:
+            reward = reward_cap
+        rewarded.append((event, reward))
+    return rewarded
+
+
+def eviction_action_space(sample_size: int) -> ActionSpace:
+    """Action space for eviction decisions: slots into the sample.
+
+    The eligible actions depend on the context — near-empty caches
+    yield samples smaller than ``maxmemory-samples``, so only the slots
+    actually present (detected by their ``cand{i}_size`` feature) are
+    eligible.  This is the paper's "the set A may depend on x" in the
+    flesh.
+    """
+
+    def eligibility(context):
+        eligible = [
+            slot
+            for slot in range(sample_size)
+            if f"cand{slot}_size" in context
+        ]
+        return eligible or [0]
+
+    return ActionSpace(sample_size, eligibility=eligibility)
+
+
+def eviction_dataset_from_log(
+    lines_or_events,
+    logging_policy: Optional[Policy] = None,
+    sample_size: int = 5,
+    reward_cap: float = DEFAULT_REWARD_CAP,
+) -> Dataset:
+    """Keyspace log → exploration dataset for eviction decisions.
+
+    Accepts raw log lines (str) or parsed :class:`KeyspaceEvent`
+    objects.  ``logging_policy`` defaults to Redis's uniform random
+    eviction (the Table 3 collection policy) for propensity
+    declaration.
+    """
+    events: list[KeyspaceEvent] = []
+    for item in lines_or_events:
+        if isinstance(item, str):
+            parsed = parse_keyspace_line(item)
+            if parsed is not None:
+                events.append(parsed)
+        else:
+            events.append(item)
+    if not events:
+        raise ValueError("no parseable keyspace events")
+    model = DeclaredPropensityModel(logging_policy or UniformRandomPolicy())
+    dataset = Dataset(
+        action_space=eviction_action_space(sample_size),
+        reward_range=RewardRange(0.0, reward_cap, maximize=True),
+    )
+    for event, reward in reconstruct_rewards(events, reward_cap):
+        context = _context_from_candidates(event.candidates)
+        actions = list(range(len(event.candidates)))
+        propensity = model.propensity(context, event.victim_slot, actions)
+        dataset.append(
+            Interaction(
+                context=context,
+                action=event.victim_slot,
+                reward=reward,
+                propensity=propensity,
+                timestamp=event.time,
+            )
+        )
+    return dataset
+
+
+def train_cb_eviction(
+    dataset: Dataset,
+    passes: int = 3,
+    learning_rate: float = 0.2,
+    name: str = "CB policy",
+) -> Policy:
+    """Train the greedy CB eviction policy of Table 3.
+
+    A shared model over candidate features (idle, freq, size, age)
+    predicts time-to-next-access; the policy greedily evicts the
+    candidate predicted to stay cold longest.  Table 3's lesson is that
+    this *succeeds at its own objective* yet fails on hit rate, because
+    the greedy reward ignores the opportunity cost of the bytes.
+    """
+    if passes <= 0:
+        raise ValueError("passes must be positive")
+    learner = PerActionFeaturesLearner(
+        features_of=candidate_features,
+        featurizer=Featurizer(n_dims=32),
+        learning_rate=learning_rate,
+        maximize=True,
+        name=name,
+    )
+    for _ in range(passes):
+        learner.observe_all(dataset)
+    return learner.policy()

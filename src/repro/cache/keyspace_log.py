@@ -1,0 +1,137 @@
+"""Keyspace event logging (our "custom logging" for Redis).
+
+Redis "maintains per-item contextual information (e.g., last accessed
+time) but does not log it by default, so we added custom logging for
+this purpose" (§3).  Our log has two record kinds:
+
+- ``GET`` lines — every access, hit or miss, with the key.  These are
+  what the reward reconstruction scans forward through.
+- ``EVICT`` lines — every eviction decision: the sampled candidates
+  with their feature blocks, the victim, and (if code inspection has
+  pinned the policy) nothing else; propensities are *inferred* at
+  harvest time.
+
+Format::
+
+    <time> GET <key> <HIT|MISS> size=<bytes>
+    <time> EVICT victim=<slot> cands=<key@idle@freq@size@age>,<...>
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cache.eviction import EvictionEvent
+
+
+@dataclass(frozen=True)
+class KeyspaceEvent:
+    """One parsed keyspace log record."""
+
+    time: float
+    kind: str  # "GET" or "EVICT"
+    key: str = ""  # GET: the key; EVICT: the victim key
+    hit: bool = False
+    size: int = 0
+    victim_slot: int = -1
+    candidates: tuple[tuple[str, float, float, float, float], ...] = ()
+    # each candidate: (key, idle, freq, size, age)
+
+
+def format_get_line(time: float, key: str, hit: bool, size: int) -> str:
+    """Serialize a GET record."""
+    status = "HIT" if hit else "MISS"
+    return f"{time:.3f} GET {key} {status} size={size}"
+
+
+def format_evict_line(event: EvictionEvent) -> str:
+    """Serialize an EVICT record from an engine event."""
+    parts = []
+    for slot, key in enumerate(event.candidate_keys):
+        idle = event.context.get(f"cand{slot}_idle", 0.0)
+        freq = event.context.get(f"cand{slot}_freq", 0.0)
+        size = event.context.get(f"cand{slot}_size", 0.0)
+        age = event.context.get(f"cand{slot}_age", 0.0)
+        parts.append(f"{key}@{idle:.3f}@{freq:.6f}@{size:g}@{age:.3f}")
+    return (
+        f"{event.time:.3f} EVICT victim={event.victim_slot} "
+        f"cands={','.join(parts)}"
+    )
+
+
+def format_keyspace_line(event: "KeyspaceEvent") -> str:
+    """Serialize a parsed event back to its line form."""
+    if event.kind == "GET":
+        return format_get_line(event.time, event.key, event.hit, event.size)
+    parts = [
+        f"{key}@{idle:.3f}@{freq:.6f}@{size:g}@{age:.3f}"
+        for key, idle, freq, size, age in event.candidates
+    ]
+    return f"{event.time:.3f} EVICT victim={event.victim_slot} cands={','.join(parts)}"
+
+
+_GET_RE = re.compile(
+    r"^(?P<time>[\d.]+) GET (?P<key>\S+) (?P<status>HIT|MISS) size=(?P<size>\d+)$"
+)
+_EVICT_RE = re.compile(
+    r"^(?P<time>[\d.]+) EVICT victim=(?P<slot>\d+) cands=(?P<cands>\S+)$"
+)
+
+
+def parse_keyspace_line(line: str) -> Optional[KeyspaceEvent]:
+    """Parse one keyspace log line; None for malformed lines."""
+    line = line.strip()
+    match = _GET_RE.match(line)
+    if match is not None:
+        return KeyspaceEvent(
+            time=float(match.group("time")),
+            kind="GET",
+            key=match.group("key"),
+            hit=match.group("status") == "HIT",
+            size=int(match.group("size")),
+        )
+    match = _EVICT_RE.match(line)
+    if match is not None:
+        candidates = []
+        for blob in match.group("cands").split(","):
+            fields = blob.split("@")
+            if len(fields) != 5:
+                return None
+            key, idle, freq, size, age = fields
+            try:
+                candidates.append(
+                    (key, float(idle), float(freq), float(size), float(age))
+                )
+            except ValueError:
+                return None  # truncated numeric field
+        slot = int(match.group("slot"))
+        if slot >= len(candidates):
+            return None
+        return KeyspaceEvent(
+            time=float(match.group("time")),
+            kind="EVICT",
+            key=candidates[slot][0],
+            victim_slot=slot,
+            candidates=tuple(candidates),
+        )
+    return None
+
+
+def write_keyspace_log(lines: Sequence[str], path: str) -> None:
+    """Write pre-formatted lines to a log file."""
+    with open(path, "w", encoding="utf-8") as f:
+        for line in lines:
+            f.write(line + "\n")
+
+
+def read_keyspace_log(path: str) -> list[KeyspaceEvent]:
+    """Read a keyspace log, skipping malformed lines."""
+    events = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            event = parse_keyspace_line(line)
+            if event is not None:
+                events.append(event)
+    return events

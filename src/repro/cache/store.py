@@ -1,0 +1,140 @@
+"""The key-value store with byte accounting.
+
+Tracks, per resident item, the access metadata Redis keeps (or that
+our custom logging records): last access time, access count, insert
+time, and size.  Memory is accounted in bytes against a ``max_memory``
+budget; the cache itself never decides *what* to evict — that's the
+eviction engine's job — it only reports when eviction is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class CacheItem:
+    """A resident cache entry and its access metadata."""
+
+    key: str
+    size: int
+    insert_time: float
+    last_access: float
+    access_count: int = 1
+    #: Absolute expiry time (Redis EXPIRE); None = lives forever.
+    expires_at: Optional[float] = None
+
+    def idle_time(self, now: float) -> float:
+        """Seconds since last access (LRU's criterion)."""
+        return now - self.last_access
+
+    def age(self, now: float) -> float:
+        """Seconds since insertion."""
+        return now - self.insert_time
+
+    def frequency(self, now: float) -> float:
+        """Observed access rate since insertion (LFU's criterion)."""
+        age = max(self.age(now), 1e-9)
+        return self.access_count / age
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the item's TTL has elapsed."""
+        return self.expires_at is not None and now >= self.expires_at
+
+    def remaining_ttl(self, now: float) -> float:
+        """Seconds of TTL left (inf for non-volatile items)."""
+        if self.expires_at is None:
+            return float("inf")
+        return max(self.expires_at - now, 0.0)
+
+
+class KeyValueStore:
+    """A byte-budgeted in-memory store (the data plane of our Redis)."""
+
+    def __init__(self, max_memory: int) -> None:
+        if max_memory <= 0:
+            raise ValueError("max_memory must be positive")
+        self.max_memory = max_memory
+        self.used_memory = 0
+        self.expired_count = 0
+        self._items: dict[str, CacheItem] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    @property
+    def keys(self) -> list[str]:
+        """All resident keys (insertion order)."""
+        return list(self._items)
+
+    def item(self, key: str) -> Optional[CacheItem]:
+        """The resident item for ``key``, or None."""
+        return self._items.get(key)
+
+    def access(self, key: str, now: float) -> bool:
+        """A GET: returns hit/miss and updates metadata on hit.
+
+        Expired items are removed lazily on access (Redis semantics)
+        and the access counts as a miss.
+        """
+        item = self._items.get(key)
+        if item is None:
+            return False
+        if item.is_expired(now):
+            self.evict(key)
+            self.expired_count += 1
+            return False
+        item.last_access = now
+        item.access_count += 1
+        return True
+
+    def needs_eviction(self, incoming_size: int) -> bool:
+        """Whether inserting ``incoming_size`` bytes requires eviction."""
+        return self.used_memory + incoming_size > self.max_memory
+
+    def insert(
+        self, key: str, size: int, now: float, ttl: Optional[float] = None
+    ) -> None:
+        """A SET of a new key; caller must have made room first.
+
+        ``ttl``, if given, marks the item volatile: it expires ``ttl``
+        seconds from ``now`` (lazy removal on the next access).
+        """
+        if size <= 0:
+            raise ValueError("item size must be positive")
+        if size > self.max_memory:
+            raise ValueError(
+                f"item of {size} bytes cannot fit in a {self.max_memory}-byte cache"
+            )
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive when given")
+        if key in self._items:
+            raise KeyError(f"key {key!r} already resident; access it instead")
+        if self.needs_eviction(size):
+            raise RuntimeError(
+                "insert would exceed max_memory; evict before inserting"
+            )
+        self._items[key] = CacheItem(
+            key=key,
+            size=size,
+            insert_time=now,
+            last_access=now,
+            expires_at=now + ttl if ttl is not None else None,
+        )
+        self.used_memory += size
+
+    def evict(self, key: str) -> CacheItem:
+        """Remove ``key`` and release its memory; returns the item."""
+        item = self._items.pop(key, None)
+        if item is None:
+            raise KeyError(f"cannot evict non-resident key {key!r}")
+        self.used_memory -= item.size
+        return item
+
+    def memory_utilization(self) -> float:
+        """Fraction of the budget in use."""
+        return self.used_memory / self.max_memory

@@ -1,0 +1,144 @@
+"""Cache workloads.
+
+:class:`BigSmallWorkload` is the Table 3 workload: "a few
+frequently-queried large items and many less-frequently-queried small
+items.  The large items are queried twice as frequently but are four
+times as big: it is thus more efficient to cache the small items."
+
+:class:`ZipfWorkload` is the standard skewed-popularity workload for
+additional experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.simsys.random_source import RandomSource
+
+
+@dataclass(frozen=True)
+class CacheRequest:
+    """One GET; on a miss the item of ``size`` bytes is inserted.
+
+    ``ttl`` (seconds), if set, makes the inserted item volatile.
+    """
+
+    time: float
+    key: str
+    size: int
+    ttl: float = None
+
+
+class BigSmallWorkload:
+    """The big/small item workload of Table 3.
+
+    ``n_big`` large items, each ``frequency_ratio``× as likely to be
+    queried as any one of the ``n_small`` small items, and
+    ``size_ratio``× as big.  Per byte, a big item is
+    ``frequency_ratio / size_ratio`` (default 2/4 = 0.5×) as valuable
+    as a small one — greedy recency/frequency policies keep the bigs
+    anyway, which is the trap.
+    """
+
+    def __init__(
+        self,
+        n_big: int = 100,
+        n_small: int = 1000,
+        small_size: int = 1,
+        size_ratio: int = 4,
+        frequency_ratio: float = 2.0,
+        randomness: RandomSource = None,
+    ) -> None:
+        if n_big <= 0 or n_small <= 0:
+            raise ValueError("need at least one item of each kind")
+        if small_size <= 0 or size_ratio <= 0:
+            raise ValueError("sizes must be positive")
+        if frequency_ratio <= 0:
+            raise ValueError("frequency ratio must be positive")
+        self.n_big = n_big
+        self.n_small = n_small
+        self.small_size = small_size
+        self.big_size = small_size * size_ratio
+        self.frequency_ratio = frequency_ratio
+        self.randomness = randomness or RandomSource(0, _name="bigsmall")
+        big_mass = n_big * frequency_ratio
+        total = big_mass + n_small
+        self._p_big_group = big_mass / total
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes needed to hold every item."""
+        return self.n_big * self.big_size + self.n_small * self.small_size
+
+    def size_of(self, key: str) -> int:
+        """Size of the item behind a key."""
+        if key.startswith("big-"):
+            return self.big_size
+        if key.startswith("small-"):
+            return self.small_size
+        raise ValueError(f"unknown key {key!r}")
+
+    def requests(self, n: int) -> Iterator[CacheRequest]:
+        """Yield ``n`` i.i.d. requests at unit time steps."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        group_rng = self.randomness.child("group")
+        item_rng = self.randomness.child("item")
+        for step in range(n):
+            if group_rng.bernoulli(self._p_big_group):
+                key = f"big-{item_rng.randint(0, self.n_big)}"
+                size = self.big_size
+            else:
+                key = f"small-{item_rng.randint(0, self.n_small)}"
+                size = self.small_size
+            yield CacheRequest(time=float(step), key=key, size=size)
+
+
+class ZipfWorkload:
+    """Zipf-popularity requests over a uniform-size keyspace.
+
+    Items get mildly heterogeneous sizes (drawn once per key) so that
+    size-aware policies have signal here too.
+    """
+
+    def __init__(
+        self,
+        n_items: int = 1000,
+        alpha: float = 0.9,
+        min_size: int = 1,
+        max_size: int = 8,
+        randomness: RandomSource = None,
+    ) -> None:
+        if n_items <= 0:
+            raise ValueError("need at least one item")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not 0 < min_size <= max_size:
+            raise ValueError("need 0 < min_size <= max_size")
+        self.n_items = n_items
+        self.alpha = alpha
+        self.randomness = randomness or RandomSource(0, _name="zipf")
+        size_rng = self.randomness.child("sizes")
+        self._sizes = [
+            size_rng.randint(min_size, max_size + 1) for _ in range(n_items)
+        ]
+        weights = 1.0 / np.power(np.arange(1, n_items + 1), alpha)
+        self._probabilities = weights / weights.sum()
+
+    def size_of(self, key: str) -> int:
+        """Size of the item behind a key."""
+        return self._sizes[int(key.split("-")[1])]
+
+    def requests(self, n: int) -> Iterator[CacheRequest]:
+        """Yield ``n`` i.i.d. Zipf-popular requests at unit time steps."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        rng = self.randomness.child("draws").generator
+        indices = rng.choice(self.n_items, size=n, p=self._probabilities)
+        for step, index in enumerate(indices):
+            yield CacheRequest(
+                time=float(step), key=f"item-{index}", size=self._sizes[int(index)]
+            )

@@ -1,0 +1,24 @@
+"""Fault injection for exploration coverage (§5).
+
+"Reliability testing in distributed systems can trigger uneven traffic
+and extreme conditions that lead to broader exploration.  As an
+example, we could leverage Netflix's open-source Chaos Monkey ...
+Such randomized failures, and the systems' responses, would generate
+valuable exploration data."
+
+:class:`~repro.chaos.monkey.ChaosMonkey` injects latency spikes and
+(effective) crashes into the load-balancer simulation; the
+`abl-chaos` benchmark measures how much the injected faults broaden
+the context coverage of harvested logs.
+"""
+
+from repro.chaos.drift import ChainedHooks, EnvironmentDrift
+from repro.chaos.monkey import ChaosMonkey, FaultSpec, InjectedFault
+
+__all__ = [
+    "ChainedHooks",
+    "ChaosMonkey",
+    "EnvironmentDrift",
+    "FaultSpec",
+    "InjectedFault",
+]

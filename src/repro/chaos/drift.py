@@ -1,0 +1,68 @@
+"""Environment drift: the A2 violation made concrete.
+
+§5 "Violations of independence": assumption A2 (i.i.d. rewards given
+context and action) "is violated, for example, when the workload or
+environment changes.  Like prior work, we can address this by using
+incremental learning algorithms that continuously update the policy."
+
+:class:`EnvironmentDrift` applies a *permanent* performance change to
+chosen servers at a fixed virtual time — a rollout that regresses a
+backend, a hardware swap — via the same ``tick`` interface the chaos
+monkey uses.  The `abl-drift` benchmark deploys a frozen CB policy and
+an incrementally-updated one through the drift and compares.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+class EnvironmentDrift:
+    """Permanently change server speeds at ``at_time``.
+
+    ``multipliers`` maps server index → latency multiplier applied from
+    ``at_time`` on (values > 1 slow the server down).  Compatible with
+    the :class:`~repro.loadbalance.proxy.LoadBalancerSim` ``chaos``
+    hook.
+    """
+
+    def __init__(self, at_time: float, multipliers: Mapping[int, float]) -> None:
+        if at_time < 0:
+            raise ValueError("drift time must be non-negative")
+        if not multipliers:
+            raise ValueError("drift must change at least one server")
+        for index, multiplier in multipliers.items():
+            if multiplier <= 0:
+                raise ValueError(
+                    f"multiplier for server {index} must be positive"
+                )
+        self.at_time = at_time
+        self.multipliers = dict(multipliers)
+        self.applied = False
+
+    def tick(self, now: float, servers: Sequence) -> None:
+        """Apply the drift once its time has come.
+
+        Writes the dedicated ``drift_multiplier`` channel, so transient
+        chaos faults (which own ``fault_multiplier``) cannot clobber a
+        permanent drift when both hooks are chained.
+        """
+        if self.applied or now < self.at_time:
+            return
+        for index, multiplier in self.multipliers.items():
+            if 0 <= index < len(servers):
+                servers[index].drift_multiplier *= multiplier
+        self.applied = True
+
+
+class ChainedHooks:
+    """Compose several ``tick``-style hooks (e.g. drift + chaos)."""
+
+    def __init__(self, *hooks) -> None:
+        if not hooks:
+            raise ValueError("need at least one hook")
+        self.hooks = hooks
+
+    def tick(self, now: float, servers: Sequence) -> None:
+        for hook in self.hooks:
+            hook.tick(now, servers)

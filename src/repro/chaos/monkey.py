@@ -1,0 +1,130 @@
+"""A Chaos-Monkey-style fault injector for the simulated backends.
+
+Faults start at random times (Poisson), target a random server, and
+last a random duration.  Two kinds are modeled:
+
+- ``latency-spike`` — the server serves at a multiple of its normal
+  latency (degraded NIC, noisy neighbor, GC storm);
+- ``crash`` — the server is effectively unusable (very large
+  multiplier; the balancer can still route to it and will observe the
+  damage — that observation *is* the exploration value).
+
+The injector is deliberately decoupled from the event loop: the proxy
+calls :meth:`ChaosMonkey.tick` before each decision, and the monkey
+starts/expires faults against the current virtual time.  That keeps it
+reusable by any simulator with a notion of "now" and a server list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.simsys.random_source import RandomSource
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Parameters of one fault kind."""
+
+    kind: str
+    rate: float  # expected faults per unit virtual time (whole fleet)
+    mean_duration: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("fault rate must be non-negative")
+        if self.mean_duration <= 0:
+            raise ValueError("mean duration must be positive")
+        if self.multiplier <= 1.0:
+            raise ValueError("a fault must slow the server (multiplier > 1)")
+
+
+#: Default fault mix: occasional latency spikes, rare crashes.
+DEFAULT_FAULTS = (
+    FaultSpec(kind="latency-spike", rate=0.02, mean_duration=30.0, multiplier=4.0),
+    FaultSpec(kind="crash", rate=0.005, mean_duration=60.0, multiplier=40.0),
+)
+
+
+@dataclass
+class InjectedFault:
+    """A live fault on one server."""
+
+    kind: str
+    server_index: int
+    start: float
+    end: float
+    multiplier: float
+
+
+class ChaosMonkey:
+    """Randomly degrade servers while a simulation runs."""
+
+    def __init__(
+        self,
+        faults: Sequence[FaultSpec] = DEFAULT_FAULTS,
+        seed: int = 0,
+    ) -> None:
+        if not faults:
+            raise ValueError("need at least one fault spec")
+        self.faults = list(faults)
+        self._randomness = RandomSource(seed, _name="chaos")
+        self._schedule_rng = self._randomness.child("schedule")
+        self._target_rng = self._randomness.child("targets")
+        self._next_fault_time: dict[str, float] = {}
+        self.active: list[InjectedFault] = []
+        self.history: list[InjectedFault] = []
+
+    def _arm(self, spec: FaultSpec, now: float) -> None:
+        if spec.rate == 0:
+            self._next_fault_time[spec.kind] = float("inf")
+        else:
+            self._next_fault_time[spec.kind] = now + self._schedule_rng.exponential(
+                1.0 / spec.rate
+            )
+
+    def tick(self, now: float, servers: Sequence) -> None:
+        """Advance the injector to virtual time ``now``.
+
+        Expires finished faults, fires due ones, and applies the
+        resulting multiplier (product of live faults) to each server.
+        """
+        if not self._next_fault_time:
+            for spec in self.faults:
+                self._arm(spec, now)
+        # Expire.
+        still_active = [fault for fault in self.active if fault.end > now]
+        expired = len(still_active) != len(self.active)
+        self.active = still_active
+        # Fire due faults.
+        fired = False
+        for spec in self.faults:
+            while self._next_fault_time[spec.kind] <= now:
+                start = self._next_fault_time[spec.kind]
+                fault = InjectedFault(
+                    kind=spec.kind,
+                    server_index=self._target_rng.randint(0, len(servers)),
+                    start=start,
+                    end=start + self._schedule_rng.exponential(spec.mean_duration),
+                    multiplier=spec.multiplier,
+                )
+                self.active.append(fault)
+                self.history.append(fault)
+                self._arm(spec, start)
+                fired = True
+        if expired or fired:
+            self._apply(servers)
+
+    def _apply(self, servers: Sequence) -> None:
+        multipliers = [1.0] * len(servers)
+        for fault in self.active:
+            if fault.server_index < len(servers):
+                multipliers[fault.server_index] *= fault.multiplier
+        for server, multiplier in zip(servers, multipliers):
+            server.fault_multiplier = multiplier
+
+    def total_fault_time(self) -> float:
+        """Sum of fault durations injected so far (for reporting)."""
+        return sum(fault.end - fault.start for fault in self.history)

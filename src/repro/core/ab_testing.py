@@ -1,0 +1,104 @@
+"""A/B testing: the baseline methodology the paper argues against.
+
+A/B testing "randomizes over policies" (§4): each candidate gets a
+slice of live traffic and is judged only on its own slice.  This module
+simulates that protocol against any environment callback so that
+Fig. 1's comparison — A/B's per-policy data cost vs. IPS's shared log —
+can be measured, not just computed from the bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.policies import Policy
+
+#: Environment callback: run ``policy`` on ``n`` live interactions and
+#: return the observed rewards.  The RNG makes runs reproducible.
+Environment = Callable[[Policy, int, np.random.Generator], np.ndarray]
+
+
+@dataclass
+class ArmResult:
+    """Outcome of one experiment arm."""
+
+    policy_name: str
+    n: int
+    mean: float
+    std_error: float
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the arm mean."""
+        return (self.mean - z * self.std_error, self.mean + z * self.std_error)
+
+
+@dataclass
+class ABTestReport:
+    """Results of a multi-arm A/B test."""
+
+    total_traffic: int
+    arms: list[ArmResult] = field(default_factory=list)
+
+    def best(self, maximize: bool = True) -> ArmResult:
+        """The winning arm by mean reward."""
+        key = (lambda a: a.mean) if maximize else (lambda a: -a.mean)
+        return max(self.arms, key=key)
+
+    def significant(self, first: int, second: int, z: float = 1.96) -> bool:
+        """Whether arms ``first`` and ``second`` are separated at ``z``
+        standard errors (two-sample normal test)."""
+        a, b = self.arms[first], self.arms[second]
+        pooled = math.sqrt(a.std_error**2 + b.std_error**2)
+        if pooled == 0.0:
+            return a.mean != b.mean
+        return abs(a.mean - b.mean) / pooled > z
+
+
+class ABTest:
+    """Run ``K`` policies each on an equal share of live traffic.
+
+    Contrast with off-policy evaluation: every datapoint here is
+    consumed by exactly one arm, so evaluating ``K`` policies to fixed
+    accuracy needs ``K×`` the traffic (Fig. 1's linear-in-K curve).
+    """
+
+    def __init__(self, environment: Environment, seed: int = 0) -> None:
+        self.environment = environment
+        self.seed = seed
+
+    def run(self, policies: Sequence[Policy], total_traffic: int) -> ABTestReport:
+        """Split ``total_traffic`` evenly over ``policies`` and measure."""
+        if not policies:
+            raise ValueError("need at least one arm")
+        if total_traffic < len(policies):
+            raise ValueError(
+                f"{total_traffic} samples cannot cover {len(policies)} arms"
+            )
+        per_arm = total_traffic // len(policies)
+        report = ABTestReport(total_traffic=total_traffic)
+        for index, policy in enumerate(policies):
+            rng = np.random.default_rng(self.seed + index)
+            rewards = np.asarray(self.environment(policy, per_arm, rng), dtype=float)
+            if len(rewards) != per_arm:
+                raise ValueError(
+                    f"environment returned {len(rewards)} rewards, "
+                    f"expected {per_arm}"
+                )
+            std_error = (
+                float(rewards.std(ddof=1) / math.sqrt(per_arm))
+                if per_arm > 1
+                else float("inf")
+            )
+            report.arms.append(
+                ArmResult(
+                    policy_name=policy.name,
+                    n=per_arm,
+                    mean=float(rewards.mean()),
+                    std_error=std_error,
+                )
+            )
+        return report

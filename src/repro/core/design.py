@@ -1,0 +1,164 @@
+"""Exploration design: plan the randomness before harvesting it.
+
+§4 derives how much optimization power a system's existing randomness
+holds; this module turns those formulas into *planning* tools for a
+team deciding how to instrument a system:
+
+- :func:`exploration_plan` — given a policy-class size, accuracy
+  target, and traffic rate, how much exploration (ε) and how much time
+  is needed?
+- :func:`wasted_potential` — the paper's closing argument quantified:
+  given a system's decision volume and exploration floor, how many
+  policies could its discarded logs have evaluated?
+- :func:`epsilon_for_deadline` — the minimum exploration floor that
+  meets an accuracy target within a traffic budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.estimators.bounds import (
+    DEFAULT_C,
+    ips_error_bound,
+    ips_sample_size,
+)
+
+
+@dataclass(frozen=True)
+class ExplorationPlan:
+    """A concrete instrumentation plan for one decision point."""
+
+    n_actions: int
+    epsilon: float
+    policy_class_size: float
+    target_error: float
+    delta: float
+    required_n: float
+    traffic_per_day: float
+
+    @property
+    def days_to_target(self) -> float:
+        """Calendar time to collect the required log volume."""
+        return self.required_n / self.traffic_per_day
+
+    @property
+    def min_action_propensity(self) -> float:
+        """Per-action floor the logging policy must guarantee."""
+        return self.epsilon
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplorationPlan(eps={self.epsilon:g}, N={self.required_n:,.0f},"
+            f" ~{self.days_to_target:.1f} days at "
+            f"{self.traffic_per_day:,.0f}/day)"
+        )
+
+
+def exploration_plan(
+    n_actions: int,
+    traffic_per_day: float,
+    policy_class_size: float = 10**6,
+    target_error: float = 0.05,
+    delta: float = 0.05,
+    exploration_fraction: float = 1.0,
+    c: float = DEFAULT_C,
+) -> ExplorationPlan:
+    """Plan the log volume needed to optimize over a policy class.
+
+    ``exploration_fraction`` is the share of traffic routed through the
+    randomized policy (an ε-greedy deployment explores with probability
+    ε ≤ 1, uniformly over actions): the effective per-action floor is
+    ``exploration_fraction / n_actions``.
+    """
+    if n_actions <= 0:
+        raise ValueError("n_actions must be positive")
+    if traffic_per_day <= 0:
+        raise ValueError("traffic must be positive")
+    if not 0.0 < exploration_fraction <= 1.0:
+        raise ValueError("exploration fraction must be in (0, 1]")
+    epsilon = exploration_fraction / n_actions
+    required = ips_sample_size(
+        target_error, epsilon, k=policy_class_size, delta=delta, c=c
+    )
+    return ExplorationPlan(
+        n_actions=n_actions,
+        epsilon=epsilon,
+        policy_class_size=policy_class_size,
+        target_error=target_error,
+        delta=delta,
+        required_n=required,
+        traffic_per_day=traffic_per_day,
+    )
+
+
+def wasted_potential(
+    decisions_logged: float,
+    epsilon: float,
+    target_error: float = 0.05,
+    delta: float = 0.05,
+    c: float = DEFAULT_C,
+) -> float:
+    """How many policies the discarded logs could have evaluated.
+
+    Inverts Eq. 1 for K: with N randomized decisions at exploration
+    floor ε, the log supports simultaneous evaluation of::
+
+        K = δ · exp(ε N err² / C)
+
+    policies at the target accuracy.  This is the paper's "wasted
+    optimization potential", as a number.  Capped at 1e300 to stay
+    finite (the exponent grows linearly in N).
+    """
+    if decisions_logged <= 0:
+        raise ValueError("decision count must be positive")
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError("epsilon must be in (0, 1]")
+    exponent = epsilon * decisions_logged * target_error**2 / c
+    if exponent > 690.0:  # exp() overflow guard
+        return 1e300
+    return delta * math.exp(exponent)
+
+
+def epsilon_for_deadline(
+    n_actions: int,
+    traffic_total: float,
+    policy_class_size: float = 10**6,
+    target_error: float = 0.05,
+    delta: float = 0.05,
+    c: float = DEFAULT_C,
+) -> float:
+    """Minimum exploration floor ε meeting the target within a budget.
+
+    Solves Eq. 1 for ε at N = ``traffic_total``.  Raises if even full
+    randomization (ε = 1/n_actions) cannot meet the target — the signal
+    to shrink the policy class, relax the target, or reduce the action
+    space (§5's hierarchy discussion).
+    """
+    if traffic_total <= 0:
+        raise ValueError("traffic budget must be positive")
+    if n_actions <= 0:
+        raise ValueError("n_actions must be positive")
+    needed = c * math.log(policy_class_size / delta) / (
+        target_error**2 * traffic_total
+    )
+    ceiling = 1.0 / n_actions
+    if needed > ceiling:
+        raise ValueError(
+            f"even uniform randomization (eps={ceiling:g}) cannot reach "
+            f"error {target_error} with {traffic_total:,.0f} decisions; "
+            f"need eps >= {needed:.4f}"
+        )
+    return needed
+
+
+def verify_plan(plan: ExplorationPlan) -> bool:
+    """Self-check: the plan's N indeed achieves its target error."""
+    achieved = ips_error_bound(
+        plan.required_n,
+        plan.epsilon,
+        k=plan.policy_class_size,
+        delta=plan.delta,
+    )
+    return math.isclose(achieved, plan.target_error, rel_tol=1e-9)

@@ -1,0 +1,62 @@
+"""Off-policy estimators and their confidence bounds.
+
+Implements the evaluation half of the methodology: given exploration
+data ``⟨x, a, r, p⟩`` logged by one policy, estimate the average reward
+any *other* policy would have obtained.
+
+- :mod:`~repro.core.estimators.ips` — inverse propensity scoring
+  (Eq. in §4), clipped IPS, and self-normalized IPS.
+- :mod:`~repro.core.estimators.direct` — the model-based Direct Method.
+- :mod:`~repro.core.estimators.doubly_robust` — the hybrid DR estimator
+  §5 proposes for variance reduction.
+- :mod:`~repro.core.estimators.trajectory` — per-trajectory importance
+  sampling for settings where decisions affect future contexts (the
+  load-balancing failure mode of Table 2).
+- :mod:`~repro.core.estimators.bounds` — the Eq. 1 confidence interval,
+  the A/B-testing bound, and the sample-size calculators behind
+  Figs. 1–2.
+"""
+
+from repro.core.estimators.base import EstimatorResult, OffPolicyEstimator
+from repro.core.estimators.ips import ClippedIPSEstimator, IPSEstimator, SNIPSEstimator
+from repro.core.estimators.direct import DirectMethodEstimator, RewardModel
+from repro.core.estimators.doubly_robust import DoublyRobustEstimator
+from repro.core.estimators.switch import SwitchEstimator
+from repro.core.estimators.trajectory import (
+    PerDecisionISEstimator,
+    Trajectory,
+    TrajectoryISEstimator,
+    split_into_trajectories,
+)
+from repro.core.estimators.bounds import (
+    ConfidenceInterval,
+    ab_testing_error_bound,
+    ab_testing_sample_size,
+    empirical_bernstein_interval,
+    hoeffding_interval,
+    ips_error_bound,
+    ips_sample_size,
+)
+
+__all__ = [
+    "EstimatorResult",
+    "OffPolicyEstimator",
+    "IPSEstimator",
+    "ClippedIPSEstimator",
+    "SNIPSEstimator",
+    "DirectMethodEstimator",
+    "RewardModel",
+    "DoublyRobustEstimator",
+    "SwitchEstimator",
+    "Trajectory",
+    "TrajectoryISEstimator",
+    "PerDecisionISEstimator",
+    "split_into_trajectories",
+    "ConfidenceInterval",
+    "hoeffding_interval",
+    "empirical_bernstein_interval",
+    "ips_error_bound",
+    "ips_sample_size",
+    "ab_testing_error_bound",
+    "ab_testing_sample_size",
+]

@@ -1,0 +1,80 @@
+"""Shared estimator interfaces."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.policies import Policy
+from repro.core.types import Dataset, Interaction
+
+
+@dataclass
+class EstimatorResult:
+    """The outcome of one off-policy evaluation.
+
+    ``value`` is the estimated average reward of the candidate policy;
+    ``std_error`` the standard error of that estimate; ``n`` the number
+    of exploration datapoints used; ``effective_n`` the number whose
+    logged action matched the candidate policy (the "match rate"
+    governs the variance of IPS-style estimators).
+    """
+
+    value: float
+    std_error: float
+    n: int
+    effective_n: int
+    estimator: str
+    details: dict = field(default_factory=dict)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI at ``z`` standard errors."""
+        return (self.value - z * self.std_error, self.value + z * self.std_error)
+
+    def __repr__(self) -> str:
+        lo, hi = self.confidence_interval()
+        return (
+            f"EstimatorResult({self.estimator}: {self.value:.4f} "
+            f"[{lo:.4f}, {hi:.4f}], n={self.n})"
+        )
+
+
+def eligible_actions_fn(dataset: Dataset) -> Callable[[Interaction], list[int]]:
+    """Build a per-interaction eligible-action lookup for a dataset.
+
+    Uses the dataset's :class:`~repro.core.types.ActionSpace` when one
+    is attached (it may restrict actions per context); otherwise falls
+    back to the set of action ids observed anywhere in the log, which
+    is the best reconstruction available when scavenging foreign logs.
+    """
+    if dataset.action_space is not None:
+        space = dataset.action_space
+        return lambda interaction: space.actions(interaction.context)
+    if len(dataset) == 0:
+        return lambda interaction: [0]
+    observed = sorted({i.action for i in dataset})
+    return lambda interaction: observed
+
+
+class OffPolicyEstimator(ABC):
+    """Interface: estimate a policy's value from logged exploration data."""
+
+    name: str = "estimator"
+
+    @abstractmethod
+    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
+        """Estimate the average reward ``policy`` would obtain."""
+
+    @staticmethod
+    def _standard_error(samples: np.ndarray) -> float:
+        """Standard error of the mean of ``samples``."""
+        if samples.size <= 1:
+            return float("inf")
+        return float(np.std(samples, ddof=1) / np.sqrt(samples.size))
+
+    def _require_data(self, dataset: Dataset) -> None:
+        if len(dataset) == 0:
+            raise ValueError(f"{self.name}: cannot estimate from an empty dataset")

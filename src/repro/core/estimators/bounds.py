@@ -1,0 +1,198 @@
+"""Confidence bounds and sample-size math (Eq. 1, Figs. 1–2).
+
+§4's central quantitative claim: with ``N`` exploration points whose
+minimum action propensity is ``ε``, IPS simultaneously evaluates ``K``
+policies to accuracy::
+
+    err_cb(N) = sqrt( (C / (ε N)) · log(K / δ) )        (Eq. 1)
+
+with probability ``1 − δ``, while A/B testing's error can be as large
+as::
+
+    err_ab(N) = C · sqrt( (K / N) · log(K / δ) )
+
+The error scales with ``log K`` for IPS vs. ``K`` for A/B testing —
+"exponentially more data-efficient".  Inverting these for ``N`` gives
+the Fig. 1 curves; evaluating them over ``N`` gives Fig. 2.
+
+This module also provides finite-sample Hoeffding and empirical-
+Bernstein intervals for concrete estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default constant ``C`` of Eq. 1 ("a small constant" [1]); the paper
+#: plots "typical constants" — 2 matches a Hoeffding-style bound on
+#: [0, 1] rewards.
+DEFAULT_C = 2.0
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval with its confidence level."""
+
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        """Total width ``high - low``."""
+        return self.high - self.low
+
+    @property
+    def radius(self) -> float:
+        """Half-width of the interval."""
+        return self.width / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def _validate_common(n: float, k: float, delta: float) -> None:
+    if n <= 0:
+        raise ValueError(f"sample size must be positive, got {n}")
+    if k < 1:
+        raise ValueError(f"policy count must be >= 1, got {k}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+
+
+def ips_error_bound(
+    n: float,
+    epsilon: float,
+    k: float = 1.0,
+    delta: float = 0.05,
+    c: float = DEFAULT_C,
+) -> float:
+    """Eq. 1: simultaneous IPS evaluation error for ``k`` policies.
+
+    ``epsilon`` is the minimum probability the logging policy gives to
+    any action; rewards are assumed in [0, 1].
+    """
+    _validate_common(n, k, delta)
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    return math.sqrt(c / (epsilon * n) * math.log(k / delta))
+
+
+def ips_sample_size(
+    target_error: float,
+    epsilon: float,
+    k: float = 1.0,
+    delta: float = 0.05,
+    c: float = DEFAULT_C,
+) -> float:
+    """Invert Eq. 1: exploration points needed for ``target_error``."""
+    if target_error <= 0:
+        raise ValueError("target error must be positive")
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    _validate_common(1.0, k, delta)
+    return c * math.log(k / delta) / (epsilon * target_error**2)
+
+
+def ab_testing_error_bound(
+    n: float, k: float = 1.0, delta: float = 0.05, c: float = DEFAULT_C
+) -> float:
+    """Worst-case A/B-testing error for ``k`` concurrent experiments.
+
+    Traffic is split ``k`` ways, so each experiment sees ``n/k``
+    samples: error ``C·sqrt((K/N)·log(K/δ))`` as in §4.
+    """
+    _validate_common(n, k, delta)
+    return c * math.sqrt(k / n * math.log(k / delta))
+
+
+def ab_testing_sample_size(
+    target_error: float, k: float = 1.0, delta: float = 0.05, c: float = DEFAULT_C
+) -> float:
+    """Total traffic A/B testing needs to evaluate ``k`` policies."""
+    if target_error <= 0:
+        raise ValueError("target error must be positive")
+    _validate_common(1.0, k, delta)
+    return (c / target_error) ** 2 * k * math.log(k / delta)
+
+
+def hoeffding_interval(
+    samples: np.ndarray,
+    delta: float = 0.05,
+    value_range: float = 1.0,
+) -> ConfidenceInterval:
+    """Two-sided Hoeffding interval for the mean of bounded samples."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("need at least one sample")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if value_range <= 0:
+        raise ValueError("value_range must be positive")
+    mean = float(samples.mean())
+    radius = value_range * math.sqrt(math.log(2.0 / delta) / (2.0 * samples.size))
+    return ConfidenceInterval(mean - radius, mean + radius, 1.0 - delta)
+
+
+def empirical_bernstein_interval(
+    samples: np.ndarray,
+    delta: float = 0.05,
+    value_range: float = 1.0,
+) -> ConfidenceInterval:
+    """Empirical-Bernstein interval (Maurer & Pontil 2009).
+
+    Uses the sample variance, so it is much tighter than Hoeffding when
+    the IPS terms are mostly small with occasional spikes — exactly the
+    shape importance-weighted rewards have.
+    """
+    samples = np.asarray(samples, dtype=float)
+    n = samples.size
+    if n < 2:
+        raise ValueError("need at least two samples")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if value_range <= 0:
+        raise ValueError("value_range must be positive")
+    mean = float(samples.mean())
+    variance = float(samples.var(ddof=1))
+    log_term = math.log(3.0 / delta)
+    radius = math.sqrt(2.0 * variance * log_term / n) + (
+        3.0 * value_range * log_term / n
+    )
+    return ConfidenceInterval(mean - radius, mean + radius, 1.0 - delta)
+
+
+def crossover_k(epsilon: float, c: float = DEFAULT_C) -> float:
+    """The K beyond which IPS strictly beats A/B testing for any N.
+
+    Comparing the two bounds, IPS wins whenever ``1/ε < K`` — the
+    paper's "since the number of actions is much smaller than K, it
+    follows that 1/ε ≪ K".  Returned as a float for plotting.
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    del c  # the constant cancels in the comparison
+    return 1.0 / epsilon
+
+
+def diminishing_returns_gain(
+    n_from: float,
+    n_to: float,
+    epsilon: float,
+    k: float = 1.0,
+    delta: float = 0.05,
+    c: float = DEFAULT_C,
+) -> float:
+    """Accuracy improvement from growing the log ``n_from → n_to``.
+
+    §4's insight: "increasing N from 1.7 to 3.4 million improves
+    accuracy by less than 0.01" — this helper computes exactly that
+    delta so the benchmark can assert it.
+    """
+    return ips_error_bound(n_from, epsilon, k, delta, c) - ips_error_bound(
+        n_to, epsilon, k, delta, c
+    )

@@ -1,0 +1,82 @@
+"""Doubly Robust (DR) off-policy evaluation.
+
+The hybrid §5 proposes (Dudík, Langford, Li 2011): use a reward model
+as a baseline and correct its residual with importance weighting::
+
+    dr(π) = (1/N) Σ_t [ r̂(x_t, π) + (π(a_t|x_t)/p_t) · (r_t − r̂(x_t, a_t)) ]
+
+Unbiased whenever *either* the propensities or the reward model are
+correct, and lower-variance than IPS whenever the model explains a
+useful fraction of the reward.  The ablation bench
+``benchmarks/test_ablation_doubly_robust.py`` measures that variance
+reduction on the machine-health data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.estimators.base import (
+    EstimatorResult,
+    OffPolicyEstimator,
+    eligible_actions_fn,
+)
+from repro.core.estimators.direct import RewardModel
+from repro.core.policies import Policy
+from repro.core.types import Dataset
+
+
+class DoublyRobustEstimator(OffPolicyEstimator):
+    """Doubly robust estimator combining a reward model with IPS.
+
+    ``model`` may be fitted beforehand (ideally on held-out data to
+    avoid reusing the evaluation set); if omitted, it is fitted on the
+    evaluation dataset, which preserves unbiasedness only approximately
+    but matches the single-log setting of the paper.
+    """
+
+    name = "doubly-robust"
+
+    def __init__(self, model: Optional[RewardModel] = None) -> None:
+        self.model = model
+
+    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
+        self._require_data(dataset)
+        model = self.model
+        if model is None:
+            n_actions = (
+                dataset.action_space.n_actions
+                if dataset.action_space is not None
+                else int(dataset.actions().max()) + 1
+            )
+            model = RewardModel(n_actions).fit(dataset)
+        eligible = eligible_actions_fn(dataset)
+        terms = np.empty(len(dataset))
+        matched = 0
+        for index, interaction in enumerate(dataset):
+            actions = eligible(interaction)
+            probs = policy.distribution(interaction.context, actions)
+            baseline = sum(
+                p * model.predict(interaction.context, a)
+                for p, a in zip(probs, actions)
+            )
+            pi_prob = policy.probability_of(
+                interaction.context, actions, interaction.action
+            )
+            ratio = pi_prob / interaction.propensity
+            if ratio > 0:
+                matched += 1
+            residual = interaction.reward - model.predict(
+                interaction.context, interaction.action
+            )
+            terms[index] = baseline + ratio * residual
+        return EstimatorResult(
+            value=float(terms.mean()),
+            std_error=self._standard_error(terms),
+            n=len(dataset),
+            effective_n=matched,
+            estimator=self.name,
+            details={"match_rate": matched / len(dataset)},
+        )

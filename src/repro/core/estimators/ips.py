@@ -1,0 +1,152 @@
+"""Inverse propensity scoring (IPS) estimators.
+
+The workhorse of §4::
+
+    ips(π) = (1/N) Σ_t  1{π(x_t) = a_t} · r_t / p_t
+
+Each logged interaction whose action matches the candidate policy's
+choice contributes its reward, up-weighted by the inverse of the logged
+propensity; non-matching interactions contribute zero.  The estimate is
+unbiased whenever every action has positive logged propensity, but its
+variance grows as 1/p, which motivates the clipped and self-normalized
+variants also implemented here.
+
+For a *stochastic* candidate π the indicator generalizes to the
+importance ratio ``π(a_t | x_t) / p_t``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimators.base import (
+    EstimatorResult,
+    OffPolicyEstimator,
+    eligible_actions_fn,
+)
+from repro.core.policies import Policy
+from repro.core.types import Dataset
+
+
+class IPSEstimator(OffPolicyEstimator):
+    """Plain (unclipped) inverse propensity scoring."""
+
+    name = "ips"
+
+    def weighted_rewards(self, policy: Policy, dataset: Dataset) -> np.ndarray:
+        """Per-interaction terms ``π(a_t|x_t)/p_t · r_t`` (the summands)."""
+        self._require_data(dataset)
+        eligible = eligible_actions_fn(dataset)
+        terms = np.empty(len(dataset))
+        for index, interaction in enumerate(dataset):
+            pi_prob = policy.probability_of(
+                interaction.context, eligible(interaction), interaction.action
+            )
+            terms[index] = pi_prob / interaction.propensity * interaction.reward
+        return terms
+
+    def match_weights(self, policy: Policy, dataset: Dataset) -> np.ndarray:
+        """Per-interaction importance ratios ``π(a_t|x_t)/p_t``."""
+        self._require_data(dataset)
+        eligible = eligible_actions_fn(dataset)
+        weights = np.empty(len(dataset))
+        for index, interaction in enumerate(dataset):
+            pi_prob = policy.probability_of(
+                interaction.context, eligible(interaction), interaction.action
+            )
+            weights[index] = pi_prob / interaction.propensity
+        return weights
+
+    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
+        terms = self.weighted_rewards(policy, dataset)
+        matched = int(np.count_nonzero(self.match_weights(policy, dataset)))
+        return EstimatorResult(
+            value=float(terms.mean()),
+            std_error=self._standard_error(terms),
+            n=len(dataset),
+            effective_n=matched,
+            estimator=self.name,
+            details={"match_rate": matched / len(dataset)},
+        )
+
+
+class ClippedIPSEstimator(IPSEstimator):
+    """IPS with importance weights clipped at ``max_weight``.
+
+    Clipping trades a little bias for a hard variance cap — the
+    standard mitigation when scavenged logs contain rare actions with
+    tiny propensities.
+    """
+
+    def __init__(self, max_weight: float = 100.0) -> None:
+        if max_weight <= 0:
+            raise ValueError("max_weight must be positive")
+        self.max_weight = max_weight
+        self.name = f"clipped-ips[{max_weight:g}]"
+
+    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
+        weights = np.minimum(self.match_weights(policy, dataset), self.max_weight)
+        rewards = dataset.rewards()
+        terms = weights * rewards
+        matched = int(np.count_nonzero(weights))
+        return EstimatorResult(
+            value=float(terms.mean()),
+            std_error=self._standard_error(terms),
+            n=len(dataset),
+            effective_n=matched,
+            estimator=self.name,
+            details={
+                "match_rate": matched / len(dataset),
+                "clipped_fraction": float(
+                    np.mean(self.match_weights(policy, dataset) > self.max_weight)
+                ),
+            },
+        )
+
+
+class SNIPSEstimator(IPSEstimator):
+    """Self-normalized IPS: divide by the sum of importance weights.
+
+    Exactly invariant to additive reward shifts and usually much lower
+    variance than plain IPS, at the cost of a small (vanishing) bias.
+    """
+
+    name = "snips"
+
+    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
+        weights = self.match_weights(policy, dataset)
+        rewards = dataset.rewards()
+        weight_sum = float(weights.sum())
+        matched = int(np.count_nonzero(weights))
+        if weight_sum == 0.0:
+            # The candidate never matches the log: no information at all.
+            return EstimatorResult(
+                value=float("nan"),
+                std_error=float("inf"),
+                n=len(dataset),
+                effective_n=0,
+                estimator=self.name,
+                details={"match_rate": 0.0},
+            )
+        value = float((weights * rewards).sum() / weight_sum)
+        # Delta-method standard error for a ratio of means.
+        n = len(dataset)
+        residuals = weights * (rewards - value)
+        std_error = float(
+            np.sqrt(np.sum(residuals**2)) / weight_sum
+        ) if n > 1 else float("inf")
+        return EstimatorResult(
+            value=value,
+            std_error=std_error,
+            n=n,
+            effective_n=matched,
+            estimator=self.name,
+            details={
+                "match_rate": matched / n,
+                "effective_sample_size": float(
+                    weights.sum() ** 2 / np.sum(weights**2)
+                )
+                if np.any(weights)
+                else 0.0,
+            },
+        )

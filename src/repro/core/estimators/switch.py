@@ -1,0 +1,100 @@
+"""The SWITCH estimator: cap IPS variance with a model fallback.
+
+SWITCH (Wang, Agarwal, Dudík 2017) interpolates between IPS and the
+Direct Method *per datapoint*: where the importance weight is small
+(≤ τ) it trusts the unbiased IPS term; where the weight explodes it
+falls back to the reward model::
+
+    switch(π) = (1/N) Σ_t [ w_t r_t · 1{w_t ≤ τ}
+                            + r̂(x_t, π) · 1{w_t > τ} ]
+
+with ``w_t = π(a_t|x_t)/p_t``.  τ → ∞ recovers IPS.
+
+Two notes on this implementation, which thresholds the *realized*
+weight of the logged action (the only weight a scavenged log exposes —
+Wang et al.'s original form thresholds every action's weight, which
+requires the full logging distribution):
+
+- it trades bias for variance only where the log actually produces
+  extreme weights; on logs with a *single* propensity level (e.g.
+  uniform-random logging) it degenerates to exactly IPS (τ above the
+  level) or a heavily biased DM hybrid (τ below), so it earns its keep
+  on skewed logging policies, not uniform ones;
+- the residual bias is bounded by the candidate's probability mass on
+  actions whose weights exceed τ at points where the logged action's
+  weight did not.
+
+It rounds out the §5 toolbox next to Doubly Robust for scavenged logs
+whose propensities span orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.estimators.base import (
+    EstimatorResult,
+    OffPolicyEstimator,
+    eligible_actions_fn,
+)
+from repro.core.estimators.direct import RewardModel
+from repro.core.policies import Policy
+from repro.core.types import Dataset
+
+
+class SwitchEstimator(OffPolicyEstimator):
+    """SWITCH: IPS below the weight threshold τ, Direct Method above."""
+
+    def __init__(
+        self, tau: float = 10.0, model: Optional[RewardModel] = None
+    ) -> None:
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.tau = tau
+        self.model = model
+        self.name = f"switch[tau={tau:g}]"
+
+    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
+        self._require_data(dataset)
+        model = self.model
+        if model is None:
+            n_actions = (
+                dataset.action_space.n_actions
+                if dataset.action_space is not None
+                else int(dataset.actions().max()) + 1
+            )
+            model = RewardModel(n_actions).fit(dataset)
+        eligible = eligible_actions_fn(dataset)
+        terms = np.empty(len(dataset))
+        switched = 0
+        matched = 0
+        for index, interaction in enumerate(dataset):
+            actions = eligible(interaction)
+            pi_prob = policy.probability_of(
+                interaction.context, actions, interaction.action
+            )
+            weight = pi_prob / interaction.propensity
+            if weight > 0:
+                matched += 1
+            if weight <= self.tau:
+                terms[index] = weight * interaction.reward
+            else:
+                switched += 1
+                probs = policy.distribution(interaction.context, actions)
+                terms[index] = sum(
+                    p * model.predict(interaction.context, a)
+                    for p, a in zip(probs, actions)
+                )
+        return EstimatorResult(
+            value=float(terms.mean()),
+            std_error=self._standard_error(terms),
+            n=len(dataset),
+            effective_n=matched,
+            estimator=self.name,
+            details={
+                "match_rate": matched / len(dataset),
+                "switch_fraction": switched / len(dataset),
+            },
+        )

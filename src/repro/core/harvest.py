@@ -1,0 +1,186 @@
+"""The harvesting pipeline: scavenge → infer → evaluate/optimize (§3).
+
+:class:`LogScavenger` pulls ``⟨x, a, r⟩`` triples out of raw log
+records via user-supplied extractors (each simulated system ships its
+own pre-configured scavenger, e.g.
+:func:`repro.loadbalance.harvest.access_log_scavenger`).
+:class:`HarvestPipeline` chains a scavenger with a propensity model and
+an off-policy estimator into the paper's three-step methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.estimators.base import EstimatorResult, OffPolicyEstimator
+from repro.core.estimators.ips import IPSEstimator
+from repro.core.learners.cb import PolicyClassOptimizer
+from repro.core.policies import Policy, PolicyClass
+from repro.core.propensity import PropensityModel
+from repro.core.types import ActionSpace, Context, Dataset, Interaction, RewardRange
+
+
+@dataclass
+class ScavengedRecord:
+    """One ``⟨x, a, r⟩`` triple extracted from a log, pre-propensity."""
+
+    context: Context
+    action: int
+    reward: float
+    timestamp: float = 0.0
+    eligible_actions: Optional[Sequence[int]] = None
+
+
+class LogScavenger:
+    """Step 1: extract ``⟨x, a, r⟩`` from raw log records.
+
+    Parameterized by extractor callbacks so it adapts to any log
+    format.  Records for which any extractor raises or returns ``None``
+    are dropped and counted (real logs are messy; the count surfaces
+    how lossy the scavenge was).
+    """
+
+    def __init__(
+        self,
+        context_of: Callable[[dict], Optional[Context]],
+        action_of: Callable[[dict], Optional[int]],
+        reward_of: Callable[[dict], Optional[float]],
+        timestamp_of: Optional[Callable[[dict], float]] = None,
+        eligible_of: Optional[Callable[[dict], Sequence[int]]] = None,
+    ) -> None:
+        self._context_of = context_of
+        self._action_of = action_of
+        self._reward_of = reward_of
+        self._timestamp_of = timestamp_of
+        self._eligible_of = eligible_of
+        self.dropped = 0
+
+    def scavenge(self, records: Iterable[dict]) -> list[ScavengedRecord]:
+        """Extract all parseable records, counting drops."""
+        out: list[ScavengedRecord] = []
+        self.dropped = 0
+        for index, record in enumerate(records):
+            try:
+                context = self._context_of(record)
+                action = self._action_of(record)
+                reward = self._reward_of(record)
+            except (KeyError, ValueError, TypeError):
+                self.dropped += 1
+                continue
+            if context is None or action is None or reward is None:
+                self.dropped += 1
+                continue
+            timestamp = (
+                self._timestamp_of(record)
+                if self._timestamp_of is not None
+                else float(index)
+            )
+            eligible = (
+                list(self._eligible_of(record))
+                if self._eligible_of is not None
+                else None
+            )
+            out.append(
+                ScavengedRecord(context, int(action), float(reward), timestamp, eligible)
+            )
+        return out
+
+
+@dataclass
+class HarvestReport:
+    """Summary of one full pipeline run."""
+
+    n_records: int
+    n_scavenged: int
+    n_dropped: int
+    min_propensity: float
+    evaluations: dict[str, EstimatorResult] = field(default_factory=dict)
+
+
+class HarvestPipeline:
+    """Steps 1–3 composed: scavenge logs, infer propensities, evaluate.
+
+    Typical use::
+
+        pipeline = HarvestPipeline(scavenger, propensity_model,
+                                   action_space=space)
+        dataset = pipeline.build_dataset(log_records)
+        result = pipeline.evaluate(candidate_policy, dataset)
+    """
+
+    def __init__(
+        self,
+        scavenger: LogScavenger,
+        propensity_model: PropensityModel,
+        action_space: Optional[ActionSpace] = None,
+        reward_range: Optional[RewardRange] = None,
+        estimator: Optional[OffPolicyEstimator] = None,
+    ) -> None:
+        self.scavenger = scavenger
+        self.propensity_model = propensity_model
+        self.action_space = action_space
+        self.reward_range = reward_range
+        self.estimator = estimator or IPSEstimator()
+
+    def build_dataset(self, records: Iterable[dict]) -> Dataset:
+        """Steps 1 and 2: raw log records → exploration dataset."""
+        scavenged = self.scavenger.scavenge(records)
+        if not scavenged:
+            raise ValueError("scavenger extracted no usable records")
+        dataset = Dataset(
+            action_space=self.action_space, reward_range=self.reward_range
+        )
+        for record in scavenged:
+            if record.eligible_actions is not None:
+                eligible = list(record.eligible_actions)
+            elif self.action_space is not None:
+                eligible = self.action_space.actions(record.context)
+            else:
+                eligible = list(range(max(r.action for r in scavenged) + 1))
+            propensity = self.propensity_model.propensity(
+                record.context, record.action, eligible
+            )
+            dataset.append(
+                Interaction(
+                    context=record.context,
+                    action=record.action,
+                    reward=record.reward,
+                    propensity=propensity,
+                    timestamp=record.timestamp,
+                )
+            )
+        return dataset
+
+    def evaluate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
+        """Step 3a: off-policy evaluation of one candidate."""
+        return self.estimator.estimate(policy, dataset)
+
+    def optimize(
+        self,
+        policy_class: PolicyClass,
+        dataset: Dataset,
+        maximize: bool = True,
+    ) -> tuple[Policy, float]:
+        """Step 3b: offline optimization over a policy class."""
+        optimizer = PolicyClassOptimizer(self.estimator, maximize=maximize)
+        return optimizer.optimize(policy_class, dataset)
+
+    def run(
+        self,
+        records: Sequence[dict],
+        candidates: Sequence[Policy],
+    ) -> HarvestReport:
+        """End-to-end: scavenge, infer, evaluate every candidate."""
+        records = list(records)
+        dataset = self.build_dataset(records)
+        evaluations = {
+            policy.name: self.evaluate(policy, dataset) for policy in candidates
+        }
+        return HarvestReport(
+            n_records=len(records),
+            n_scavenged=len(dataset),
+            n_dropped=self.scavenger.dropped,
+            min_propensity=dataset.min_propensity(),
+            evaluations=evaluations,
+        )

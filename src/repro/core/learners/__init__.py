@@ -1,0 +1,34 @@
+"""Policy learning (the *optimize* half of step 3).
+
+- :mod:`~repro.core.learners.regression` — importance-weighted linear
+  regression oracles (batch ridge and online SGD), the workhorse the
+  CB learners reduce to.
+- :mod:`~repro.core.learners.cb` — contextual-bandit learners:
+  epsilon-greedy with a regression oracle, epoch-greedy, and brute
+  policy-class optimization via IPS.
+- :mod:`~repro.core.learners.supervised` — the full-feedback
+  (supervised) baseline used as ground truth in Figs. 3–4.
+"""
+
+from repro.core.learners.regression import RidgeRegressor, SGDRegressor
+from repro.core.learners.cb import (
+    BaggingLearner,
+    CBLearner,
+    EpochGreedyLearner,
+    EpsilonGreedyLearner,
+    PerActionFeaturesLearner,
+    PolicyClassOptimizer,
+)
+from repro.core.learners.supervised import SupervisedTrainer
+
+__all__ = [
+    "RidgeRegressor",
+    "SGDRegressor",
+    "BaggingLearner",
+    "CBLearner",
+    "EpsilonGreedyLearner",
+    "EpochGreedyLearner",
+    "PerActionFeaturesLearner",
+    "PolicyClassOptimizer",
+    "SupervisedTrainer",
+]

@@ -1,0 +1,334 @@
+"""Policy abstractions.
+
+A *policy* maps a context to a distribution over eligible actions
+(§2).  Deterministic policies are the special case of a point-mass
+distribution.  Every policy here exposes:
+
+- :meth:`Policy.distribution`: the probability of each eligible action
+  given a context — this is what the IPS estimator needs to evaluate
+  the policy offline, and what the logging side needs to record
+  propensities.
+- :meth:`Policy.act`: sample an action, returning ``(action,
+  propensity)`` so the caller can log the exploration tuple.
+
+The enumerable :class:`PolicyClass` models the paper's "class of
+policies Π defined by a tunable template" that offline optimization
+searches over.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.types import Context
+
+
+class Policy(ABC):
+    """Base class: a (possibly stochastic) mapping context → action."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        """Probability of each action in ``actions`` given ``context``.
+
+        Returns an array aligned with ``actions`` that sums to 1.
+        """
+
+    def act(
+        self, context: Context, actions: Sequence[int], rng: np.random.Generator
+    ) -> tuple[int, float]:
+        """Sample an action; return ``(action, propensity)``."""
+        probs = self.distribution(context, actions)
+        index = int(rng.choice(len(actions), p=probs))
+        return actions[index], float(probs[index])
+
+    def action(self, context: Context, actions: Sequence[int]) -> int:
+        """The modal action — used when evaluating a policy as deterministic."""
+        probs = self.distribution(context, actions)
+        return actions[int(np.argmax(probs))]
+
+    def probability_of(
+        self, context: Context, actions: Sequence[int], action: int
+    ) -> float:
+        """Probability this policy assigns to a specific action."""
+        if action not in actions:
+            return 0.0
+        probs = self.distribution(context, actions)
+        return float(probs[list(actions).index(action)])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+def _point_mass(actions: Sequence[int], chosen: int) -> np.ndarray:
+    probs = np.zeros(len(actions))
+    probs[list(actions).index(chosen)] = 1.0
+    return probs
+
+
+class ConstantPolicy(Policy):
+    """Always choose one fixed action (e.g. Table 2's "send to 1")."""
+
+    def __init__(self, action: int, name: Optional[str] = None) -> None:
+        self._action = action
+        self.name = name or f"constant[{action}]"
+
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        if self._action not in actions:
+            raise ValueError(
+                f"constant action {self._action} not eligible in {list(actions)}"
+            )
+        return _point_mass(actions, self._action)
+
+
+class UniformRandomPolicy(Policy):
+    """Choose uniformly at random — the canonical logging policy."""
+
+    name = "uniform-random"
+
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        return np.full(len(actions), 1.0 / len(actions))
+
+
+class DeterministicFunctionPolicy(Policy):
+    """Wrap an arbitrary ``f(context, actions) -> action`` as a policy.
+
+    This is how system heuristics (least-loaded, LRU, ...) enter the
+    off-policy evaluation machinery as candidate policies.
+    """
+
+    def __init__(
+        self,
+        choose: Callable[[Context, Sequence[int]], int],
+        name: str = "deterministic",
+    ) -> None:
+        self._choose = choose
+        self.name = name
+
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        chosen = self._choose(context, actions)
+        if chosen not in actions:
+            raise ValueError(f"choice {chosen} not among eligible {list(actions)}")
+        return _point_mass(actions, chosen)
+
+
+class EpsilonGreedyPolicy(Policy):
+    """Follow a base policy w.p. ``1 - ε``, explore uniformly w.p. ``ε``.
+
+    Guarantees every eligible action has propensity ≥ ε/|A|, which is
+    exactly the coverage condition the IPS estimator needs (§4).
+    """
+
+    def __init__(self, base: Policy, epsilon: float, name: Optional[str] = None) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.base = base
+        self.epsilon = epsilon
+        self.name = name or f"eps-greedy[{base.name}, eps={epsilon}]"
+
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        base = self.base.distribution(context, actions)
+        uniform = np.full(len(actions), 1.0 / len(actions))
+        return (1.0 - self.epsilon) * base + self.epsilon * uniform
+
+
+class SoftmaxPolicy(Policy):
+    """Boltzmann distribution over a per-action score function.
+
+    ``scorer(context, action)`` returns a desirability score; higher is
+    better.  ``temperature`` → 0 approaches greedy; → ∞ approaches
+    uniform.
+    """
+
+    def __init__(
+        self,
+        scorer: Callable[[Context, int], float],
+        temperature: float = 1.0,
+        name: str = "softmax",
+    ) -> None:
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self._scorer = scorer
+        self.temperature = temperature
+        self.name = name
+
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        scores = np.array([self._scorer(context, a) for a in actions], dtype=float)
+        scaled = scores / self.temperature
+        scaled -= scaled.max()  # overflow-safe softmax
+        exp = np.exp(scaled)
+        return exp / exp.sum()
+
+
+class GreedyRegressorPolicy(Policy):
+    """Greedily pick the action with the best predicted reward.
+
+    ``predict(context, action)`` is typically a regression oracle
+    trained with importance weighting (see
+    :class:`repro.core.learners.cb.EpsilonGreedyLearner`).  Ties break
+    toward the lowest action id, deterministically.
+    """
+
+    def __init__(
+        self,
+        predict: Callable[[Context, int], float],
+        maximize: bool = True,
+        name: str = "greedy-regressor",
+    ) -> None:
+        self._predict = predict
+        self.maximize = maximize
+        self.name = name
+
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        scores = np.array([self._predict(context, a) for a in actions], dtype=float)
+        best = int(np.argmax(scores)) if self.maximize else int(np.argmin(scores))
+        return _point_mass(actions, actions[best])
+
+
+class HashPolicy(Policy):
+    """Hash-based routing, e.g. consistent request sharding.
+
+    §2: a hash policy "can be viewed as random if the context does not
+    include the inputs to the hash."  ``key_of`` extracts the hash key
+    (a string) from the context metadata; the induced distribution,
+    marginalized over keys, is uniform, which is the propensity this
+    policy reports.
+    """
+
+    def __init__(self, key_of: Callable[[Context], str], name: str = "hash") -> None:
+        self._key_of = key_of
+        self.name = name
+
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        # Marginal over hash keys: uniform. Used for propensities.
+        return np.full(len(actions), 1.0 / len(actions))
+
+    def act(
+        self, context: Context, actions: Sequence[int], rng: np.random.Generator
+    ) -> tuple[int, float]:
+        key = self._key_of(context)
+        index = zlib.crc32(key.encode("utf-8")) % len(actions)
+        # The *propensity* is the marginal probability, not 1.0: the
+        # action is deterministic given the key, but the key is
+        # independent of the (key-free) context.
+        return actions[index], 1.0 / len(actions)
+
+
+class MixturePolicy(Policy):
+    """A convex mixture of policies — e.g. a staged rollout that sends
+    90% of traffic through the incumbent and 10% through a candidate."""
+
+    def __init__(
+        self,
+        policies: Sequence[Policy],
+        weights: Sequence[float],
+        name: str = "mixture",
+    ) -> None:
+        if len(policies) != len(weights):
+            raise ValueError("one weight per policy required")
+        if not policies:
+            raise ValueError("mixture of zero policies")
+        weights_arr = np.asarray(weights, dtype=float)
+        if (weights_arr < 0).any() or not np.isclose(weights_arr.sum(), 1.0):
+            raise ValueError("weights must be a probability vector")
+        self.policies = list(policies)
+        self.weights = weights_arr
+        self.name = name
+
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        out = np.zeros(len(actions))
+        for policy, weight in zip(self.policies, self.weights):
+            out += weight * policy.distribution(context, actions)
+        return out
+
+
+class LinearThresholdPolicy(Policy):
+    """Deterministic policy from a linear score over context features.
+
+    Picks ``argmax_a  w_a · φ(x)`` where ``φ`` selects named features.
+    A family of these (random weight draws) forms the "linear vectors"
+    policy template the paper mentions; :class:`PolicyClass` enumerates
+    them for offline optimization.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        feature_names: Sequence[str],
+        name: str = "linear",
+    ) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError("weights must be (n_actions, n_features)")
+        if weights.shape[1] != len(feature_names) + 1:
+            raise ValueError(
+                "weights need one column per feature plus a bias column"
+            )
+        self.weights = weights
+        self.feature_names = list(feature_names)
+        self.name = name
+
+    def _phi(self, context: Context) -> np.ndarray:
+        values = [float(context.get(f, 0.0)) for f in self.feature_names]
+        return np.array(values + [1.0])
+
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        phi = self._phi(context)
+        scores = np.array([self.weights[a] @ phi for a in actions])
+        return _point_mass(actions, actions[int(np.argmax(scores))])
+
+
+class PolicyClass:
+    """An enumerable class Π of candidate policies.
+
+    Offline optimization in §4 searches a class of size up to
+    ``|Π| = 10^6``; this container supports that search and the Eq. 1
+    union bound over its members.
+    """
+
+    def __init__(self, policies: Sequence[Policy], name: str = "policy-class") -> None:
+        if not policies:
+            raise ValueError("empty policy class")
+        self.policies = list(policies)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.policies)
+
+    def __iter__(self):
+        return iter(self.policies)
+
+    def __getitem__(self, index: int) -> Policy:
+        return self.policies[index]
+
+    @classmethod
+    def random_linear(
+        cls,
+        n_policies: int,
+        n_actions: int,
+        feature_names: Sequence[str],
+        rng: np.random.Generator,
+        scale: float = 1.0,
+    ) -> "PolicyClass":
+        """A class of random linear-threshold policies (a dense sample
+        of the 'linear vectors' template)."""
+        policies: list[Policy] = []
+        for index in range(n_policies):
+            weights = rng.normal(0.0, scale, size=(n_actions, len(feature_names) + 1))
+            policies.append(
+                LinearThresholdPolicy(weights, feature_names, name=f"linear-{index}")
+            )
+        return cls(policies, name=f"random-linear[{n_policies}]")
+
+    @classmethod
+    def all_constant(cls, n_actions: int) -> "PolicyClass":
+        """The class of all single-action policies — the A/B-test analogue."""
+        return cls(
+            [ConstantPolicy(a) for a in range(n_actions)],
+            name=f"constants[{n_actions}]",
+        )

@@ -1,0 +1,150 @@
+"""Streaming (incremental) off-policy evaluation.
+
+Footnote 1 of the paper: "'Offline' does not mean 'batch': off-policy
+evaluation may incrementally update; it just does not intervene in a
+live (online) system."  This module provides that incremental mode:
+estimators that consume exploration tuples one at a time in O(1)
+memory, so a tail of production logs can be followed continuously.
+
+:class:`StreamingIPS` maintains, per candidate policy, the running IPS
+mean, Welford variance, match count, and a normal-approximation CI.
+:class:`StreamingEvaluationBoard` fans one stream out to many
+candidates — the "evaluate K policies from one log" mode, live.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.policies import Policy
+from repro.core.types import ActionSpace, Interaction
+
+
+@dataclass(frozen=True)
+class StreamingSnapshot:
+    """Point-in-time state of one streaming estimate."""
+
+    policy_name: str
+    n: int
+    value: float
+    std_error: float
+    match_rate: float
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI at ``z`` standard errors."""
+        return (self.value - z * self.std_error,
+                self.value + z * self.std_error)
+
+
+class StreamingIPS:
+    """One candidate's running IPS estimate over an exploration stream.
+
+    Uses Welford's algorithm for the running variance of the IPS terms,
+    so the standard error is available at every step without storing
+    the stream.
+    """
+
+    def __init__(self, policy: Policy, action_space: ActionSpace) -> None:
+        self.policy = policy
+        self.action_space = action_space
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._matches = 0
+
+    @property
+    def n(self) -> int:
+        """Number of exploration tuples consumed."""
+        return self._n
+
+    def update(self, interaction: Interaction) -> None:
+        """Fold one exploration tuple into the running estimate."""
+        actions = self.action_space.actions(interaction.context)
+        pi_prob = self.policy.probability_of(
+            interaction.context, actions, interaction.action
+        )
+        weight = pi_prob / interaction.propensity
+        term = weight * interaction.reward
+        if weight > 0:
+            self._matches += 1
+        self._n += 1
+        delta = term - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (term - self._mean)
+
+    def update_all(self, interactions: Iterable[Interaction]) -> None:
+        """Consume a batch (convenience; still O(1) memory)."""
+        for interaction in interactions:
+            self.update(interaction)
+
+    def snapshot(self) -> StreamingSnapshot:
+        """The current estimate; callable at any point in the stream."""
+        if self._n == 0:
+            raise ValueError("no data consumed yet")
+        if self._n > 1:
+            variance = self._m2 / (self._n - 1)
+            std_error = math.sqrt(variance / self._n)
+        else:
+            std_error = float("inf")
+        return StreamingSnapshot(
+            policy_name=self.policy.name,
+            n=self._n,
+            value=self._mean,
+            std_error=std_error,
+            match_rate=self._matches / self._n,
+        )
+
+
+class StreamingEvaluationBoard:
+    """Evaluate many candidates from one live exploration stream.
+
+    The data-reuse property of §4 operationalized: a single pass over
+    the log advances every candidate's estimate simultaneously.
+    """
+
+    def __init__(
+        self, policies: Sequence[Policy], action_space: ActionSpace
+    ) -> None:
+        if not policies:
+            raise ValueError("need at least one candidate")
+        self._streams = [StreamingIPS(p, action_space) for p in policies]
+
+    def update(self, interaction: Interaction) -> None:
+        """Feed one tuple to every candidate."""
+        for stream in self._streams:
+            stream.update(interaction)
+
+    def update_all(self, interactions: Iterable[Interaction]) -> None:
+        """Feed a batch to every candidate."""
+        for interaction in interactions:
+            self.update(interaction)
+
+    def snapshots(self) -> list[StreamingSnapshot]:
+        """Current estimates for every candidate."""
+        return [stream.snapshot() for stream in self._streams]
+
+    def leader(self, maximize: bool = True) -> StreamingSnapshot:
+        """The currently best-looking candidate."""
+        snaps = self.snapshots()
+        key = (lambda s: s.value) if maximize else (lambda s: -s.value)
+        return max(snaps, key=key)
+
+    def resolved(self, z: float = 1.96, maximize: bool = True) -> bool:
+        """Whether the leader's CI is separated from every other
+        candidate's CI — the streaming stopping rule."""
+        snaps = self.snapshots()
+        if len(snaps) == 1:
+            return True
+        lead = self.leader(maximize)
+        for snap in snaps:
+            if snap.policy_name == lead.policy_name:
+                continue
+            lead_lo, lead_hi = lead.confidence_interval(z)
+            other_lo, other_hi = snap.confidence_interval(z)
+            if maximize and lead_lo <= other_hi:
+                return False
+            if not maximize and lead_hi >= other_lo:
+                return False
+        return True

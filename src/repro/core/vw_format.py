@@ -1,0 +1,120 @@
+"""Vowpal-Wabbit-compatible contextual-bandit serialization.
+
+The de-facto interchange format for exploration data is VW's ``--cb``
+input format (used by the Decision Service the paper builds on [1]):
+
+    <action>:<cost>:<probability> | feature1:value1 feature2:value2
+
+One line per interaction; the *cost* convention means VW minimizes, so
+rewards are negated on export and back-negated on import.  Supporting
+this format means logs harvested here can be cross-checked against VW,
+and VW-format logs from real systems can be analyzed with this library.
+
+Only the single-line ``--cb`` flavor is implemented (shared action set,
+context features only); the ADF multi-line flavor is out of scope.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable, Optional, TextIO, Union
+
+from repro.core.types import ActionSpace, Dataset, Interaction, RewardRange
+
+_FEATURE_RE = re.compile(r"^([^\s:|]+)(?::(-?[\d.eE+-]+))?$")
+
+#: VW action ids are 1-based.
+_ACTION_BASE = 1
+
+
+def interaction_to_vw(interaction: Interaction) -> str:
+    """Serialize one interaction as a VW ``--cb`` line.
+
+    VW expects a *cost*; we emit ``-reward``.  Feature names containing
+    spaces, colons or pipes are not representable and raise.
+    """
+    cost = -interaction.reward
+    parts = [f"{interaction.action + _ACTION_BASE}:{cost:g}:{interaction.propensity:g}", "|"]
+    for name, value in interaction.context.items():
+        if any(ch in name for ch in " :|"):
+            raise ValueError(f"feature name {name!r} not representable in VW")
+        parts.append(f"{name}:{float(value):g}")
+    return " ".join(parts)
+
+
+def vw_to_interaction(line: str, timestamp: float = 0.0) -> Optional[Interaction]:
+    """Parse one VW ``--cb`` line; returns None for malformed lines."""
+    line = line.strip()
+    if not line or "|" not in line:
+        return None
+    label_part, _, feature_part = line.partition("|")
+    label_fields = label_part.strip().split(":")
+    if len(label_fields) != 3:
+        return None
+    try:
+        action = int(label_fields[0]) - _ACTION_BASE
+        cost = float(label_fields[1])
+        probability = float(label_fields[2])
+    except ValueError:
+        return None
+    if action < 0 or not 0.0 < probability <= 1.0:
+        return None
+    if not math.isfinite(cost):
+        return None
+    context: dict[str, float] = {}
+    for token in feature_part.split():
+        match = _FEATURE_RE.match(token)
+        if match is None:
+            return None
+        name, value = match.group(1), match.group(2)
+        try:
+            context[name] = float(value) if value is not None else 1.0
+        except ValueError:
+            return None
+    return Interaction(
+        context=context,
+        action=action,
+        reward=-cost,
+        propensity=probability,
+        timestamp=timestamp,
+    )
+
+
+def save_vw(dataset: Dataset, destination: Union[str, TextIO]) -> int:
+    """Write a dataset in VW ``--cb`` format; returns lines written."""
+    own = isinstance(destination, str)
+    handle = open(destination, "w", encoding="utf-8") if own else destination
+    try:
+        count = 0
+        for interaction in dataset:
+            handle.write(interaction_to_vw(interaction) + "\n")
+            count += 1
+        return count
+    finally:
+        if own:
+            handle.close()
+
+
+def load_vw(
+    source: Union[str, TextIO, Iterable[str]],
+    action_space: Optional[ActionSpace] = None,
+    reward_range: Optional[RewardRange] = None,
+) -> Dataset:
+    """Read a VW ``--cb`` file/stream into a dataset.
+
+    Malformed lines are skipped (scavenging must tolerate noise); line
+    numbers become timestamps.
+    """
+    own = isinstance(source, str)
+    handle = open(source, "r", encoding="utf-8") if own else source
+    try:
+        dataset = Dataset(action_space=action_space, reward_range=reward_range)
+        for index, line in enumerate(handle):
+            interaction = vw_to_interaction(line, timestamp=float(index))
+            if interaction is not None:
+                dataset.append(interaction)
+        return dataset
+    finally:
+        if own:
+            handle.close()

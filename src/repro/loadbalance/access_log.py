@@ -1,0 +1,120 @@
+"""Nginx-style access log writing and parsing.
+
+The paper's methodology is *non-invasive*: it scavenges logs the
+system already produces.  Nginx's logging modules can emit the
+variables we need (``$upstream_addr``, ``$upstream_response_time``,
+``$upstream_connect_time``, custom headers with per-upstream connection
+counts) — "existing logging modules already provided what we needed,
+and simply needed to be configured" (§5).
+
+We emit a custom ``log_format`` close to what such a configuration
+produces, one line per request, and parse it back.  Harvesting then
+operates on the *text log*, not on in-memory simulation state — keeping
+the reproduction honest about where the data comes from.
+
+Format (space-separated, quoted request field, key=value extensions)::
+
+    <time> <client> "<method> /<kind> HTTP/1.1" <status> rt=<total>
+    upstream=<id> urt=<latency> conns=<c0>:<c1>:...:<ck>
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class AccessLogEntry:
+    """One parsed access-log line."""
+
+    time: float
+    client_key: str
+    kind: str
+    status: int
+    upstream: int
+    upstream_response_time: float
+    connections: tuple[int, ...]
+    request_weight: float = 1.0
+
+    def context_record(self) -> dict:
+        """The raw context record this entry encodes (for scavenging)."""
+        record: dict = {
+            "kind": self.kind,
+            "request_weight": self.request_weight,
+        }
+        for server, conns in enumerate(self.connections):
+            record[f"conns_{server}"] = conns
+        return record
+
+
+def format_access_log_line(entry: AccessLogEntry) -> str:
+    """Serialize an entry in our Nginx-style log format."""
+    conns = ":".join(str(c) for c in entry.connections)
+    return (
+        f"{entry.time:.6f} {entry.client_key} "
+        f'"GET /{entry.kind} HTTP/1.1" {entry.status} '
+        f"rt={entry.upstream_response_time:.6f} "
+        f"upstream={entry.upstream} "
+        f"urt={entry.upstream_response_time:.6f} "
+        f"w={entry.request_weight:g} "
+        f"conns={conns}"
+    )
+
+
+_LINE_RE = re.compile(
+    r"^(?P<time>[\d.]+) (?P<client>\S+) "
+    r'"GET /(?P<kind>\S+) HTTP/1\.1" (?P<status>\d+) '
+    r"rt=(?P<rt>[\d.]+) "
+    r"upstream=(?P<upstream>\d+) "
+    r"urt=(?P<urt>[\d.]+) "
+    r"w=(?P<weight>[\d.]+) "
+    r"conns=(?P<conns>[\d:]+)$"
+)
+
+
+def parse_access_log_line(line: str) -> Optional[AccessLogEntry]:
+    """Parse one log line; returns ``None`` for malformed lines.
+
+    Scavengers must tolerate garbage — real logs contain truncated
+    lines, rotations, and unrelated records.
+    """
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        return None
+    try:
+        return AccessLogEntry(
+            time=float(match.group("time")),
+            client_key=match.group("client"),
+            kind=match.group("kind"),
+            status=int(match.group("status")),
+            upstream=int(match.group("upstream")),
+            upstream_response_time=float(match.group("urt")),
+            connections=tuple(
+                int(c) for c in match.group("conns").split(":")
+            ),
+            request_weight=float(match.group("weight")),
+        )
+    except ValueError:
+        # Truncated numerics (e.g. a cut-off "conns=3:") match the
+        # regex shape but not the grammar; treat as a damaged line.
+        return None
+
+
+def write_access_log(entries: Sequence[AccessLogEntry], path: str) -> None:
+    """Write entries to a log file, one line each."""
+    with open(path, "w", encoding="utf-8") as f:
+        for entry in entries:
+            f.write(format_access_log_line(entry) + "\n")
+
+
+def read_access_log(path: str) -> list[AccessLogEntry]:
+    """Read a log file, silently skipping malformed lines."""
+    entries = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            entry = parse_access_log_line(line)
+            if entry is not None:
+                entries.append(entry)
+    return entries

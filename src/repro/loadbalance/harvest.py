@@ -1,0 +1,200 @@
+"""Harvesting the load-balancer access log (steps 1–2 for Nginx).
+
+Turns parsed :class:`~repro.loadbalance.access_log.AccessLogEntry`
+records into exploration datasets: the context is the decision-time
+snapshot the log line carries (connection counts + request features),
+the action is the chosen upstream, and the reward is the *negative-ish*
+request latency (we keep raw latency and minimize, per Table 1's CB
+reward "[-] request latency").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.harvest import HarvestPipeline, LogScavenger
+from repro.core.propensity import (
+    DeclaredPropensityModel,
+    EmpiricalPropensityModel,
+    PropensityModel,
+)
+from repro.core.types import ActionSpace, Context, Dataset, Interaction, RewardRange
+from repro.loadbalance.access_log import AccessLogEntry
+
+#: Latency cap (seconds) for the declared reward range.
+LATENCY_CAP = 10.0
+
+
+def _entry_context(entry: AccessLogEntry) -> Context:
+    context: dict[str, float] = {
+        f"conns_{server}": float(c) for server, c in enumerate(entry.connections)
+    }
+    context[f"req_{entry.kind}"] = 1.0
+    context["req_weight"] = entry.request_weight
+    return context
+
+
+def lb_action_space(n_servers: int) -> ActionSpace:
+    """Action space: one action per backend server."""
+    return ActionSpace(n_servers, labels=[f"server-{i}" for i in range(n_servers)])
+
+
+def lb_reward_range() -> RewardRange:
+    """Latency in seconds, minimized."""
+    return RewardRange(0.0, LATENCY_CAP, maximize=False)
+
+
+def exploration_dataset_from_entries(
+    entries: Sequence[AccessLogEntry],
+    propensity_model: PropensityModel,
+    n_servers: Optional[int] = None,
+) -> Dataset:
+    """Annotate parsed log entries with propensities → exploration data."""
+    if not entries:
+        raise ValueError("no log entries to harvest")
+    if n_servers is None:
+        n_servers = len(entries[0].connections)
+    actions = list(range(n_servers))
+    dataset = Dataset(
+        action_space=lb_action_space(n_servers), reward_range=lb_reward_range()
+    )
+    for entry in entries:
+        context = _entry_context(entry)
+        propensity = propensity_model.propensity(context, entry.upstream, actions)
+        dataset.append(
+            Interaction(
+                context=context,
+                action=entry.upstream,
+                reward=entry.upstream_response_time,
+                propensity=propensity,
+                timestamp=entry.time,
+            )
+        )
+    return dataset
+
+
+def access_log_scavenger() -> LogScavenger:
+    """A :class:`LogScavenger` over *raw dict* records, for use with the
+    generic :class:`~repro.core.harvest.HarvestPipeline`.
+
+    Accepts dicts shaped like ``AccessLogEntry.__dict__`` (e.g. produced
+    by JSON-ifying the access log).
+    """
+
+    def context_of(record: dict) -> Optional[Context]:
+        connections = record.get("connections")
+        if connections is None:
+            return None
+        context: dict[str, float] = {
+            f"conns_{server}": float(c) for server, c in enumerate(connections)
+        }
+        context[f"req_{record.get('kind', 'unknown')}"] = 1.0
+        context["req_weight"] = float(record.get("request_weight", 1.0))
+        return context
+
+    return LogScavenger(
+        context_of=context_of,
+        action_of=lambda record: int(record["upstream"]),
+        reward_of=lambda record: float(record["upstream_response_time"]),
+        timestamp_of=lambda record: float(record.get("time", 0.0)),
+    )
+
+
+def build_lb_pipeline(
+    n_servers: int,
+    logging_policy=None,
+    entries_for_empirical: Optional[Sequence[AccessLogEntry]] = None,
+) -> HarvestPipeline:
+    """A ready-made pipeline for load-balancer logs.
+
+    If the logging policy is known (code inspection), pass it; otherwise
+    supply entries so propensities can be estimated empirically.
+    """
+    if logging_policy is not None:
+        propensity_model: PropensityModel = DeclaredPropensityModel(logging_policy)
+    elif entries_for_empirical is not None:
+        propensity_model = EmpiricalPropensityModel().fit(
+            [entry.upstream for entry in entries_for_empirical]
+        )
+    else:
+        raise ValueError(
+            "need either a declared logging policy or entries to fit "
+            "empirical propensities"
+        )
+    return HarvestPipeline(
+        scavenger=access_log_scavenger(),
+        propensity_model=propensity_model,
+        action_space=lb_action_space(n_servers),
+        reward_range=lb_reward_range(),
+    )
+
+
+def dataset_from_access_log(
+    entries: Sequence[AccessLogEntry],
+    logging_policy=None,
+) -> Dataset:
+    """One-call harvest: entries → exploration dataset.
+
+    Uses declared propensities when the logging policy is given,
+    empirical frequencies otherwise.
+    """
+    if logging_policy is not None:
+        model: PropensityModel = DeclaredPropensityModel(logging_policy)
+    else:
+        model = EmpiricalPropensityModel().fit([e.upstream for e in entries])
+    return exploration_dataset_from_entries(entries, model)
+
+
+def train_cb_policy(
+    dataset: Dataset,
+    n_servers: int,
+    passes: int = 4,
+    learning_rate: float = 0.5,
+    name: str = "CB policy",
+):
+    """Train the Table 2 CB policy from harvested exploration data.
+
+    Reduction to importance-weighted regression: per-server latency
+    models over the logged context, augmented with weight×connections
+    interaction terms (latency is multiplicative in request cost), then
+    greedy argmin — "the CB algorithm learns a good estimator of each
+    server's latency based on context, and greedily picking the lowest
+    latency yields a good policy" (§5).
+    """
+    from repro.core.features import Featurizer, interaction_features
+    from repro.core.learners.cb import EpsilonGreedyLearner
+    from repro.core.policies import GreedyRegressorPolicy
+
+    if passes <= 0:
+        raise ValueError("passes must be positive")
+    pairs = [("req_weight", f"conns_{server}") for server in range(n_servers)]
+
+    def augment(context: Context) -> Context:
+        return interaction_features(context, pairs)
+
+    augmented = Dataset(
+        action_space=dataset.action_space, reward_range=dataset.reward_range
+    )
+    for interaction in dataset:
+        augmented.append(
+            Interaction(
+                context=augment(interaction.context),
+                action=interaction.action,
+                reward=interaction.reward,
+                propensity=interaction.propensity,
+                timestamp=interaction.timestamp,
+            )
+        )
+    learner = EpsilonGreedyLearner(
+        n_servers,
+        featurizer=Featurizer(n_dims=64),
+        learning_rate=learning_rate,
+        maximize=False,
+    )
+    for _ in range(passes):
+        learner.observe_all(augmented)
+    return GreedyRegressorPolicy(
+        lambda context, action: learner.predict(augment(context), action),
+        maximize=False,
+        name=name,
+    )

@@ -1,0 +1,195 @@
+"""Load-balancing policies, as `repro.core` Policy objects.
+
+The context presented to every policy is the decision-time snapshot the
+proxy logs: per-server open-connection counts (``conns_<i>``) and the
+request's type features (``req_<kind>``, ``req_weight``).  Expressing
+the classic heuristics in this vocabulary is what lets one exploration
+log evaluate all of them offline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.policies import (
+    ConstantPolicy,
+    DeterministicFunctionPolicy,
+    Policy,
+    UniformRandomPolicy,
+)
+from repro.core.types import Context
+
+
+def connection_count(context: Context, server: int) -> float:
+    """Read a server's open-connection count out of a logged context."""
+    return float(context.get(f"conns_{server}", 0.0))
+
+
+def least_loaded_policy() -> Policy:
+    """Route to the server with the fewest open connections.
+
+    Nginx's ``least_conn``.  Ties break toward the lowest server id
+    (deterministically), as Nginx's implementation effectively does for
+    equal-weight peers.
+    """
+
+    def choose(context: Context, actions: Sequence[int]) -> int:
+        return min(actions, key=lambda a: (connection_count(context, a), a))
+
+    return DeterministicFunctionPolicy(choose, name="least-loaded")
+
+
+def send_to_policy(server: int) -> Policy:
+    """The degenerate policy of Table 2: always route to one server."""
+    return ConstantPolicy(server, name=f"send-to-{server}")
+
+
+def random_policy() -> Policy:
+    """Uniform random routing — Table 2's logging policy."""
+    return UniformRandomPolicy()
+
+
+def weighted_random_policy(weights: Sequence[float]) -> Policy:
+    """Random routing with fixed server weights (Nginx ``weight=``)."""
+
+    weights_arr = np.asarray(weights, dtype=float)
+    if (weights_arr < 0).any() or weights_arr.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+
+    class _Weighted(Policy):
+        name = "weighted-random[" + ",".join(f"{w:g}" for w in weights) + "]"
+
+        def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+            local = np.array([weights_arr[a] for a in actions], dtype=float)
+            if local.sum() <= 0:
+                return np.full(len(actions), 1.0 / len(actions))
+            return local / local.sum()
+
+    return _Weighted()
+
+
+def round_robin_policy(n_servers: int) -> Policy:
+    """Cycle through servers.
+
+    Stateful and deterministic per-request, but its *marginal* action
+    distribution is uniform and independent of the context, so — per
+    §2's "exploration scavenging" observation — its logs are usable
+    with propensity ``1/n``.
+    """
+    state = {"next": 0}
+
+    class _RoundRobin(Policy):
+        name = f"round-robin[{n_servers}]"
+
+        def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+            # Marginal distribution: uniform (used for propensities).
+            return np.full(len(actions), 1.0 / len(actions))
+
+        def act(
+            self, context: Context, actions: Sequence[int], rng: np.random.Generator
+        ) -> tuple[int, float]:
+            action = actions[state["next"] % len(actions)]
+            state["next"] += 1
+            return action, 1.0 / len(actions)
+
+    return _RoundRobin()
+
+
+def power_of_two_policy(randomness_name: str = "p2c") -> Policy:
+    """Power-of-two-choices: sample two servers, pick the less loaded.
+
+    Genuinely randomized *and* load-aware.  Its propensity is exactly
+    computable from the logged connection counts, making it an ideal
+    harvesting source: for the less-loaded server ``i`` beaten only by
+    ties, ``p_i = (1 + 2·|{j : c_j > c_i}| + |{j≠i : c_j = c_i}|−…)``
+    — we compute it by enumeration over pairs, which is O(n²) but exact.
+    """
+
+    class _PowerOfTwo(Policy):
+        name = "power-of-two"
+
+        def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+            n = len(actions)
+            if n == 1:
+                return np.array([1.0])
+            probs = np.zeros(n)
+            # Enumerate ordered pairs (i, j), i != j, each w.p. 1/(n(n-1)).
+            for first_index in range(n):
+                for second_index in range(n):
+                    if first_index == second_index:
+                        continue
+                    a, b = actions[first_index], actions[second_index]
+                    ca, cb = connection_count(context, a), connection_count(context, b)
+                    if ca < cb or (ca == cb and a < b):
+                        probs[first_index] += 1.0
+                    else:
+                        probs[second_index] += 1.0
+            return probs / probs.sum()
+
+    return _PowerOfTwo()
+
+
+def window_randomized_weights_policy(
+    n_servers: int,
+    window: int = 20,
+    seed: int = 0,
+    concentration: float = 0.5,
+) -> Policy:
+    """Randomize *traffic shares* per window instead of per request.
+
+    §5's richer-exploration proposal: "instead of randomizing each
+    request, a load balancer could randomize the share of traffic sent
+    to each server during the next N requests.  In Nginx, this is
+    easily implemented by randomizing the weights assigned to each
+    server."  Every ``window`` requests, fresh weights are drawn from a
+    Dirichlet(``concentration``); within the window requests follow
+    those weights i.i.d.  Low concentration produces skewed windows —
+    including near-"send everything to one server" episodes that
+    per-request uniform randomization essentially never generates.
+
+    The per-request propensity (the drawn weight of the chosen server)
+    is still exact, so the logs remain harvestable.
+    """
+    if n_servers <= 1:
+        raise ValueError("need at least two servers to balance")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    state = {
+        "rng": np.random.default_rng(seed),
+        "weights": np.full(n_servers, 1.0 / n_servers),
+        "remaining": 0,
+    }
+
+    class _WindowRandomized(Policy):
+        name = f"window-weights[w={window}]"
+
+        def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+            local = np.array([state["weights"][a] for a in actions])
+            return local / local.sum()
+
+        def act(
+            self, context: Context, actions: Sequence[int], rng: np.random.Generator
+        ) -> tuple[int, float]:
+            if state["remaining"] <= 0:
+                state["weights"] = state["rng"].dirichlet(
+                    np.full(n_servers, concentration)
+                )
+                # Keep every propensity strictly positive.
+                state["weights"] = np.maximum(state["weights"], 1e-3)
+                state["weights"] /= state["weights"].sum()
+                state["remaining"] = window
+            state["remaining"] -= 1
+            probs = self.distribution(context, actions)
+            index = int(rng.choice(len(actions), p=probs))
+            return actions[index], float(probs[index])
+
+    return _WindowRandomized()
+
+
+def cb_policy_name() -> str:
+    """Display name used for learned CB policies in Table 2 outputs."""
+    return "CB policy"

@@ -1,0 +1,230 @@
+"""The reverse-proxy simulation (our Nginx).
+
+Event-driven: requests arrive (Poisson workload), the balancing policy
+observes the decision-time context (per-server open connections +
+request features), picks a backend, the backend serves at the Fig. 5
+latency law, and the completion frees the connection.  Every request
+appends an access-log entry.
+
+The same simulator serves both sides of Table 2:
+
+- **data collection** — run with the uniform-random policy and harvest
+  the access log;
+- **online (ground-truth) evaluation** — run with a candidate policy
+  deployed and measure its live mean latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.policies import Policy
+from repro.core.types import Context
+from repro.loadbalance.access_log import AccessLogEntry
+from repro.loadbalance.server import BackendServer, ServerConfig
+from repro.loadbalance.workload import Workload
+from repro.simsys.events import Simulator
+from repro.simsys.metrics import PercentileTracker
+from repro.simsys.random_source import RandomSource
+
+
+def fig5_servers(
+    base_latency: float = 0.20,
+    additive_penalty: float = 0.28,
+    latency_per_connection: float = 0.08,
+    api_affinity: bool = True,
+) -> list[ServerConfig]:
+    """The two-server setup of Fig. 5.
+
+    Server 1 (id 0) is the fast server; server 2 (id 1) is "slower ...
+    by an additive constant"; both have the same per-connection slope.
+
+    With ``api_affinity`` (default), server 2 is specialized for heavy
+    ``api`` requests (a tuned stack), which it serves at a fraction of
+    the cost while server 1 pays a premium.  This request-specific
+    structure is invisible to load-only heuristics but learnable from
+    context (§5: "the algorithm would learn how different types of
+    requests are processed by different servers, something least
+    loaded cannot do").
+    """
+    multipliers_fast = {"api": 0.9} if api_affinity else {}
+    multipliers_slow = {"api": 0.4} if api_affinity else {}
+    return [
+        ServerConfig(
+            0,
+            base_latency,
+            latency_per_connection,
+            name="server-1",
+            type_multipliers=multipliers_fast,
+        ),
+        ServerConfig(
+            1,
+            base_latency + additive_penalty,
+            latency_per_connection,
+            name="server-2",
+            type_multipliers=multipliers_slow,
+        ),
+    ]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one proxy run."""
+
+    policy_name: str
+    n_requests: int
+    mean_latency: float
+    p99_latency: float
+    latencies: list[float] = field(default_factory=list)
+    access_log: list[AccessLogEntry] = field(default_factory=list)
+    per_server_requests: dict[int, int] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.policy_name}: n={self.n_requests}, "
+            f"mean={self.mean_latency:.3f}s, p99={self.p99_latency:.3f}s)"
+        )
+
+
+class LoadBalancerSim:
+    """Drive a balancing policy against simulated backends."""
+
+    def __init__(
+        self,
+        server_configs: Sequence[ServerConfig],
+        policy: Policy,
+        workload: Workload,
+        seed: int = 0,
+        latency_noise: float = 0.01,
+        chaos=None,
+        timeout: float = 10.0,
+        context_refresh_interval: float = 0.0,
+    ) -> None:
+        if not server_configs:
+            raise ValueError("need at least one backend")
+        if latency_noise < 0:
+            raise ValueError("latency noise must be non-negative")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if context_refresh_interval < 0:
+            raise ValueError("context refresh interval must be non-negative")
+        self.servers = [BackendServer(c) for c in server_configs]
+        self.policy = policy
+        self.workload = workload
+        self.latency_noise = latency_noise
+        #: Optional fault injector (see :mod:`repro.chaos`), called as
+        #: ``chaos.tick(now, servers)`` before every routing decision.
+        self.chaos = chaos
+        #: Proxy-side request timeout (Nginx ``proxy_read_timeout``):
+        #: observed latency is capped here, which also bounds the
+        #: connection-pileup spiral when a backend is crashed by chaos.
+        self.timeout = timeout
+        #: §5 "distributed state": with a positive interval, the policy
+        #: sees connection counts refreshed only every this many
+        #: (virtual) seconds — stale contexts, as when load metrics are
+        #: scraped rather than tracked inline.
+        self.context_refresh_interval = context_refresh_interval
+        self._stale_snapshot: dict[str, float] = {}
+        self._stale_snapshot_time = -float("inf")
+        self._randomness = RandomSource(seed, _name="proxy")
+
+    def _decision_context(self, kind: str, weight: float, now: float) -> Context:
+        fresh = {
+            f"conns_{s.server_id}": float(s.open_connections) for s in self.servers
+        }
+        if self.context_refresh_interval > 0:
+            if now - self._stale_snapshot_time >= self.context_refresh_interval:
+                self._stale_snapshot = fresh
+                self._stale_snapshot_time = now
+            loads = dict(self._stale_snapshot)
+        else:
+            loads = fresh
+        context = loads
+        context[f"req_{kind}"] = 1.0
+        context["req_weight"] = weight
+        return context
+
+    def run(
+        self,
+        n_requests: int,
+        warmup_fraction: float = 0.1,
+        observer=None,
+    ) -> SimulationResult:
+        """Serve ``n_requests`` and report latency statistics.
+
+        The first ``warmup_fraction`` of requests are excluded from the
+        statistics (queues start empty; the paper's online numbers are
+        steady-state) but still appear in the access log, timestamped.
+
+        ``observer(context, action, latency, propensity)``, if given,
+        is called after every routing decision — the hook that lets an
+        incremental CB learner keep learning *while deployed* (the §5
+        fix for non-stationary rewards: "incremental learning
+        algorithms that continuously update the policy").
+        """
+        if n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup fraction must be in [0, 1)")
+        for server in self.servers:
+            server.reset()
+        sim = Simulator()
+        policy_rng = self._randomness.child("policy-choices").generator
+        noise_rng = self._randomness.child("latency-noise")
+        latencies = PercentileTracker("latency")
+        access_log: list[AccessLogEntry] = []
+        per_server: dict[int, int] = {s.server_id: 0 for s in self.servers}
+        warmup_cutoff = int(n_requests * warmup_fraction)
+        actions = [s.server_id for s in self.servers]
+        requests = self.workload.first_n(n_requests)
+
+        def handle_arrival(request) -> None:
+            if self.chaos is not None:
+                self.chaos.tick(sim.now, self.servers)
+            context = self._decision_context(request.kind, request.weight, sim.now)
+            action, propensity = self.policy.act(context, actions, policy_rng)
+            server = self.servers[action]
+            latency = server.service_latency(request.weight, request.kind)
+            if self.latency_noise > 0:
+                latency = max(
+                    0.001, latency + noise_rng.normal(0.0, self.latency_noise)
+                )
+            latency = min(latency, self.timeout)
+            if observer is not None:
+                observer(context, action, latency, propensity)
+            server.connect()
+            per_server[action] += 1
+            if request.request_id >= warmup_cutoff:
+                latencies.observe(latency)
+            access_log.append(
+                AccessLogEntry(
+                    time=sim.now,
+                    client_key=request.client_key,
+                    kind=request.kind,
+                    status=200,
+                    upstream=action,
+                    upstream_response_time=latency,
+                    connections=tuple(
+                        int(context[f"conns_{s.server_id}"]) for s in self.servers
+                    ),
+                    request_weight=request.weight,
+                )
+            )
+            sim.schedule(latency, lambda s=server, l=latency: s.disconnect(l))
+
+        for request in requests:
+            sim.schedule_at(request.arrival_time, lambda r=request: handle_arrival(r))
+        sim.run()
+
+        return SimulationResult(
+            policy_name=self.policy.name,
+            n_requests=n_requests,
+            mean_latency=latencies.mean(),
+            p99_latency=latencies.p99(),
+            latencies=latencies.values,
+            access_log=access_log,
+            per_server_requests=per_server,
+        )

@@ -1,0 +1,117 @@
+"""Backend server model (the Fig. 5 latency law).
+
+"Each server's latency is a linear function of the number of open
+connections, and server 2 is slower than server 1 by an additive
+constant."  A server here is exactly that: a base latency, a
+per-connection slope, and a live count of open connections.  The
+feedback loop — more routed traffic ⇒ more open connections ⇒ higher
+latency ⇒ connections stay open longer — is what makes plain off-policy
+evaluation fail in this scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Latency law of one backend: ``latency = base + slope × conns``.
+
+    ``type_multipliers`` optionally makes a server faster or slower at
+    specific request kinds (e.g. a backend with a tuned API stack) —
+    the request-specific structure §5 says a contextual learner can
+    exploit but load-only heuristics cannot.
+    """
+
+    server_id: int
+    base_latency: float
+    latency_per_connection: float
+    name: str = ""
+    type_multipliers: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.base_latency <= 0:
+            raise ValueError("base latency must be positive")
+        if self.latency_per_connection < 0:
+            raise ValueError("latency slope must be non-negative")
+        for kind, multiplier in self.type_multipliers.items():
+            if multiplier <= 0:
+                raise ValueError(f"multiplier for {kind!r} must be positive")
+
+    def multiplier_for(self, kind: str) -> float:
+        """Service-cost multiplier for a request kind (default 1)."""
+        return float(self.type_multipliers.get(kind, 1.0))
+
+
+class BackendServer:
+    """A live backend tracking its open connections."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.open_connections = 0
+        self.completed_requests = 0
+        self.total_busy_time = 0.0
+        #: Chaos-injection hook: multiplies service latency (1.0 = healthy,
+        #: large values model a degraded or effectively crashed backend).
+        #: Owned by the chaos monkey, which overwrites it as faults
+        #: start and expire.
+        self.fault_multiplier = 1.0
+        #: Permanent environment drift (bad rollout, hardware change).
+        #: A separate channel so transient chaos faults can't clobber it.
+        self.drift_multiplier = 1.0
+
+    @property
+    def server_id(self) -> int:
+        """Stable id of this backend (the action id in CB terms)."""
+        return self.config.server_id
+
+    def service_latency(self, request_weight: float = 1.0, kind: str = "") -> float:
+        """Latency this server would serve a request at *right now*.
+
+        Linear in the number of connections currently open (the
+        request being placed is not yet counted), scaled by the
+        request's weight and this server's affinity for its kind.
+        """
+        if request_weight <= 0:
+            raise ValueError("request weight must be positive")
+        base = (
+            self.config.base_latency
+            + self.config.latency_per_connection * self.open_connections
+        )
+        return (
+            request_weight
+            * self.config.multiplier_for(kind)
+            * self.fault_multiplier
+            * self.drift_multiplier
+            * base
+        )
+
+    def connect(self) -> None:
+        """Open one connection (a request starts being served)."""
+        self.open_connections += 1
+
+    def disconnect(self, busy_time: float) -> None:
+        """Close one connection (a request completed)."""
+        if self.open_connections <= 0:
+            raise RuntimeError(
+                f"server {self.server_id}: disconnect with no open connections"
+            )
+        self.open_connections -= 1
+        self.completed_requests += 1
+        self.total_busy_time += busy_time
+
+    def reset(self) -> None:
+        """Drop all state (between simulation runs)."""
+        self.open_connections = 0
+        self.completed_requests = 0
+        self.total_busy_time = 0.0
+        self.fault_multiplier = 1.0
+        self.drift_multiplier = 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"BackendServer(id={self.server_id}, "
+            f"open={self.open_connections}, done={self.completed_requests})"
+        )

@@ -1,0 +1,162 @@
+"""Request workload generation.
+
+Open-loop Poisson arrivals with a mix of request types.  Types carry a
+*weight* — a large dynamic page costs proportionally more server time
+than a small static asset — giving a contextual learner something the
+load-oblivious heuristics cannot exploit (§5: "the benefit of CB would
+increase with more request-specific context").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.simsys.random_source import RandomSource
+
+
+@dataclass(frozen=True)
+class RequestType:
+    """A class of requests with a relative service cost."""
+
+    name: str
+    weight: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("request weight must be positive")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+
+
+#: Default request mix: mostly small static requests, some medium
+#: dynamic pages, a few heavy API calls.
+DEFAULT_MIX = (
+    RequestType("static", weight=0.6, probability=0.5),
+    RequestType("dynamic", weight=1.0, probability=0.35),
+    RequestType("api", weight=1.8, probability=0.15),
+)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One incoming request."""
+
+    request_id: int
+    arrival_time: float
+    kind: str
+    weight: float
+    client_key: str = ""
+
+
+class Workload:
+    """Poisson arrival process over a request-type mix."""
+
+    def __init__(
+        self,
+        rate: float,
+        mix: Sequence[RequestType] = DEFAULT_MIX,
+        randomness: RandomSource = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if not mix:
+            raise ValueError("request mix must be non-empty")
+        total = sum(t.probability for t in mix)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"request mix probabilities sum to {total}, not 1")
+        self.rate = rate
+        self.mix = list(mix)
+        self.randomness = randomness or RandomSource(0, _name="workload")
+
+    def requests(self, horizon: float) -> Iterator[Request]:
+        """Yield requests arriving on ``[0, horizon)`` in time order."""
+        arrival_rng = self.randomness.child("arrivals")
+        type_rng = self.randomness.child("types")
+        client_rng = self.randomness.child("clients")
+        probabilities = [t.probability for t in self.mix]
+        for request_id, t in enumerate(arrival_rng.poisson_process(self.rate, horizon)):
+            kind = type_rng.choice(self.mix, p=probabilities)
+            yield Request(
+                request_id=request_id,
+                arrival_time=t,
+                kind=kind.name,
+                weight=kind.weight,
+                client_key=f"client-{client_rng.randint(0, 1000)}",
+            )
+
+    def first_n(self, n: int, horizon_hint: float = None) -> list[Request]:
+        """The first ``n`` requests (expands the horizon as needed)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        horizon = horizon_hint or (2.0 * n / self.rate)
+        while True:
+            out = list(self.requests(horizon))
+            if len(out) >= n:
+                return out[:n]
+            horizon *= 2.0
+
+
+class DiurnalWorkload(Workload):
+    """Poisson arrivals with a sinusoidal (diurnal) rate.
+
+    §5 notes A2 is violated "when the workload or environment changes";
+    the mildest real-world version is the daily traffic cycle.  The
+    instantaneous rate is::
+
+        rate(t) = base_rate · (1 + amplitude · sin(2π t / period))
+
+    sampled by Lewis–Shedler thinning, so the process is an exact
+    non-homogeneous Poisson process.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        amplitude: float = 0.5,
+        period: float = 600.0,
+        mix: Sequence[RequestType] = DEFAULT_MIX,
+        randomness: RandomSource = None,
+    ) -> None:
+        super().__init__(base_rate, mix, randomness)
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.amplitude = amplitude
+        self.period = period
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at virtual time ``t``."""
+        import math
+
+        return self.rate * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period)
+        )
+
+    def requests(self, horizon: float) -> Iterator[Request]:
+        """Yield thinned non-homogeneous Poisson arrivals."""
+        arrival_rng = self.randomness.child("arrivals")
+        thin_rng = self.randomness.child("thinning")
+        type_rng = self.randomness.child("types")
+        client_rng = self.randomness.child("clients")
+        probabilities = [t.probability for t in self.mix]
+        rate_max = self.rate * (1.0 + self.amplitude)
+        t = 0.0
+        request_id = 0
+        while True:
+            t += arrival_rng.exponential(1.0 / rate_max)
+            if t >= horizon:
+                return
+            if not thin_rng.bernoulli(self.rate_at(t) / rate_max):
+                continue
+            kind = type_rng.choice(self.mix, p=probabilities)
+            yield Request(
+                request_id=request_id,
+                arrival_time=t,
+                kind=kind.name,
+                weight=kind.weight,
+                client_key=f"client-{client_rng.randint(0, 1000)}",
+            )
+            request_id += 1

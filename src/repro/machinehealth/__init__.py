@@ -1,0 +1,59 @@
+"""Machine-health scenario (Azure Compute), simulated.
+
+The paper's flagship application: when a machine becomes unresponsive,
+choose how long to wait (1–10 minutes) before rebooting it.  Azure's
+logs were collected under the safe default of always waiting the
+maximum, which reveals what *would* have happened at every shorter
+wait — full feedback.  We reproduce that structure synthetically:
+
+- :mod:`~repro.machinehealth.fleet` — machines with hardware/OS/
+  failure-history features.
+- :mod:`~repro.machinehealth.failures` — a recovery/downtime model in
+  which the optimal wait time depends on the context.
+- :mod:`~repro.machinehealth.dataset` — full-feedback datasets and the
+  partial-feedback exploration simulation used in Figs. 3–4.
+"""
+
+from repro.machinehealth.fleet import FleetConfig, Machine, generate_fleet
+from repro.machinehealth.failures import (
+    DowntimeModel,
+    FailureEvent,
+    WAIT_TIMES,
+    generate_failures,
+)
+from repro.machinehealth.dataset import (
+    MachineHealthDataset,
+    build_full_feedback_dataset,
+    default_policy_reward,
+    ground_truth_value,
+    simulate_exploration,
+)
+from repro.machinehealth.eventlog import (
+    IncidentRecord,
+    dataset_from_incident_log,
+    format_incident_line,
+    parse_incident_line,
+    read_incident_log,
+    write_incident_log,
+)
+
+__all__ = [
+    "FleetConfig",
+    "Machine",
+    "generate_fleet",
+    "DowntimeModel",
+    "FailureEvent",
+    "WAIT_TIMES",
+    "generate_failures",
+    "MachineHealthDataset",
+    "build_full_feedback_dataset",
+    "simulate_exploration",
+    "ground_truth_value",
+    "default_policy_reward",
+    "IncidentRecord",
+    "format_incident_line",
+    "parse_incident_line",
+    "write_incident_log",
+    "read_incident_log",
+    "dataset_from_incident_log",
+]

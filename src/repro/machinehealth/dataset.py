@@ -1,0 +1,180 @@
+"""Full-feedback datasets and exploration simulation (Figs. 3–4).
+
+At collection time Azure "was using a safe default policy of waiting
+the maximal amount of time (10 min) before rebooting, which actually
+gives us full feedback on what would have happened if we waited
+{1,...,9} min" (§3).  We build exactly that object: every interaction
+carries the downtime of *all ten* wait times, logged under the
+deterministic wait-10 default.
+
+From it we can
+
+- compute any policy's **ground truth** value by lookup
+  (:func:`ground_truth_value`),
+- **simulate exploration** — reveal only the reward of a randomly
+  chosen action, hiding the rest (:func:`simulate_exploration`) — the
+  construction behind the 1000 partial-information simulations of
+  Fig. 3 and the CB learning curves of Fig. 4.
+
+Rewards are *downtimes* (minutes × VMs): smaller is better, so every
+learner/optimizer in these experiments runs with ``maximize=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.features import FeatureEncoder
+from repro.core.policies import Policy, UniformRandomPolicy
+from repro.core.types import ActionSpace, Dataset, Interaction, RewardRange
+from repro.machinehealth.failures import (
+    WAIT_TIMES,
+    DowntimeModel,
+    FailureEvent,
+    generate_failures,
+)
+from repro.machinehealth.fleet import FleetConfig, generate_fleet
+from repro.simsys.random_source import RandomSource
+
+#: Index of the safe default action ("wait 10 minutes") in WAIT_TIMES.
+DEFAULT_ACTION = len(WAIT_TIMES) - 1
+
+#: Downtime cap (minutes × VMs) used as the reward range upper bound.
+DOWNTIME_CAP = 600.0
+
+
+def _build_encoder(events: list[FailureEvent]) -> FeatureEncoder:
+    encoder = FeatureEncoder(
+        categorical=["hardware_sku", "os_version", "failure_kind"],
+        numeric=["age_years", "n_vms", "prior_failures"],
+        standardize=True,
+    )
+    encoder.fit([event.context_record() for event in events])
+    return encoder
+
+
+@dataclass
+class MachineHealthDataset:
+    """A full-feedback machine-health dataset plus its provenance."""
+
+    full: Dataset
+    events: list[FailureEvent]
+    encoder: FeatureEncoder
+
+    @property
+    def n_actions(self) -> int:
+        """Number of wait-time actions (10)."""
+        return len(WAIT_TIMES)
+
+    def split(self, train_fraction: float = 0.5) -> tuple[Dataset, Dataset]:
+        """(train, test) split in logged order."""
+        return self.full.split(train_fraction)
+
+
+def build_full_feedback_dataset(
+    n_events: int = 5000,
+    n_machines: int = 1000,
+    seed: int = 0,
+    model: Optional[DowntimeModel] = None,
+) -> MachineHealthDataset:
+    """Generate a fleet, draw incidents, and log them under the
+    wait-10 default with full feedback attached."""
+    randomness = RandomSource(seed, _name="machine-health")
+    machines = generate_fleet(FleetConfig(n_machines=n_machines), randomness)
+    events = generate_failures(
+        machines, n_events, randomness.child("failures"), model or DowntimeModel()
+    )
+    encoder = _build_encoder(events)
+    dataset = Dataset(
+        action_space=ActionSpace(
+            len(WAIT_TIMES), labels=[f"wait-{w}min" for w in WAIT_TIMES]
+        ),
+        reward_range=RewardRange(0.0, DOWNTIME_CAP, maximize=False),
+    )
+    for index, event in enumerate(events):
+        profile = [min(d, DOWNTIME_CAP) for d in event.downtime_profile()]
+        dataset.append(
+            Interaction(
+                context=encoder.encode(event.context_record()),
+                action=DEFAULT_ACTION,
+                reward=profile[DEFAULT_ACTION],
+                propensity=1.0,  # the default policy is deterministic
+                timestamp=float(index),
+                full_rewards=profile,
+            )
+        )
+    return MachineHealthDataset(full=dataset, events=events, encoder=encoder)
+
+
+def simulate_exploration(
+    full_dataset: Dataset,
+    rng: np.random.Generator,
+    logging_policy: Optional[Policy] = None,
+) -> Dataset:
+    """Simulate partial feedback from a full-feedback dataset.
+
+    For every interaction, the logging policy (uniform random over the
+    10 wait times unless overridden) chooses an action; only that
+    action's reward is revealed, "hiding all others" (§4).
+    """
+    if len(full_dataset) == 0:
+        raise ValueError("empty dataset")
+    logging_policy = logging_policy or UniformRandomPolicy()
+    space = full_dataset.action_space
+    exploration = Dataset(
+        action_space=space, reward_range=full_dataset.reward_range
+    )
+    for interaction in full_dataset:
+        if interaction.full_rewards is None:
+            raise ValueError("exploration simulation requires full feedback")
+        actions = (
+            space.actions(interaction.context)
+            if space is not None
+            else list(range(len(interaction.full_rewards)))
+        )
+        action, propensity = logging_policy.act(interaction.context, actions, rng)
+        exploration.append(
+            Interaction(
+                context=interaction.context,
+                action=action,
+                reward=interaction.full_rewards[action],
+                propensity=propensity,
+                timestamp=interaction.timestamp,
+            )
+        )
+    return exploration
+
+
+def ground_truth_value(policy: Policy, full_dataset: Dataset) -> float:
+    """Exact average reward of ``policy`` — full feedback lets us just
+    look up the reward of whatever action the policy picks."""
+    if len(full_dataset) == 0:
+        raise ValueError("empty dataset")
+    space = full_dataset.action_space
+    total = 0.0
+    for interaction in full_dataset:
+        if interaction.full_rewards is None:
+            raise ValueError("ground truth requires full feedback")
+        actions = (
+            space.actions(interaction.context)
+            if space is not None
+            else list(range(len(interaction.full_rewards)))
+        )
+        chosen = policy.action(interaction.context, actions)
+        total += interaction.full_rewards[chosen]
+    return total / len(full_dataset)
+
+
+def default_policy_reward(full_dataset: Dataset) -> float:
+    """Average downtime of the wait-10 default used during collection."""
+    if len(full_dataset) == 0:
+        raise ValueError("empty dataset")
+    total = 0.0
+    for interaction in full_dataset:
+        if interaction.full_rewards is None:
+            raise ValueError("requires full feedback")
+        total += interaction.full_rewards[DEFAULT_ACTION]
+    return total / len(full_dataset)

@@ -1,0 +1,198 @@
+"""Machine-health event log: the Azure-style text log, serializable.
+
+The other substrates harvest from text logs (access logs, keyspace
+events); this module gives the machine-health scenario the same
+log-centric flow.  One line per incident, recording the machine's
+slowly-varying context, the failure kind, the wait chosen, and the
+observed downtime — plus, when the wait-10 default was in force, the
+full downtime profile the paper exploits::
+
+    <time> INCIDENT machine=<id> sku=<sku> os=<os> age=<y> vms=<n>
+    prior=<k> kind=<kind> wait=<min> downtime=<vm-min>
+    [profile=<d1>,...,<d10>]
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.machinehealth.failures import WAIT_TIMES, FailureEvent
+
+
+@dataclass(frozen=True)
+class IncidentRecord:
+    """One parsed incident line."""
+
+    time: float
+    machine_id: int
+    hardware_sku: str
+    os_version: str
+    age_years: float
+    n_vms: int
+    prior_failures: int
+    failure_kind: str
+    wait_minutes: int
+    downtime: float
+    profile: Optional[tuple[float, ...]] = None
+
+    def context_record(self) -> dict:
+        """Raw context for the feature encoder."""
+        return {
+            "machine_id": self.machine_id,
+            "hardware_sku": self.hardware_sku,
+            "os_version": self.os_version,
+            "age_years": self.age_years,
+            "n_vms": self.n_vms,
+            "prior_failures": self.prior_failures,
+            "failure_kind": self.failure_kind,
+        }
+
+
+def format_incident_line(
+    time: float,
+    event: FailureEvent,
+    wait_minutes: int,
+    include_profile: bool = True,
+) -> str:
+    """Serialize one incident under the given wait decision."""
+    if wait_minutes not in WAIT_TIMES:
+        raise ValueError(f"wait must be one of {WAIT_TIMES}")
+    machine = event.machine
+    downtime = event.downtime(wait_minutes)
+    parts = [
+        f"{time:.3f} INCIDENT",
+        f"machine={machine.machine_id}",
+        f"sku={machine.hardware_sku}",
+        f"os={machine.os_version}",
+        f"age={machine.age_years:g}",
+        f"vms={machine.n_vms}",
+        f"prior={machine.prior_failures}",
+        f"kind={event.failure_kind}",
+        f"wait={wait_minutes}",
+        f"downtime={downtime:.3f}",
+    ]
+    if include_profile:
+        profile = ",".join(f"{d:.3f}" for d in event.downtime_profile())
+        parts.append(f"profile={profile}")
+    return " ".join(parts)
+
+
+_LINE_RE = re.compile(
+    r"^(?P<time>[\d.]+) INCIDENT "
+    r"machine=(?P<machine>\d+) "
+    r"sku=(?P<sku>\S+) "
+    r"os=(?P<os>\S+) "
+    r"age=(?P<age>[\d.]+) "
+    r"vms=(?P<vms>\d+) "
+    r"prior=(?P<prior>\d+) "
+    r"kind=(?P<kind>\S+) "
+    r"wait=(?P<wait>\d+) "
+    r"downtime=(?P<downtime>[\d.]+)"
+    r"(?: profile=(?P<profile>[\d.,]+))?$"
+)
+
+
+def parse_incident_line(line: str) -> Optional[IncidentRecord]:
+    """Parse one incident line; None for malformed lines."""
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        return None
+    profile_blob = match.group("profile")
+    profile = None
+    if profile_blob is not None:
+        fields = profile_blob.split(",")
+        if len(fields) != len(WAIT_TIMES):
+            return None
+        profile = tuple(float(f) for f in fields)
+    wait = int(match.group("wait"))
+    if wait not in WAIT_TIMES:
+        return None
+    return IncidentRecord(
+        time=float(match.group("time")),
+        machine_id=int(match.group("machine")),
+        hardware_sku=match.group("sku"),
+        os_version=match.group("os"),
+        age_years=float(match.group("age")),
+        n_vms=int(match.group("vms")),
+        prior_failures=int(match.group("prior")),
+        failure_kind=match.group("kind"),
+        wait_minutes=wait,
+        downtime=float(match.group("downtime")),
+        profile=profile,
+    )
+
+
+def write_incident_log(
+    events: Sequence[FailureEvent],
+    path: str,
+    wait_minutes: int = WAIT_TIMES[-1],
+    include_profile: bool = True,
+) -> None:
+    """Write a fleet's incident history under a fixed wait policy."""
+    with open(path, "w", encoding="utf-8") as f:
+        for index, event in enumerate(events):
+            f.write(
+                format_incident_line(
+                    float(index), event, wait_minutes, include_profile
+                )
+                + "\n"
+            )
+
+
+def read_incident_log(path: str) -> list[IncidentRecord]:
+    """Read an incident log, skipping malformed lines."""
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            record = parse_incident_line(line)
+            if record is not None:
+                records.append(record)
+    return records
+
+
+def dataset_from_incident_log(records: Sequence[IncidentRecord]):
+    """Scavenge parsed incident records into a full-feedback dataset.
+
+    Records must carry the downtime profile (logged under the wait-10
+    default); the result is interchangeable with
+    :func:`repro.machinehealth.dataset.build_full_feedback_dataset`.
+    """
+    from repro.core.features import FeatureEncoder
+    from repro.core.types import ActionSpace, Dataset, Interaction, RewardRange
+    from repro.machinehealth.dataset import DOWNTIME_CAP
+
+    if not records:
+        raise ValueError("no incident records to harvest")
+    encoder = FeatureEncoder(
+        categorical=["hardware_sku", "os_version", "failure_kind"],
+        numeric=["age_years", "n_vms", "prior_failures"],
+        standardize=True,
+    )
+    encoder.fit([r.context_record() for r in records])
+    dataset = Dataset(
+        action_space=ActionSpace(
+            len(WAIT_TIMES), labels=[f"wait-{w}min" for w in WAIT_TIMES]
+        ),
+        reward_range=RewardRange(0.0, DOWNTIME_CAP, maximize=False),
+    )
+    for record in records:
+        if record.profile is None:
+            raise ValueError(
+                "full-feedback harvesting needs the downtime profile; "
+                "this log was collected without it"
+            )
+        profile = [min(d, DOWNTIME_CAP) for d in record.profile]
+        action = WAIT_TIMES.index(record.wait_minutes)
+        dataset.append(
+            Interaction(
+                context=encoder.encode(record.context_record()),
+                action=action,
+                reward=profile[action],
+                propensity=1.0,
+                timestamp=record.time,
+                full_rewards=profile,
+            )
+        )
+    return dataset

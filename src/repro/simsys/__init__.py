@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate on which the load-balancing (Nginx-like)
+and caching (Redis-like) prototypes are built.  It provides:
+
+- :class:`~repro.simsys.events.EventQueue` and
+  :class:`~repro.simsys.events.Simulator`: a priority-queue driven
+  event loop with a virtual clock.
+- :class:`~repro.simsys.random_source.RandomSource`: named, seeded RNG
+  streams so that every source of randomness in an experiment is
+  independently reproducible.
+- :mod:`~repro.simsys.metrics`: counters, time series and streaming
+  percentile trackers used to compute rewards (e.g. request latency
+  percentiles).
+"""
+
+from repro.simsys.events import Event, EventQueue, Simulator
+from repro.simsys.metrics import (
+    Counter,
+    MetricRegistry,
+    PercentileTracker,
+    TimeSeries,
+    WindowedRate,
+)
+from repro.simsys.random_source import RandomSource
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Counter",
+    "MetricRegistry",
+    "PercentileTracker",
+    "TimeSeries",
+    "WindowedRate",
+    "RandomSource",
+]

@@ -1,0 +1,150 @@
+"""Event queue and simulation loop.
+
+The simulators in :mod:`repro.loadbalance` and :mod:`repro.cache` are
+built on a classic discrete-event core: a priority queue of timestamped
+events, a virtual clock that jumps from event to event, and handler
+callbacks.  Virtual time means a multi-hour "deployment" of a load
+balancing policy finishes in milliseconds of wall-clock time, which is
+what makes the paper's online-vs-offline comparisons cheap to rerun.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A timestamped event.
+
+    Events compare by ``(time, seq)``; ``seq`` is a monotonically
+    increasing tie-breaker so simultaneous events fire in insertion
+    order and comparison never falls through to the (uncomparable)
+    payload.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects keyed by fire time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, action: Callable[[], None], name: str = "") -> Event:
+        """Schedule ``action`` to run at virtual ``time`` and return the event."""
+        event = Event(time=time, seq=next(self._counter), action=action, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the fire time of the earliest pending event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+
+class Simulator:
+    """Discrete-event simulation loop with a virtual clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second in"))
+        sim.run(until=10.0)
+
+    Handlers may schedule further events; the loop runs until the queue
+    drains, a time horizon is reached, or an event budget is exhausted.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._queue = EventQueue()
+        self._now = start_time
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, action: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: delay={delay}")
+        return self._queue.push(self._now + delay, action, name)
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Schedule ``action`` to run at absolute virtual ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: time={time} < now={self._now}")
+        return self._queue.push(time, action, name)
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Run the loop; return the number of events processed this call.
+
+        ``until`` is an inclusive virtual-time horizon; ``max_events``
+        caps how many events this call may execute.
+        """
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            event = self._queue.pop()
+            assert event is not None
+            self._now = event.time
+            event.action()
+            processed += 1
+            self._events_processed += 1
+        return processed
+
+    def step(self) -> bool:
+        """Execute exactly one event; return False if the queue was empty."""
+        return self.run(max_events=1) == 1

@@ -1,0 +1,191 @@
+"""Metric recorders used by the simulated systems.
+
+Rewards in the paper are system metrics: request latency (load
+balancing), hit rate (caching), downtime (machine health).  These
+helpers collect them during simulation runs with enough fidelity to
+report the quantities the paper's tables use — means, percentiles
+(e.g. p99 latency), and rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def increment(self, by: int = 1) -> None:
+        """Add ``by`` (must be non-negative) to the counter."""
+        if by < 0:
+            raise ValueError("counters only increase")
+        self._value += by
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class PercentileTracker:
+    """Collects scalar observations and reports summary statistics.
+
+    Stores raw observations (simulations here are small enough that an
+    exact tracker beats a sketch in both simplicity and accuracy).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        """A copy of the raw observations."""
+        return list(self._values)
+
+    def mean(self) -> float:
+        """Arithmetic mean; 0.0 when empty."""
+        if not self._values:
+            return 0.0
+        return float(np.mean(self._values))
+
+    def std(self) -> float:
+        """Population standard deviation; 0.0 when empty."""
+        if not self._values:
+            return 0.0
+        return float(np.std(self._values))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100); 0.0 when empty."""
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self._values, q))
+
+    def p99(self) -> float:
+        """99th percentile — the paper's load-balancing reward metric."""
+        return self.percentile(99.0)
+
+    def summary(self) -> dict[str, float]:
+        """Mean/std/p50/p95/p99/count in one dict (for reports)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "std": self.std(),
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.p99(),
+        }
+
+
+@dataclass
+class TimeSeries:
+    """A named sequence of ``(time, value)`` samples."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError("time series samples must be in time order")
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, time: float) -> Optional[float]:
+        """Most recent sample at or before ``time`` (step interpolation)."""
+        if not self.times or time < self.times[0]:
+            return None
+        index = int(np.searchsorted(self.times, time, side="right")) - 1
+        return self.values[index]
+
+    def time_average(self) -> float:
+        """Time-weighted average of the step function; 0.0 if <2 samples."""
+        if len(self.times) < 2:
+            return self.values[0] if self.values else 0.0
+        times = np.asarray(self.times)
+        values = np.asarray(self.values)
+        widths = np.diff(times)
+        return float(np.sum(values[:-1] * widths) / np.sum(widths))
+
+
+class WindowedRate:
+    """Event rate over a sliding window of virtual time (e.g. hit rate)."""
+
+    def __init__(self, name: str, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.name = name
+        self.window = window
+        self._events: list[tuple[float, float]] = []
+
+    def record(self, time: float, value: float = 1.0) -> None:
+        """Record an event of the given weight at virtual ``time``."""
+        self._events.append((time, value))
+
+    def rate(self, now: float) -> float:
+        """Sum of event weights in ``[now - window, now]`` per unit time."""
+        lo = now - self.window
+        total = sum(v for t, v in self._events if lo <= t <= now)
+        return total / self.window
+
+
+class MetricRegistry:
+    """A namespace of metric objects, one per simulated component."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._trackers: dict[str, PercentileTracker] = {}
+        self._series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter with this name."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def tracker(self, name: str) -> PercentileTracker:
+        """Get or create the percentile tracker with this name."""
+        if name not in self._trackers:
+            self._trackers[name] = PercentileTracker(name)
+        return self._trackers[name]
+
+    def series(self, name: str) -> TimeSeries:
+        """Get or create the time series with this name."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flatten all metrics into a ``name -> value`` dict."""
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = float(counter.value)
+        for name, tracker in self._trackers.items():
+            for stat, value in tracker.summary().items():
+                out[f"{name}.{stat}"] = value
+        return out

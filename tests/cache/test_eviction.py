@@ -1,0 +1,218 @@
+"""Unit tests for sampled eviction and eviction policies."""
+
+import numpy as np
+import pytest
+
+from repro.cache.eviction import (
+    SampledEvictionEngine,
+    ScoredEvictionPolicy,
+    candidate_features,
+    candidate_slot_context,
+    freq_size_policy,
+    lfu_policy,
+    lru_policy,
+    naive_freq_size_policy,
+    random_eviction_policy,
+    ttl_policy,
+)
+from repro.cache.store import CacheItem, KeyValueStore
+from repro.simsys.random_source import RandomSource
+
+
+def make_items(now=100.0):
+    """Three crafted items: a hot small, a cold small, a big."""
+    hot = CacheItem("hot", size=1, insert_time=0.0, last_access=99.0,
+                    access_count=50)
+    cold = CacheItem("cold", size=1, insert_time=0.0, last_access=10.0,
+                     access_count=2)
+    big = CacheItem("big", size=8, insert_time=0.0, last_access=95.0,
+                    access_count=25)
+    return [hot, cold, big]
+
+
+class TestSlotContext:
+    def test_features_per_slot(self):
+        context = candidate_slot_context(make_items(), now=100.0)
+        assert context["cand0_idle"] == pytest.approx(1.0)
+        assert context["cand1_idle"] == pytest.approx(90.0)
+        assert context["cand2_size"] == 8.0
+        assert context["cand0_freq"] == pytest.approx(0.5)
+
+    def test_candidate_features_extracts_block(self):
+        context = candidate_slot_context(make_items(), now=100.0)
+        block = candidate_features(context, 2)
+        assert set(block) == {"idle", "freq", "size", "age", "ttl"}
+        assert block["size"] == 8.0
+
+
+class TestPolicies:
+    CONTEXT = candidate_slot_context(make_items(), now=100.0)
+    ACTIONS = [0, 1, 2]
+
+    def test_lru_evicts_max_idle(self):
+        assert lru_policy().action(self.CONTEXT, self.ACTIONS) == 1  # cold
+
+    def test_lfu_evicts_min_frequency(self):
+        assert lfu_policy().action(self.CONTEXT, self.ACTIONS) == 1  # cold
+
+    def test_ttl_evicts_oldest(self):
+        items = make_items()
+        items[2] = CacheItem("older", 1, insert_time=-50.0, last_access=99.0,
+                             access_count=10)
+        context = candidate_slot_context(items, now=100.0)
+        assert ttl_policy().action(context, self.ACTIONS) == 2
+
+    def test_freq_size_evicts_worst_value_per_byte(self):
+        # hot: ~0.5/1; cold: ~0.02/1; big: ~0.25/8 ~ 0.031.
+        # cold has the worst ratio here.
+        assert freq_size_policy().action(self.CONTEXT, self.ACTIONS) == 1
+
+    def test_freq_size_prefers_evicting_big_over_equally_hot_small(self):
+        small = CacheItem("s", size=1, insert_time=0.0, last_access=99.0,
+                          access_count=20)
+        big = CacheItem("b", size=8, insert_time=0.0, last_access=99.0,
+                        access_count=20)
+        context = candidate_slot_context([small, big], now=100.0)
+        assert freq_size_policy().action(context, [0, 1]) == 1
+
+    def test_freq_size_not_fooled_by_fresh_items(self):
+        """A just-inserted item (count 1, tiny age) must not look
+        infinitely hot — the smoothing regression test."""
+        fresh_big = CacheItem("fb", size=8, insert_time=99.9,
+                              last_access=99.9, access_count=1)
+        proven_small = CacheItem("ps", size=1, insert_time=0.0,
+                                 last_access=99.0, access_count=30)
+        context = candidate_slot_context([fresh_big, proven_small], now=100.0)
+        assert freq_size_policy().action(context, [0, 1]) == 0
+        # The naive variant IS fooled: it protects the fresh big.
+        assert naive_freq_size_policy().action(context, [0, 1]) == 1
+
+    def test_random_eviction_uniform(self, rng):
+        draws = [
+            random_eviction_policy().act(self.CONTEXT, self.ACTIONS, rng)[0]
+            for _ in range(300)
+        ]
+        assert set(draws) == {0, 1, 2}
+
+    def test_scored_policy_distribution_is_argmax_point_mass(self):
+        policy = ScoredEvictionPolicy(lambda ctx, a: float(a), name="t")
+        probs = policy.distribution(self.CONTEXT, self.ACTIONS)
+        assert probs.tolist() == [0.0, 0.0, 1.0]
+
+    def test_freq_size_validation(self):
+        with pytest.raises(ValueError):
+            freq_size_policy(prior_weight=-1.0)
+        with pytest.raises(ValueError):
+            freq_size_policy(prior_horizon=0.0)
+
+
+def fill_store(n=50, size=1, now=0.0):
+    store = KeyValueStore(max_memory=n * size)
+    for i in range(n):
+        store.insert(f"k{i}", size, now=now)
+    return store
+
+
+class TestSampledEvictionEngine:
+    def test_evicts_exactly_one(self):
+        store = fill_store(20)
+        engine = SampledEvictionEngine(
+            random_eviction_policy(), sample_size=5,
+            randomness=RandomSource(0),
+        )
+        event = engine.evict_one(store, now=1.0)
+        assert len(store) == 19
+        assert event.victim_key not in store
+        assert event.victim_key in event.candidate_keys
+        assert len(event.candidate_keys) == 5
+
+    def test_propensity_is_one_over_sample(self):
+        store = fill_store(20)
+        engine = SampledEvictionEngine(
+            random_eviction_policy(), sample_size=5,
+            randomness=RandomSource(0),
+        )
+        event = engine.evict_one(store, now=1.0)
+        assert event.propensity == pytest.approx(1 / 5)
+
+    def test_sample_smaller_when_store_small(self):
+        store = fill_store(3)
+        engine = SampledEvictionEngine(
+            random_eviction_policy(), sample_size=10,
+            randomness=RandomSource(0),
+        )
+        event = engine.evict_one(store, now=1.0)
+        assert len(event.candidate_keys) == 3
+
+    def test_make_room_frees_enough(self):
+        store = fill_store(10, size=1)
+        engine = SampledEvictionEngine(
+            random_eviction_policy(), randomness=RandomSource(0)
+        )
+        events = engine.make_room(store, incoming_size=3, now=1.0)
+        assert len(events) == 3
+        assert not store.needs_eviction(3)
+
+    def test_empty_store_raises(self):
+        engine = SampledEvictionEngine(
+            random_eviction_policy(), randomness=RandomSource(0)
+        )
+        with pytest.raises(RuntimeError):
+            engine.evict_one(KeyValueStore(10), now=0.0)
+
+    def test_pool_requires_scored_policy(self):
+        with pytest.raises(ValueError):
+            SampledEvictionEngine(
+                random_eviction_policy(), pool_size=16,
+                randomness=RandomSource(0),
+            )
+
+    def test_pool_retains_good_victims_across_samples(self):
+        """Seed the store with one obviously-stale key; once sampled it
+        should stay in the pool until evicted, even if later samples
+        miss it."""
+        store = KeyValueStore(100)
+        for i in range(99):
+            store.insert(f"k{i}", 1, now=float(i))
+            store.access(f"k{i}", now=100.0)  # all recently touched
+        store.insert("stale", 1, now=0.0)  # never re-touched
+        engine = SampledEvictionEngine(
+            lru_policy(), sample_size=5, pool_size=16,
+            randomness=RandomSource(1),
+        )
+        evicted = []
+        for step in range(80):
+            evicted.append(engine.evict_one(store, now=101.0 + step).victim_key)
+        assert "stale" in evicted
+
+    def test_pool_mode_propensity_is_deterministic(self):
+        store = fill_store(30)
+        engine = SampledEvictionEngine(
+            lru_policy(), sample_size=5, pool_size=8,
+            randomness=RandomSource(2),
+        )
+        event = engine.evict_one(store, now=1.0)
+        assert event.propensity == 1.0
+
+    def test_pool_entries_pruned_when_evicted_elsewhere(self):
+        """Keys that leave the store must not resurface via the pool."""
+        store = fill_store(20)
+        engine = SampledEvictionEngine(
+            lru_policy(), sample_size=5, pool_size=8,
+            randomness=RandomSource(3),
+        )
+        engine.evict_one(store, now=1.0)
+        # Evict a pooled key directly from the store behind the engine's back.
+        pooled = [k for k in engine._pool if k in store]
+        assert pooled, "pool should retain candidates after an eviction"
+        store.evict(pooled[0])
+        event = engine.evict_one(store, now=2.0)
+        assert event.victim_key != pooled[0]
+        # 20 keys - engine eviction - manual eviction - second engine eviction
+        assert len(store) == 17
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampledEvictionEngine(random_eviction_policy(), sample_size=0)
+        with pytest.raises(ValueError):
+            SampledEvictionEngine(lru_policy(), pool_size=-1)

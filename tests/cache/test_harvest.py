@@ -1,0 +1,196 @@
+"""Unit tests for keyspace-log harvesting and reward reconstruction."""
+
+import pytest
+
+from repro.cache.harvest import (
+    eviction_dataset_from_log,
+    reconstruct_rewards,
+    train_cb_eviction,
+)
+from repro.cache.keyspace_log import (
+    KeyspaceEvent,
+    format_evict_line,
+    format_get_line,
+    parse_keyspace_line,
+)
+from repro.cache.eviction import EvictionEvent, random_eviction_policy
+from repro.cache.sim import CacheSim
+from repro.cache.workload import BigSmallWorkload
+from repro.simsys.random_source import RandomSource
+
+
+def get_event(time, key):
+    return KeyspaceEvent(time=time, kind="GET", key=key, hit=False, size=1)
+
+
+def evict_event(time, victim, slot=0, keys=None):
+    keys = keys or (victim, "other")
+    candidates = tuple(
+        (k, 1.0, 0.1, 1.0, 10.0) for k in keys
+    )
+    return KeyspaceEvent(
+        time=time, kind="EVICT", key=victim, victim_slot=slot,
+        candidates=candidates,
+    )
+
+
+class TestRewardReconstruction:
+    def test_lookahead_finds_next_access(self):
+        events = [
+            get_event(1.0, "a"),
+            evict_event(5.0, "a"),
+            get_event(12.0, "a"),
+        ]
+        [(event, reward)] = reconstruct_rewards(events)
+        assert reward == pytest.approx(7.0)
+
+    def test_never_accessed_again_gets_cap(self):
+        events = [get_event(1.0, "a"), evict_event(5.0, "a")]
+        [(_, reward)] = reconstruct_rewards(events, reward_cap=500.0)
+        assert reward == 500.0
+
+    def test_access_before_eviction_ignored(self):
+        events = [
+            get_event(1.0, "a"),
+            get_event(4.0, "a"),
+            evict_event(5.0, "a"),
+        ]
+        [(_, reward)] = reconstruct_rewards(events, reward_cap=100.0)
+        assert reward == 100.0  # no access AFTER eviction
+
+    def test_reward_clipped_at_cap(self):
+        events = [evict_event(0.0, "a"), get_event(9999.0, "a")]
+        [(_, reward)] = reconstruct_rewards(events, reward_cap=50.0)
+        assert reward == 50.0
+
+    def test_multiple_evictions_of_same_key(self):
+        events = [
+            evict_event(0.0, "a"),
+            get_event(3.0, "a"),
+            evict_event(4.0, "a"),
+            get_event(10.0, "a"),
+        ]
+        rewards = [r for _, r in reconstruct_rewards(events)]
+        assert rewards == [pytest.approx(3.0), pytest.approx(6.0)]
+
+    def test_no_evictions_yields_empty(self):
+        assert reconstruct_rewards([get_event(0.0, "a")]) == []
+
+
+class TestEvictionDataset:
+    def collect(self, n=8000):
+        workload = BigSmallWorkload(
+            n_big=20, n_small=200, randomness=RandomSource(3, _name="wl")
+        )
+        sim = CacheSim(150, random_eviction_policy(), sample_size=5, seed=3)
+        return sim.run(workload.requests(n))
+
+    def test_from_log_lines(self):
+        result = self.collect()
+        dataset = eviction_dataset_from_log(result.log_lines)
+        assert len(dataset) == result.evictions
+        assert dataset.min_propensity() == pytest.approx(0.2)
+        assert dataset.reward_range.maximize is True
+
+    def test_from_parsed_events(self):
+        result = self.collect()
+        events = [parse_keyspace_line(line) for line in result.log_lines]
+        dataset = eviction_dataset_from_log([e for e in events if e])
+        assert len(dataset) == result.evictions
+
+    def test_context_has_candidate_blocks(self):
+        result = self.collect()
+        dataset = eviction_dataset_from_log(result.log_lines)
+        context = dataset[0].context
+        assert "cand0_idle" in context
+        assert "cand0_size" in context
+
+    def test_rewards_bounded_by_cap(self):
+        result = self.collect()
+        dataset = eviction_dataset_from_log(result.log_lines, reward_cap=100.0)
+        assert float(dataset.rewards().max()) <= 100.0
+        assert float(dataset.rewards().min()) >= 0.0
+
+    def test_empty_log_raises(self):
+        with pytest.raises(ValueError):
+            eviction_dataset_from_log(["garbage"])
+
+
+class TestEligibilityAwareActionSpace:
+    def test_eligible_slots_follow_candidate_count(self):
+        from repro.cache.harvest import eviction_action_space
+
+        space = eviction_action_space(5)
+        two_candidates = {
+            "cand0_size": 1.0, "cand1_size": 4.0,
+            "cand0_idle": 2.0, "cand1_idle": 9.0,
+        }
+        assert space.actions(two_candidates) == [0, 1]
+        five = {f"cand{i}_size": 1.0 for i in range(5)}
+        assert space.actions(five) == [0, 1, 2, 3, 4]
+
+    def test_tiny_store_evictions_harvest_correctly(self):
+        """When the store is smaller than maxmemory-samples, the
+        logged propensities and the dataset's eligible actions agree."""
+        from repro.cache.eviction import SampledEvictionEngine
+        from repro.cache.keyspace_log import format_evict_line, format_get_line
+        from repro.cache.store import KeyValueStore
+
+        store = KeyValueStore(3)
+        lines = []
+        for i, key in enumerate(("a", "b", "c")):
+            store.insert(key, 1, now=float(i))
+            lines.append(format_get_line(float(i), key, False, 1))
+        engine = SampledEvictionEngine(
+            random_eviction_policy(), sample_size=10,
+            randomness=RandomSource(0),
+        )
+        event = engine.evict_one(store, now=3.0)
+        lines.append(format_evict_line(event))
+        dataset = eviction_dataset_from_log(lines, sample_size=10)
+        assert len(dataset) == 1
+        interaction = dataset[0]
+        assert interaction.propensity == pytest.approx(1 / 3)
+        eligible = dataset.action_space.actions(interaction.context)
+        assert eligible == [0, 1, 2]
+
+    def test_estimation_respects_eligibility(self):
+        """Evaluating LRU on a variable-sample log never asks it to
+        score absent slots."""
+        from repro.core import IPSEstimator
+        from repro.cache.eviction import lru_policy
+
+        result = None
+        workload = BigSmallWorkload(
+            n_big=5, n_small=20, randomness=RandomSource(8, _name="wl")
+        )
+        sim = CacheSim(12, random_eviction_policy(), sample_size=10, seed=8)
+        run = sim.run(workload.requests(2000))
+        dataset = eviction_dataset_from_log(run.log_lines, sample_size=10)
+        result = IPSEstimator().estimate(lru_policy(), dataset)
+        assert result.n == len(dataset)
+
+
+class TestCBTraining:
+    def test_learned_policy_predicts_idle_items_stay_cold(self):
+        """The learner should discover that long-idle candidates have a
+        longer time-to-next-access (the LRU-like signal)."""
+        workload = BigSmallWorkload(
+            n_big=20, n_small=200, randomness=RandomSource(4, _name="wl")
+        )
+        sim = CacheSim(150, random_eviction_policy(), sample_size=5, seed=4)
+        result = sim.run(workload.requests(12000))
+        dataset = eviction_dataset_from_log(result.log_lines)
+        policy = train_cb_eviction(dataset)
+        # Craft: candidate 0 hot (frequent, recently used), 1 cold.
+        context = {
+            "cand0_idle": 1.0, "cand0_freq": 0.5, "cand0_size": 1.0,
+            "cand0_age": 100.0,
+            "cand1_idle": 200.0, "cand1_freq": 0.005, "cand1_size": 1.0,
+            "cand1_age": 400.0,
+        }
+        assert policy.action(context, [0, 1]) == 1
+
+    def test_invalid_passes(self):
+        with pytest.raises(ValueError):
+            train_cb_eviction(None, passes=0)

@@ -1,0 +1,99 @@
+"""Unit tests for the keyspace event log."""
+
+import pytest
+
+from repro.cache.eviction import EvictionEvent
+from repro.cache.keyspace_log import (
+    KeyspaceEvent,
+    format_evict_line,
+    format_get_line,
+    format_keyspace_line,
+    parse_keyspace_line,
+    read_keyspace_log,
+    write_keyspace_log,
+)
+
+
+def make_evict_event():
+    context = {
+        "cand0_idle": 5.0, "cand0_freq": 0.1, "cand0_size": 1.0,
+        "cand0_age": 50.0,
+        "cand1_idle": 90.0, "cand1_freq": 0.01, "cand1_size": 4.0,
+        "cand1_age": 200.0,
+    }
+    return EvictionEvent(
+        time=123.0,
+        victim_key="small-7",
+        victim_slot=0,
+        propensity=0.5,
+        candidate_keys=("small-7", "big-2"),
+        context=context,
+    )
+
+
+class TestGetLines:
+    def test_roundtrip_hit(self):
+        line = format_get_line(12.5, "big-3", hit=True, size=4)
+        event = parse_keyspace_line(line)
+        assert event.kind == "GET"
+        assert event.key == "big-3"
+        assert event.hit is True
+        assert event.size == 4
+        assert event.time == pytest.approx(12.5)
+
+    def test_roundtrip_miss(self):
+        event = parse_keyspace_line(format_get_line(1.0, "x", False, 2))
+        assert event.hit is False
+
+
+class TestEvictLines:
+    def test_roundtrip(self):
+        line = format_evict_line(make_evict_event())
+        event = parse_keyspace_line(line)
+        assert event.kind == "EVICT"
+        assert event.victim_slot == 0
+        assert event.key == "small-7"  # victim key recovered from slot
+        assert len(event.candidates) == 2
+        key, idle, freq, size, age = event.candidates[1]
+        assert key == "big-2"
+        assert idle == pytest.approx(90.0)
+        assert size == pytest.approx(4.0)
+
+    def test_reserialization_roundtrip(self):
+        line = format_evict_line(make_evict_event())
+        event = parse_keyspace_line(line)
+        again = parse_keyspace_line(format_keyspace_line(event))
+        assert again.candidates == event.candidates
+        assert again.victim_slot == event.victim_slot
+
+    def test_get_reserialization(self):
+        event = parse_keyspace_line(format_get_line(9.0, "k", True, 3))
+        assert parse_keyspace_line(format_keyspace_line(event)) == event
+
+
+class TestMalformed:
+    def test_garbage_returns_none(self):
+        assert parse_keyspace_line("") is None
+        assert parse_keyspace_line("hello world") is None
+
+    def test_bad_candidate_blob_returns_none(self):
+        assert parse_keyspace_line("1.0 EVICT victim=0 cands=a@b") is None
+
+    def test_victim_slot_out_of_range_returns_none(self):
+        line = "1.0 EVICT victim=5 cands=k@1@1@1@1"
+        assert parse_keyspace_line(line) is None
+
+
+class TestFileIO:
+    def test_write_read(self, tmp_path):
+        lines = [
+            format_get_line(1.0, "a", True, 1),
+            "corrupted line",
+            format_evict_line(make_evict_event()),
+        ]
+        path = str(tmp_path / "keyspace.log")
+        write_keyspace_log(lines, path)
+        events = read_keyspace_log(path)
+        assert len(events) == 2
+        assert events[0].kind == "GET"
+        assert events[1].kind == "EVICT"

@@ -1,0 +1,101 @@
+"""Unit tests for the cache simulator."""
+
+import pytest
+
+from repro.cache.eviction import lru_policy, random_eviction_policy
+from repro.cache.keyspace_log import parse_keyspace_line
+from repro.cache.sim import CacheSim
+from repro.cache.workload import BigSmallWorkload, CacheRequest
+from repro.simsys.random_source import RandomSource
+
+
+def run_sim(policy=None, cap=150, n=5000, seed=0, pool_size=0, keep_log=True):
+    workload = BigSmallWorkload(
+        n_big=20, n_small=200, randomness=RandomSource(seed, _name="wl")
+    )
+    sim = CacheSim(
+        cap, policy or random_eviction_policy(), seed=seed, pool_size=pool_size
+    )
+    return sim.run(workload.requests(n), keep_log=keep_log)
+
+
+class TestCacheSim:
+    def test_hit_rate_in_unit_interval(self):
+        result = run_sim()
+        assert 0.0 < result.hit_rate < 1.0
+        assert result.hits + result.misses > 0
+
+    def test_bigger_cache_higher_hit_rate(self):
+        small = run_sim(cap=80)
+        large = run_sim(cap=200)
+        assert large.hit_rate > small.hit_rate
+
+    def test_cache_that_fits_everything_never_evicts(self):
+        workload = BigSmallWorkload(
+            n_big=5, n_small=20, randomness=RandomSource(1, _name="wl")
+        )
+        sim = CacheSim(workload.total_bytes, random_eviction_policy(), seed=1)
+        result = sim.run(workload.requests(2000))
+        assert result.evictions == 0
+        # After everything is resident, requests always hit.
+        assert result.hit_rate > 0.9
+
+    def test_deterministic_given_seed(self):
+        a = run_sim(seed=5)
+        b = run_sim(seed=5)
+        assert a.hit_rate == b.hit_rate
+        assert a.evictions == b.evictions
+
+    def test_warmup_excluded(self):
+        result = run_sim(n=1000)
+        assert result.hits + result.misses == 900  # 10% warmup dropped
+
+    def test_log_contains_gets_and_evicts(self):
+        result = run_sim(n=2000)
+        kinds = set()
+        for line in result.log_lines:
+            event = parse_keyspace_line(line)
+            assert event is not None, f"unparseable log line: {line}"
+            kinds.add(event.kind)
+        assert kinds == {"GET", "EVICT"}
+
+    def test_log_disabled(self):
+        result = run_sim(keep_log=False)
+        assert result.log_lines == []
+        assert result.evictions > 0
+
+    def test_eviction_events_match_log(self):
+        result = run_sim(n=2000)
+        evict_lines = [
+            line for line in result.log_lines if " EVICT " in line
+        ]
+        assert len(evict_lines) == result.evictions
+        assert len(result.eviction_events) == result.evictions
+
+    def test_memory_never_exceeded(self):
+        """Replay the request stream manually and check accounting."""
+        workload = BigSmallWorkload(
+            n_big=10, n_small=50, randomness=RandomSource(2, _name="wl")
+        )
+        from repro.cache.eviction import SampledEvictionEngine
+        from repro.cache.store import KeyValueStore
+
+        store = KeyValueStore(80)
+        engine = SampledEvictionEngine(
+            random_eviction_policy(), randomness=RandomSource(2)
+        )
+        for request in workload.requests(2000):
+            if not store.access(request.key, request.time):
+                engine.make_room(store, request.size, request.time)
+                store.insert(request.key, request.size, request.time)
+            assert store.used_memory <= 80
+
+    def test_pool_mode_runs(self):
+        result = run_sim(policy=lru_policy(), pool_size=8)
+        assert result.evictions > 0
+
+    def test_invalid_warmup(self):
+        workload = BigSmallWorkload(randomness=RandomSource(0, _name="wl"))
+        sim = CacheSim(100, random_eviction_policy())
+        with pytest.raises(ValueError):
+            sim.run(workload.requests(100), warmup_fraction=1.0)

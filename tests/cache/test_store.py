@@ -1,0 +1,93 @@
+"""Unit tests for the key-value store."""
+
+import pytest
+
+from repro.cache.store import CacheItem, KeyValueStore
+
+
+class TestCacheItem:
+    def test_idle_and_age(self):
+        item = CacheItem("k", size=4, insert_time=10.0, last_access=12.0)
+        assert item.idle_time(now=15.0) == 3.0
+        assert item.age(now=15.0) == 5.0
+
+    def test_frequency(self):
+        item = CacheItem("k", 1, insert_time=0.0, last_access=8.0,
+                         access_count=4)
+        assert item.frequency(now=8.0) == pytest.approx(0.5)
+
+    def test_frequency_at_zero_age_is_finite(self):
+        item = CacheItem("k", 1, insert_time=5.0, last_access=5.0)
+        assert item.frequency(now=5.0) > 0
+
+
+class TestKeyValueStore:
+    def test_insert_and_access(self):
+        store = KeyValueStore(10)
+        store.insert("a", size=3, now=0.0)
+        assert "a" in store
+        assert store.used_memory == 3
+        assert store.access("a", now=1.0) is True
+        assert store.item("a").access_count == 2
+        assert store.item("a").last_access == 1.0
+
+    def test_miss_returns_false(self):
+        store = KeyValueStore(10)
+        assert store.access("ghost", now=0.0) is False
+
+    def test_needs_eviction(self):
+        store = KeyValueStore(10)
+        store.insert("a", 8, now=0.0)
+        assert store.needs_eviction(3) is True
+        assert store.needs_eviction(2) is False
+
+    def test_insert_over_budget_raises(self):
+        store = KeyValueStore(10)
+        store.insert("a", 8, now=0.0)
+        with pytest.raises(RuntimeError):
+            store.insert("b", 5, now=0.0)
+
+    def test_item_larger_than_cache_rejected(self):
+        with pytest.raises(ValueError):
+            KeyValueStore(10).insert("huge", 11, now=0.0)
+
+    def test_duplicate_insert_rejected(self):
+        store = KeyValueStore(10)
+        store.insert("a", 1, now=0.0)
+        with pytest.raises(KeyError):
+            store.insert("a", 1, now=1.0)
+
+    def test_evict_releases_memory(self):
+        store = KeyValueStore(10)
+        store.insert("a", 4, now=0.0)
+        item = store.evict("a")
+        assert item.key == "a"
+        assert store.used_memory == 0
+        assert "a" not in store
+
+    def test_evict_missing_raises(self):
+        with pytest.raises(KeyError):
+            KeyValueStore(10).evict("nope")
+
+    def test_memory_utilization(self):
+        store = KeyValueStore(10)
+        store.insert("a", 5, now=0.0)
+        assert store.memory_utilization() == 0.5
+
+    def test_keys_in_insertion_order(self):
+        store = KeyValueStore(10)
+        for key in ("x", "y", "z"):
+            store.insert(key, 1, now=0.0)
+        assert store.keys == ["x", "y", "z"]
+
+    def test_len(self):
+        store = KeyValueStore(10)
+        store.insert("a", 1, now=0.0)
+        store.insert("b", 1, now=0.0)
+        assert len(store) == 2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            KeyValueStore(0)
+        with pytest.raises(ValueError):
+            KeyValueStore(10).insert("a", 0, now=0.0)

@@ -1,0 +1,107 @@
+"""Unit tests for trace-driven workloads."""
+
+import io
+
+import pytest
+
+from repro.cache import (
+    CacheSim,
+    lru_policy,
+    random_eviction_policy,
+    read_trace,
+    working_set_bytes,
+    write_trace,
+)
+from repro.cache.trace import parse_trace_line
+from repro.cache.workload import BigSmallWorkload, CacheRequest
+from repro.simsys.random_source import RandomSource
+
+
+class TestParseTraceLine:
+    def test_valid_line(self):
+        request = parse_trace_line("1.5 user:42 256")
+        assert request == CacheRequest(time=1.5, key="user:42", size=256)
+
+    def test_comment_and_blank(self):
+        assert parse_trace_line("# a comment") is None
+        assert parse_trace_line("") is None
+        assert parse_trace_line("   ") is None
+
+    def test_malformed(self):
+        assert parse_trace_line("just-two fields") is None
+        assert parse_trace_line("a b c d") is None
+        assert parse_trace_line("notatime key 3") is None
+        assert parse_trace_line("1.0 key notasize") is None
+        assert parse_trace_line("1.0 key 0") is None
+        assert parse_trace_line("-1.0 key 3") is None
+
+
+class TestReadWriteTrace:
+    def _requests(self):
+        return [
+            CacheRequest(0.0, "a", 1),
+            CacheRequest(1.0, "b", 4),
+            CacheRequest(2.0, "a", 1),
+        ]
+
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        assert write_trace(self._requests(), path) == 3
+        requests, stats = read_trace(path)
+        assert requests == self._requests()
+        assert stats.n_requests == 3
+        assert stats.n_keys == 2
+        assert stats.n_dropped == 0
+        assert stats.total_bytes_requested == 6
+        assert stats.max_item_size == 4
+
+    def test_garbage_counted(self):
+        text = "# header\n0.0 a 1\nbroken\n1.0 b 2\n"
+        requests, stats = read_trace(io.StringIO(text))
+        assert len(requests) == 2
+        assert stats.n_dropped == 1
+
+    def test_out_of_order_times_sorted(self):
+        text = "5.0 late 1\n1.0 early 1\n"
+        requests, _ = read_trace(io.StringIO(text))
+        assert [r.key for r in requests] == ["early", "late"]
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            read_trace(io.StringIO("# nothing here\n"))
+
+    def test_working_set_bytes(self):
+        assert working_set_bytes(self._requests()) == 5  # a=1 + b=4
+
+
+class TestTraceDrivesTheSim:
+    def test_synthetic_workload_through_trace_file(self, tmp_path):
+        """BigSmall workload → trace file → sim gives the same hit rate
+        as driving the sim directly."""
+        workload = BigSmallWorkload(
+            n_big=20, n_small=200, randomness=RandomSource(3, _name="wl")
+        )
+        requests = list(workload.requests(6000))
+        path = str(tmp_path / "synthetic.trace")
+        write_trace(requests, path)
+        replayed, stats = read_trace(path)
+        assert stats.n_requests == 6000
+
+        direct = CacheSim(150, random_eviction_policy(), seed=3).run(
+            requests, keep_log=False
+        )
+        via_trace = CacheSim(150, random_eviction_policy(), seed=3).run(
+            replayed, keep_log=False
+        )
+        assert via_trace.hit_rate == pytest.approx(direct.hit_rate)
+
+    def test_capacity_planning_flow(self):
+        """working_set_bytes sizes a cache that never evicts."""
+        requests = [
+            CacheRequest(float(t), f"k{t % 7}", 2) for t in range(100)
+        ]
+        capacity = working_set_bytes(requests)
+        result = CacheSim(capacity, lru_policy(), seed=0).run(
+            requests, warmup_fraction=0.0, keep_log=False
+        )
+        assert result.evictions == 0

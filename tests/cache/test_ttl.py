@@ -1,0 +1,124 @@
+"""Unit tests for TTL (volatile key) support."""
+
+import pytest
+
+from repro.cache.eviction import (
+    TTL_FEATURE_CAP,
+    SampledEvictionEngine,
+    candidate_slot_context,
+    volatile_ttl_policy,
+)
+from repro.cache.store import CacheItem, KeyValueStore
+from repro.cache.sim import CacheSim
+from repro.cache.workload import CacheRequest
+from repro.cache.eviction import random_eviction_policy
+from repro.simsys.random_source import RandomSource
+
+
+class TestCacheItemTTL:
+    def test_remaining_ttl(self):
+        item = CacheItem("k", 1, insert_time=0.0, last_access=0.0,
+                         expires_at=10.0)
+        assert item.remaining_ttl(now=4.0) == pytest.approx(6.0)
+        assert item.remaining_ttl(now=15.0) == 0.0
+
+    def test_non_volatile_has_infinite_ttl(self):
+        item = CacheItem("k", 1, 0.0, 0.0)
+        assert item.remaining_ttl(5.0) == float("inf")
+        assert not item.is_expired(1e12)
+
+    def test_is_expired(self):
+        item = CacheItem("k", 1, 0.0, 0.0, expires_at=10.0)
+        assert not item.is_expired(9.999)
+        assert item.is_expired(10.0)
+
+
+class TestStoreTTL:
+    def test_lazy_expiration_on_access(self):
+        store = KeyValueStore(10)
+        store.insert("k", 2, now=0.0, ttl=5.0)
+        assert store.access("k", now=4.0) is True
+        assert store.access("k", now=6.0) is False  # expired
+        assert "k" not in store
+        assert store.used_memory == 0
+        assert store.expired_count == 1
+
+    def test_expired_key_reinsertable(self):
+        store = KeyValueStore(10)
+        store.insert("k", 2, now=0.0, ttl=1.0)
+        store.access("k", now=2.0)  # expires
+        store.insert("k", 2, now=3.0)  # fresh insert allowed
+        assert store.access("k", now=3.5) is True
+
+    def test_invalid_ttl(self):
+        store = KeyValueStore(10)
+        with pytest.raises(ValueError):
+            store.insert("k", 1, now=0.0, ttl=0.0)
+
+    def test_non_volatile_never_expires(self):
+        store = KeyValueStore(10)
+        store.insert("k", 1, now=0.0)
+        assert store.access("k", now=1e9) is True
+
+
+class TestTTLFeatures:
+    def test_slot_context_includes_capped_ttl(self):
+        volatile = CacheItem("v", 1, 0.0, 0.0, expires_at=50.0)
+        durable = CacheItem("d", 1, 0.0, 0.0)
+        context = candidate_slot_context([volatile, durable], now=10.0)
+        assert context["cand0_ttl"] == pytest.approx(40.0)
+        assert context["cand1_ttl"] == TTL_FEATURE_CAP
+
+
+class TestVolatileTTLPolicy:
+    def test_evicts_soonest_to_expire(self):
+        items = [
+            CacheItem("a", 1, 0.0, 0.0, expires_at=100.0),
+            CacheItem("b", 1, 0.0, 0.0, expires_at=20.0),
+            CacheItem("c", 1, 0.0, 0.0),
+        ]
+        context = candidate_slot_context(items, now=10.0)
+        assert volatile_ttl_policy().action(context, [0, 1, 2]) == 1
+
+    def test_falls_back_to_lru_among_durable(self):
+        items = [
+            CacheItem("a", 1, 0.0, last_access=9.0),
+            CacheItem("b", 1, 0.0, last_access=1.0),  # idle longer
+        ]
+        context = candidate_slot_context(items, now=10.0)
+        assert volatile_ttl_policy().action(context, [0, 1]) == 1
+
+    def test_works_in_the_engine(self):
+        store = KeyValueStore(10)
+        for i in range(8):
+            store.insert(f"d{i}", 1, now=0.0)
+        store.insert("volatile", 1, now=0.0, ttl=30.0)
+        store.insert("volatile2", 1, now=0.0, ttl=5.0)
+        engine = SampledEvictionEngine(
+            volatile_ttl_policy(), sample_size=10,
+            randomness=RandomSource(0),
+        )
+        event = engine.evict_one(store, now=1.0)
+        assert event.victim_key == "volatile2"
+
+
+class TestSimTTLFlow:
+    def test_requests_with_ttl_expire_in_sim(self):
+        # Every item lives 5 time units; re-requesting at stride 10
+        # always misses even though the cache never fills.
+        requests = [
+            CacheRequest(time=float(t), key=f"k{t % 3}", size=1, ttl=5.0)
+            for t in range(0, 300, 10)
+        ]
+        sim = CacheSim(100, random_eviction_policy(), seed=0)
+        result = sim.run(requests, warmup_fraction=0.0)
+        assert result.hit_rate == 0.0
+
+    def test_requests_with_long_ttl_hit(self):
+        requests = [
+            CacheRequest(time=float(t), key="hot", size=1, ttl=10**6)
+            for t in range(50)
+        ]
+        sim = CacheSim(100, random_eviction_policy(), seed=0)
+        result = sim.run(requests, warmup_fraction=0.0)
+        assert result.hits == 49

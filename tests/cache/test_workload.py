@@ -1,0 +1,94 @@
+"""Unit tests for cache workloads."""
+
+import numpy as np
+import pytest
+
+from repro.cache.workload import BigSmallWorkload, ZipfWorkload
+from repro.simsys.random_source import RandomSource
+
+
+class TestBigSmallWorkload:
+    def test_paper_ratios(self):
+        """'Queried twice as frequently but four times as big.'"""
+        wl = BigSmallWorkload(randomness=RandomSource(0))
+        assert wl.big_size == 4 * wl.small_size
+        requests = list(wl.requests(60000))
+        big = [r for r in requests if r.key.startswith("big-")]
+        small = [r for r in requests if r.key.startswith("small-")]
+        per_big = len(big) / wl.n_big
+        per_small = len(small) / wl.n_small
+        assert per_big / per_small == pytest.approx(2.0, rel=0.1)
+
+    def test_sizes_match_keys(self):
+        wl = BigSmallWorkload(randomness=RandomSource(1))
+        for request in wl.requests(200):
+            assert request.size == wl.size_of(request.key)
+
+    def test_total_bytes(self):
+        wl = BigSmallWorkload(n_big=10, n_small=100, small_size=2,
+                              size_ratio=4)
+        assert wl.total_bytes == 10 * 8 + 100 * 2
+
+    def test_size_of_unknown_key(self):
+        with pytest.raises(ValueError):
+            BigSmallWorkload().size_of("weird-key")
+
+    def test_unit_time_steps(self):
+        wl = BigSmallWorkload(randomness=RandomSource(2))
+        times = [r.time for r in wl.requests(10)]
+        assert times == [float(t) for t in range(10)]
+
+    def test_deterministic(self):
+        a = [r.key for r in
+             BigSmallWorkload(randomness=RandomSource(3)).requests(100)]
+        b = [r.key for r in
+             BigSmallWorkload(randomness=RandomSource(3)).requests(100)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BigSmallWorkload(n_big=0)
+        with pytest.raises(ValueError):
+            BigSmallWorkload(small_size=0)
+        with pytest.raises(ValueError):
+            BigSmallWorkload(frequency_ratio=0.0)
+        with pytest.raises(ValueError):
+            list(BigSmallWorkload().requests(0))
+
+
+class TestZipfWorkload:
+    def test_popularity_skew(self):
+        wl = ZipfWorkload(n_items=200, alpha=1.0,
+                          randomness=RandomSource(4))
+        keys = [r.key for r in wl.requests(10000)]
+        top = keys.count("item-0")
+        mid = keys.count("item-100")
+        assert top > 5 * max(mid, 1)
+
+    def test_sizes_stable_per_key(self):
+        wl = ZipfWorkload(randomness=RandomSource(5))
+        sizes = {}
+        for request in wl.requests(2000):
+            if request.key in sizes:
+                assert sizes[request.key] == request.size
+            sizes[request.key] = request.size
+
+    def test_size_bounds(self):
+        wl = ZipfWorkload(min_size=2, max_size=5, randomness=RandomSource(6))
+        for request in wl.requests(500):
+            assert 2 <= request.size <= 5
+
+    def test_size_of_matches_requests(self):
+        wl = ZipfWorkload(randomness=RandomSource(7))
+        for request in wl.requests(100):
+            assert wl.size_of(request.key) == request.size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfWorkload(n_items=0)
+        with pytest.raises(ValueError):
+            ZipfWorkload(alpha=0.0)
+        with pytest.raises(ValueError):
+            ZipfWorkload(min_size=5, max_size=2)
+        with pytest.raises(ValueError):
+            list(ZipfWorkload().requests(0))

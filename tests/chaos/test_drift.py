@@ -1,0 +1,117 @@
+"""Unit tests for environment drift and hook composition."""
+
+import pytest
+
+from repro.chaos.drift import ChainedHooks, EnvironmentDrift
+from repro.chaos.monkey import ChaosMonkey, FaultSpec
+from repro.loadbalance.server import BackendServer, ServerConfig
+
+
+def make_servers(n=2):
+    return [BackendServer(ServerConfig(i, 0.2, 0.05)) for i in range(n)]
+
+
+class TestEnvironmentDrift:
+    def test_applies_once_at_time(self):
+        drift = EnvironmentDrift(10.0, {0: 3.0})
+        servers = make_servers()
+        drift.tick(5.0, servers)
+        assert servers[0].drift_multiplier == 1.0
+        drift.tick(10.0, servers)
+        assert servers[0].drift_multiplier == 3.0
+        assert servers[1].drift_multiplier == 1.0
+        # Never applied twice.
+        drift.tick(20.0, servers)
+        assert servers[0].drift_multiplier == 3.0
+
+    def test_multiple_servers(self):
+        drift = EnvironmentDrift(0.0, {0: 2.0, 1: 4.0})
+        servers = make_servers()
+        drift.tick(0.0, servers)
+        assert servers[0].drift_multiplier == 2.0
+        assert servers[1].drift_multiplier == 4.0
+
+    def test_out_of_range_server_ignored(self):
+        drift = EnvironmentDrift(0.0, {5: 2.0})
+        servers = make_servers()
+        drift.tick(1.0, servers)  # no crash
+        assert all(s.drift_multiplier == 1.0 for s in servers)
+
+    def test_latency_actually_changes(self):
+        drift = EnvironmentDrift(0.0, {0: 3.0})
+        servers = make_servers()
+        before = servers[0].service_latency()
+        drift.tick(0.0, servers)
+        assert servers[0].service_latency() == pytest.approx(3.0 * before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnvironmentDrift(-1.0, {0: 2.0})
+        with pytest.raises(ValueError):
+            EnvironmentDrift(0.0, {})
+        with pytest.raises(ValueError):
+            EnvironmentDrift(0.0, {0: 0.0})
+
+
+class TestChainedHooks:
+    def test_all_hooks_ticked(self):
+        drift_a = EnvironmentDrift(1.0, {0: 2.0})
+        drift_b = EnvironmentDrift(2.0, {1: 3.0})
+        chain = ChainedHooks(drift_a, drift_b)
+        servers = make_servers()
+        chain.tick(1.5, servers)
+        assert servers[0].drift_multiplier == 2.0
+        assert servers[1].drift_multiplier == 1.0
+        chain.tick(2.5, servers)
+        assert servers[1].drift_multiplier == 3.0
+
+    def test_compose_with_chaos_monkey(self):
+        drift = EnvironmentDrift(0.0, {0: 2.0})
+        monkey = ChaosMonkey(
+            [FaultSpec("spike", rate=0.0, mean_duration=1.0, multiplier=2.0)],
+            seed=0,
+        )
+        chain = ChainedHooks(monkey, drift)
+        servers = make_servers()
+        chain.tick(1.0, servers)
+        # Drift applied; silent monkey leaves the chaos channel alone.
+        assert servers[0].drift_multiplier == 2.0
+        assert servers[0].fault_multiplier == 1.0
+
+    def test_drift_survives_chaos_fault_churn(self):
+        """Transient faults starting and expiring must not clobber a
+        permanent drift — the two live in separate channels."""
+        drift = EnvironmentDrift(0.0, {0: 2.0})
+        spike = FaultSpec("spike", rate=5.0, mean_duration=2.0,
+                          multiplier=5.0)
+        monkey = ChaosMonkey([spike], seed=1)
+        chain = ChainedHooks(monkey, drift)
+        servers = make_servers()
+        for t in range(50):
+            chain.tick(float(t), servers)
+        assert servers[0].drift_multiplier == 2.0
+        # Effective latency includes the drift whatever the chaos state.
+        base = 0.2 * servers[0].fault_multiplier * 2.0
+        assert servers[0].service_latency() == pytest.approx(base)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            ChainedHooks()
+
+
+class TestObserverHook:
+    def test_proxy_observer_sees_every_request(self):
+        from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+        from repro.loadbalance.policies import random_policy
+        from repro.simsys.random_source import RandomSource
+
+        seen = []
+        workload = Workload(10.0, randomness=RandomSource(3, _name="wl"))
+        sim = LoadBalancerSim(fig5_servers(), random_policy(), workload, seed=3)
+        sim.run(
+            200,
+            observer=lambda ctx, a, lat, p: seen.append((a, lat, p)),
+        )
+        assert len(seen) == 200
+        assert all(p == pytest.approx(0.5) for _, _, p in seen)
+        assert all(lat > 0 for _, lat, _ in seen)

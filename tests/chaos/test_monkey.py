@@ -1,0 +1,111 @@
+"""Unit tests for the chaos monkey."""
+
+import pytest
+
+from repro.chaos.monkey import ChaosMonkey, FaultSpec
+from repro.loadbalance.server import BackendServer, ServerConfig
+
+
+def make_servers(n=3):
+    return [BackendServer(ServerConfig(i, 0.2, 0.05)) for i in range(n)]
+
+
+SPIKE = FaultSpec(kind="spike", rate=0.5, mean_duration=5.0, multiplier=3.0)
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("x", rate=-1.0, mean_duration=1.0, multiplier=2.0)
+        with pytest.raises(ValueError):
+            FaultSpec("x", rate=1.0, mean_duration=0.0, multiplier=2.0)
+        with pytest.raises(ValueError):
+            FaultSpec("x", rate=1.0, mean_duration=1.0, multiplier=1.0)
+
+
+class TestChaosMonkey:
+    def test_faults_fire_over_time(self):
+        monkey = ChaosMonkey([SPIKE], seed=0)
+        servers = make_servers()
+        for t in range(200):
+            monkey.tick(float(t), servers)
+        assert len(monkey.history) > 10
+
+    def test_fault_applies_multiplier(self):
+        monkey = ChaosMonkey([SPIKE], seed=1)
+        servers = make_servers()
+        t = 0.0
+        while not monkey.active:
+            t += 1.0
+            monkey.tick(t, servers)
+        fault = monkey.active[0]
+        assert servers[fault.server_index].fault_multiplier == pytest.approx(3.0)
+
+    def test_fault_expires(self):
+        monkey = ChaosMonkey([SPIKE], seed=2)
+        servers = make_servers()
+        t = 0.0
+        while not monkey.active:
+            t += 1.0
+            monkey.tick(t, servers)
+        first_active = list(monkey.active)
+        end = max(f.end for f in first_active)
+        monkey.tick(end + 0.001, servers)
+        for fault in first_active:
+            assert fault not in monkey.active
+
+    def test_healthy_servers_have_unit_multiplier(self):
+        monkey = ChaosMonkey([SPIKE], seed=3)
+        servers = make_servers()
+        monkey.tick(0.0, servers)  # arms; nothing fired at t=0
+        assert all(s.fault_multiplier == 1.0 for s in servers)
+
+    def test_overlapping_faults_multiply(self):
+        heavy = FaultSpec(kind="h", rate=50.0, mean_duration=1000.0,
+                          multiplier=2.0)
+        monkey = ChaosMonkey([heavy], seed=4)
+        servers = make_servers(1)  # all faults hit the same server
+        monkey.tick(0.0, servers)  # arms the schedule
+        monkey.tick(1.0, servers)  # ~50 faults due by now
+        live = len(monkey.active)
+        assert live >= 2
+        assert servers[0].fault_multiplier == pytest.approx(2.0**live)
+
+    def test_zero_rate_never_fires(self):
+        silent = FaultSpec(kind="never", rate=0.0, mean_duration=1.0,
+                           multiplier=2.0)
+        monkey = ChaosMonkey([silent], seed=5)
+        servers = make_servers()
+        for t in range(100):
+            monkey.tick(float(t), servers)
+        assert monkey.history == []
+
+    def test_deterministic(self):
+        a = ChaosMonkey([SPIKE], seed=6)
+        b = ChaosMonkey([SPIKE], seed=6)
+        servers_a, servers_b = make_servers(), make_servers()
+        for t in range(100):
+            a.tick(float(t), servers_a)
+            b.tick(float(t), servers_b)
+        assert [(f.start, f.server_index) for f in a.history] == [
+            (f.start, f.server_index) for f in b.history
+        ]
+
+    def test_total_fault_time(self):
+        monkey = ChaosMonkey([SPIKE], seed=7)
+        servers = make_servers()
+        for t in range(100):
+            monkey.tick(float(t), servers)
+        assert monkey.total_fault_time() > 0
+
+    def test_no_faults_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosMonkey([])
+
+    def test_targets_spread_across_servers(self):
+        monkey = ChaosMonkey([SPIKE], seed=8)
+        servers = make_servers(3)
+        for t in range(600):
+            monkey.tick(float(t), servers)
+        targets = {f.server_index for f in monkey.history}
+        assert targets == {0, 1, 2}

@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import UniformRandomPolicy
+from repro.core.types import ActionSpace, Dataset, Interaction, RewardRange
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def three_action_space() -> ActionSpace:
+    """A plain 3-action space."""
+    return ActionSpace(3, labels=["a", "b", "c"])
+
+
+def make_uniform_dataset(
+    n: int,
+    n_actions: int = 3,
+    seed: int = 0,
+    reward_fn=None,
+) -> Dataset:
+    """A dataset logged by the uniform-random policy.
+
+    ``reward_fn(context, action, rng)`` defaults to a context- and
+    action-dependent bounded reward so estimators have signal.
+    """
+    rng = np.random.default_rng(seed)
+    policy = UniformRandomPolicy()
+    actions = list(range(n_actions))
+    if reward_fn is None:
+
+        def reward_fn(context, action, rng):
+            base = 0.2 + 0.15 * action + 0.3 * context["load"]
+            return float(np.clip(base + rng.normal(0, 0.05), 0.0, 1.0))
+
+    dataset = Dataset(
+        action_space=ActionSpace(n_actions),
+        reward_range=RewardRange(0.0, 1.0, maximize=True),
+    )
+    for t in range(n):
+        context = {"load": float(rng.uniform()), "bias": 1.0}
+        action, propensity = policy.act(context, actions, rng)
+        dataset.append(
+            Interaction(
+                context=context,
+                action=action,
+                reward=reward_fn(context, action, rng),
+                propensity=propensity,
+                timestamp=float(t),
+            )
+        )
+    return dataset
+
+
+@pytest.fixture
+def uniform_dataset() -> Dataset:
+    """500 uniform-random exploration points over 3 actions."""
+    return make_uniform_dataset(500)
+
+
+@pytest.fixture
+def full_feedback_dataset() -> Dataset:
+    """A small full-feedback dataset (every action's reward known)."""
+    rng = np.random.default_rng(7)
+    dataset = Dataset(
+        action_space=ActionSpace(4),
+        reward_range=RewardRange(0.0, 1.0, maximize=True),
+    )
+    for t in range(200):
+        context = {"x": float(rng.uniform(-1, 1)), "bias": 1.0}
+        # Optimal action depends on sign of x.
+        full = [
+            float(np.clip(0.5 + 0.4 * context["x"] * (1 if a % 2 == 0 else -1)
+                          + 0.1 * (a == 3), 0, 1))
+            for a in range(4)
+        ]
+        dataset.append(
+            Interaction(
+                context=context,
+                action=0,
+                reward=full[0],
+                propensity=1.0,
+                timestamp=float(t),
+                full_rewards=full,
+            )
+        )
+    return dataset

@@ -1,0 +1,104 @@
+"""Unit tests for the A/B testing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.ab_testing import ABTest, ABTestReport, ArmResult
+from repro.core.policies import ConstantPolicy
+
+
+def make_environment(means):
+    """An environment whose reward depends only on the arm's constant
+    action (policies here are ConstantPolicy)."""
+
+    def environment(policy, n, rng):
+        action = policy.action({}, list(range(len(means))))
+        return rng.normal(means[action], 0.1, size=n)
+
+    return environment
+
+
+class TestABTest:
+    def test_splits_traffic_evenly(self):
+        test = ABTest(make_environment([0.5, 0.5]))
+        report = test.run([ConstantPolicy(0), ConstantPolicy(1)], 1000)
+        assert all(arm.n == 500 for arm in report.arms)
+        assert report.total_traffic == 1000
+
+    def test_identifies_best_arm(self):
+        test = ABTest(make_environment([0.3, 0.7, 0.5]))
+        report = test.run([ConstantPolicy(a) for a in range(3)], 3000)
+        assert report.best().policy_name == "constant[1]"
+
+    def test_best_minimize(self):
+        test = ABTest(make_environment([0.3, 0.7]))
+        report = test.run([ConstantPolicy(0), ConstantPolicy(1)], 2000)
+        assert report.best(maximize=False).policy_name == "constant[0]"
+
+    def test_significance_detected_for_large_gap(self):
+        test = ABTest(make_environment([0.2, 0.8]))
+        report = test.run([ConstantPolicy(0), ConstantPolicy(1)], 400)
+        assert report.significant(0, 1)
+
+    def test_no_significance_for_equal_arms(self):
+        test = ABTest(make_environment([0.5, 0.5]), seed=3)
+        report = test.run([ConstantPolicy(0), ConstantPolicy(1)], 400)
+        assert not report.significant(0, 1)
+
+    def test_more_arms_less_precision(self):
+        """With fixed total traffic, more concurrent arms widen each
+        arm's error bar — the Fig. 1 phenomenon."""
+        few = ABTest(make_environment([0.5] * 2)).run(
+            [ConstantPolicy(a) for a in range(2)], 1000
+        )
+        many = ABTest(make_environment([0.5] * 10)).run(
+            [ConstantPolicy(a) for a in range(10)], 1000
+        )
+        assert many.arms[0].std_error > few.arms[0].std_error
+
+    def test_means_are_accurate(self):
+        test = ABTest(make_environment([0.25, 0.75]))
+        report = test.run([ConstantPolicy(0), ConstantPolicy(1)], 20000)
+        assert report.arms[0].mean == pytest.approx(0.25, abs=0.01)
+        assert report.arms[1].mean == pytest.approx(0.75, abs=0.01)
+
+    def test_deterministic_given_seed(self):
+        env = make_environment([0.4, 0.6])
+        a = ABTest(env, seed=5).run([ConstantPolicy(0)], 100)
+        b = ABTest(env, seed=5).run([ConstantPolicy(0)], 100)
+        assert a.arms[0].mean == b.arms[0].mean
+
+    def test_no_arms_raises(self):
+        with pytest.raises(ValueError):
+            ABTest(make_environment([0.5])).run([], 100)
+
+    def test_insufficient_traffic_raises(self):
+        with pytest.raises(ValueError):
+            ABTest(make_environment([0.5, 0.5])).run(
+                [ConstantPolicy(0), ConstantPolicy(1)], 1
+            )
+
+    def test_wrong_reward_count_rejected(self):
+        def bad_env(policy, n, rng):
+            return np.zeros(n + 1)
+
+        with pytest.raises(ValueError):
+            ABTest(bad_env).run([ConstantPolicy(0)], 10)
+
+
+class TestArmResult:
+    def test_confidence_interval(self):
+        arm = ArmResult("x", n=100, mean=0.5, std_error=0.05)
+        lo, hi = arm.confidence_interval()
+        assert lo == pytest.approx(0.5 - 1.96 * 0.05)
+        assert hi == pytest.approx(0.5 + 1.96 * 0.05)
+
+    def test_significance_with_zero_se(self):
+        report = ABTestReport(
+            total_traffic=2,
+            arms=[
+                ArmResult("a", 1, 0.5, 0.0),
+                ArmResult("b", 1, 0.6, 0.0),
+            ],
+        )
+        assert report.significant(0, 1)

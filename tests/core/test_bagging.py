@@ -1,0 +1,78 @@
+"""Unit tests for the bootstrap-bagging CB learner."""
+
+import numpy as np
+import pytest
+
+from repro.core.learners.cb import BaggingLearner
+
+from tests.conftest import make_uniform_dataset
+
+
+class TestBaggingLearner:
+    def test_learns_best_action(self):
+        dataset = make_uniform_dataset(3000, seed=1)
+        learner = BaggingLearner(3, n_bags=5, learning_rate=0.5, seed=0)
+        learner.observe_all(dataset)
+        assert learner.policy().action({"load": 0.5, "bias": 1.0}, [0, 1, 2]) == 2
+
+    def test_votes_form_distribution(self):
+        dataset = make_uniform_dataset(500, seed=2)
+        learner = BaggingLearner(3, n_bags=4, seed=0)
+        learner.observe_all(dataset)
+        votes = learner.votes({"load": 0.5, "bias": 1.0}, [0, 1, 2])
+        assert votes.sum() == pytest.approx(1.0)
+        assert (votes >= 0).all()
+
+    def test_disagreement_early_agreement_late(self):
+        """With little data the bags disagree (exploration); with lots
+        of data they converge on the best action."""
+        early = BaggingLearner(3, n_bags=8, learning_rate=0.5, seed=3)
+        early.observe_all(make_uniform_dataset(30, seed=3))
+        late = BaggingLearner(3, n_bags=8, learning_rate=0.5, seed=3)
+        for _ in range(2):
+            late.observe_all(make_uniform_dataset(4000, seed=3))
+        context = {"load": 0.5, "bias": 1.0}
+        early_max = early.votes(context, [0, 1, 2]).max()
+        late_max = late.votes(context, [0, 1, 2]).max()
+        assert late_max >= early_max
+        assert late_max == 1.0  # full agreement eventually
+
+    def test_stochastic_policy_propensities_are_vote_shares(self, rng):
+        dataset = make_uniform_dataset(200, seed=4)
+        learner = BaggingLearner(3, n_bags=4, seed=1)
+        learner.observe_all(dataset)
+        policy = learner.stochastic_policy()
+        context = {"load": 0.2, "bias": 1.0}
+        probs = policy.distribution(context, [0, 1, 2])
+        np.testing.assert_allclose(probs, learner.votes(context, [0, 1, 2]))
+
+    def test_minimize_mode(self):
+        def reward_fn(context, action, rng):
+            return [0.9, 0.1, 0.5][action]
+
+        dataset = make_uniform_dataset(2000, seed=5, reward_fn=reward_fn)
+        learner = BaggingLearner(
+            3, n_bags=5, maximize=False, learning_rate=0.5, seed=2
+        )
+        learner.observe_all(dataset)
+        assert learner.policy().action({"load": 0.5, "bias": 1.0}, [0, 1, 2]) == 1
+
+    def test_observed_counter(self):
+        learner = BaggingLearner(2, n_bags=3, seed=0)
+        learner.observe_all(make_uniform_dataset(25, n_actions=2, seed=6))
+        assert learner.observed == 25
+
+    def test_deterministic_given_seed(self):
+        dataset = make_uniform_dataset(300, seed=7)
+        a = BaggingLearner(3, n_bags=4, seed=9)
+        b = BaggingLearner(3, n_bags=4, seed=9)
+        a.observe_all(dataset)
+        b.observe_all(dataset)
+        context = {"load": 0.3, "bias": 1.0}
+        np.testing.assert_array_equal(
+            a.votes(context, [0, 1, 2]), b.votes(context, [0, 1, 2])
+        )
+
+    def test_single_bag_rejected(self):
+        with pytest.raises(ValueError):
+            BaggingLearner(3, n_bags=1)

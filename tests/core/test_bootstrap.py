@@ -1,0 +1,105 @@
+"""Unit tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import (
+    bootstrap_interval_from_terms,
+    bootstrap_ips_interval,
+    bootstrap_snips_interval,
+)
+from repro.core.policies import ConstantPolicy
+from repro.core.types import ActionSpace, Dataset, Interaction
+
+from tests.conftest import make_uniform_dataset
+
+
+def true_value(action: int) -> float:
+    return 0.2 + 0.15 * action + 0.3 * 0.5
+
+
+class TestTermBootstrap:
+    def test_contains_sample_mean(self):
+        rng = np.random.default_rng(0)
+        terms = rng.exponential(1.0, size=400)
+        ci = bootstrap_interval_from_terms(terms, rng=rng)
+        assert ci.contains(float(terms.mean()))
+
+    def test_width_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_interval_from_terms(
+            rng.exponential(1.0, 100), rng=np.random.default_rng(2)
+        )
+        large = bootstrap_interval_from_terms(
+            rng.exponential(1.0, 10000), rng=np.random.default_rng(2)
+        )
+        assert large.width < small.width
+
+    def test_deterministic_with_seeded_rng(self):
+        terms = np.random.default_rng(3).uniform(size=200)
+        a = bootstrap_interval_from_terms(terms, rng=np.random.default_rng(9))
+        b = bootstrap_interval_from_terms(terms, rng=np.random.default_rng(9))
+        assert a == b
+
+    def test_coverage_simulation(self):
+        """~95% of bootstrap intervals should contain the true mean."""
+        rng = np.random.default_rng(4)
+        covered = 0
+        for _ in range(150):
+            samples = rng.uniform(0, 1, size=120)  # true mean 0.5
+            ci = bootstrap_interval_from_terms(samples, n_boot=400, rng=rng)
+            covered += ci.contains(0.5)
+        assert covered >= 0.85 * 150
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval_from_terms(np.array([1.0]))
+        with pytest.raises(ValueError):
+            bootstrap_interval_from_terms(np.ones(10), delta=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_interval_from_terms(np.ones(10), n_boot=2)
+
+
+class TestIPSBootstrap:
+    def test_contains_truth(self):
+        dataset = make_uniform_dataset(4000, seed=5)
+        ci = bootstrap_ips_interval(
+            ConstantPolicy(1), dataset, rng=np.random.default_rng(0)
+        )
+        assert ci.contains(true_value(1))
+
+    def test_interval_centered_near_point_estimate(self):
+        from repro.core.estimators.ips import IPSEstimator
+
+        dataset = make_uniform_dataset(2000, seed=6)
+        point = IPSEstimator().estimate(ConstantPolicy(0), dataset).value
+        ci = bootstrap_ips_interval(
+            ConstantPolicy(0), dataset, rng=np.random.default_rng(1)
+        )
+        assert ci.low <= point <= ci.high
+
+
+class TestSNIPSBootstrap:
+    def test_contains_truth(self):
+        dataset = make_uniform_dataset(4000, seed=7)
+        ci = bootstrap_snips_interval(
+            ConstantPolicy(2), dataset, rng=np.random.default_rng(2)
+        )
+        assert ci.contains(true_value(2))
+
+    def test_tighter_than_ips_bootstrap(self):
+        dataset = make_uniform_dataset(1500, seed=8)
+        ips_ci = bootstrap_ips_interval(
+            ConstantPolicy(1), dataset, rng=np.random.default_rng(3)
+        )
+        snips_ci = bootstrap_snips_interval(
+            ConstantPolicy(1), dataset, rng=np.random.default_rng(3)
+        )
+        assert snips_ci.width < ips_ci.width
+
+    def test_never_matching_candidate_rejected(self):
+        ds = Dataset(action_space=ActionSpace(3))
+        for t in range(20):
+            ds.append(Interaction({}, 0, 0.5, 0.5, float(t)))
+        with pytest.raises(ValueError):
+            bootstrap_snips_interval(ConstantPolicy(2), ds)

@@ -1,0 +1,177 @@
+"""Unit tests for Eq. 1 bounds and sample-size math."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.bounds import (
+    DEFAULT_C,
+    ab_testing_error_bound,
+    ab_testing_sample_size,
+    crossover_k,
+    diminishing_returns_gain,
+    empirical_bernstein_interval,
+    hoeffding_interval,
+    ips_error_bound,
+    ips_sample_size,
+)
+
+
+class TestIPSBound:
+    def test_formula(self):
+        # err = sqrt(C / (eps N) * log(K/delta))
+        err = ips_error_bound(n=1000, epsilon=0.1, k=100, delta=0.05)
+        expected = math.sqrt(DEFAULT_C / (0.1 * 1000) * math.log(100 / 0.05))
+        assert err == pytest.approx(expected)
+
+    def test_error_decreases_with_n(self):
+        errs = [ips_error_bound(n, 0.1, k=10) for n in (100, 1000, 10000)]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_error_scales_as_inverse_sqrt_n(self):
+        assert ips_error_bound(100, 0.1) / ips_error_bound(400, 0.1) == (
+            pytest.approx(2.0)
+        )
+
+    def test_doubling_epsilon_halves_required_n(self):
+        """The §4 insight: more exploration -> proportionally less data."""
+        n_low = ips_sample_size(0.05, epsilon=0.02, k=10**6)
+        n_high = ips_sample_size(0.05, epsilon=0.04, k=10**6)
+        assert n_low / n_high == pytest.approx(2.0)
+
+    def test_error_grows_logarithmically_in_k(self):
+        err_k = ips_error_bound(1000, 0.1, k=10**3)
+        err_k2 = ips_error_bound(1000, 0.1, k=10**6)
+        # Squared errors grow additively with log K.
+        assert err_k2**2 - err_k**2 == pytest.approx(
+            DEFAULT_C / (0.1 * 1000) * math.log(10**3)
+        )
+
+    def test_sample_size_inverts_error_bound(self):
+        n = ips_sample_size(0.05, epsilon=0.04, k=10**6, delta=0.05)
+        assert ips_error_bound(n, 0.04, k=10**6, delta=0.05) == pytest.approx(
+            0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ips_error_bound(0, 0.1)
+        with pytest.raises(ValueError):
+            ips_error_bound(10, 0.0)
+        with pytest.raises(ValueError):
+            ips_error_bound(10, 1.5)
+        with pytest.raises(ValueError):
+            ips_error_bound(10, 0.1, delta=0.0)
+        with pytest.raises(ValueError):
+            ips_error_bound(10, 0.1, k=0.5)
+        with pytest.raises(ValueError):
+            ips_sample_size(0.0, 0.1)
+
+
+class TestABBound:
+    def test_formula(self):
+        err = ab_testing_error_bound(n=1000, k=10, delta=0.05)
+        expected = DEFAULT_C * math.sqrt(10 / 1000 * math.log(10 / 0.05))
+        assert err == pytest.approx(expected)
+
+    def test_error_grows_with_k(self):
+        assert ab_testing_error_bound(1000, k=100) > ab_testing_error_bound(
+            1000, k=10
+        )
+
+    def test_sample_size_inverts(self):
+        n = ab_testing_sample_size(0.05, k=50, delta=0.05)
+        assert ab_testing_error_bound(n, k=50, delta=0.05) == pytest.approx(0.05)
+
+    def test_ab_scales_linearly_ips_logarithmically(self):
+        """Fig. 1's core claim: A/B data cost ~ K, IPS data cost ~ log K."""
+        ab_ratio = ab_testing_sample_size(0.05, k=10**6) / ab_testing_sample_size(
+            0.05, k=10**3
+        )
+        ips_ratio = ips_sample_size(0.05, 0.1, k=10**6) / ips_sample_size(
+            0.05, 0.1, k=10**3
+        )
+        assert ab_ratio > 900  # ~1000x (linear-ish in K, plus log factor)
+        # log(10^6/δ) / log(10^3/δ) ≈ 1.7 — a constant factor, not 1000x.
+        assert ips_ratio == pytest.approx(
+            math.log(10**6 / 0.05) / math.log(10**3 / 0.05), rel=1e-6
+        )
+        assert ips_ratio < 2.0
+
+    def test_cb_beats_ab_beyond_crossover(self):
+        epsilon = 0.1
+        k = 10 * crossover_k(epsilon)  # decisively past 1/epsilon
+        n = 10_000
+        assert ips_error_bound(n, epsilon, k=k) < ab_testing_error_bound(n, k=k)
+
+
+class TestCrossover:
+    def test_crossover_is_one_over_epsilon(self):
+        assert crossover_k(0.04) == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossover_k(0.0)
+
+
+class TestDiminishingReturns:
+    def test_paper_example_1p7M_to_3p4M(self):
+        """'Increasing N from 1.7 to 3.4 million improves accuracy by
+        less than 0.01' (§4, for the eps=0.04, K=1e6 curve)."""
+        gain = diminishing_returns_gain(
+            1.7e6, 3.4e6, epsilon=0.04, k=10**6, delta=0.05
+        )
+        assert 0.0 < gain < 0.01
+
+    def test_gain_positive_for_growth(self):
+        assert diminishing_returns_gain(100, 200, 0.1) > 0
+
+
+class TestFiniteSampleIntervals:
+    def test_hoeffding_contains_mean(self):
+        samples = np.random.default_rng(0).uniform(0, 1, 500)
+        ci = hoeffding_interval(samples, delta=0.05)
+        assert ci.contains(0.5)
+        assert ci.confidence == 0.95
+
+    def test_hoeffding_width_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = hoeffding_interval(rng.uniform(0, 1, 100))
+        large = hoeffding_interval(rng.uniform(0, 1, 10000))
+        assert large.width < small.width
+
+    def test_hoeffding_coverage_simulation(self):
+        """The interval should cover the true mean ~95% of the time."""
+        rng = np.random.default_rng(1)
+        covered = sum(
+            hoeffding_interval(rng.uniform(0, 1, 50), delta=0.05).contains(0.5)
+            for _ in range(200)
+        )
+        assert covered >= 190  # Hoeffding is conservative
+
+    def test_bernstein_tighter_for_low_variance(self):
+        rng = np.random.default_rng(2)
+        samples = 0.5 + 0.01 * rng.standard_normal(500)  # tiny variance
+        hoeff = hoeffding_interval(samples)
+        bern = empirical_bernstein_interval(samples)
+        assert bern.width < hoeff.width
+
+    def test_bernstein_contains_mean(self):
+        samples = np.random.default_rng(3).uniform(0, 1, 1000)
+        assert empirical_bernstein_interval(samples).contains(0.5)
+
+    def test_interval_properties(self):
+        samples = np.array([0.4, 0.6])
+        ci = hoeffding_interval(samples)
+        assert ci.radius == pytest.approx(ci.width / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_interval(np.array([]))
+        with pytest.raises(ValueError):
+            hoeffding_interval(np.array([1.0]), delta=1.5)
+        with pytest.raises(ValueError):
+            empirical_bernstein_interval(np.array([1.0]))
+        with pytest.raises(ValueError):
+            hoeffding_interval(np.array([1.0, 2.0]), value_range=0.0)

@@ -1,0 +1,217 @@
+"""Unit tests for contextual-bandit learners."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.ips import IPSEstimator, SNIPSEstimator
+from repro.core.features import Featurizer
+from repro.core.learners.cb import (
+    EpochGreedyLearner,
+    EpsilonGreedyLearner,
+    PerActionFeaturesLearner,
+    PolicyClassOptimizer,
+)
+from repro.core.policies import ConstantPolicy, PolicyClass
+from repro.core.types import ActionSpace, Dataset, Interaction
+
+from tests.conftest import make_uniform_dataset
+
+
+class TestEpsilonGreedyLearner:
+    def test_learns_best_constant_action(self):
+        dataset = make_uniform_dataset(3000, seed=1)
+        learner = EpsilonGreedyLearner(3, learning_rate=0.5)
+        for _ in range(2):
+            learner.observe_all(dataset)
+        # Reward grows with action index; best is 2 everywhere.
+        policy = learner.policy()
+        assert policy.action({"load": 0.5, "bias": 1.0}, [0, 1, 2]) == 2
+
+    def test_learns_context_dependent_action(self):
+        def reward_fn(context, action, rng):
+            # Action 0 good at low load, action 1 good at high load.
+            means = [0.8 - 0.6 * context["load"], 0.2 + 0.6 * context["load"]]
+            return float(np.clip(means[action] + rng.normal(0, 0.02), 0, 1))
+
+        dataset = make_uniform_dataset(
+            6000, n_actions=2, seed=2, reward_fn=reward_fn
+        )
+        learner = EpsilonGreedyLearner(2, learning_rate=0.5)
+        for _ in range(3):
+            learner.observe_all(dataset)
+        policy = learner.policy()
+        assert policy.action({"load": 0.1, "bias": 1.0}, [0, 1]) == 0
+        assert policy.action({"load": 0.9, "bias": 1.0}, [0, 1]) == 1
+
+    def test_minimize_mode(self):
+        def reward_fn(context, action, rng):
+            return [0.9, 0.1, 0.5][action]  # action 1 has lowest cost
+
+        dataset = make_uniform_dataset(2000, seed=3, reward_fn=reward_fn)
+        learner = EpsilonGreedyLearner(3, maximize=False, learning_rate=0.5)
+        learner.observe_all(dataset)
+        assert learner.policy().action({"load": 0.5, "bias": 1.0}, [0, 1, 2]) == 1
+
+    def test_importance_weights_debias(self):
+        """A logging policy that favours action 0 must not fool the
+        learner into preferring it."""
+        rng = np.random.default_rng(4)
+        ds = Dataset(action_space=ActionSpace(2))
+        for t in range(6000):
+            context = {"bias": 1.0}
+            if rng.random() < 0.9:
+                action, p = 0, 0.9
+            else:
+                action, p = 1, 0.1
+            reward = 0.3 if action == 0 else 0.8  # action 1 is better
+            ds.append(Interaction(context, action, reward, p, float(t)))
+        learner = EpsilonGreedyLearner(2, learning_rate=0.5)
+        learner.observe_all(ds)
+        assert learner.policy().action({"bias": 1.0}, [0, 1]) == 1
+
+    def test_action_out_of_range_rejected(self):
+        learner = EpsilonGreedyLearner(2)
+        with pytest.raises(ValueError):
+            learner.observe(Interaction({}, 5, 0.5, 0.5))
+
+    def test_observed_counter(self):
+        dataset = make_uniform_dataset(50, seed=5)
+        learner = EpsilonGreedyLearner(3)
+        learner.observe_all(dataset)
+        assert learner.observed == 50
+
+    def test_exploration_policy_has_floor(self):
+        learner = EpsilonGreedyLearner(3)
+        learner.observe_all(make_uniform_dataset(100, seed=6))
+        deploy = learner.exploration_policy(epsilon=0.3)
+        probs = deploy.distribution({"load": 0.5, "bias": 1.0}, [0, 1, 2])
+        assert probs.min() >= 0.1 - 1e-9
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedyLearner(0)
+        with pytest.raises(ValueError):
+            EpsilonGreedyLearner(2, importance_clip=0.0)
+
+
+class TestEpochGreedyLearner:
+    def test_explore_fraction_decays(self):
+        learner = EpochGreedyLearner(3)
+        dataset = make_uniform_dataset(1000, seed=7)
+        explored = []
+        for interaction in dataset:
+            explored.append(learner.exploring_now())
+            learner.observe(interaction)
+        early = np.mean(explored[:100])
+        late = np.mean(explored[-100:])
+        assert early > late
+
+    def test_learns_like_epsilon_greedy(self):
+        dataset = make_uniform_dataset(3000, seed=8)
+        learner = EpochGreedyLearner(3, learning_rate=0.5)
+        learner.observe_all(dataset)
+        assert learner.policy().action({"load": 0.5, "bias": 1.0}, [0, 1, 2]) == 2
+
+    def test_deployment_propensity(self):
+        learner = EpochGreedyLearner(4)
+        # Round 0 is always an exploration round.
+        assert learner.deployment_propensity(4) == pytest.approx(0.25)
+
+    def test_observed_counter(self):
+        learner = EpochGreedyLearner(3)
+        learner.observe_all(make_uniform_dataset(42, seed=9))
+        assert learner.observed == 42
+
+
+class TestPerActionFeaturesLearner:
+    def test_learns_shared_model_across_actions(self):
+        """One model over per-action features should generalize to
+        actions never seen in training positions."""
+        rng = np.random.default_rng(10)
+        ds = Dataset(action_space=ActionSpace(3))
+        for t in range(4000):
+            quality = [float(rng.uniform()) for _ in range(3)]
+            context = {f"cand{i}_quality": quality[i] for i in range(3)}
+            action = int(rng.integers(3))
+            # Reward IS the chosen candidate's quality.
+            ds.append(
+                Interaction(context, action, quality[action], 1 / 3, float(t))
+            )
+
+        def features_of(context, action):
+            return {"quality": context[f"cand{action}_quality"]}
+
+        learner = PerActionFeaturesLearner(
+            features_of, featurizer=Featurizer(8), learning_rate=0.5
+        )
+        for _ in range(2):
+            learner.observe_all(ds)
+        context = {"cand0_quality": 0.2, "cand1_quality": 0.9,
+                   "cand2_quality": 0.5}
+        assert learner.policy().action(context, [0, 1, 2]) == 1
+        # And prediction tracks the feature value.
+        assert learner.predict(context, 1) > learner.predict(context, 0)
+
+    def test_minimize_mode(self):
+        learner = PerActionFeaturesLearner(
+            lambda ctx, a: {"v": ctx[f"cand{a}_v"]}, maximize=False
+        )
+        learner.observe(
+            Interaction({"cand0_v": 1.0}, 0, reward=1.0, propensity=1.0)
+        )
+        context = {"cand0_v": 0.1, "cand1_v": 0.9}
+        assert learner.policy().action(context, [0, 1]) == 0
+
+    def test_invalid_clip(self):
+        with pytest.raises(ValueError):
+            PerActionFeaturesLearner(lambda c, a: {}, importance_clip=0.0)
+
+
+class TestPolicyClassOptimizer:
+    def test_finds_best_constant(self):
+        dataset = make_uniform_dataset(5000, seed=11)
+        optimizer = PolicyClassOptimizer(maximize=True)
+        best, value = optimizer.optimize(PolicyClass.all_constant(3), dataset)
+        assert best.action({}, [0, 1, 2]) == 2  # highest reward action
+
+    def test_minimize_mode(self):
+        dataset = make_uniform_dataset(5000, seed=12)
+        optimizer = PolicyClassOptimizer(maximize=False)
+        best, _ = optimizer.optimize(PolicyClass.all_constant(3), dataset)
+        assert best.action({}, [0, 1, 2]) == 0
+
+    def test_score_all_returns_every_policy(self):
+        dataset = make_uniform_dataset(500, seed=13)
+        scored = PolicyClassOptimizer().score_all(
+            PolicyClass.all_constant(3), dataset
+        )
+        assert len(scored) == 3
+
+    def test_custom_estimator(self):
+        dataset = make_uniform_dataset(2000, seed=14)
+        snips_opt = PolicyClassOptimizer(estimator=SNIPSEstimator())
+        best, value = snips_opt.optimize(PolicyClass.all_constant(3), dataset)
+        assert best.action({}, [0, 1, 2]) == 2
+
+    def test_optimizer_value_close_to_ips_value(self):
+        dataset = make_uniform_dataset(2000, seed=15)
+        best, value = PolicyClassOptimizer().optimize(
+            PolicyClass.all_constant(3), dataset
+        )
+        direct = IPSEstimator().estimate(best, dataset).value
+        assert value == pytest.approx(direct)
+
+    def test_optimize_over_linear_class_beats_uniform(self):
+        def reward_fn(context, action, rng):
+            means = [0.8 - 0.6 * context["load"], 0.2 + 0.6 * context["load"]]
+            return float(np.clip(means[action], 0, 1))
+
+        dataset = make_uniform_dataset(
+            4000, n_actions=2, seed=16, reward_fn=reward_fn
+        )
+        policy_class = PolicyClass.random_linear(
+            200, 2, ["load"], np.random.default_rng(0)
+        )
+        best, value = PolicyClassOptimizer().optimize(policy_class, dataset)
+        # A good contextual policy beats the best constant (~0.5).
+        assert value > 0.55

@@ -1,0 +1,116 @@
+"""Unit tests for exploration design helpers."""
+
+import math
+
+import pytest
+
+from repro.core.design import (
+    epsilon_for_deadline,
+    exploration_plan,
+    verify_plan,
+    wasted_potential,
+)
+from repro.core.estimators.bounds import ips_error_bound
+
+
+class TestExplorationPlan:
+    def test_plan_meets_its_target(self):
+        plan = exploration_plan(
+            n_actions=25, traffic_per_day=1e6, policy_class_size=10**6
+        )
+        assert verify_plan(plan)
+
+    def test_epsilon_is_fraction_over_actions(self):
+        plan = exploration_plan(
+            n_actions=10, traffic_per_day=1e5, exploration_fraction=0.2
+        )
+        assert plan.epsilon == pytest.approx(0.02)
+
+    def test_days_to_target(self):
+        plan = exploration_plan(n_actions=4, traffic_per_day=1000.0)
+        assert plan.days_to_target == pytest.approx(
+            plan.required_n / 1000.0
+        )
+
+    def test_less_exploration_needs_more_days(self):
+        full = exploration_plan(
+            n_actions=10, traffic_per_day=1e5, exploration_fraction=1.0
+        )
+        partial = exploration_plan(
+            n_actions=10, traffic_per_day=1e5, exploration_fraction=0.1
+        )
+        assert partial.days_to_target == pytest.approx(
+            10.0 * full.days_to_target
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exploration_plan(n_actions=0, traffic_per_day=100.0)
+        with pytest.raises(ValueError):
+            exploration_plan(n_actions=2, traffic_per_day=0.0)
+        with pytest.raises(ValueError):
+            exploration_plan(
+                n_actions=2, traffic_per_day=1.0, exploration_fraction=0.0
+            )
+
+
+class TestWastedPotential:
+    def test_grows_exponentially_in_n(self):
+        small = wasted_potential(10**4, epsilon=0.1)
+        large = wasted_potential(2 * 10**4, epsilon=0.1)
+        # Doubling N squares K/delta (log K grows linearly).
+        assert large / small == pytest.approx(
+            small / 0.05, rel=1e-6
+        )
+
+    def test_paper_scale_example(self):
+        """A system making 10M randomized decisions/day at eps=0.04
+        holds enormous evaluation capacity."""
+        k = wasted_potential(10**7, epsilon=0.04)
+        assert k > 10**6
+
+    def test_overflow_guard(self):
+        assert wasted_potential(10**12, epsilon=1.0) == 1e300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wasted_potential(0, epsilon=0.1)
+        with pytest.raises(ValueError):
+            wasted_potential(100, epsilon=0.0)
+
+
+class TestEpsilonForDeadline:
+    def test_solves_eq1(self):
+        epsilon = epsilon_for_deadline(
+            n_actions=25, traffic_total=10**7, policy_class_size=10**6
+        )
+        achieved = ips_error_bound(10**7, epsilon, k=10**6, delta=0.05)
+        assert achieved == pytest.approx(0.05, rel=1e-9)
+
+    def test_more_traffic_needs_less_epsilon(self):
+        small = epsilon_for_deadline(n_actions=25, traffic_total=10**7)
+        large = epsilon_for_deadline(n_actions=25, traffic_total=10**8)
+        assert large < small
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ValueError, match="cannot reach"):
+            epsilon_for_deadline(n_actions=25, traffic_total=100.0)
+
+    def test_feasibility_boundary_consistent_with_plan(self):
+        """epsilon_for_deadline and exploration_plan agree at the
+        boundary: planning with the solved epsilon's traffic gives
+        back the same N."""
+        traffic = 5 * 10**6
+        epsilon = epsilon_for_deadline(n_actions=10, traffic_total=traffic)
+        # Eq. 1 with that epsilon needs exactly `traffic` samples.
+        from repro.core.estimators.bounds import ips_sample_size
+
+        assert ips_sample_size(0.05, epsilon, k=10**6) == pytest.approx(
+            traffic, rel=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            epsilon_for_deadline(n_actions=0, traffic_total=100.0)
+        with pytest.raises(ValueError):
+            epsilon_for_deadline(n_actions=2, traffic_total=0.0)

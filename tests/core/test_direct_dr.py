@@ -1,0 +1,155 @@
+"""Unit tests for the Direct Method and Doubly Robust estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.direct import DirectMethodEstimator, RewardModel
+from repro.core.estimators.doubly_robust import DoublyRobustEstimator
+from repro.core.estimators.ips import IPSEstimator
+from repro.core.features import Featurizer
+from repro.core.policies import ConstantPolicy, UniformRandomPolicy
+from repro.core.types import ActionSpace, Dataset, Interaction
+
+from tests.conftest import make_uniform_dataset
+
+
+def true_value(action: int) -> float:
+    return 0.2 + 0.15 * action + 0.3 * 0.5
+
+
+class TestRewardModel:
+    def test_learns_linear_reward(self):
+        dataset = make_uniform_dataset(3000, seed=1)
+        model = RewardModel(3, featurizer=Featurizer(16)).fit(dataset)
+        for action in range(3):
+            for load in (0.2, 0.8):
+                predicted = model.predict({"load": load, "bias": 1.0}, action)
+                expected = 0.2 + 0.15 * action + 0.3 * load
+                assert predicted == pytest.approx(expected, abs=0.05)
+
+    def test_unseen_action_predicts_global_mean(self):
+        ds = Dataset(action_space=ActionSpace(3))
+        for t in range(50):
+            ds.append(Interaction({"x": 1.0}, 0, reward=0.4, propensity=1.0))
+        model = RewardModel(3).fit(ds)
+        assert model.predict({"x": 1.0}, 2) == pytest.approx(0.4)
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            RewardModel(2).fit(Dataset())
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RewardModel(2).predict({}, 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RewardModel(0)
+        with pytest.raises(ValueError):
+            RewardModel(2, l2=-1.0)
+
+
+class TestDirectMethod:
+    def test_recovers_constant_policy_value(self):
+        dataset = make_uniform_dataset(5000, seed=2)
+        estimate = DirectMethodEstimator().estimate(ConstantPolicy(1), dataset)
+        assert estimate.value == pytest.approx(true_value(1), abs=0.03)
+
+    def test_uses_all_data(self):
+        dataset = make_uniform_dataset(300, seed=3)
+        estimate = DirectMethodEstimator().estimate(ConstantPolicy(0), dataset)
+        assert estimate.effective_n == 300
+
+    def test_stochastic_policy_averages_predictions(self):
+        dataset = make_uniform_dataset(5000, seed=4)
+        estimate = DirectMethodEstimator().estimate(
+            UniformRandomPolicy(), dataset
+        )
+        expected = np.mean([true_value(a) for a in range(3)])
+        assert estimate.value == pytest.approx(expected, abs=0.03)
+
+    def test_prefitted_model_reused(self):
+        train = make_uniform_dataset(2000, seed=5)
+        test = make_uniform_dataset(500, seed=6)
+        model = RewardModel(3).fit(train)
+        estimate = DirectMethodEstimator(model).estimate(
+            ConstantPolicy(2), test
+        )
+        assert estimate.value == pytest.approx(true_value(2), abs=0.05)
+
+    def test_dm_is_biased_when_model_is_wrong(self):
+        """Model misspecification biases DM — the §2 critique."""
+        # Reward is quadratic in load; the linear model cannot express it.
+        def reward_fn(context, action, rng):
+            return float(np.clip((context["load"] - 0.5) ** 2 * 4.0, 0, 1))
+
+        dataset = make_uniform_dataset(4000, seed=7, reward_fn=reward_fn)
+        dm = DirectMethodEstimator().estimate(ConstantPolicy(0), dataset)
+        # Truth: E[(U-0.5)^2 * 4] = 4/12 = 1/3. A linear-in-load model
+        # predicts its mean at the evaluation contexts, which is also
+        # 1/3 on average, so compare pointwise instead: the *model*
+        # error shows in per-context predictions.
+        model = RewardModel(3).fit(dataset)
+        prediction_center = model.predict({"load": 0.5, "bias": 1.0}, 0)
+        assert abs(prediction_center - 0.0) > 0.1  # truth at load=0.5 is 0
+
+
+class TestDoublyRobust:
+    def test_recovers_truth(self):
+        dataset = make_uniform_dataset(5000, seed=8)
+        estimate = DoublyRobustEstimator().estimate(ConstantPolicy(1), dataset)
+        assert estimate.value == pytest.approx(true_value(1), abs=0.03)
+
+    def test_lower_variance_than_ips(self):
+        """The §5 promise: DR reduces IPS variance via the model."""
+        ips_vals, dr_vals = [], []
+        for seed in range(30):
+            ds = make_uniform_dataset(300, seed=200 + seed)
+            ips_vals.append(IPSEstimator().estimate(ConstantPolicy(1), ds).value)
+            dr_vals.append(
+                DoublyRobustEstimator().estimate(ConstantPolicy(1), ds).value
+            )
+        assert np.std(dr_vals) < np.std(ips_vals)
+
+    def test_unbiased_even_with_bad_model(self):
+        """DR stays consistent when the reward model is garbage, as long
+        as propensities are right (the 'doubly' in doubly robust)."""
+
+        class ZeroModel(RewardModel):
+            def __init__(self):
+                super().__init__(n_actions=3)
+                self._fitted = True
+
+            def predict(self, context, action):
+                return 0.77  # constant nonsense
+
+        dataset = make_uniform_dataset(20000, seed=9)
+        estimate = DoublyRobustEstimator(ZeroModel()).estimate(
+            ConstantPolicy(1), dataset
+        )
+        assert estimate.value == pytest.approx(true_value(1), abs=0.03)
+
+    def test_perfect_model_gives_near_zero_variance(self):
+        class OracleModel(RewardModel):
+            def __init__(self):
+                super().__init__(n_actions=3)
+                self._fitted = True
+
+            def predict(self, context, action):
+                return 0.2 + 0.15 * action + 0.3 * context["load"]
+
+        dataset = make_uniform_dataset(500, seed=10)
+        estimate = DoublyRobustEstimator(OracleModel()).estimate(
+            ConstantPolicy(1), dataset
+        )
+        ips = IPSEstimator().estimate(ConstantPolicy(1), dataset)
+        assert estimate.std_error < ips.std_error / 2
+
+    def test_match_rate_details(self):
+        dataset = make_uniform_dataset(600, seed=11)
+        estimate = DoublyRobustEstimator().estimate(ConstantPolicy(0), dataset)
+        assert estimate.details["match_rate"] == pytest.approx(1 / 3, abs=0.05)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            DoublyRobustEstimator().estimate(ConstantPolicy(0), Dataset())

@@ -1,0 +1,64 @@
+"""Unit tests for shared estimator plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.base import (
+    EstimatorResult,
+    eligible_actions_fn,
+)
+from repro.core.types import ActionSpace, Dataset, Interaction
+
+
+class TestEligibleActionsFn:
+    def test_uses_attached_action_space(self):
+        space = ActionSpace(4)
+        ds = Dataset(action_space=space)
+        ds.append(Interaction({}, 0, 0.5, 1.0))
+        fn = eligible_actions_fn(ds)
+        assert fn(ds[0]) == [0, 1, 2, 3]
+
+    def test_context_dependent_eligibility(self):
+        space = ActionSpace(
+            4, eligibility=lambda ctx: [0, 1] if ctx.get("half") else [2, 3]
+        )
+        ds = Dataset(action_space=space)
+        ds.append(Interaction({"half": 1.0}, 0, 0.5, 0.5))
+        ds.append(Interaction({}, 2, 0.5, 0.5))
+        fn = eligible_actions_fn(ds)
+        assert fn(ds[0]) == [0, 1]
+        assert fn(ds[1]) == [2, 3]
+
+    def test_falls_back_to_observed_actions(self):
+        ds = Dataset()  # no action space attached
+        ds.append(Interaction({}, 2, 0.5, 0.5))
+        ds.append(Interaction({}, 5, 0.5, 0.5))
+        fn = eligible_actions_fn(ds)
+        assert fn(ds[0]) == [2, 5]
+
+    def test_empty_dataset_fallback(self):
+        fn = eligible_actions_fn(Dataset())
+        assert fn(None) == [0]
+
+
+class TestEstimatorResult:
+    def test_confidence_interval_z(self):
+        result = EstimatorResult(
+            value=1.0, std_error=0.1, n=100, effective_n=50, estimator="x"
+        )
+        lo, hi = result.confidence_interval(z=2.0)
+        assert lo == pytest.approx(0.8)
+        assert hi == pytest.approx(1.2)
+
+    def test_repr_contains_essentials(self):
+        result = EstimatorResult(
+            value=0.5, std_error=0.05, n=10, effective_n=3, estimator="ips"
+        )
+        text = repr(result)
+        assert "ips" in text
+        assert "0.5" in text
+        assert "n=10" in text
+
+    def test_details_default_empty(self):
+        result = EstimatorResult(0.0, 0.0, 1, 1, "x")
+        assert result.details == {}

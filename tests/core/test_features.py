@@ -1,0 +1,127 @@
+"""Unit tests for feature engineering."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureEncoder, Featurizer, interaction_features
+
+
+class TestFeatureEncoder:
+    RECORDS = [
+        {"sku": "a", "os": "linux", "age": 1.0},
+        {"sku": "b", "os": "linux", "age": 3.0},
+        {"sku": "a", "os": "windows", "age": 5.0},
+    ]
+
+    def test_one_hot_categoricals(self):
+        encoder = FeatureEncoder(categorical=["sku"], numeric=["age"])
+        encoder.fit(self.RECORDS)
+        encoded = encoder.encode({"sku": "b", "age": 2.0})
+        assert encoded["sku=b"] == 1.0
+        assert "sku=a" not in encoded
+        assert encoded["age"] == 2.0
+
+    def test_unseen_category_goes_to_other(self):
+        encoder = FeatureEncoder(categorical=["sku"]).fit(self.RECORDS)
+        encoded = encoder.encode({"sku": "zzz"})
+        assert encoded["sku=<other>"] == 1.0
+
+    def test_standardize(self):
+        encoder = FeatureEncoder(numeric=["age"], standardize=True)
+        encoder.fit(self.RECORDS)
+        # ages 1,3,5: mean 3, std sqrt(8/3)
+        encoded = encoder.encode({"age": 3.0})
+        assert encoded["age"] == pytest.approx(0.0)
+        hi = encoder.encode({"age": 5.0})["age"]
+        lo = encoder.encode({"age": 1.0})["age"]
+        assert hi == pytest.approx(-lo)
+
+    def test_missing_numeric_defaults_to_zero(self):
+        encoder = FeatureEncoder(numeric=["age"]).fit(self.RECORDS)
+        assert encoder.encode({})["age"] == 0.0
+
+    def test_encode_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FeatureEncoder(numeric=["age"]).encode({"age": 1.0})
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            FeatureEncoder(numeric=["age"]).fit([])
+
+    def test_overlapping_fields_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureEncoder(categorical=["x"], numeric=["x"])
+
+    def test_encode_all(self):
+        encoder = FeatureEncoder(numeric=["age"]).fit(self.RECORDS)
+        assert len(encoder.encode_all(self.RECORDS)) == 3
+
+    def test_constant_numeric_does_not_divide_by_zero(self):
+        encoder = FeatureEncoder(numeric=["c"], standardize=True)
+        encoder.fit([{"c": 5.0}, {"c": 5.0}])
+        assert np.isfinite(encoder.encode({"c": 5.0})["c"])
+
+
+class TestFeaturizer:
+    def test_vector_shape_and_bias(self):
+        featurizer = Featurizer(n_dims=16)
+        vec = featurizer.vector({"x": 2.0})
+        assert vec.shape == (16,)
+        assert vec[-1] == 1.0  # bias slot
+
+    def test_same_context_same_vector(self):
+        featurizer = Featurizer(n_dims=16)
+        a = featurizer.vector({"x": 2.0, "y": 1.0})
+        b = featurizer.vector({"y": 1.0, "x": 2.0})
+        np.testing.assert_array_equal(a, b)
+
+    def test_feature_value_scales_linearly(self):
+        featurizer = Featurizer(n_dims=32, bias=False)
+        one = featurizer.vector({"x": 1.0})
+        three = featurizer.vector({"x": 3.0})
+        np.testing.assert_allclose(three, 3.0 * one)
+
+    def test_no_bias_mode(self):
+        featurizer = Featurizer(n_dims=8, bias=False)
+        assert featurizer.vector({})[-1] == 0.0
+
+    def test_too_few_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Featurizer(n_dims=1)
+
+    def test_action_vector_block_placement(self):
+        featurizer = Featurizer(n_dims=8)
+        base = featurizer.vector({"x": 1.0})
+        placed = featurizer.action_vector({"x": 1.0}, action=2, n_actions=4)
+        assert placed.shape == (32,)
+        np.testing.assert_array_equal(placed[16:24], base)
+        assert not placed[:16].any()
+        assert not placed[24:].any()
+
+    def test_action_vector_out_of_range(self):
+        with pytest.raises(ValueError):
+            Featurizer(8).action_vector({}, action=4, n_actions=4)
+
+    def test_matrix(self):
+        featurizer = Featurizer(n_dims=8)
+        mat = featurizer.matrix([{"x": 1.0}, {"x": 2.0}])
+        assert mat.shape == (2, 8)
+
+    def test_matrix_empty(self):
+        assert Featurizer(8).matrix([]).shape == (0, 8)
+
+
+class TestInteractionFeatures:
+    def test_product_added(self):
+        out = interaction_features({"a": 2.0, "b": 3.0}, [("a", "b")])
+        assert out["a*b"] == 6.0
+        assert out["a"] == 2.0  # originals preserved
+
+    def test_missing_feature_skips_pair(self):
+        out = interaction_features({"a": 2.0}, [("a", "b")])
+        assert "a*b" not in out
+
+    def test_original_not_mutated(self):
+        context = {"a": 1.0, "b": 1.0}
+        interaction_features(context, [("a", "b")])
+        assert "a*b" not in context

@@ -1,0 +1,223 @@
+"""Unit tests for policy abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    ConstantPolicy,
+    DeterministicFunctionPolicy,
+    EpsilonGreedyPolicy,
+    GreedyRegressorPolicy,
+    HashPolicy,
+    LinearThresholdPolicy,
+    MixturePolicy,
+    PolicyClass,
+    SoftmaxPolicy,
+    UniformRandomPolicy,
+)
+
+ACTIONS = [0, 1, 2]
+
+
+class TestConstantPolicy:
+    def test_point_mass(self):
+        probs = ConstantPolicy(1).distribution({}, ACTIONS)
+        assert probs.tolist() == [0.0, 1.0, 0.0]
+
+    def test_act_returns_constant_with_propensity_one(self, rng):
+        action, p = ConstantPolicy(2).act({}, ACTIONS, rng)
+        assert (action, p) == (2, 1.0)
+
+    def test_ineligible_constant_raises(self):
+        with pytest.raises(ValueError):
+            ConstantPolicy(5).distribution({}, ACTIONS)
+
+
+class TestUniformRandomPolicy:
+    def test_distribution_is_uniform(self):
+        probs = UniformRandomPolicy().distribution({}, ACTIONS)
+        np.testing.assert_allclose(probs, [1 / 3] * 3)
+
+    def test_act_covers_all_actions(self, rng):
+        seen = {UniformRandomPolicy().act({}, ACTIONS, rng)[0] for _ in range(100)}
+        assert seen == {0, 1, 2}
+
+    def test_propensity_is_one_over_n(self, rng):
+        _, p = UniformRandomPolicy().act({}, ACTIONS, rng)
+        assert p == pytest.approx(1 / 3)
+
+
+class TestDeterministicFunctionPolicy:
+    def test_uses_context(self):
+        policy = DeterministicFunctionPolicy(
+            lambda ctx, actions: int(ctx["pick"]), name="picker"
+        )
+        assert policy.action({"pick": 2.0}, ACTIONS) == 2
+
+    def test_invalid_choice_raises(self):
+        policy = DeterministicFunctionPolicy(lambda ctx, actions: 99)
+        with pytest.raises(ValueError):
+            policy.distribution({}, ACTIONS)
+
+
+class TestEpsilonGreedy:
+    def test_mixes_base_with_uniform(self):
+        policy = EpsilonGreedyPolicy(ConstantPolicy(0), epsilon=0.3)
+        probs = policy.distribution({}, ACTIONS)
+        np.testing.assert_allclose(probs, [0.8, 0.1, 0.1])
+
+    def test_minimum_propensity_is_eps_over_n(self):
+        policy = EpsilonGreedyPolicy(ConstantPolicy(0), epsilon=0.3)
+        assert policy.probability_of({}, ACTIONS, 2) == pytest.approx(0.1)
+
+    def test_epsilon_zero_is_base(self):
+        policy = EpsilonGreedyPolicy(ConstantPolicy(1), epsilon=0.0)
+        assert policy.distribution({}, ACTIONS).tolist() == [0.0, 1.0, 0.0]
+
+    def test_epsilon_one_is_uniform(self):
+        policy = EpsilonGreedyPolicy(ConstantPolicy(1), epsilon=1.0)
+        np.testing.assert_allclose(policy.distribution({}, ACTIONS), [1 / 3] * 3)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedyPolicy(ConstantPolicy(0), epsilon=1.5)
+
+
+class TestSoftmaxPolicy:
+    def test_prefers_higher_score(self):
+        policy = SoftmaxPolicy(lambda ctx, a: float(a), temperature=1.0)
+        probs = policy.distribution({}, ACTIONS)
+        assert probs[2] > probs[1] > probs[0]
+
+    def test_low_temperature_approaches_greedy(self):
+        policy = SoftmaxPolicy(lambda ctx, a: float(a), temperature=0.01)
+        assert policy.distribution({}, ACTIONS)[2] > 0.99
+
+    def test_high_temperature_approaches_uniform(self):
+        policy = SoftmaxPolicy(lambda ctx, a: float(a), temperature=1000.0)
+        np.testing.assert_allclose(
+            policy.distribution({}, ACTIONS), [1 / 3] * 3, atol=0.01
+        )
+
+    def test_overflow_safe(self):
+        policy = SoftmaxPolicy(lambda ctx, a: 1e6 * a, temperature=1.0)
+        probs = policy.distribution({}, ACTIONS)
+        assert np.isfinite(probs).all()
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            SoftmaxPolicy(lambda c, a: 0.0, temperature=0.0)
+
+
+class TestGreedyRegressorPolicy:
+    def test_maximize_picks_argmax(self):
+        policy = GreedyRegressorPolicy(lambda ctx, a: [0.1, 0.9, 0.5][a])
+        assert policy.action({}, ACTIONS) == 1
+
+    def test_minimize_picks_argmin(self):
+        policy = GreedyRegressorPolicy(
+            lambda ctx, a: [0.1, 0.9, 0.5][a], maximize=False
+        )
+        assert policy.action({}, ACTIONS) == 0
+
+    def test_tie_breaks_low_action(self):
+        policy = GreedyRegressorPolicy(lambda ctx, a: 0.5)
+        assert policy.action({}, ACTIONS) == 0
+
+
+class TestHashPolicy:
+    def test_same_key_same_action(self, rng):
+        policy = HashPolicy(lambda ctx: "client-42")
+        a1, _ = policy.act({}, ACTIONS, rng)
+        a2, _ = policy.act({}, ACTIONS, rng)
+        assert a1 == a2
+
+    def test_marginal_propensity_is_uniform(self, rng):
+        policy = HashPolicy(lambda ctx: "any")
+        _, p = policy.act({}, ACTIONS, rng)
+        assert p == pytest.approx(1 / 3)
+
+    def test_different_keys_spread(self, rng):
+        policy = HashPolicy(lambda ctx: ctx["key"])
+        seen = {
+            policy.act({"key": f"client-{i}"}, ACTIONS, rng)[0] for i in range(50)
+        }
+        assert seen == {0, 1, 2}
+
+
+class TestMixturePolicy:
+    def test_blends_distributions(self):
+        mix = MixturePolicy(
+            [ConstantPolicy(0), UniformRandomPolicy()], weights=[0.5, 0.5]
+        )
+        probs = mix.distribution({}, ACTIONS)
+        np.testing.assert_allclose(probs, [0.5 + 1 / 6, 1 / 6, 1 / 6])
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            MixturePolicy([ConstantPolicy(0)], weights=[0.5])
+        with pytest.raises(ValueError):
+            MixturePolicy(
+                [ConstantPolicy(0), ConstantPolicy(1)], weights=[0.9, 0.2]
+            )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MixturePolicy([ConstantPolicy(0)], weights=[0.5, 0.5])
+
+
+class TestLinearThresholdPolicy:
+    def test_picks_argmax_score(self):
+        # Action 0 scores x, action 1 scores -x (bias columns zero).
+        weights = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        policy = LinearThresholdPolicy(weights, ["x"])
+        assert policy.action({"x": 2.0}, [0, 1]) == 0
+        assert policy.action({"x": -2.0}, [0, 1]) == 1
+
+    def test_bias_column_used(self):
+        weights = np.array([[0.0, 0.0], [0.0, 1.0]])
+        policy = LinearThresholdPolicy(weights, ["x"])
+        assert policy.action({"x": 0.0}, [0, 1]) == 1
+
+    def test_missing_feature_treated_as_zero(self):
+        weights = np.array([[1.0, 0.0], [0.0, 0.5]])
+        policy = LinearThresholdPolicy(weights, ["x"])
+        assert policy.action({}, [0, 1]) == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearThresholdPolicy(np.zeros(3), ["x"])
+        with pytest.raises(ValueError):
+            LinearThresholdPolicy(np.zeros((2, 5)), ["x"])
+
+
+class TestPolicyClass:
+    def test_enumeration(self):
+        pc = PolicyClass.all_constant(4)
+        assert len(pc) == 4
+        assert pc[2].action({}, list(range(4))) == 2
+
+    def test_random_linear_deterministic(self, rng):
+        a = PolicyClass.random_linear(5, 3, ["x"], np.random.default_rng(1))
+        b = PolicyClass.random_linear(5, 3, ["x"], np.random.default_rng(1))
+        context = {"x": 0.7}
+        for pa, pb in zip(a, b):
+            assert pa.action(context, ACTIONS) == pb.action(context, ACTIONS)
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyClass([])
+
+
+class TestPolicyHelpers:
+    def test_probability_of_ineligible_action_is_zero(self):
+        assert UniformRandomPolicy().probability_of({}, [0, 1], 5) == 0.0
+
+    def test_act_distribution_consistency(self, rng):
+        # Empirical frequencies from act() should match distribution().
+        policy = EpsilonGreedyPolicy(ConstantPolicy(0), epsilon=0.5)
+        draws = [policy.act({}, ACTIONS, rng)[0] for _ in range(6000)]
+        freqs = np.bincount(draws, minlength=3) / len(draws)
+        np.testing.assert_allclose(
+            freqs, policy.distribution({}, ACTIONS), atol=0.03
+        )

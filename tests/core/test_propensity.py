@@ -1,0 +1,126 @@
+"""Unit tests for propensity inference."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    ConstantPolicy,
+    EpsilonGreedyPolicy,
+    SoftmaxPolicy,
+    UniformRandomPolicy,
+)
+from repro.core.propensity import (
+    DeclaredPropensityModel,
+    EmpiricalPropensityModel,
+    RegressionPropensityModel,
+)
+
+
+class TestDeclaredPropensityModel:
+    def test_reads_policy_distribution(self):
+        model = DeclaredPropensityModel(
+            EpsilonGreedyPolicy(ConstantPolicy(0), epsilon=0.3)
+        )
+        assert model.propensity({}, 0, [0, 1, 2]) == pytest.approx(0.8)
+        assert model.propensity({}, 1, [0, 1, 2]) == pytest.approx(0.1)
+
+    def test_zero_probability_action_raises(self):
+        model = DeclaredPropensityModel(ConstantPolicy(0))
+        with pytest.raises(ValueError):
+            model.propensity({}, 1, [0, 1])
+
+    def test_annotate_builds_dataset(self):
+        model = DeclaredPropensityModel(UniformRandomPolicy())
+        records = [({"x": 1.0}, 0, 0.5), ({"x": 2.0}, 1, 0.7)]
+        dataset = model.annotate(records, n_actions=2)
+        assert len(dataset) == 2
+        assert dataset[0].propensity == pytest.approx(0.5)
+        assert dataset[1].reward == 0.7
+
+    def test_annotate_empty_raises(self):
+        model = DeclaredPropensityModel(UniformRandomPolicy())
+        with pytest.raises(ValueError):
+            model.annotate([])
+
+    def test_annotate_infers_action_count(self):
+        model = DeclaredPropensityModel(UniformRandomPolicy())
+        records = [({}, 3, 0.1)]  # max action 3 -> 4 actions
+        dataset = model.annotate(records)
+        assert dataset[0].propensity == pytest.approx(0.25)
+
+
+class TestEmpiricalPropensityModel:
+    def test_learns_frequencies(self):
+        model = EmpiricalPropensityModel().fit([0] * 80 + [1] * 20)
+        p0 = model.propensity({}, 0, [0, 1])
+        p1 = model.propensity({}, 1, [0, 1])
+        assert p0 == pytest.approx(81 / 102)  # add-one smoothing
+        assert p1 == pytest.approx(21 / 102)
+
+    def test_unseen_action_gets_smoothed_positive_propensity(self):
+        model = EmpiricalPropensityModel().fit([0] * 10)
+        assert model.propensity({}, 1, [0, 1]) > 0.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            EmpiricalPropensityModel().propensity({}, 0, [0, 1])
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            EmpiricalPropensityModel().fit([])
+
+
+class TestRegressionPropensityModel:
+    def _logged_data(self, n=4000, seed=0):
+        """A context-dependent logging policy: softmax on x."""
+        rng = np.random.default_rng(seed)
+        logging = SoftmaxPolicy(
+            lambda ctx, a: 2.0 * ctx["x"] * (1 if a == 1 else -1),
+            temperature=1.0,
+        )
+        contexts, actions = [], []
+        for _ in range(n):
+            context = {"x": float(rng.uniform(-1, 1)), "bias": 1.0}
+            action, _ = logging.act(context, [0, 1], rng)
+            contexts.append(context)
+            actions.append(action)
+        return logging, contexts, actions
+
+    def test_recovers_context_dependent_distribution(self):
+        logging, contexts, actions = self._logged_data()
+        model = RegressionPropensityModel(2, epochs=3).fit(contexts, actions)
+        for x in (-0.8, 0.0, 0.8):
+            context = {"x": x, "bias": 1.0}
+            truth = logging.distribution(context, [0, 1])
+            learned = model.distribution(context)
+            np.testing.assert_allclose(learned, truth, atol=0.1)
+
+    def test_propensity_restricted_to_eligible(self):
+        _, contexts, actions = self._logged_data(n=500)
+        model = RegressionPropensityModel(3).fit(contexts, actions)
+        # Restricting to a single eligible action renormalizes to 1.
+        assert model.propensity({"x": 0.0}, 1, [1]) == pytest.approx(1.0)
+
+    def test_floor_keeps_propensities_positive(self):
+        _, contexts, actions = self._logged_data(n=1000)
+        model = RegressionPropensityModel(2, floor=0.01).fit(contexts, actions)
+        probs = model.distribution({"x": 5.0, "bias": 1.0})  # extreme context
+        assert probs.min() >= 0.009
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionPropensityModel(2).distribution({})
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            RegressionPropensityModel(2).fit([{}], [0, 1])
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            RegressionPropensityModel(2).fit([], [])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RegressionPropensityModel(1)
+        with pytest.raises(ValueError):
+            RegressionPropensityModel(2, floor=0.0)

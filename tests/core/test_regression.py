@@ -1,0 +1,139 @@
+"""Unit tests for the regression oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.learners.regression import RidgeRegressor, SGDRegressor
+
+
+class TestRidgeRegressor:
+    def test_exact_fit_with_tiny_regularization(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        w_true = np.array([1.5, -2.0, 0.5])
+        y = X @ w_true
+        model = RidgeRegressor(3, l2=1e-8).fit(X, y)
+        np.testing.assert_allclose(model.weights, w_true, atol=1e-6)
+
+    def test_regularization_shrinks_weights(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        y = X @ np.array([3.0, -3.0])
+        loose = RidgeRegressor(2, l2=0.001).fit(X, y)
+        tight = RidgeRegressor(2, l2=100.0).fit(X, y)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+    def test_sample_weights_prioritize(self):
+        # Two inconsistent points; the heavy one should dominate.
+        X = np.array([[1.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        w = np.array([1.0, 1000.0])
+        model = RidgeRegressor(1, l2=1e-6).fit(X, y, sample_weight=w)
+        assert model.predict(np.array([1.0])) == pytest.approx(10.0, abs=0.1)
+
+    def test_predict_many(self):
+        X = np.array([[1.0], [2.0]])
+        model = RidgeRegressor(1, l2=1e-9).fit(X, np.array([2.0, 4.0]))
+        np.testing.assert_allclose(model.predict_many(X), [2.0, 4.0], atol=1e-6)
+
+    def test_shape_validation(self):
+        model = RidgeRegressor(2)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 5)), np.zeros(3))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 2)), np.zeros(2), sample_weight=np.array([-1, 1]))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(0)
+        with pytest.raises(ValueError):
+            RidgeRegressor(2, l2=-0.5)
+
+
+class TestSGDRegressor:
+    def test_converges_to_linear_target(self):
+        rng = np.random.default_rng(2)
+        model = SGDRegressor(3, learning_rate=0.5)
+        w_true = np.array([1.0, -0.5, 0.25])
+        for _ in range(4000):
+            x = rng.normal(size=3)
+            model.update(x, float(x @ w_true))
+        np.testing.assert_allclose(model.weights, w_true, atol=0.05)
+
+    def test_implicit_update_is_stable_under_huge_rates(self):
+        """The implicit step can never overshoot — even absurd learning
+        rates and importance weights leave weights finite."""
+        model = SGDRegressor(2, learning_rate=1e6, decay=False)
+        for _ in range(100):
+            model.update(np.array([100.0, -50.0]), y=1e4, importance=1e5)
+        assert np.isfinite(model.weights).all()
+
+    def test_implicit_update_moves_toward_target_not_past(self):
+        model = SGDRegressor(1, learning_rate=100.0, decay=False)
+        model.update(np.array([1.0]), y=10.0)
+        # Prediction moved from 0 toward 10 and did not overshoot.
+        assert 0.0 < model.predict(np.array([1.0])) <= 10.0
+
+    def test_importance_weight_speeds_learning(self):
+        heavy = SGDRegressor(1, learning_rate=0.1)
+        light = SGDRegressor(1, learning_rate=0.1)
+        x = np.array([1.0])
+        heavy.update(x, 1.0, importance=50.0)
+        light.update(x, 1.0, importance=1.0)
+        assert heavy.predict(x) > light.predict(x)
+
+    def test_zero_importance_is_noop_for_weights(self):
+        model = SGDRegressor(2)
+        before = model.weights.copy()
+        model.update(np.array([1.0, 1.0]), y=5.0, importance=0.0)
+        np.testing.assert_array_equal(model.weights, before)
+
+    def test_negative_importance_rejected(self):
+        with pytest.raises(ValueError):
+            SGDRegressor(1).update(np.array([1.0]), 1.0, importance=-1.0)
+
+    def test_update_returns_squared_error(self):
+        model = SGDRegressor(1)
+        err = model.update(np.array([1.0]), y=3.0)
+        assert err == pytest.approx(9.0)
+
+    def test_learning_rate_decay(self):
+        model = SGDRegressor(1, learning_rate=1.0, decay=True)
+        rate_0 = model._rate()
+        model.update(np.array([1.0]), 1.0)
+        model.update(np.array([1.0]), 1.0)
+        assert model._rate() < rate_0
+
+    def test_no_decay_mode(self):
+        model = SGDRegressor(1, learning_rate=0.3, decay=False)
+        model.update(np.array([1.0]), 1.0)
+        assert model._rate() == 0.3
+
+    def test_l2_shrinks_weights(self):
+        plain = SGDRegressor(1, learning_rate=0.5, l2=0.0)
+        shrunk = SGDRegressor(1, learning_rate=0.5, l2=5.0)
+        for _ in range(200):
+            plain.update(np.array([1.0]), 1.0)
+            shrunk.update(np.array([1.0]), 1.0)
+        assert abs(shrunk.weights[0]) < abs(plain.weights[0])
+
+    def test_clone_architecture(self):
+        model = SGDRegressor(4, learning_rate=0.2, l2=0.1, decay=False)
+        model.update(np.ones(4), 1.0)
+        clone = model.clone_architecture()
+        assert clone.n_dims == 4
+        assert clone.learning_rate == 0.2
+        assert clone.l2 == 0.1
+        assert clone.decay is False
+        assert not clone.weights.any()
+        assert clone.updates == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SGDRegressor(0)
+        with pytest.raises(ValueError):
+            SGDRegressor(1, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGDRegressor(1, l2=-1.0)

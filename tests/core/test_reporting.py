@@ -1,0 +1,96 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.core.estimators.ips import IPSEstimator
+from repro.core.policies import ConstantPolicy, UniformRandomPolicy
+from repro.core.reporting import (
+    dataset_summary,
+    dataset_summary_text,
+    estimator_table,
+    markdown_table,
+    offline_online_table,
+    text_table,
+)
+from repro.core.types import Dataset
+
+from tests.conftest import make_uniform_dataset
+
+
+class TestTableRenderers:
+    def test_text_table_alignment(self):
+        out = text_table(["a", "long-header"], [["xx", 1], ["y", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(line) for line in lines}) == 1  # aligned widths
+
+    def test_markdown_table_shape(self):
+        out = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+
+class TestDatasetSummary:
+    def test_summary_fields(self):
+        dataset = make_uniform_dataset(300, seed=1)
+        summary = dataset_summary(dataset)
+        assert summary["n"] == 300
+        assert summary["actions_declared"] == 3
+        assert summary["actions_observed"] == 3
+        assert summary["min_propensity"] == pytest.approx(1 / 3)
+        assert 0 < summary["least_seen_action_share"] <= 1 / 3 + 0.1
+        assert 0 <= summary["reward_min"] <= summary["reward_mean"]
+        assert summary["reward_mean"] <= summary["reward_max"] <= 1
+        assert summary["timespan"] == pytest.approx(299.0)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            dataset_summary(Dataset())
+
+    def test_text_rendering(self):
+        dataset = make_uniform_dataset(50, seed=2)
+        out = dataset_summary_text(dataset)
+        assert "min_propensity" in out
+        assert "quantity" in out
+
+
+class TestEstimatorTable:
+    def test_renders_results(self):
+        dataset = make_uniform_dataset(500, seed=3)
+        ips = IPSEstimator()
+        results = {
+            "const-0": ips.estimate(ConstantPolicy(0), dataset),
+            "uniform": ips.estimate(UniformRandomPolicy(), dataset),
+        }
+        out = estimator_table(results)
+        assert "const-0" in out
+        assert "95% CI" in out
+        assert "match rate" in out
+
+    def test_markdown_mode(self):
+        dataset = make_uniform_dataset(100, seed=4)
+        results = {"x": IPSEstimator().estimate(ConstantPolicy(0), dataset)}
+        out = estimator_table(results, markdown=True)
+        assert out.startswith("| policy |")
+
+
+class TestOfflineOnlineTable:
+    def test_table2_layout(self):
+        out = offline_online_table(
+            {
+                "Random": (0.44, 0.44),
+                "Send to 1": (0.31, 0.70),
+                "Never deployed": (0.35, None),
+            },
+            unit="s",
+        )
+        assert "Send to 1" in out
+        assert "0.700s" in out
+        assert out.count("-") >= 1  # the undeployed cell
+
+    def test_markdown_mode(self):
+        out = offline_online_table({"a": (1.0, 2.0)}, markdown=True)
+        assert out.splitlines()[0] == "| policy | off-policy eval | online eval |"

@@ -1,0 +1,98 @@
+"""Unit tests for streaming (incremental) evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.ips import IPSEstimator
+from repro.core.policies import ConstantPolicy, UniformRandomPolicy
+from repro.core.streaming import StreamingEvaluationBoard, StreamingIPS
+from repro.core.types import ActionSpace
+
+from tests.conftest import make_uniform_dataset
+
+
+class TestStreamingIPS:
+    def test_matches_batch_ips_exactly(self):
+        dataset = make_uniform_dataset(1500, seed=1)
+        stream = StreamingIPS(ConstantPolicy(1), ActionSpace(3))
+        stream.update_all(dataset)
+        snap = stream.snapshot()
+        batch = IPSEstimator().estimate(ConstantPolicy(1), dataset)
+        assert snap.value == pytest.approx(batch.value)
+        assert snap.std_error == pytest.approx(batch.std_error)
+        assert snap.match_rate == pytest.approx(batch.details["match_rate"])
+
+    def test_snapshot_available_mid_stream(self):
+        dataset = make_uniform_dataset(100, seed=2)
+        stream = StreamingIPS(ConstantPolicy(0), ActionSpace(3))
+        values = []
+        for interaction in dataset:
+            stream.update(interaction)
+            values.append(stream.snapshot().value)
+        assert len(values) == 100
+        # Later estimates settle (variance of running mean decreases).
+        assert abs(values[-1] - values[-2]) < abs(values[1] - values[0]) + 1.0
+
+    def test_constant_memory(self):
+        """No per-datapoint state is retained (the streaming claim)."""
+        stream = StreamingIPS(ConstantPolicy(0), ActionSpace(3))
+        stream.update_all(make_uniform_dataset(5000, seed=3))
+        own_state = {
+            k: v for k, v in vars(stream).items() if not callable(v)
+        }
+        for value in own_state.values():
+            assert not isinstance(value, (list, dict, np.ndarray)) or (
+                value is stream.action_space
+            )
+
+    def test_empty_snapshot_raises(self):
+        stream = StreamingIPS(ConstantPolicy(0), ActionSpace(2))
+        with pytest.raises(ValueError):
+            stream.snapshot()
+
+    def test_single_point_has_infinite_se(self):
+        dataset = make_uniform_dataset(1, seed=4)
+        stream = StreamingIPS(ConstantPolicy(0), ActionSpace(3))
+        stream.update_all(dataset)
+        assert stream.snapshot().std_error == float("inf")
+
+
+class TestStreamingBoard:
+    def _board(self):
+        return StreamingEvaluationBoard(
+            [ConstantPolicy(a) for a in range(3)], ActionSpace(3)
+        )
+
+    def test_all_candidates_advance_together(self):
+        board = self._board()
+        board.update_all(make_uniform_dataset(400, seed=5))
+        snaps = board.snapshots()
+        assert len(snaps) == 3
+        assert all(s.n == 400 for s in snaps)
+
+    def test_leader_is_best_action(self):
+        board = self._board()
+        board.update_all(make_uniform_dataset(6000, seed=6))
+        assert board.leader(maximize=True).policy_name == "constant[2]"
+        assert board.leader(maximize=False).policy_name == "constant[0]"
+
+    def test_resolution_emerges_with_data(self):
+        board = self._board()
+        board.update_all(make_uniform_dataset(30, seed=7))
+        early = board.resolved()
+        board.update_all(make_uniform_dataset(20000, seed=8))
+        late = board.resolved()
+        assert late
+        # Resolution never goes from certain to uncertain in this flow.
+        assert late or not early
+
+    def test_single_candidate_always_resolved(self):
+        board = StreamingEvaluationBoard(
+            [UniformRandomPolicy()], ActionSpace(3)
+        )
+        board.update_all(make_uniform_dataset(10, seed=9))
+        assert board.resolved()
+
+    def test_no_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingEvaluationBoard([], ActionSpace(2))

@@ -1,0 +1,76 @@
+"""Unit tests for the full-feedback supervised baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.learners.supervised import SupervisedTrainer
+from repro.core.types import ActionSpace, Dataset, Interaction
+
+
+class TestSupervisedTrainer:
+    def test_learns_optimal_contextual_policy(self, full_feedback_dataset):
+        trainer = SupervisedTrainer(4, l2=0.01).fit(full_feedback_dataset)
+        policy = trainer.policy()
+        # Full rewards favor even actions for x > 0 and odd for x < 0
+        # (action 3 has a +0.1 bump: check construction in conftest).
+        chosen_pos = policy.action({"x": 0.9, "bias": 1.0}, [0, 1, 2, 3])
+        chosen_neg = policy.action({"x": -0.9, "bias": 1.0}, [0, 1, 2, 3])
+        assert chosen_pos in (0, 2)
+        assert chosen_neg in (1, 3)
+
+    def test_average_reward_matches_lookup(self, full_feedback_dataset):
+        trainer = SupervisedTrainer(4, l2=0.01).fit(full_feedback_dataset)
+        value = trainer.average_reward(full_feedback_dataset)
+        # Recompute by hand.
+        policy = trainer.policy()
+        manual = np.mean(
+            [
+                i.full_rewards[policy.action(i.context, [0, 1, 2, 3])]
+                for i in full_feedback_dataset
+            ]
+        )
+        assert value == pytest.approx(float(manual))
+
+    def test_beats_best_constant(self, full_feedback_dataset):
+        trainer = SupervisedTrainer(4, l2=0.01).fit(full_feedback_dataset)
+        learned = trainer.average_reward(full_feedback_dataset)
+        best_constant = max(
+            np.mean([i.full_rewards[a] for i in full_feedback_dataset])
+            for a in range(4)
+        )
+        assert learned > best_constant
+
+    def test_requires_full_rewards(self):
+        ds = Dataset(action_space=ActionSpace(2))
+        ds.append(Interaction({}, 0, 0.5, 1.0))  # no full_rewards
+        with pytest.raises(ValueError):
+            SupervisedTrainer(2).fit(ds)
+
+    def test_rejects_wrong_reward_count(self):
+        ds = Dataset(action_space=ActionSpace(3))
+        ds.append(Interaction({}, 0, 0.5, 1.0, full_rewards=[0.5, 0.6]))
+        with pytest.raises(ValueError):
+            SupervisedTrainer(3).fit(ds)
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            SupervisedTrainer(2).fit(Dataset())
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SupervisedTrainer(2).predict({}, 0)
+        with pytest.raises(RuntimeError):
+            SupervisedTrainer(2).policy()
+
+    def test_minimize_mode(self):
+        ds = Dataset(action_space=ActionSpace(2))
+        for t in range(100):
+            ds.append(
+                Interaction({"bias": 1.0}, 0, 0.9, 1.0, full_rewards=[0.9, 0.1])
+            )
+        trainer = SupervisedTrainer(2, maximize=False).fit(ds)
+        assert trainer.policy().action({"bias": 1.0}, [0, 1]) == 1
+
+    def test_invalid_n_actions(self):
+        with pytest.raises(ValueError):
+            SupervisedTrainer(0)

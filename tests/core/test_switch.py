@@ -1,0 +1,88 @@
+"""Unit tests for the SWITCH estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.direct import DirectMethodEstimator, RewardModel
+from repro.core.estimators.ips import IPSEstimator
+from repro.core.estimators.switch import SwitchEstimator
+from repro.core.policies import ConstantPolicy
+from repro.core.types import ActionSpace, Dataset, Interaction
+
+from tests.conftest import make_uniform_dataset
+
+
+def true_value(action: int) -> float:
+    return 0.2 + 0.15 * action + 0.3 * 0.5
+
+
+class TestSwitchEstimator:
+    def test_huge_tau_recovers_ips(self):
+        dataset = make_uniform_dataset(800, seed=1)
+        switch = SwitchEstimator(tau=1e9).estimate(ConstantPolicy(1), dataset)
+        ips = IPSEstimator().estimate(ConstantPolicy(1), dataset)
+        assert switch.value == pytest.approx(ips.value)
+        assert switch.details["switch_fraction"] == 0.0
+
+    def test_tiny_tau_switches_every_matched_point_to_dm(self):
+        """With τ below every nonzero weight, all matched points use
+        the model.  For the uniform candidate every point matches
+        (weight 1 > τ), so the estimate equals DM exactly; unmatched
+        points of other candidates contribute 0 either way."""
+        from repro.core.policies import UniformRandomPolicy
+
+        dataset = make_uniform_dataset(800, seed=2)
+        model = RewardModel(3).fit(dataset)
+        switch = SwitchEstimator(tau=1e-9, model=model).estimate(
+            UniformRandomPolicy(), dataset
+        )
+        dm = DirectMethodEstimator(model).estimate(
+            UniformRandomPolicy(), dataset
+        )
+        assert switch.value == pytest.approx(dm.value)
+        assert switch.details["switch_fraction"] == 1.0
+
+    def test_recovers_truth_at_moderate_tau(self):
+        dataset = make_uniform_dataset(20000, seed=3)
+        switch = SwitchEstimator(tau=10.0).estimate(ConstantPolicy(2), dataset)
+        assert switch.value == pytest.approx(true_value(2), abs=0.03)
+
+    def test_caps_variance_on_skewed_propensities(self):
+        """With rare low-propensity actions, SWITCH beats IPS spread."""
+        def skewed_dataset(seed):
+            rng = np.random.default_rng(seed)
+            ds = Dataset(action_space=ActionSpace(2))
+            for t in range(400):
+                context = {"load": float(rng.uniform()), "bias": 1.0}
+                if rng.random() < 0.05:
+                    action, p = 0, 0.05
+                else:
+                    action, p = 1, 0.95
+                reward = 0.4 + 0.2 * action + 0.2 * context["load"]
+                ds.append(Interaction(context, action, reward, p, float(t)))
+            return ds
+
+        ips_vals, switch_vals = [], []
+        for seed in range(25):
+            ds = skewed_dataset(700 + seed)
+            ips_vals.append(IPSEstimator().estimate(ConstantPolicy(0), ds).value)
+            switch_vals.append(
+                SwitchEstimator(tau=5.0).estimate(ConstantPolicy(0), ds).value
+            )
+        assert np.std(switch_vals) < np.std(ips_vals)
+
+    def test_switch_fraction_reported(self):
+        dataset = make_uniform_dataset(500, seed=4)
+        # Propensities are 1/3 -> matching weights are 3 > tau=2.
+        result = SwitchEstimator(tau=2.0).estimate(ConstantPolicy(0), dataset)
+        assert result.details["switch_fraction"] == pytest.approx(
+            result.details["match_rate"], abs=0.01
+        )
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            SwitchEstimator(tau=0.0)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            SwitchEstimator().estimate(ConstantPolicy(0), Dataset())

@@ -1,0 +1,148 @@
+"""Unit tests for trajectory importance-sampling estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.trajectory import (
+    PerDecisionISEstimator,
+    Trajectory,
+    TrajectoryISEstimator,
+    split_into_trajectories,
+)
+from repro.core.policies import ConstantPolicy, UniformRandomPolicy
+from repro.core.types import ActionSpace, Dataset, Interaction
+
+from tests.conftest import make_uniform_dataset
+
+
+class TestSplitIntoTrajectories:
+    def test_even_split(self):
+        ds = make_uniform_dataset(100, seed=0)
+        trajectories = split_into_trajectories(ds, horizon=10)
+        assert len(trajectories) == 10
+        assert all(len(t) == 10 for t in trajectories)
+
+    def test_trailing_partial_window_dropped(self):
+        ds = make_uniform_dataset(25, seed=0)
+        trajectories = split_into_trajectories(ds, horizon=10)
+        assert len(trajectories) == 2
+
+    def test_order_preserved(self):
+        ds = make_uniform_dataset(20, seed=0)
+        trajectories = split_into_trajectories(ds, horizon=5)
+        assert trajectories[1].interactions[0].timestamp == 5.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            split_into_trajectories(make_uniform_dataset(10), horizon=0)
+
+    def test_total_reward(self):
+        ds = Dataset()
+        for r in (0.1, 0.2, 0.3):
+            ds.append(Interaction({}, 0, r, 1.0))
+        [trajectory] = split_into_trajectories(ds, horizon=3)
+        assert trajectory.total_reward() == pytest.approx(0.6)
+
+
+class TestTrajectoryIS:
+    def test_logging_policy_recovers_mean_reward(self):
+        ds = make_uniform_dataset(600, seed=1)
+        estimate = TrajectoryISEstimator(horizon=5).estimate(
+            UniformRandomPolicy(), ds
+        )
+        assert estimate.value == pytest.approx(
+            float(ds.rewards().mean()), abs=1e-9
+        )
+
+    def test_constant_policy_unbiased_in_iid_setting(self):
+        values = []
+        for seed in range(40):
+            ds = make_uniform_dataset(800, seed=300 + seed)
+            values.append(
+                TrajectoryISEstimator(horizon=2)
+                .estimate(ConstantPolicy(1), ds)
+                .value
+            )
+        truth = 0.2 + 0.15 * 1 + 0.3 * 0.5
+        assert np.mean(values) == pytest.approx(truth, abs=0.05)
+
+    def test_variance_explodes_with_horizon(self):
+        """The §5 warning: longer horizons mean fewer matches and far
+        higher variance."""
+        short_se, long_se = [], []
+        for seed in range(10):
+            ds = make_uniform_dataset(3000, seed=400 + seed)
+            short_se.append(
+                TrajectoryISEstimator(horizon=1)
+                .estimate(ConstantPolicy(1), ds)
+                .std_error
+            )
+            long_se.append(
+                TrajectoryISEstimator(horizon=6)
+                .estimate(ConstantPolicy(1), ds)
+                .std_error
+            )
+        assert np.mean(long_se) > 2 * np.mean(short_se)
+
+    def test_match_fraction_decays_geometrically(self):
+        ds = make_uniform_dataset(9000, seed=2)
+        est_h2 = TrajectoryISEstimator(horizon=2).estimate(ConstantPolicy(0), ds)
+        est_h4 = TrajectoryISEstimator(horizon=4).estimate(ConstantPolicy(0), ds)
+        frac_h2 = est_h2.details["nonzero_weight"] / est_h2.details["episodes"]
+        frac_h4 = est_h4.details["nonzero_weight"] / est_h4.details["episodes"]
+        assert frac_h2 == pytest.approx((1 / 3) ** 2, abs=0.05)
+        assert frac_h4 == pytest.approx((1 / 3) ** 4, abs=0.02)
+
+    def test_dataset_smaller_than_horizon_raises(self):
+        ds = make_uniform_dataset(3, seed=0)
+        with pytest.raises(ValueError):
+            TrajectoryISEstimator(horizon=10).estimate(ConstantPolicy(0), ds)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            TrajectoryISEstimator(horizon=0)
+
+
+class TestPerDecisionIS:
+    def test_logging_policy_recovers_mean_reward(self):
+        ds = make_uniform_dataset(600, seed=3)
+        estimate = PerDecisionISEstimator(horizon=5).estimate(
+            UniformRandomPolicy(), ds
+        )
+        assert estimate.value == pytest.approx(
+            float(ds.rewards().mean()), abs=1e-9
+        )
+
+    def test_lower_variance_than_full_trajectory(self):
+        pdis_se, tis_se = [], []
+        for seed in range(10):
+            ds = make_uniform_dataset(3000, seed=500 + seed)
+            pdis_se.append(
+                PerDecisionISEstimator(horizon=4)
+                .estimate(ConstantPolicy(1), ds)
+                .std_error
+            )
+            tis_se.append(
+                TrajectoryISEstimator(horizon=4)
+                .estimate(ConstantPolicy(1), ds)
+                .std_error
+            )
+        assert np.mean(pdis_se) < np.mean(tis_se)
+
+    def test_horizon_one_equals_trajectory_is(self):
+        ds = make_uniform_dataset(500, seed=4)
+        pdis = PerDecisionISEstimator(horizon=1).estimate(ConstantPolicy(1), ds)
+        tis = TrajectoryISEstimator(horizon=1).estimate(ConstantPolicy(1), ds)
+        assert pdis.value == pytest.approx(tis.value)
+
+    def test_unbiased_in_iid_setting(self):
+        values = []
+        for seed in range(40):
+            ds = make_uniform_dataset(800, seed=600 + seed)
+            values.append(
+                PerDecisionISEstimator(horizon=3)
+                .estimate(ConstantPolicy(2), ds)
+                .value
+            )
+        truth = 0.2 + 0.15 * 2 + 0.3 * 0.5
+        assert np.mean(values) == pytest.approx(truth, abs=0.05)

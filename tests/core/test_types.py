@@ -1,0 +1,206 @@
+"""Unit tests for core data types."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import ActionSpace, Dataset, Interaction, RewardRange
+
+
+class TestRewardRange:
+    def test_width(self):
+        assert RewardRange(0.0, 10.0).width == 10.0
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RewardRange(1.0, 1.0)
+        with pytest.raises(ValueError):
+            RewardRange(2.0, 1.0)
+
+    def test_normalize_maximize(self):
+        rr = RewardRange(0.0, 10.0, maximize=True)
+        assert rr.normalize(7.5) == pytest.approx(0.75)
+
+    def test_normalize_minimize_flips(self):
+        rr = RewardRange(0.0, 10.0, maximize=False)
+        assert rr.normalize(0.0) == 1.0  # zero latency is perfect
+        assert rr.normalize(10.0) == 0.0
+
+    def test_clip(self):
+        rr = RewardRange(0.0, 1.0)
+        assert rr.clip(-0.5) == 0.0
+        assert rr.clip(1.5) == 1.0
+        assert rr.clip(0.3) == 0.3
+
+
+class TestActionSpace:
+    def test_default_actions(self):
+        space = ActionSpace(3)
+        assert space.actions() == [0, 1, 2]
+        assert len(space) == 3
+
+    def test_labels(self):
+        space = ActionSpace(2, labels=["left", "right"])
+        assert space.label(1) == "right"
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ActionSpace(2, labels=["only-one"])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            ActionSpace(0)
+
+    def test_eligibility_restricts(self):
+        space = ActionSpace(
+            4, eligibility=lambda ctx: [0, 2] if ctx.get("even") else [1, 3]
+        )
+        assert space.actions({"even": 1.0}) == [0, 2]
+        assert space.actions({"even": 0.0}) == [1, 3]
+
+    def test_eligibility_empty_rejected(self):
+        space = ActionSpace(2, eligibility=lambda ctx: [])
+        with pytest.raises(ValueError):
+            space.actions({"x": 1.0})
+
+    def test_eligibility_out_of_range_rejected(self):
+        space = ActionSpace(2, eligibility=lambda ctx: [5])
+        with pytest.raises(ValueError):
+            space.actions({"x": 1.0})
+
+
+class TestInteraction:
+    def test_valid_construction(self):
+        i = Interaction({"x": 1.0}, action=2, reward=0.5, propensity=0.25)
+        assert i.action == 2
+
+    def test_zero_propensity_rejected(self):
+        with pytest.raises(ValueError):
+            Interaction({}, 0, 0.5, propensity=0.0)
+
+    def test_propensity_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            Interaction({}, 0, 0.5, propensity=1.5)
+
+    def test_negative_action_rejected(self):
+        with pytest.raises(ValueError):
+            Interaction({}, -1, 0.5, propensity=0.5)
+
+    def test_dict_roundtrip(self):
+        original = Interaction(
+            {"x": 1.0}, 1, 0.5, 0.3, timestamp=9.0,
+            full_rewards=[0.1, 0.5], metadata={"source": "test"},
+        )
+        restored = Interaction.from_dict(original.to_dict())
+        assert restored.context == {"x": 1.0}
+        assert restored.action == 1
+        assert restored.propensity == 0.3
+        assert list(restored.full_rewards) == [0.1, 0.5]
+        assert restored.metadata == {"source": "test"}
+
+    def test_dict_roundtrip_without_optionals(self):
+        original = Interaction({"x": 1.0}, 0, 0.5, 0.5)
+        restored = Interaction.from_dict(original.to_dict())
+        assert restored.full_rewards is None
+        assert restored.metadata == {}
+
+
+def _tiny_dataset(n=10):
+    ds = Dataset(action_space=ActionSpace(2))
+    for t in range(n):
+        ds.append(
+            Interaction({"x": float(t)}, t % 2, reward=float(t) / n,
+                        propensity=0.5, timestamp=float(t))
+        )
+    return ds
+
+
+class TestDataset:
+    def test_container_protocol(self):
+        ds = _tiny_dataset(4)
+        assert len(ds) == 4
+        assert ds[1].action == 1
+        assert [i.action for i in ds] == [0, 1, 0, 1]
+
+    def test_slice_returns_dataset(self):
+        ds = _tiny_dataset(10)
+        head = ds[:3]
+        assert isinstance(head, Dataset)
+        assert len(head) == 3
+        assert head.action_space is ds.action_space
+
+    def test_vector_views(self):
+        ds = _tiny_dataset(4)
+        assert list(ds.actions()) == [0, 1, 0, 1]
+        assert ds.propensities().tolist() == [0.5] * 4
+        assert ds.rewards()[2] == pytest.approx(0.5)  # t/n = 2/4
+
+    def test_min_propensity(self):
+        ds = _tiny_dataset(3)
+        ds.append(Interaction({}, 0, 0.0, propensity=0.01))
+        assert ds.min_propensity() == pytest.approx(0.01)
+
+    def test_min_propensity_empty_raises(self):
+        with pytest.raises(ValueError):
+            Dataset().min_propensity()
+
+    def test_split_preserves_order(self):
+        ds = _tiny_dataset(10)
+        first, second = ds.split(0.3)
+        assert len(first) == 3 and len(second) == 7
+        assert first[0].timestamp == 0.0
+        assert second[0].timestamp == 3.0
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            _tiny_dataset().split(1.0)
+
+    def test_shuffled_is_permutation(self, rng):
+        ds = _tiny_dataset(20)
+        shuffled = ds.shuffled(rng)
+        assert sorted(i.timestamp for i in shuffled) == [float(t) for t in range(20)]
+        assert [i.timestamp for i in shuffled] != [float(t) for t in range(20)]
+
+    def test_subsample_keeps_logged_order(self, rng):
+        ds = _tiny_dataset(50)
+        sub = ds.subsample(10, rng)
+        times = [i.timestamp for i in sub]
+        assert times == sorted(times)
+        assert len(sub) == 10
+
+    def test_subsample_too_large(self, rng):
+        with pytest.raises(ValueError):
+            _tiny_dataset(5).subsample(6, rng)
+
+    def test_filter(self):
+        ds = _tiny_dataset(10)
+        evens = ds.filter(lambda i: i.action == 0)
+        assert len(evens) == 5
+        assert all(i.action == 0 for i in evens)
+
+    def test_normalized_minimize_flips_scale(self):
+        ds = Dataset(reward_range=RewardRange(0.0, 10.0, maximize=False))
+        ds.append(Interaction({}, 0, reward=2.0, propensity=1.0,
+                              full_rewards=[2.0, 8.0]))
+        normalized = ds.normalized()
+        assert normalized[0].reward == pytest.approx(0.8)
+        assert normalized[0].full_rewards[1] == pytest.approx(0.2)
+        assert normalized.reward_range.maximize is True
+
+    def test_normalized_clips_out_of_range(self):
+        ds = Dataset(reward_range=RewardRange(0.0, 1.0, maximize=True))
+        ds.append(Interaction({}, 0, reward=3.0, propensity=1.0))
+        assert ds.normalized()[0].reward == 1.0
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        ds = _tiny_dataset(5)
+        path = str(tmp_path / "log.jsonl")
+        ds.save_jsonl(path)
+        restored = Dataset.load_jsonl(path)
+        assert len(restored) == 5
+        assert restored[3].context == {"x": 3.0}
+        assert restored[3].propensity == 0.5
+
+    def test_extend(self):
+        ds = _tiny_dataset(3)
+        ds.extend(_tiny_dataset(2))
+        assert len(ds) == 5

@@ -1,0 +1,197 @@
+"""Integration tests: the paper's experiments at miniature scale.
+
+Each test runs a scaled-down version of one headline experiment and
+asserts its *qualitative shape* — the same checks the full benchmarks
+print at scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    BigSmallWorkload,
+    CacheSim,
+    eviction_dataset_from_log,
+    freq_size_policy,
+    lru_policy,
+    random_eviction_policy,
+    train_cb_eviction,
+)
+from repro.core import (
+    ConstantPolicy,
+    IPSEstimator,
+    SupervisedTrainer,
+    UniformRandomPolicy,
+)
+from repro.core.learners.cb import EpsilonGreedyLearner
+from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+from repro.loadbalance.harvest import dataset_from_access_log, train_cb_policy
+from repro.loadbalance.policies import (
+    least_loaded_policy,
+    random_policy,
+    send_to_policy,
+)
+from repro.machinehealth import (
+    build_full_feedback_dataset,
+    default_policy_reward,
+    ground_truth_value,
+    simulate_exploration,
+)
+from repro.simsys.random_source import RandomSource
+
+
+class TestMachineHealthPipeline:
+    """Figs. 3–4 in miniature."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_full_feedback_dataset(
+            n_events=4000, n_machines=500, seed=11
+        )
+
+    def test_cb_policy_beats_deployed_default(self, scenario):
+        train, test = scenario.split(0.5)
+        rng = np.random.default_rng(0)
+        exploration = simulate_exploration(train, rng)
+        learner = EpsilonGreedyLearner(10, maximize=False, learning_rate=0.5)
+        for _ in range(3):
+            learner.observe_all(exploration)
+        cb_downtime = ground_truth_value(learner.policy(), test)
+        default_downtime = default_policy_reward(test)
+        assert cb_downtime < 0.9 * default_downtime
+
+    def test_cb_within_striking_distance_of_supervised(self, scenario):
+        """Fig. 4: CB converges to within ~20% of full feedback."""
+        train, test = scenario.split(0.5)
+        rng = np.random.default_rng(1)
+        exploration = simulate_exploration(train, rng)
+        learner = EpsilonGreedyLearner(10, maximize=False, learning_rate=0.5)
+        for _ in range(3):
+            learner.observe_all(exploration)
+        supervised = SupervisedTrainer(10, maximize=False).fit(train)
+        cb = ground_truth_value(learner.policy(), test)
+        ceiling = ground_truth_value(supervised.policy(), test)
+        assert cb <= 1.35 * ceiling
+
+    def test_ips_error_shrinks_with_test_size(self, scenario):
+        """Fig. 3: evaluation error decays with N."""
+        _, test = scenario.split(0.5)
+        policy = ConstantPolicy(2)
+        truth = ground_truth_value(policy, test)
+        rng = np.random.default_rng(2)
+
+        def replicate_errors(n, reps=30):
+            errors = []
+            for _ in range(reps):
+                sample = test.subsample(n, rng)
+                exploration = simulate_exploration(sample, rng)
+                estimate = IPSEstimator().estimate(policy, exploration)
+                errors.append(abs(estimate.value - truth) / truth)
+            return float(np.mean(errors))
+
+        assert replicate_errors(1600) < replicate_errors(100)
+
+
+class TestLoadBalancingPipeline:
+    """Table 2 in miniature."""
+
+    @pytest.fixture(scope="class")
+    def collected(self):
+        workload = Workload(10.0, randomness=RandomSource(42, _name="wl"))
+        sim = LoadBalancerSim(
+            fig5_servers(), random_policy(), workload, seed=42
+        )
+        result = sim.run(8000)
+        dataset = dataset_from_access_log(
+            result.access_log, logging_policy=UniformRandomPolicy()
+        )
+        return result, dataset
+
+    def _online(self, policy, n=5000, seed=7):
+        workload = Workload(10.0, randomness=RandomSource(seed, _name="wl"))
+        sim = LoadBalancerSim(fig5_servers(), policy, workload, seed=seed)
+        return sim.run(n).mean_latency
+
+    def test_random_estimate_is_unbiased(self, collected):
+        result, dataset = collected
+        offline = IPSEstimator().estimate(random_policy(), dataset).value
+        online = self._online(random_policy())
+        assert offline == pytest.approx(online, rel=0.1)
+
+    def test_send_to_one_breaks_ope(self, collected):
+        """Offline says send-to-1 beats random; online it's far worse."""
+        _, dataset = collected
+        ips = IPSEstimator()
+        offline_send = ips.estimate(send_to_policy(0), dataset).value
+        offline_random = ips.estimate(random_policy(), dataset).value
+        online_send = self._online(send_to_policy(0))
+        online_random = self._online(random_policy())
+        assert offline_send < offline_random  # the illusion
+        assert online_send > 1.3 * online_random  # the reality
+
+    def test_cb_optimization_still_works(self, collected):
+        """§5: 'policy optimization can be much easier than policy
+        evaluation' — the CB policy genuinely wins online."""
+        _, dataset = collected
+        cb = train_cb_policy(dataset, n_servers=2)
+        online_cb = self._online(cb)
+        online_ll = self._online(least_loaded_policy())
+        online_random = self._online(random_policy())
+        assert online_cb < online_random
+        assert online_cb < 1.05 * online_ll  # at least competitive
+
+
+class TestCachingPipeline:
+    """Table 3 in miniature."""
+
+    CAP = 350
+    N = 20000
+
+    def _workload(self, seed):
+        return BigSmallWorkload(
+            n_big=50, n_small=500,
+            randomness=RandomSource(seed, _name="wl"),
+        )
+
+    def _deploy(self, policy, pool=16, seed=3):
+        pool = pool if hasattr(policy, "score") else 0
+        sim = CacheSim(self.CAP, policy, sample_size=10, seed=seed,
+                       pool_size=pool)
+        return sim.run(
+            self._workload(seed).requests(self.N), keep_log=False
+        ).hit_rate
+
+    @pytest.fixture(scope="class")
+    def collected(self):
+        sim = CacheSim(self.CAP, random_eviction_policy(), sample_size=10,
+                       seed=11)
+        return sim.run(self._workload(11).requests(self.N))
+
+    def test_freq_size_beats_everyone(self, collected):
+        random_hit = self._deploy(random_eviction_policy())
+        lru_hit = self._deploy(lru_policy())
+        fs_hit = self._deploy(freq_size_policy())
+        assert fs_hit > random_hit + 0.02
+        assert fs_hit > lru_hit + 0.02
+
+    def test_greedy_cb_no_better_than_random(self, collected):
+        """The long-term-reward failure: CB ≈ random on hit rate."""
+        dataset = eviction_dataset_from_log(
+            collected.log_lines, sample_size=10
+        )
+        cb = train_cb_eviction(dataset)
+        cb_hit = self._deploy(cb, pool=0)
+        fs_hit = self._deploy(freq_size_policy())
+        random_hit = self._deploy(random_eviction_policy())
+        assert abs(cb_hit - random_hit) < 0.05  # clustered with random
+        assert cb_hit < fs_hit  # and clearly below the size-aware policy
+
+    def test_harvested_rewards_are_plausible(self, collected):
+        dataset = eviction_dataset_from_log(
+            collected.log_lines, sample_size=10
+        )
+        assert len(dataset) > 500
+        rewards = dataset.rewards()
+        # A mix of quick re-accesses and never-seen-again caps.
+        assert rewards.min() < 100
+        assert rewards.max() == 2000.0

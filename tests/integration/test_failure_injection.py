@@ -1,0 +1,176 @@
+"""Failure injection on the harvesting path.
+
+Real logs are hostile: truncated lines, rotations, interleaved garbage,
+encoding damage, missing fields, and occasionally numbers that are not
+numbers.  The pipeline's contract is: never crash, never silently
+fabricate data — drop what cannot be parsed and *count* it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    BigSmallWorkload,
+    CacheSim,
+    eviction_dataset_from_log,
+    random_eviction_policy,
+)
+from repro.core import IPSEstimator, UniformRandomPolicy
+from repro.core.harvest import LogScavenger
+from repro.core.policies import ConstantPolicy
+from repro.core.types import Interaction
+from repro.core.vw_format import load_vw
+from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+from repro.loadbalance.access_log import (
+    format_access_log_line,
+    parse_access_log_line,
+)
+from repro.loadbalance.harvest import dataset_from_access_log
+from repro.loadbalance.policies import random_policy
+from repro.simsys.random_source import RandomSource
+
+
+def collect_lines(n=2000, seed=3):
+    workload = Workload(10.0, randomness=RandomSource(seed, _name="wl"))
+    sim = LoadBalancerSim(fig5_servers(), random_policy(), workload, seed=seed)
+    return [format_access_log_line(e) for e in sim.run(n).access_log]
+
+
+def corrupt(lines, rng, fraction=0.2):
+    """Damage a fraction of lines in assorted realistic ways."""
+    out = []
+    for line in lines:
+        roll = rng.random()
+        if roll < fraction * 0.25:
+            out.append(line[: int(len(line) * rng.random())])  # truncation
+        elif roll < fraction * 0.5:
+            out.append("-- " + line)  # prefix garbage (syslog wrapping)
+        elif roll < fraction * 0.75:
+            out.append("")  # blank line
+        elif roll < fraction:
+            out.append("May  4 03:17:01 host logrotate: rotating logs")
+        else:
+            out.append(line)
+    return out
+
+
+class TestCorruptedAccessLogs:
+    def test_parser_survives_and_counts(self):
+        rng = np.random.default_rng(0)
+        lines = corrupt(collect_lines(), rng)
+        parsed = [parse_access_log_line(line) for line in lines]
+        good = [p for p in parsed if p is not None]
+        # Roughly 80% survive; none crash.
+        assert 0.7 * len(lines) < len(good) < len(lines)
+
+    def test_estimates_robust_to_corruption(self):
+        """Dropping 20% of lines at random should not change IPS
+        estimates materially (the damage is action-independent)."""
+        rng = np.random.default_rng(1)
+        clean_lines = collect_lines(6000)
+        clean_entries = [parse_access_log_line(l) for l in clean_lines]
+        dirty_entries = [
+            parse_access_log_line(l) for l in corrupt(clean_lines, rng)
+        ]
+        clean_ds = dataset_from_access_log(
+            [e for e in clean_entries if e],
+            logging_policy=UniformRandomPolicy(),
+        )
+        dirty_ds = dataset_from_access_log(
+            [e for e in dirty_entries if e],
+            logging_policy=UniformRandomPolicy(),
+        )
+        ips = IPSEstimator()
+        clean_est = ips.estimate(ConstantPolicy(0), clean_ds).value
+        dirty_est = ips.estimate(ConstantPolicy(0), dirty_ds).value
+        assert dirty_est == pytest.approx(clean_est, rel=0.1)
+
+
+class TestScavengerFailureModes:
+    def test_extractor_exceptions_counted_not_raised(self):
+        def explosive_context(record):
+            if record.get("bomb"):
+                raise KeyError("missing field")
+            return {"x": 1.0}
+
+        scavenger = LogScavenger(
+            context_of=explosive_context,
+            action_of=lambda r: r["a"],
+            reward_of=lambda r: r["r"],
+        )
+        records = [{"a": 0, "r": 0.5}, {"bomb": True, "a": 0, "r": 0.1},
+                   {"a": 1, "r": 0.9}]
+        out = scavenger.scavenge(records)
+        assert len(out) == 2
+        assert scavenger.dropped == 1
+
+    def test_type_errors_counted(self):
+        scavenger = LogScavenger(
+            context_of=lambda r: {"x": float(r["x"])},
+            action_of=lambda r: int(r["a"]),
+            reward_of=lambda r: float(r["r"]),
+        )
+        records = [{"x": "not-a-number", "a": 0, "r": 0.1},
+                   {"x": 1.0, "a": "zero?", "r": 0.1},
+                   {"x": 1.0, "a": 0, "r": 0.5}]
+        out = scavenger.scavenge(records)
+        assert len(out) == 1
+        assert scavenger.dropped == 2
+
+
+class TestPoisonedValues:
+    def test_nan_reward_rejected_at_boundary(self):
+        with pytest.raises(ValueError):
+            Interaction({"x": 1.0}, 0, reward=float("nan"), propensity=0.5)
+
+    def test_inf_reward_rejected(self):
+        with pytest.raises(ValueError):
+            Interaction({}, 0, reward=float("inf"), propensity=0.5)
+
+    def test_nan_in_full_rewards_rejected(self):
+        with pytest.raises(ValueError):
+            Interaction({}, 0, 0.5, 1.0,
+                        full_rewards=[0.1, float("nan")])
+
+    def test_vw_loader_skips_nonfinite_costs(self):
+        import io
+
+        text = ("1:0.5:0.5 | x:1\n"
+                "1:nan:0.5 | x:1\n"
+                "1:inf:0.5 | x:1\n"
+                "2:0.1:0.5 | x:1\n")
+        dataset = load_vw(io.StringIO(text))
+        assert len(dataset) == 2
+
+
+class TestKeyspaceLogCorruption:
+    def test_cache_harvest_survives_damage(self):
+        workload = BigSmallWorkload(
+            n_big=20, n_small=200, randomness=RandomSource(5, _name="wl")
+        )
+        sim = CacheSim(150, random_eviction_policy(), sample_size=5, seed=5)
+        lines = sim.run(workload.requests(6000)).log_lines
+        rng = np.random.default_rng(2)
+        damaged = corrupt(lines, rng, fraction=0.15)
+        dataset = eviction_dataset_from_log(damaged, sample_size=5)
+        assert len(dataset) > 0
+        # Rewards still bounded and usable.
+        rewards = dataset.rewards()
+        assert np.isfinite(rewards).all()
+
+    def test_reordered_log_still_parses(self):
+        """Log shippers reorder lines; reward reconstruction keys on
+        timestamps, not file order, so the dataset is unchanged."""
+        workload = BigSmallWorkload(
+            n_big=10, n_small=100, randomness=RandomSource(6, _name="wl")
+        )
+        sim = CacheSim(60, random_eviction_policy(), sample_size=5, seed=6)
+        lines = sim.run(workload.requests(3000)).log_lines
+        ordered = eviction_dataset_from_log(lines, sample_size=5)
+        rng = np.random.default_rng(3)
+        shuffled_lines = list(lines)
+        rng.shuffle(shuffled_lines)
+        shuffled = eviction_dataset_from_log(shuffled_lines, sample_size=5)
+        assert sorted(i.reward for i in ordered) == pytest.approx(
+            sorted(i.reward for i in shuffled)
+        )

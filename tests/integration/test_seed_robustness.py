@@ -1,0 +1,86 @@
+"""Seed robustness: the headline shapes must not be seed artifacts.
+
+The benchmarks run on fixed seeds for determinism; these tests rerun
+the two headline qualitative results at reduced scale across several
+*different* seeds and require the shape to hold for every one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    BigSmallWorkload,
+    CacheSim,
+    freq_size_policy,
+    random_eviction_policy,
+)
+from repro.core import IPSEstimator, UniformRandomPolicy
+from repro.loadbalance import LoadBalancerSim, Workload, fig5_servers
+from repro.loadbalance.harvest import dataset_from_access_log
+from repro.loadbalance.policies import random_policy, send_to_policy
+from repro.machinehealth import (
+    build_full_feedback_dataset,
+    default_policy_reward,
+    ground_truth_value,
+    simulate_exploration,
+)
+from repro.core.learners.cb import EpsilonGreedyLearner
+from repro.simsys.random_source import RandomSource
+
+SEEDS = (101, 202, 303)
+
+
+class TestTable2ShapeAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_send_to_one_illusion_holds(self, seed):
+        workload = Workload(10.0, randomness=RandomSource(seed, _name="wl"))
+        collection = LoadBalancerSim(
+            fig5_servers(), random_policy(), workload, seed=seed
+        ).run(6000)
+        dataset = dataset_from_access_log(
+            collection.access_log, logging_policy=UniformRandomPolicy()
+        )
+        ips = IPSEstimator()
+        offline_send = ips.estimate(send_to_policy(0), dataset).value
+        offline_random = ips.estimate(random_policy(), dataset).value
+
+        online_workload = Workload(
+            10.0, randomness=RandomSource(seed + 7, _name="wl")
+        )
+        online_send = LoadBalancerSim(
+            fig5_servers(), send_to_policy(0), online_workload, seed=seed + 7
+        ).run(5000).mean_latency
+
+        assert offline_send < offline_random  # looks good offline...
+        assert online_send > 1.5 * offline_send  # ...blows up online
+
+
+class TestTable3ShapeAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_freq_size_wins(self, seed):
+        def deploy(policy, pool):
+            workload = BigSmallWorkload(
+                randomness=RandomSource(seed, _name="wl")
+            )
+            sim = CacheSim(700, policy, sample_size=10, seed=seed,
+                           pool_size=pool)
+            return sim.run(workload.requests(25000), keep_log=False).hit_rate
+
+        random_hit = deploy(random_eviction_policy(), 0)
+        fs_hit = deploy(freq_size_policy(), 16)
+        assert fs_hit > random_hit + 0.025
+
+
+class TestMachineHealthShapeAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cb_beats_default(self, seed):
+        scenario = build_full_feedback_dataset(
+            n_events=3000, n_machines=400, seed=seed
+        )
+        train, test = scenario.split(0.5)
+        rng = np.random.default_rng(seed)
+        learner = EpsilonGreedyLearner(10, maximize=False, learning_rate=0.5)
+        for _ in range(2):
+            learner.observe_all(simulate_exploration(train, rng))
+        cb = ground_truth_value(learner.policy(), test)
+        assert cb < 0.9 * default_policy_reward(test)

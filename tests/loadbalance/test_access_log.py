@@ -1,0 +1,87 @@
+"""Unit tests for the Nginx-style access log."""
+
+import pytest
+
+from repro.loadbalance.access_log import (
+    AccessLogEntry,
+    format_access_log_line,
+    parse_access_log_line,
+    read_access_log,
+    write_access_log,
+)
+
+
+def make_entry(**overrides):
+    defaults = dict(
+        time=12.345678,
+        client_key="client-17",
+        kind="api",
+        status=200,
+        upstream=1,
+        upstream_response_time=0.456789,
+        connections=(3, 7),
+        request_weight=1.8,
+    )
+    defaults.update(overrides)
+    return AccessLogEntry(**defaults)
+
+
+class TestFormatParse:
+    def test_roundtrip(self):
+        entry = make_entry()
+        restored = parse_access_log_line(format_access_log_line(entry))
+        assert restored is not None
+        assert restored.time == pytest.approx(entry.time)
+        assert restored.client_key == entry.client_key
+        assert restored.kind == entry.kind
+        assert restored.upstream == entry.upstream
+        assert restored.upstream_response_time == pytest.approx(
+            entry.upstream_response_time
+        )
+        assert restored.connections == entry.connections
+        assert restored.request_weight == pytest.approx(1.8)
+
+    def test_line_looks_like_nginx(self):
+        line = format_access_log_line(make_entry())
+        assert '"GET /api HTTP/1.1" 200' in line
+        assert "upstream=1" in line
+        assert "conns=3:7" in line
+
+    def test_parse_malformed_returns_none(self):
+        assert parse_access_log_line("") is None
+        assert parse_access_log_line("not a log line") is None
+        assert parse_access_log_line("1.0 c \"GET /x HTTP/1.1\" 200") is None
+
+    def test_parse_truncated_line_returns_none(self):
+        line = format_access_log_line(make_entry())
+        assert parse_access_log_line(line[: len(line) // 2]) is None
+
+    def test_many_servers(self):
+        entry = make_entry(connections=(1, 2, 3, 4, 5))
+        restored = parse_access_log_line(format_access_log_line(entry))
+        assert restored.connections == (1, 2, 3, 4, 5)
+
+    def test_context_record(self):
+        record = make_entry().context_record()
+        assert record["conns_0"] == 3
+        assert record["conns_1"] == 7
+        assert record["kind"] == "api"
+        assert record["request_weight"] == 1.8
+
+
+class TestFileIO:
+    def test_write_read_roundtrip(self, tmp_path):
+        entries = [make_entry(time=float(t)) for t in range(5)]
+        path = str(tmp_path / "access.log")
+        write_access_log(entries, path)
+        restored = read_access_log(path)
+        assert len(restored) == 5
+        assert restored[3].time == pytest.approx(3.0)
+
+    def test_read_skips_garbage_lines(self, tmp_path):
+        path = str(tmp_path / "access.log")
+        with open(path, "w") as f:
+            f.write(format_access_log_line(make_entry()) + "\n")
+            f.write("-- log rotated --\n")
+            f.write(format_access_log_line(make_entry(time=2.0)) + "\n")
+        assert len(read_access_log(path)) == 2

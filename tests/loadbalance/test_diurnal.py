@@ -1,0 +1,74 @@
+"""Unit tests for the diurnal (non-homogeneous Poisson) workload."""
+
+import numpy as np
+import pytest
+
+from repro.loadbalance.workload import DiurnalWorkload
+from repro.simsys.random_source import RandomSource
+
+
+class TestDiurnalWorkload:
+    def test_rate_oscillates(self):
+        wl = DiurnalWorkload(10.0, amplitude=0.5, period=100.0,
+                             randomness=RandomSource(0, _name="wl"))
+        assert wl.rate_at(25.0) == pytest.approx(15.0)   # peak
+        assert wl.rate_at(75.0) == pytest.approx(5.0)    # trough
+        assert wl.rate_at(0.0) == pytest.approx(10.0)
+
+    def test_mean_rate_matches_base(self):
+        wl = DiurnalWorkload(10.0, amplitude=0.6, period=100.0,
+                             randomness=RandomSource(1, _name="wl"))
+        requests = list(wl.requests(2000.0))
+        assert len(requests) / 2000.0 == pytest.approx(10.0, rel=0.05)
+
+    def test_arrivals_cluster_at_peaks(self):
+        wl = DiurnalWorkload(10.0, amplitude=0.9, period=100.0,
+                             randomness=RandomSource(2, _name="wl"))
+        times = np.array([r.arrival_time for r in wl.requests(5000.0)])
+        phase = (times % 100.0)
+        peak_half = np.sum((phase > 0.0) & (phase < 50.0))   # sin > 0
+        trough_half = len(times) - peak_half
+        assert peak_half > 1.5 * trough_half
+
+    def test_arrivals_sorted_with_sequential_ids(self):
+        wl = DiurnalWorkload(5.0, randomness=RandomSource(3, _name="wl"))
+        requests = list(wl.requests(200.0))
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+
+    def test_deterministic(self):
+        a = list(DiurnalWorkload(5.0, randomness=RandomSource(4, _name="wl"))
+                 .requests(100.0))
+        b = list(DiurnalWorkload(5.0, randomness=RandomSource(4, _name="wl"))
+                 .requests(100.0))
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+    def test_zero_amplitude_is_plain_poisson_rate(self):
+        wl = DiurnalWorkload(8.0, amplitude=0.0,
+                             randomness=RandomSource(5, _name="wl"))
+        requests = list(wl.requests(1000.0))
+        assert len(requests) / 1000.0 == pytest.approx(8.0, rel=0.07)
+
+    def test_first_n_inherited(self):
+        wl = DiurnalWorkload(10.0, randomness=RandomSource(6, _name="wl"))
+        assert len(wl.first_n(300)) == 300
+
+    def test_drives_the_proxy(self):
+        from repro.loadbalance import LoadBalancerSim, fig5_servers
+        from repro.loadbalance.policies import random_policy
+
+        wl = DiurnalWorkload(10.0, amplitude=0.7, period=200.0,
+                             randomness=RandomSource(7, _name="wl"))
+        sim = LoadBalancerSim(fig5_servers(), random_policy(), wl, seed=7)
+        result = sim.run(2000)
+        assert result.n_requests == 2000
+        assert result.mean_latency > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalWorkload(10.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalWorkload(10.0, amplitude=-0.1)
+        with pytest.raises(ValueError):
+            DiurnalWorkload(10.0, period=0.0)

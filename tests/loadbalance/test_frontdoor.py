@@ -1,0 +1,109 @@
+"""Unit tests for the hierarchical Front Door simulation."""
+
+import pytest
+
+from repro.core import IPSEstimator, UniformRandomPolicy
+from repro.loadbalance.frontdoor import Cluster, FrontDoorSim
+from repro.loadbalance.policies import least_loaded_policy, send_to_policy
+from repro.loadbalance.server import ServerConfig
+from repro.loadbalance.workload import Workload
+from repro.simsys.random_source import RandomSource
+
+
+def make_clusters(n_clusters=3, servers_per=4):
+    clusters = []
+    for c in range(n_clusters):
+        configs = [
+            ServerConfig(s, 0.1 + 0.05 * c, 0.02) for s in range(servers_per)
+        ]
+        clusters.append(
+            Cluster(f"cluster-{c}", configs, UniformRandomPolicy())
+        )
+    return clusters
+
+
+def run_frontdoor(n=3000, seed=0, **kwargs):
+    workload = Workload(20.0, randomness=RandomSource(seed, _name="wl"))
+    sim = FrontDoorSim(
+        make_clusters(), UniformRandomPolicy(), workload, seed=seed, **kwargs
+    )
+    return sim.run(n)
+
+
+class TestFrontDoor:
+    def test_every_request_logged_at_both_levels(self):
+        result = run_frontdoor(1000)
+        assert len(result.edge_dataset) == 1000
+        assert sum(len(d) for d in result.cluster_datasets.values()) == 1000
+
+    def test_edge_propensity_is_one_over_clusters(self):
+        result = run_frontdoor(500)
+        assert result.edge_min_propensity == pytest.approx(1 / 3)
+
+    def test_cluster_propensity_is_one_over_servers(self):
+        result = run_frontdoor(500)
+        for dataset in result.cluster_datasets.values():
+            assert dataset.min_propensity() == pytest.approx(1 / 4)
+
+    def test_edge_context_sees_aggregate_load_only(self):
+        result = run_frontdoor(200)
+        context = result.edge_dataset[50].context
+        assert "cluster_conns_0" in context
+        assert not any(k.startswith("conns_") for k in context)
+
+    def test_cluster_context_sees_local_servers(self):
+        result = run_frontdoor(200)
+        dataset = result.cluster_datasets["cluster-0"]
+        context = dataset[10].context
+        assert set(k for k in context if k.startswith("conns_")) == {
+            f"conns_{s}" for s in range(4)
+        }
+
+    def test_edge_level_evaluation_prefers_fast_cluster(self):
+        """Cluster 0 has the lowest base latency; offline evaluation on
+        the edge dataset should reflect that."""
+        result = run_frontdoor(6000)
+        ips = IPSEstimator()
+        fast = ips.estimate(send_to_policy(0), result.edge_dataset).value
+        slow = ips.estimate(send_to_policy(2), result.edge_dataset).value
+        assert fast < slow
+
+    def test_rewards_shared_across_levels(self):
+        """Each level logs the same latency for the same request."""
+        result = run_frontdoor(300)
+        edge_rewards = sorted(i.reward for i in result.edge_dataset)
+        local_rewards = sorted(
+            i.reward
+            for dataset in result.cluster_datasets.values()
+            for i in dataset
+        )
+        assert edge_rewards == pytest.approx(local_rewards)
+
+    def test_deterministic_given_seed(self):
+        a = run_frontdoor(500, seed=3)
+        b = run_frontdoor(500, seed=3)
+        assert a.mean_latency == b.mean_latency
+
+    def test_least_loaded_local_policy_works(self):
+        workload = Workload(20.0, randomness=RandomSource(1, _name="wl"))
+        clusters = [
+            Cluster(
+                f"c{c}",
+                [ServerConfig(s, 0.1, 0.02) for s in range(4)],
+                least_loaded_policy(),
+            )
+            for c in range(2)
+        ]
+        sim = FrontDoorSim(clusters, UniformRandomPolicy(), workload, seed=1)
+        result = sim.run(2000)
+        # Deterministic local policy logs propensity 1.
+        for dataset in result.cluster_datasets.values():
+            assert dataset.min_propensity() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrontDoorSim([], UniformRandomPolicy(), Workload(1.0))
+        with pytest.raises(ValueError):
+            Cluster("empty", [], UniformRandomPolicy())
+        with pytest.raises(ValueError):
+            run_frontdoor(0)

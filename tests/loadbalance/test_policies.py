@@ -1,0 +1,138 @@
+"""Unit tests for load-balancing policies."""
+
+import numpy as np
+import pytest
+
+from repro.loadbalance.policies import (
+    connection_count,
+    least_loaded_policy,
+    power_of_two_policy,
+    random_policy,
+    round_robin_policy,
+    send_to_policy,
+    weighted_random_policy,
+)
+
+ACTIONS = [0, 1, 2]
+
+
+def ctx(*conns):
+    return {f"conns_{i}": float(c) for i, c in enumerate(conns)}
+
+
+class TestConnectionCount:
+    def test_reads_slot(self):
+        assert connection_count(ctx(3, 7), 1) == 7.0
+
+    def test_missing_defaults_zero(self):
+        assert connection_count({}, 5) == 0.0
+
+
+class TestLeastLoaded:
+    def test_picks_min_connections(self):
+        policy = least_loaded_policy()
+        assert policy.action(ctx(5, 2, 9), ACTIONS) == 1
+
+    def test_tie_breaks_to_lowest_id(self):
+        policy = least_loaded_policy()
+        assert policy.action(ctx(3, 3, 3), ACTIONS) == 0
+
+    def test_respects_restricted_action_set(self):
+        policy = least_loaded_policy()
+        assert policy.action(ctx(0, 5, 2), [1, 2]) == 2
+
+    def test_distribution_is_point_mass(self):
+        probs = least_loaded_policy().distribution(ctx(1, 0, 2), ACTIONS)
+        assert probs.tolist() == [0.0, 1.0, 0.0]
+
+
+class TestSendTo:
+    def test_constant_choice(self):
+        assert send_to_policy(1).action(ctx(9, 9, 9), ACTIONS) == 1
+
+    def test_name(self):
+        assert send_to_policy(0).name == "send-to-0"
+
+
+class TestWeightedRandom:
+    def test_distribution_proportional_to_weights(self):
+        policy = weighted_random_policy([3.0, 1.0])
+        np.testing.assert_allclose(
+            policy.distribution({}, [0, 1]), [0.75, 0.25]
+        )
+
+    def test_restricted_actions_renormalize(self):
+        policy = weighted_random_policy([3.0, 1.0, 4.0])
+        np.testing.assert_allclose(
+            policy.distribution({}, [0, 2]), [3 / 7, 4 / 7]
+        )
+
+    def test_zero_weight_subset_falls_back_to_uniform(self):
+        policy = weighted_random_policy([0.0, 0.0, 1.0])
+        np.testing.assert_allclose(policy.distribution({}, [0, 1]), [0.5, 0.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_random_policy([-1.0, 1.0])
+        with pytest.raises(ValueError):
+            weighted_random_policy([0.0, 0.0])
+
+    def test_empirical_act_matches_weights(self, rng):
+        policy = weighted_random_policy([4.0, 1.0])
+        draws = [policy.act({}, [0, 1], rng)[0] for _ in range(5000)]
+        assert np.mean(draws) == pytest.approx(0.2, abs=0.02)
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self, rng):
+        policy = round_robin_policy(3)
+        picks = [policy.act({}, ACTIONS, rng)[0] for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_marginal_propensity_uniform(self, rng):
+        policy = round_robin_policy(3)
+        _, p = policy.act({}, ACTIONS, rng)
+        assert p == pytest.approx(1 / 3)
+
+    def test_distribution_is_uniform_marginal(self):
+        np.testing.assert_allclose(
+            round_robin_policy(2).distribution({}, [0, 1]), [0.5, 0.5]
+        )
+
+
+class TestPowerOfTwo:
+    def test_prefers_less_loaded(self):
+        policy = power_of_two_policy()
+        probs = policy.distribution(ctx(0, 10), [0, 1])
+        # Two servers: both pairs pick the less loaded one.
+        np.testing.assert_allclose(probs, [1.0, 0.0])
+
+    def test_three_server_propensities(self):
+        policy = power_of_two_policy()
+        probs = policy.distribution(ctx(0, 1, 2), ACTIONS)
+        # 6 ordered pairs; least-loaded of each: (0,1)->0 (0,2)->0
+        # (1,0)->0 (1,2)->1 (2,0)->0 (2,1)->1 => 4/6, 2/6, 0
+        np.testing.assert_allclose(probs, [4 / 6, 2 / 6, 0.0])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_ties_split_by_id(self):
+        policy = power_of_two_policy()
+        probs = policy.distribution(ctx(1, 1), [0, 1])
+        np.testing.assert_allclose(probs, [1.0, 0.0])  # tie -> lower id
+
+    def test_single_action(self):
+        probs = power_of_two_policy().distribution(ctx(5), [0])
+        assert probs.tolist() == [1.0]
+
+    def test_empirical_act_matches_distribution(self, rng):
+        policy = power_of_two_policy()
+        context = ctx(0, 1, 2)
+        draws = [policy.act(context, ACTIONS, rng)[0] for _ in range(6000)]
+        freqs = np.bincount(draws, minlength=3) / len(draws)
+        np.testing.assert_allclose(
+            freqs, policy.distribution(context, ACTIONS), atol=0.03
+        )
+
+    def test_random_policy_is_uniform(self):
+        probs = random_policy().distribution(ctx(0, 9), [0, 1])
+        np.testing.assert_allclose(probs, [0.5, 0.5])

@@ -1,0 +1,128 @@
+"""Unit tests for the reverse-proxy simulation."""
+
+import numpy as np
+import pytest
+
+from repro.loadbalance.policies import (
+    least_loaded_policy,
+    random_policy,
+    send_to_policy,
+)
+from repro.loadbalance.proxy import LoadBalancerSim, fig5_servers
+from repro.loadbalance.server import ServerConfig
+from repro.loadbalance.workload import Workload
+from repro.simsys.random_source import RandomSource
+
+
+def make_sim(policy, seed=0, rate=10.0, configs=None, **kwargs):
+    workload = Workload(rate, randomness=RandomSource(seed, _name="wl"))
+    return LoadBalancerSim(
+        configs or fig5_servers(), policy, workload, seed=seed, **kwargs
+    )
+
+
+class TestSimulationMechanics:
+    def test_serves_requested_count(self):
+        result = make_sim(random_policy()).run(500)
+        assert result.n_requests == 500
+        assert len(result.access_log) == 500
+        assert sum(result.per_server_requests.values()) == 500
+
+    def test_connections_drain_after_run(self):
+        sim = make_sim(random_policy())
+        sim.run(300)
+        assert all(s.open_connections == 0 for s in sim.servers)
+        assert sum(s.completed_requests for s in sim.servers) == 300
+
+    def test_deterministic_given_seed(self):
+        a = make_sim(random_policy(), seed=9).run(400)
+        b = make_sim(random_policy(), seed=9).run(400)
+        assert a.mean_latency == b.mean_latency
+        assert a.per_server_requests == b.per_server_requests
+
+    def test_different_seeds_differ(self):
+        a = make_sim(random_policy(), seed=1).run(400)
+        b = make_sim(random_policy(), seed=2).run(400)
+        assert a.mean_latency != b.mean_latency
+
+    def test_warmup_excluded_from_stats_but_logged(self):
+        result = make_sim(random_policy()).run(1000, warmup_fraction=0.2)
+        assert len(result.latencies) == 800
+        assert len(result.access_log) == 1000
+
+    def test_log_connections_snapshot_at_decision_time(self):
+        result = make_sim(random_policy()).run(200)
+        first = result.access_log[0]
+        assert first.connections == (0, 0)  # system starts empty
+
+    def test_latency_timeout_cap(self):
+        # A pathological single slow server: latency capped at timeout.
+        configs = [ServerConfig(0, 5.0, 10.0)]
+        result = make_sim(
+            send_to_policy(0), configs=configs, timeout=8.0, rate=5.0
+        ).run(200)
+        assert max(result.latencies) <= 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_sim(random_policy()).run(0)
+        with pytest.raises(ValueError):
+            make_sim(random_policy()).run(10, warmup_fraction=1.0)
+        with pytest.raises(ValueError):
+            LoadBalancerSim([], random_policy(), Workload(1.0))
+        with pytest.raises(ValueError):
+            make_sim(random_policy(), latency_noise=-1.0)
+        with pytest.raises(ValueError):
+            make_sim(random_policy(), timeout=0.0)
+
+
+class TestFig5Behaviour:
+    def test_server_one_faster_under_random(self):
+        """In logs collected under random routing, the fast server's
+        requests are cheaper — the root of the Table 2 illusion."""
+        result = make_sim(random_policy(), seed=4).run(4000)
+        by_server = {0: [], 1: []}
+        for entry in result.access_log:
+            by_server[entry.upstream].append(entry.upstream_response_time)
+        assert np.mean(by_server[0]) < np.mean(by_server[1])
+
+    def test_random_splits_traffic_evenly(self):
+        result = make_sim(random_policy(), seed=5).run(4000)
+        share = result.per_server_requests[0] / 4000
+        assert share == pytest.approx(0.5, abs=0.03)
+
+    def test_send_to_one_overloads(self):
+        """Deployed send-to-fast-server performs far worse than random —
+        the online half of Table 2."""
+        random_result = make_sim(random_policy(), seed=6).run(4000)
+        degenerate = make_sim(send_to_policy(0), seed=6).run(4000)
+        assert degenerate.mean_latency > 1.4 * random_result.mean_latency
+
+    def test_least_loaded_beats_random(self):
+        random_result = make_sim(random_policy(), seed=7).run(4000)
+        balanced = make_sim(least_loaded_policy(), seed=7).run(4000)
+        assert balanced.mean_latency < random_result.mean_latency
+
+    def test_higher_load_higher_latency(self):
+        light = make_sim(random_policy(), seed=8, rate=2.0).run(2000)
+        heavy = make_sim(random_policy(), seed=8, rate=12.0).run(2000)
+        assert heavy.mean_latency > light.mean_latency
+
+    def test_p99_at_least_mean(self):
+        result = make_sim(random_policy(), seed=9).run(1000)
+        assert result.p99_latency >= result.mean_latency
+
+    def test_api_affinity_visible_in_logs(self):
+        """Server 2 serves api requests cheaper than server 1 at equal
+        load — the structure the CB policy learns."""
+        result = make_sim(random_policy(), seed=10).run(8000)
+        api_fast, api_slow = [], []
+        for entry in result.access_log:
+            if entry.kind != "api":
+                continue
+            # Compare at low load to isolate the multiplier.
+            if max(entry.connections) <= 2:
+                (api_fast if entry.upstream == 0 else api_slow).append(
+                    entry.upstream_response_time
+                )
+        assert np.mean(api_slow) < np.mean(api_fast)

@@ -1,0 +1,91 @@
+"""Unit tests for the backend server model (Fig. 5 latency law)."""
+
+import pytest
+
+from repro.loadbalance.server import BackendServer, ServerConfig
+
+
+def make_server(base=0.2, slope=0.05, **kwargs):
+    return BackendServer(ServerConfig(0, base, slope, **kwargs))
+
+
+class TestServerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(0, base_latency=0.0, latency_per_connection=0.1)
+        with pytest.raises(ValueError):
+            ServerConfig(0, base_latency=0.1, latency_per_connection=-0.1)
+        with pytest.raises(ValueError):
+            ServerConfig(0, 0.1, 0.1, type_multipliers={"api": 0.0})
+
+    def test_multiplier_for_defaults_to_one(self):
+        config = ServerConfig(0, 0.1, 0.1, type_multipliers={"api": 0.5})
+        assert config.multiplier_for("api") == 0.5
+        assert config.multiplier_for("static") == 1.0
+
+
+class TestLatencyLaw:
+    def test_latency_linear_in_connections(self):
+        server = make_server(base=0.2, slope=0.05)
+        assert server.service_latency() == pytest.approx(0.2)
+        server.connect()
+        server.connect()
+        assert server.service_latency() == pytest.approx(0.3)
+
+    def test_fig5_additive_constant(self):
+        """Server 2 slower than server 1 by an additive constant, at
+        every load level."""
+        fast = make_server(base=0.2, slope=0.05)
+        slow = make_server(base=0.34, slope=0.05)
+        for conns in range(5):
+            assert slow.service_latency() - fast.service_latency() == (
+                pytest.approx(0.14)
+            )
+            fast.connect()
+            slow.connect()
+
+    def test_weight_scales_latency(self):
+        server = make_server(base=0.2, slope=0.05)
+        server.connect()
+        assert server.service_latency(request_weight=2.0) == pytest.approx(0.5)
+
+    def test_type_multiplier_applies(self):
+        server = BackendServer(
+            ServerConfig(0, 0.2, 0.0, type_multipliers={"api": 0.5})
+        )
+        assert server.service_latency(kind="api") == pytest.approx(0.1)
+        assert server.service_latency(kind="static") == pytest.approx(0.2)
+
+    def test_fault_multiplier_applies(self):
+        server = make_server(base=0.2, slope=0.0)
+        server.fault_multiplier = 4.0
+        assert server.service_latency() == pytest.approx(0.8)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            make_server().service_latency(request_weight=0.0)
+
+
+class TestConnectionTracking:
+    def test_connect_disconnect_cycle(self):
+        server = make_server()
+        server.connect()
+        server.connect()
+        assert server.open_connections == 2
+        server.disconnect(busy_time=0.5)
+        assert server.open_connections == 1
+        assert server.completed_requests == 1
+        assert server.total_busy_time == pytest.approx(0.5)
+
+    def test_disconnect_without_connection_raises(self):
+        with pytest.raises(RuntimeError):
+            make_server().disconnect(0.1)
+
+    def test_reset_clears_everything(self):
+        server = make_server()
+        server.connect()
+        server.fault_multiplier = 9.0
+        server.reset()
+        assert server.open_connections == 0
+        assert server.completed_requests == 0
+        assert server.fault_multiplier == 1.0

@@ -1,0 +1,71 @@
+"""Unit tests for the stale-context mode of the proxy (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.loadbalance.policies import least_loaded_policy, random_policy
+from repro.loadbalance.proxy import LoadBalancerSim, fig5_servers
+from repro.loadbalance.workload import Workload
+from repro.simsys.random_source import RandomSource
+
+
+def make_sim(staleness, policy=None, seed=0):
+    workload = Workload(10.0, randomness=RandomSource(seed, _name="wl"))
+    return LoadBalancerSim(
+        fig5_servers(), policy or random_policy(), workload, seed=seed,
+        context_refresh_interval=staleness,
+    )
+
+
+class TestStaleContext:
+    def test_fresh_mode_sees_live_counts(self):
+        result = make_sim(0.0).run(2000)
+        # With fresh context the logged snapshots change constantly.
+        snapshots = {e.connections for e in result.access_log}
+        assert len(snapshots) > 5
+
+    def test_stale_mode_holds_snapshot_between_refreshes(self):
+        import itertools
+
+        stale = make_sim(5.0).run(2000)
+        fresh = make_sim(0.0).run(2000)
+
+        def snapshot_runs(result):
+            return [
+                len(list(group))
+                for _, group in itertools.groupby(
+                    e.connections for e in result.access_log
+                )
+            ]
+
+        stale_runs = snapshot_runs(stale)
+        fresh_runs = snapshot_runs(fresh)
+        # ~10 req/s and a 5 s refresh => ~50 consecutive requests see
+        # the same snapshot; fresh mode changes almost every request.
+        assert max(stale_runs) > 20
+        assert np.mean(stale_runs) > 5 * np.mean(fresh_runs)
+        # And far fewer distinct snapshots overall.
+        stale_distinct = len({e.connections for e in stale.access_log})
+        fresh_distinct = len({e.connections for e in fresh.access_log})
+        assert stale_distinct < fresh_distinct / 2
+
+    def test_stale_snapshots_refresh_eventually(self):
+        result = make_sim(5.0).run(3000)
+        snapshots = {e.connections for e in result.access_log}
+        assert len(snapshots) > 3  # the view does update across windows
+
+    def test_staleness_hurts_load_aware_policy(self):
+        fresh = make_sim(0.0, least_loaded_policy(), seed=3).run(4000)
+        stale = make_sim(16.0, least_loaded_policy(), seed=3).run(4000)
+        assert stale.mean_latency > fresh.mean_latency
+
+    def test_staleness_irrelevant_for_load_oblivious_policy(self):
+        fresh = make_sim(0.0, random_policy(), seed=4).run(4000)
+        stale = make_sim(16.0, random_policy(), seed=4).run(4000)
+        assert stale.mean_latency == pytest.approx(
+            fresh.mean_latency, rel=0.05
+        )
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            make_sim(-1.0)

@@ -1,0 +1,67 @@
+"""Unit tests for the window-randomized weights policy (§5)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.loadbalance.policies import window_randomized_weights_policy
+
+
+class TestWindowRandomizedWeights:
+    def test_weights_fixed_within_window(self, rng):
+        policy = window_randomized_weights_policy(2, window=10, seed=0)
+        propensities = []
+        for _ in range(10):
+            _, p = policy.act({}, [0, 1], rng)
+            probs = policy.distribution({}, [0, 1])
+            propensities.append(tuple(np.round(probs, 12)))
+        assert len(set(propensities)) == 1  # one draw for the window
+
+    def test_weights_change_across_windows(self, rng):
+        policy = window_randomized_weights_policy(2, window=5, seed=1)
+        seen = set()
+        for _ in range(50):
+            policy.act({}, [0, 1], rng)
+            seen.add(round(float(policy.distribution({}, [0, 1])[0]), 10))
+        assert len(seen) >= 5  # many distinct windows
+
+    def test_propensity_matches_drawn_weight(self, rng):
+        policy = window_randomized_weights_policy(3, window=4, seed=2)
+        for _ in range(40):
+            action, p = policy.act({}, [0, 1, 2], rng)
+            probs = policy.distribution({}, [0, 1, 2])
+            assert p == pytest.approx(float(probs[action]))
+
+    def test_propensities_strictly_positive(self, rng):
+        policy = window_randomized_weights_policy(
+            2, window=3, seed=3, concentration=0.05
+        )
+        for _ in range(200):
+            _, p = policy.act({}, [0, 1], rng)
+            assert p > 0
+
+    def test_long_runs_occur(self, rng):
+        """The §5 payoff: skewed windows produce long same-server runs
+        that per-request uniform randomization essentially never does."""
+        policy = window_randomized_weights_policy(
+            2, window=40, seed=4, concentration=0.2
+        )
+        choices = [policy.act({}, [0, 1], rng)[0] for _ in range(4000)]
+        longest = max(len(list(g)) for _, g in itertools.groupby(choices))
+        assert longest >= 20
+
+    def test_marginal_traffic_roughly_balanced(self, rng):
+        """Across many windows the Dirichlet is symmetric, so neither
+        server is systematically favored."""
+        policy = window_randomized_weights_policy(2, window=10, seed=5)
+        choices = [policy.act({}, [0, 1], rng)[0] for _ in range(8000)]
+        assert np.mean(choices) == pytest.approx(0.5, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_randomized_weights_policy(1)
+        with pytest.raises(ValueError):
+            window_randomized_weights_policy(2, window=0)
+        with pytest.raises(ValueError):
+            window_randomized_weights_policy(2, concentration=0.0)

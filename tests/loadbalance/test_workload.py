@@ -1,0 +1,74 @@
+"""Unit tests for the request workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.loadbalance.workload import DEFAULT_MIX, Request, RequestType, Workload
+from repro.simsys.random_source import RandomSource
+
+
+class TestRequestType:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestType("x", weight=0.0, probability=0.5)
+        with pytest.raises(ValueError):
+            RequestType("x", weight=1.0, probability=0.0)
+
+
+class TestWorkload:
+    def test_arrival_rate(self):
+        wl = Workload(5.0, randomness=RandomSource(0, _name="wl"))
+        requests = list(wl.requests(horizon=2000.0))
+        assert len(requests) / 2000.0 == pytest.approx(5.0, rel=0.05)
+
+    def test_arrivals_sorted_and_within_horizon(self):
+        wl = Workload(10.0, randomness=RandomSource(1, _name="wl"))
+        times = [r.arrival_time for r in wl.requests(100.0)]
+        assert times == sorted(times)
+        assert all(0 < t < 100.0 for t in times)
+
+    def test_mix_proportions(self):
+        wl = Workload(50.0, randomness=RandomSource(2, _name="wl"))
+        requests = list(wl.requests(400.0))
+        kinds = [r.kind for r in requests]
+        for rtype in DEFAULT_MIX:
+            share = kinds.count(rtype.name) / len(kinds)
+            assert share == pytest.approx(rtype.probability, abs=0.03)
+
+    def test_weights_match_kinds(self):
+        wl = Workload(10.0, randomness=RandomSource(3, _name="wl"))
+        weight_of = {t.name: t.weight for t in DEFAULT_MIX}
+        for request in wl.requests(50.0):
+            assert request.weight == weight_of[request.kind]
+
+    def test_first_n_exact_count(self):
+        wl = Workload(10.0, randomness=RandomSource(4, _name="wl"))
+        assert len(wl.first_n(500)) == 500
+
+    def test_first_n_with_tiny_hint_expands(self):
+        wl = Workload(10.0, randomness=RandomSource(5, _name="wl"))
+        assert len(wl.first_n(200, horizon_hint=0.1)) == 200
+
+    def test_deterministic_given_seed(self):
+        a = Workload(10.0, randomness=RandomSource(6, _name="wl")).first_n(50)
+        b = Workload(10.0, randomness=RandomSource(6, _name="wl")).first_n(50)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+        assert [r.kind for r in a] == [r.kind for r in b]
+
+    def test_request_ids_sequential(self):
+        wl = Workload(10.0, randomness=RandomSource(7, _name="wl"))
+        ids = [r.request_id for r in wl.first_n(100)]
+        assert ids == list(range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload(0.0)
+        with pytest.raises(ValueError):
+            Workload(1.0, mix=[])
+        with pytest.raises(ValueError):
+            Workload(
+                1.0,
+                mix=[RequestType("a", 1.0, 0.5), RequestType("b", 1.0, 0.4)],
+            )
+        with pytest.raises(ValueError):
+            Workload(1.0).first_n(0)

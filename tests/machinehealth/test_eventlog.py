@@ -1,0 +1,117 @@
+"""Unit tests for the machine-health incident log."""
+
+import pytest
+
+from repro.machinehealth.eventlog import (
+    dataset_from_incident_log,
+    format_incident_line,
+    parse_incident_line,
+    read_incident_log,
+    write_incident_log,
+)
+from repro.machinehealth.failures import (
+    WAIT_TIMES,
+    DowntimeModel,
+    generate_failures,
+)
+from repro.machinehealth.fleet import FleetConfig, generate_fleet
+from repro.simsys.random_source import RandomSource
+
+
+def make_events(n=20, seed=0):
+    fleet = generate_fleet(FleetConfig(n_machines=10), RandomSource(seed))
+    return generate_failures(fleet, n, RandomSource(seed + 1))
+
+
+class TestIncidentLines:
+    def test_roundtrip_with_profile(self):
+        [event] = make_events(1)
+        line = format_incident_line(3.0, event, wait_minutes=10)
+        record = parse_incident_line(line)
+        assert record is not None
+        assert record.time == 3.0
+        assert record.machine_id == event.machine.machine_id
+        assert record.hardware_sku == event.machine.hardware_sku
+        assert record.failure_kind == event.failure_kind
+        assert record.wait_minutes == 10
+        assert record.downtime == pytest.approx(event.downtime(10), abs=1e-3)
+        assert len(record.profile) == len(WAIT_TIMES)
+        for logged, truth in zip(record.profile, event.downtime_profile()):
+            assert logged == pytest.approx(truth, abs=1e-3)
+
+    def test_roundtrip_without_profile(self):
+        [event] = make_events(1)
+        line = format_incident_line(0.0, event, 5, include_profile=False)
+        record = parse_incident_line(line)
+        assert record.profile is None
+        assert record.wait_minutes == 5
+
+    def test_invalid_wait_rejected(self):
+        [event] = make_events(1)
+        with pytest.raises(ValueError):
+            format_incident_line(0.0, event, wait_minutes=99)
+
+    def test_malformed_lines_return_none(self):
+        assert parse_incident_line("") is None
+        assert parse_incident_line("0.0 NOT-AN-INCIDENT") is None
+        [event] = make_events(1)
+        line = format_incident_line(0.0, event, 10)
+        assert parse_incident_line(line[:40]) is None
+
+    def test_wrong_profile_length_rejected(self):
+        [event] = make_events(1)
+        line = format_incident_line(0.0, event, 10)
+        broken = line.rsplit(",", 1)[0]  # drop last profile entry
+        assert parse_incident_line(broken) is None
+
+
+class TestLogFileFlow:
+    def test_write_read_roundtrip(self, tmp_path):
+        events = make_events(25)
+        path = str(tmp_path / "incidents.log")
+        write_incident_log(events, path)
+        records = read_incident_log(path)
+        assert len(records) == 25
+        assert all(r.wait_minutes == 10 for r in records)
+
+    def test_dataset_from_log_matches_direct_construction(self, tmp_path):
+        """Scavenging the text log yields the same full-feedback shape
+        as building the dataset in memory."""
+        events = make_events(40)
+        path = str(tmp_path / "incidents.log")
+        write_incident_log(events, path)
+        dataset = dataset_from_incident_log(read_incident_log(path))
+        assert len(dataset) == 40
+        for interaction, event in zip(dataset, events):
+            assert interaction.action == len(WAIT_TIMES) - 1
+            assert interaction.propensity == 1.0
+            assert len(interaction.full_rewards) == len(WAIT_TIMES)
+            assert interaction.reward == pytest.approx(
+                min(event.downtime(10), 600.0), abs=1e-3
+            )
+
+    def test_dataset_usable_by_learners(self, tmp_path):
+        import numpy as np
+
+        from repro.core import SupervisedTrainer
+        from repro.machinehealth import ground_truth_value, simulate_exploration
+
+        events = make_events(200, seed=5)
+        path = str(tmp_path / "incidents.log")
+        write_incident_log(events, path)
+        dataset = dataset_from_incident_log(read_incident_log(path))
+        exploration = simulate_exploration(dataset, np.random.default_rng(0))
+        assert len(exploration) == 200
+        trainer = SupervisedTrainer(10, maximize=False).fit(dataset)
+        assert ground_truth_value(trainer.policy(), dataset) > 0
+
+    def test_profile_required_for_full_feedback(self, tmp_path):
+        events = make_events(5)
+        path = str(tmp_path / "incidents.log")
+        write_incident_log(events, path, include_profile=False)
+        with pytest.raises(ValueError):
+            dataset_from_incident_log(read_incident_log(path))
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_from_incident_log([])

@@ -1,0 +1,144 @@
+"""Unit tests for the failure/downtime model."""
+
+import math
+
+import pytest
+
+from repro.machinehealth.failures import (
+    NEVER,
+    WAIT_TIMES,
+    DowntimeModel,
+    FailureEvent,
+    generate_failures,
+)
+from repro.machinehealth.fleet import FleetConfig, Machine, generate_fleet
+from repro.simsys.random_source import RandomSource
+
+
+def make_machine(age=1.0, failures=0, sku="gen5-compute", vms=4):
+    return Machine(0, sku, "os-2016", age, vms, failures)
+
+
+class TestDowntimeLaw:
+    def test_recovery_before_wait_means_recovery_downtime(self):
+        event = FailureEvent(make_machine(vms=2), "network",
+                             recovery_minutes=3.0, reboot_minutes=8.0)
+        # Wait 5 >= recovery 3 -> downtime = 3 minutes * 2 VMs.
+        assert event.downtime(5.0) == pytest.approx(6.0)
+
+    def test_recovery_after_wait_means_wait_plus_reboot(self):
+        event = FailureEvent(make_machine(vms=2), "network",
+                             recovery_minutes=9.0, reboot_minutes=8.0)
+        # Wait 5 < recovery 9 -> downtime = (5 + 8) * 2.
+        assert event.downtime(5.0) == pytest.approx(26.0)
+
+    def test_never_recovering_machine(self):
+        event = FailureEvent(make_machine(vms=1), "kernel",
+                             recovery_minutes=NEVER, reboot_minutes=6.0)
+        assert event.downtime(2.0) == pytest.approx(8.0)
+        # Waiting longer only hurts.
+        assert event.downtime(9.0) > event.downtime(2.0)
+
+    def test_profile_covers_all_wait_times(self):
+        event = FailureEvent(make_machine(), "disk",
+                             recovery_minutes=4.5, reboot_minutes=7.0)
+        profile = event.downtime_profile()
+        assert len(profile) == len(WAIT_TIMES)
+        # Waits beyond recovery all give the same downtime.
+        assert profile[5] == profile[9]
+
+    def test_profile_shape_for_fast_recovery(self):
+        """If recovery is at 2.5 min, waiting >= 3 is optimal."""
+        event = FailureEvent(make_machine(vms=1), "network",
+                             recovery_minutes=2.5, reboot_minutes=8.0)
+        profile = event.downtime_profile()
+        best = min(range(len(profile)), key=lambda i: profile[i])
+        assert WAIT_TIMES[best] == 3
+
+    def test_invalid_wait(self):
+        event = FailureEvent(make_machine(), "disk", 1.0, 5.0)
+        with pytest.raises(ValueError):
+            event.downtime(0.0)
+
+    def test_context_record_includes_failure_kind(self):
+        event = FailureEvent(make_machine(), "firmware", 1.0, 5.0)
+        assert event.context_record()["failure_kind"] == "firmware"
+
+
+class TestDowntimeModel:
+    def test_transient_kinds_recover_more(self):
+        model = DowntimeModel()
+        machine = make_machine()
+        assert model.recovery_probability(machine, "network") > (
+            model.recovery_probability(machine, "kernel")
+        )
+
+    def test_age_reduces_recovery(self):
+        model = DowntimeModel()
+        young = model.recovery_probability(make_machine(age=0.5), "network")
+        old = model.recovery_probability(make_machine(age=6.0), "network")
+        assert young > old
+
+    def test_failure_history_reduces_recovery(self):
+        model = DowntimeModel()
+        clean = model.recovery_probability(make_machine(failures=0), "disk")
+        flaky = model.recovery_probability(make_machine(failures=8), "disk")
+        assert clean > flaky
+
+    def test_probability_bounds(self):
+        model = DowntimeModel()
+        machine = make_machine(age=50.0, failures=100)
+        for kind in ("network", "disk", "kernel", "firmware"):
+            p = model.recovery_probability(machine, kind)
+            assert 0.0 < p < 1.0
+
+    def test_newer_hardware_reboots_faster(self):
+        model = DowntimeModel()
+        rng = RandomSource(0)
+        old_boots = [
+            model.reboot_minutes(make_machine(sku="gen4-compute"), rng)
+            for _ in range(200)
+        ]
+        new_boots = [
+            model.reboot_minutes(make_machine(sku="gen6-compute"), rng)
+            for _ in range(200)
+        ]
+        assert sum(new_boots) / 200 < sum(old_boots) / 200
+
+    def test_kind_probabilities_sum_to_one(self):
+        probs = DowntimeModel().failure_kind_probabilities(make_machine())
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_sample_event_fields(self):
+        event = DowntimeModel().sample_event(make_machine(), RandomSource(1))
+        assert event.failure_kind in ("network", "disk", "kernel", "firmware")
+        assert event.reboot_minutes >= 2.0
+        assert event.recovery_minutes > 0
+
+
+class TestGenerateFailures:
+    def test_count(self):
+        fleet = generate_fleet(FleetConfig(n_machines=50), RandomSource(0))
+        events = generate_failures(fleet, 200, RandomSource(1))
+        assert len(events) == 200
+
+    def test_failure_prone_machines_fail_more(self):
+        reliable = make_machine(age=0.1, failures=0)
+        flaky = Machine(1, "gen4-compute", "os-2012r2", 6.0, 4, 8)
+        events = generate_failures([reliable, flaky], 2000, RandomSource(2))
+        flaky_count = sum(1 for e in events if e.machine.machine_id == 1)
+        assert flaky_count > 1200
+
+    def test_deterministic(self):
+        fleet = generate_fleet(FleetConfig(n_machines=20), RandomSource(0))
+        a = generate_failures(fleet, 50, RandomSource(5))
+        b = generate_failures(fleet, 50, RandomSource(5))
+        assert [e.recovery_minutes for e in a] == [
+            e.recovery_minutes for e in b
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_failures([], 10, RandomSource(0))
+        with pytest.raises(ValueError):
+            generate_failures([make_machine()], 0, RandomSource(0))

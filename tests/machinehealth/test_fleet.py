@@ -1,0 +1,61 @@
+"""Unit tests for fleet generation."""
+
+import pytest
+
+from repro.machinehealth.fleet import (
+    FAILURE_KINDS,
+    HARDWARE_SKUS,
+    OS_VERSIONS,
+    FleetConfig,
+    Machine,
+    generate_fleet,
+)
+from repro.simsys.random_source import RandomSource
+
+
+class TestGenerateFleet:
+    def test_count_and_ids(self):
+        fleet = generate_fleet(FleetConfig(n_machines=100), RandomSource(0))
+        assert len(fleet) == 100
+        assert [m.machine_id for m in fleet] == list(range(100))
+
+    def test_feature_ranges(self):
+        config = FleetConfig(n_machines=500, max_age_years=6.0, max_vms=20,
+                             max_prior_failures=8)
+        fleet = generate_fleet(config, RandomSource(1))
+        for machine in fleet:
+            assert machine.hardware_sku in HARDWARE_SKUS
+            assert machine.os_version in OS_VERSIONS
+            assert 0.0 <= machine.age_years <= 6.0
+            assert 1 <= machine.n_vms <= 20
+            assert 0 <= machine.prior_failures <= 8
+
+    def test_deterministic(self):
+        a = generate_fleet(FleetConfig(n_machines=50), RandomSource(7))
+        b = generate_fleet(FleetConfig(n_machines=50), RandomSource(7))
+        assert a == b
+
+    def test_diversity(self):
+        fleet = generate_fleet(FleetConfig(n_machines=500), RandomSource(2))
+        assert len({m.hardware_sku for m in fleet}) == len(HARDWARE_SKUS)
+        assert len({m.os_version for m in fleet}) == len(OS_VERSIONS)
+
+    def test_older_skus_are_older_on_average(self):
+        fleet = generate_fleet(FleetConfig(n_machines=3000), RandomSource(3))
+        gen4 = [m.age_years for m in fleet if m.hardware_sku == "gen4-compute"]
+        gen6 = [m.age_years for m in fleet if m.hardware_sku == "gen6-compute"]
+        assert sum(gen4) / len(gen4) > sum(gen6) / len(gen6)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            generate_fleet(FleetConfig(n_machines=0), RandomSource(0))
+
+    def test_context_record(self):
+        machine = Machine(3, "gen5-compute", "os-2016", 2.5, 10, 1)
+        record = machine.context_record()
+        assert record["machine_id"] == 3
+        assert record["hardware_sku"] == "gen5-compute"
+        assert record["n_vms"] == 10
+
+    def test_failure_kinds_constant(self):
+        assert set(FAILURE_KINDS) == {"network", "disk", "kernel", "firmware"}

@@ -1,0 +1,147 @@
+"""Property-based tests for the off-policy estimators.
+
+These encode the mathematical identities the estimators must satisfy
+for *any* exploration data, not just the workloads we happen to
+simulate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators.direct import DirectMethodEstimator
+from repro.core.estimators.doubly_robust import DoublyRobustEstimator
+from repro.core.estimators.ips import IPSEstimator, SNIPSEstimator
+from repro.core.policies import ConstantPolicy, UniformRandomPolicy
+from repro.core.types import ActionSpace, Dataset, Interaction
+
+
+@st.composite
+def exploration_datasets(draw, min_size=5, max_size=60, n_actions=3):
+    """Arbitrary valid exploration datasets over ``n_actions`` actions.
+
+    Propensities are drawn from a coarse grid bounded away from zero so
+    the IPS weights stay finite and the data remains consistent with
+    *some* logging distribution.
+    """
+    n = draw(st.integers(min_size, max_size))
+    interactions = []
+    for t in range(n):
+        action = draw(st.integers(0, n_actions - 1))
+        reward = draw(
+            st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+        )
+        propensity = draw(st.sampled_from([0.1, 0.2, 1 / 3, 0.5, 0.9, 1.0]))
+        context = {"x": draw(st.floats(-1.0, 1.0, allow_nan=False))}
+        interactions.append(
+            Interaction(context, action, reward, propensity, float(t))
+        )
+    return Dataset(interactions, action_space=ActionSpace(n_actions))
+
+
+class TestIPSIdentities:
+    @given(exploration_datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_logging_identity(self, dataset):
+        """Evaluating the logging policy on its own uniform data gives
+        the sample mean exactly, when propensities are all 1/n."""
+        uniform = Dataset(
+            [
+                Interaction(i.context, i.action, i.reward, 1 / 3, i.timestamp)
+                for i in dataset
+            ],
+            action_space=dataset.action_space,
+        )
+        value = IPSEstimator().estimate(UniformRandomPolicy(), uniform).value
+        assert value == pytest.approx(float(uniform.rewards().mean()))
+
+    @given(exploration_datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_constant_policies_partition_the_data(self, dataset):
+        """Σ_a ips(constant_a) weighted by 1 == ips of 'any action'
+        since each datapoint matches exactly one constant policy."""
+        ips = IPSEstimator()
+        total = sum(
+            ips.weighted_rewards(ConstantPolicy(a), dataset)
+            for a in range(3)
+        )
+        expected = dataset.rewards() / dataset.propensities()
+        np.testing.assert_allclose(total, expected)
+
+    @given(exploration_datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_ips_terms_nonnegative_for_nonnegative_rewards(self, dataset):
+        terms = IPSEstimator().weighted_rewards(ConstantPolicy(0), dataset)
+        assert (terms >= 0).all()
+
+    @given(exploration_datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_match_weights_bounded_by_inverse_propensity(self, dataset):
+        weights = IPSEstimator().match_weights(ConstantPolicy(1), dataset)
+        bound = 1.0 / dataset.propensities()
+        assert (weights <= bound + 1e-12).all()
+
+
+class TestSNIPSIdentities:
+    @given(exploration_datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_snips_within_reward_hull(self, dataset):
+        """Self-normalization keeps the estimate inside the convex hull
+        of observed rewards (when any data matches)."""
+        result = SNIPSEstimator().estimate(ConstantPolicy(0), dataset)
+        if result.effective_n > 0:
+            rewards = dataset.rewards()
+            assert rewards.min() - 1e-12 <= result.value <= rewards.max() + 1e-12
+
+    @given(exploration_datasets(), st.floats(-2.0, 2.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_snips_shift_equivariance(self, dataset, shift):
+        shifted = Dataset(
+            [
+                Interaction(
+                    i.context, i.action, i.reward + shift, i.propensity
+                )
+                for i in dataset
+            ],
+            action_space=dataset.action_space,
+        )
+        base = SNIPSEstimator().estimate(ConstantPolicy(1), dataset)
+        moved = SNIPSEstimator().estimate(ConstantPolicy(1), shifted)
+        if base.effective_n > 0:
+            assert moved.value == pytest.approx(base.value + shift, abs=1e-9)
+
+
+class TestCrossEstimatorProperties:
+    @given(exploration_datasets(min_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_all_estimators_finite_on_valid_data(self, dataset):
+        policy = ConstantPolicy(0)
+        for estimator in (
+            IPSEstimator(),
+            DirectMethodEstimator(),
+            DoublyRobustEstimator(),
+        ):
+            value = estimator.estimate(policy, dataset).value
+            assert np.isfinite(value)
+
+    @given(exploration_datasets(min_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_dr_equals_dm_plus_correction(self, dataset):
+        """DR with a given model == DM + IPS-weighted residual term,
+        by construction; check the decomposition holds numerically."""
+        from repro.core.estimators.direct import RewardModel
+
+        model = RewardModel(3).fit(dataset)
+        dm = DirectMethodEstimator(model).estimate(ConstantPolicy(0), dataset)
+        dr = DoublyRobustEstimator(model).estimate(ConstantPolicy(0), dataset)
+        ips = IPSEstimator()
+        weights = ips.match_weights(ConstantPolicy(0), dataset)
+        residuals = np.array(
+            [
+                i.reward - model.predict(i.context, i.action)
+                for i in dataset
+            ]
+        )
+        correction = float(np.mean(weights * residuals))
+        assert dr.value == pytest.approx(dm.value + correction, abs=1e-9)

@@ -1,0 +1,143 @@
+"""Property-based tests for serialization formats.
+
+Round-trip identities must hold for arbitrary valid data, not just the
+handful of examples in the unit tests.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.keyspace_log import (
+    format_get_line,
+    format_keyspace_line,
+    parse_keyspace_line,
+)
+from repro.core.types import Dataset, Interaction
+from repro.core.vw_format import (
+    interaction_to_vw,
+    load_vw,
+    save_vw,
+    vw_to_interaction,
+)
+from repro.loadbalance.access_log import (
+    AccessLogEntry,
+    format_access_log_line,
+    parse_access_log_line,
+)
+
+feature_names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_-."
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+finite_rewards = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def vw_interactions(draw):
+    context = draw(
+        st.dictionaries(
+            feature_names,
+            st.floats(-1e3, 1e3, allow_nan=False),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    return Interaction(
+        context=context,
+        action=draw(st.integers(0, 20)),
+        reward=draw(finite_rewards),
+        propensity=draw(st.sampled_from([0.05, 0.1, 0.25, 0.5, 1.0])),
+        timestamp=0.0,
+    )
+
+
+class TestVWRoundtrip:
+    @given(vw_interactions())
+    @settings(max_examples=100, deadline=None)
+    def test_single_line_roundtrip(self, interaction):
+        restored = vw_to_interaction(interaction_to_vw(interaction))
+        assert restored is not None
+        assert restored.action == interaction.action
+        assert restored.propensity == pytest.approx(interaction.propensity)
+        assert restored.reward == pytest.approx(
+            interaction.reward, rel=1e-4, abs=1e-4
+        )
+        for name, value in interaction.context.items():
+            assert restored.context[name] == pytest.approx(
+                value, rel=1e-4, abs=1e-4
+            )
+
+    @given(st.lists(vw_interactions(), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_stream_roundtrip_preserves_count_and_order(self, interactions):
+        dataset = Dataset(interactions)
+        buffer = io.StringIO()
+        save_vw(dataset, buffer)
+        buffer.seek(0)
+        restored = load_vw(buffer)
+        assert len(restored) == len(dataset)
+        for a, b in zip(dataset, restored):
+            assert a.action == b.action
+
+
+class TestAccessLogRoundtrip:
+    @given(
+        st.floats(0, 1e6, allow_nan=False),
+        st.integers(0, 9999),
+        st.sampled_from(["static", "dynamic", "api"]),
+        st.integers(0, 63),
+        st.floats(0.001, 100.0, allow_nan=False),
+        st.lists(st.integers(0, 10**6), min_size=1, max_size=8),
+        st.sampled_from([0.6, 1.0, 1.8]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, time, client, kind, upstream_mod, latency,
+                       connections, weight):
+        entry = AccessLogEntry(
+            time=time,
+            client_key=f"client-{client}",
+            kind=kind,
+            status=200,
+            upstream=upstream_mod % len(connections),
+            upstream_response_time=latency,
+            connections=tuple(connections),
+            request_weight=weight,
+        )
+        restored = parse_access_log_line(format_access_log_line(entry))
+        assert restored is not None
+        assert restored.upstream == entry.upstream
+        assert restored.connections == entry.connections
+        assert restored.kind == entry.kind
+        assert restored.upstream_response_time == pytest.approx(
+            latency, rel=1e-4, abs=1e-5
+        )
+
+
+class TestKeyspaceLogRoundtrip:
+    @given(
+        st.floats(0, 1e6, allow_nan=False),
+        st.sampled_from(["big", "small", "item"]),
+        st.integers(0, 10**6),
+        st.booleans(),
+        st.integers(1, 10**6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_get_roundtrip(self, time, prefix, index, hit, size):
+        key = f"{prefix}-{index}"
+        event = parse_keyspace_line(format_get_line(time, key, hit, size))
+        assert event is not None
+        assert event.key == key
+        assert event.hit == hit
+        assert event.size == size
+        # Re-serialization is stable.
+        assert parse_keyspace_line(format_keyspace_line(event)) == event

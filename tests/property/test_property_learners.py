@@ -1,0 +1,124 @@
+"""Property-based tests for the CB learners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.eviction import candidate_features
+from repro.core.features import Featurizer
+from repro.core.learners.cb import EpsilonGreedyLearner, PerActionFeaturesLearner
+from repro.core.learners.regression import SGDRegressor
+from repro.core.types import Interaction
+
+
+@st.composite
+def candidate_blocks(draw, n_candidates=3):
+    """A slot context for n candidates with random feature blocks."""
+    context = {}
+    for slot in range(n_candidates):
+        context[f"cand{slot}_idle"] = draw(st.floats(0, 100, allow_nan=False))
+        context[f"cand{slot}_freq"] = draw(st.floats(0, 1, allow_nan=False))
+        context[f"cand{slot}_size"] = draw(
+            st.sampled_from([1.0, 2.0, 4.0, 8.0])
+        )
+        context[f"cand{slot}_age"] = draw(st.floats(0, 500, allow_nan=False))
+        context[f"cand{slot}_ttl"] = draw(st.floats(0, 1e5, allow_nan=False))
+    return context
+
+
+def permute_slots(context, permutation):
+    """Relabel candidate slots according to ``permutation``."""
+    out = {}
+    for name, value in context.items():
+        slot = int(name[4])  # "cand{i}_..."
+        rest = name.split("_", 1)[1]
+        out[f"cand{permutation[slot]}_{rest}"] = value
+    return out
+
+
+def trained_adf_learner(seed=0, n=400):
+    """An ADF learner trained on random eviction data."""
+    rng = np.random.default_rng(seed)
+    learner = PerActionFeaturesLearner(
+        candidate_features, featurizer=Featurizer(16), learning_rate=0.3
+    )
+    for t in range(n):
+        context = {}
+        for slot in range(3):
+            context[f"cand{slot}_idle"] = float(rng.uniform(0, 100))
+            context[f"cand{slot}_freq"] = float(rng.uniform(0, 1))
+            context[f"cand{slot}_size"] = float(rng.choice([1, 4]))
+            context[f"cand{slot}_age"] = float(rng.uniform(0, 500))
+            context[f"cand{slot}_ttl"] = 1e5
+        action = int(rng.integers(3))
+        reward = context[f"cand{action}_idle"]  # idle predicts reward
+        learner.observe(Interaction(context, action, reward, 1 / 3, float(t)))
+    return learner
+
+
+class TestADFSlotEquivariance:
+    @given(candidate_blocks(), st.permutations([0, 1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_chosen_candidate_invariant_under_slot_relabeling(
+        self, context, permutation
+    ):
+        """The ADF policy must pick the same *candidate* no matter
+        which slot it sits in — the model scores feature blocks, not
+        slot positions."""
+        learner = trained_adf_learner()
+        policy = learner.policy()
+        original_slot = policy.action(context, [0, 1, 2])
+        permuted = permute_slots(context, list(permutation))
+        permuted_slot = policy.action(permuted, [0, 1, 2])
+        assert permuted_slot == permutation[original_slot]
+
+    @given(candidate_blocks())
+    @settings(max_examples=60, deadline=None)
+    def test_predictions_finite(self, context):
+        learner = trained_adf_learner()
+        for action in range(3):
+            assert np.isfinite(learner.predict(context, action))
+
+
+class TestLearnerRobustness:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-10, 10, allow_nan=False),   # context feature
+                st.integers(0, 2),                      # action
+                st.floats(-100, 100, allow_nan=False),  # reward
+                st.sampled_from([0.1, 1 / 3, 0.5, 1.0]),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_epsilon_greedy_never_produces_nonfinite_state(self, rows):
+        learner = EpsilonGreedyLearner(3, learning_rate=0.5)
+        for x, action, reward, propensity in rows:
+            learner.observe(
+                Interaction({"x": x, "bias": 1.0}, action, reward, propensity)
+            )
+        for action in range(3):
+            value = learner.predict({"x": 1.0, "bias": 1.0}, action)
+            assert np.isfinite(value)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-1e4, 1e4, allow_nan=False),
+                st.floats(0, 1000, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_implicit_sgd_weights_always_finite(self, rows):
+        model = SGDRegressor(2, learning_rate=10.0, decay=False)
+        for x, y, importance in rows:
+            model.update(np.array([x, 1.0]), y, importance)
+            assert np.isfinite(model.weights).all()

@@ -1,0 +1,130 @@
+"""Property-based conservation laws for the substrates.
+
+Simulators earn trust through invariants that hold for *any*
+parameters: requests are conserved, accounting balances, and the
+physics (downtime law, latency law) matches its definition pointwise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loadbalance.policies import random_policy
+from repro.loadbalance.proxy import LoadBalancerSim
+from repro.loadbalance.server import ServerConfig
+from repro.loadbalance.workload import Workload
+from repro.machinehealth.failures import NEVER, WAIT_TIMES, FailureEvent
+from repro.machinehealth.fleet import Machine
+from repro.simsys.random_source import RandomSource
+
+
+def make_machine(vms):
+    return Machine(0, "gen5-compute", "os-2016", 2.0, vms, 1)
+
+
+class TestDowntimeLawProperties:
+    @given(
+        st.floats(0.1, 60.0),            # recovery time (or NEVER below)
+        st.floats(2.0, 15.0),            # reboot minutes
+        st.integers(1, 20),              # vms
+        st.booleans(),                   # never recovers?
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_profile_matches_definition_pointwise(
+        self, recovery, reboot, vms, never
+    ):
+        event = FailureEvent(
+            make_machine(vms), "disk",
+            recovery_minutes=NEVER if never else recovery,
+            reboot_minutes=reboot,
+        )
+        profile = event.downtime_profile()
+        for wait, downtime in zip(WAIT_TIMES, profile):
+            if not never and recovery <= wait:
+                assert downtime == pytest.approx(recovery * vms)
+            else:
+                assert downtime == pytest.approx((wait + reboot) * vms)
+
+    @given(st.floats(2.0, 15.0), st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_never_recovering_machine_prefers_shortest_wait(
+        self, reboot, vms
+    ):
+        event = FailureEvent(make_machine(vms), "kernel", NEVER, reboot)
+        profile = event.downtime_profile()
+        assert all(a < b for a, b in zip(profile, profile[1:]))
+        assert int(np.argmin(profile)) == 0
+
+    @given(st.floats(0.1, 0.9), st.floats(2.0, 15.0), st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_fast_recovery_makes_waiting_optimal(
+        self, recovery, reboot, vms
+    ):
+        """If the machine recovers within the first minute, every wait
+        is equally good — the profile is flat at recovery × vms."""
+        event = FailureEvent(make_machine(vms), "network", recovery, reboot)
+        profile = event.downtime_profile()
+        assert all(v == pytest.approx(recovery * vms) for v in profile)
+
+    @given(
+        st.floats(0.1, 60.0),
+        st.floats(2.0, 15.0),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_downtime_bounded(self, recovery, reboot, vms):
+        event = FailureEvent(make_machine(vms), "disk", recovery, reboot)
+        for wait in WAIT_TIMES:
+            downtime = event.downtime(wait)
+            assert 0 < downtime <= (wait + reboot) * vms + 1e-9
+
+
+class TestProxyConservation:
+    @given(
+        st.integers(2, 5),                 # servers
+        st.floats(2.0, 15.0),              # arrival rate
+        st.integers(50, 300),              # requests
+        st.integers(0, 10**6),             # seed
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_requests_conserved_and_drained(self, n_servers, rate, n, seed):
+        configs = [
+            ServerConfig(i, 0.1 + 0.05 * i, 0.03) for i in range(n_servers)
+        ]
+        workload = Workload(rate, randomness=RandomSource(seed, _name="wl"))
+        sim = LoadBalancerSim(configs, random_policy(), workload, seed=seed)
+        result = sim.run(n)
+        # Every request was routed somewhere, completed, and logged.
+        assert sum(result.per_server_requests.values()) == n
+        assert sum(s.completed_requests for s in sim.servers) == n
+        assert all(s.open_connections == 0 for s in sim.servers)
+        assert len(result.access_log) == n
+        # Latencies positive and capped by the timeout.
+        assert all(
+            0 < e.upstream_response_time <= sim.timeout
+            for e in result.access_log
+        )
+        # Log timestamps are non-decreasing (arrival order).
+        times = [e.time for e in result.access_log]
+        assert times == sorted(times)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_everything(self, seed):
+        def run():
+            workload = Workload(
+                8.0, randomness=RandomSource(seed, _name="wl")
+            )
+            sim = LoadBalancerSim(
+                [ServerConfig(0, 0.2, 0.05), ServerConfig(1, 0.3, 0.05)],
+                random_policy(), workload, seed=seed,
+            )
+            return sim.run(150)
+
+        a, b = run(), run()
+        assert a.mean_latency == b.mean_latency
+        assert a.per_server_requests == b.per_server_requests
+        assert [e.upstream for e in a.access_log] == [
+            e.upstream for e in b.access_log
+        ]

@@ -1,0 +1,150 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simsys.events import Event, EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abc":
+            queue.push(1.0, lambda n=name: fired.append(n))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None, name="keep")
+        drop = queue.push(0.5, lambda: None, name="drop")
+        drop.cancel()
+        assert queue.pop() is keep
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(0.5, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty(self):
+        assert EventQueue().pop() is None
+
+    def test_len_counts_pending(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+
+
+class TestEvent:
+    def test_events_compare_by_time_then_seq(self):
+        early = Event(time=1.0, seq=5, action=lambda: None)
+        late = Event(time=2.0, seq=1, action=lambda: None)
+        assert early < late
+        tie_a = Event(time=1.0, seq=1, action=lambda: None)
+        tie_b = Event(time=1.0, seq=2, action=lambda: None)
+        assert tie_a < tie_b
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.0, 2.5]
+        assert sim.now == 2.5
+
+    def test_run_until_horizon_stops_clock_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        processed = sim.run(until=3.0)
+        assert processed == 1
+        assert fired == [1]
+        assert sim.now == 3.0
+        # The later event still fires when the horizon extends.
+        sim.run(until=10.0)
+        assert fired == [1, 5]
+
+    def test_handlers_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def recur(n):
+            fired.append(sim.now)
+            if n > 0:
+                sim.schedule(1.0, lambda: recur(n - 1))
+
+        sim.schedule(1.0, lambda: recur(3))
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending == 6
+
+    def test_step_runs_exactly_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_start_time(self):
+        sim = Simulator(start_time=100.0)
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [101.0]
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []

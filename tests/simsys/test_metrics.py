@@ -1,0 +1,140 @@
+"""Unit tests for metric recorders."""
+
+import numpy as np
+import pytest
+
+from repro.simsys.metrics import (
+    Counter,
+    MetricRegistry,
+    PercentileTracker,
+    TimeSeries,
+    WindowedRate,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("requests")
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+
+class TestPercentileTracker:
+    def test_mean_and_std(self):
+        tracker = PercentileTracker("latency")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            tracker.observe(v)
+        assert tracker.mean() == pytest.approx(2.5)
+        assert tracker.std() == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_percentiles_match_numpy(self):
+        tracker = PercentileTracker("x")
+        values = list(np.random.default_rng(0).uniform(0, 10, 500))
+        for v in values:
+            tracker.observe(v)
+        for q in (1, 50, 95, 99):
+            assert tracker.percentile(q) == pytest.approx(np.percentile(values, q))
+
+    def test_p99_alias(self):
+        tracker = PercentileTracker("x")
+        for v in range(101):
+            tracker.observe(float(v))
+        assert tracker.p99() == tracker.percentile(99)
+
+    def test_empty_tracker_is_zero(self):
+        tracker = PercentileTracker("x")
+        assert tracker.mean() == 0.0
+        assert tracker.p99() == 0.0
+        assert tracker.count == 0
+
+    def test_invalid_percentile(self):
+        tracker = PercentileTracker("x")
+        tracker.observe(1.0)
+        with pytest.raises(ValueError):
+            tracker.percentile(101)
+
+    def test_summary_keys(self):
+        tracker = PercentileTracker("x")
+        tracker.observe(1.0)
+        summary = tracker.summary()
+        assert set(summary) == {"count", "mean", "std", "p50", "p95", "p99"}
+
+    def test_values_returns_copy(self):
+        tracker = PercentileTracker("x")
+        tracker.observe(1.0)
+        tracker.values.append(99.0)
+        assert tracker.count == 1
+
+
+class TestTimeSeries:
+    def test_records_and_length(self):
+        series = TimeSeries("load")
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeries("load")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 2.0)
+
+    def test_value_at_step_interpolation(self):
+        series = TimeSeries("load")
+        series.record(0.0, 10.0)
+        series.record(2.0, 20.0)
+        assert series.value_at(1.5) == 10.0
+        assert series.value_at(2.0) == 20.0
+        assert series.value_at(-1.0) is None
+
+    def test_time_average(self):
+        series = TimeSeries("load")
+        series.record(0.0, 10.0)
+        series.record(1.0, 20.0)
+        series.record(3.0, 0.0)
+        # 10 for one unit, 20 for two units => (10 + 40) / 3
+        assert series.time_average() == pytest.approx(50.0 / 3.0)
+
+    def test_time_average_single_sample(self):
+        series = TimeSeries("load")
+        series.record(0.0, 7.0)
+        assert series.time_average() == 7.0
+
+
+class TestWindowedRate:
+    def test_rate_within_window(self):
+        rate = WindowedRate("hits", window=10.0)
+        for t in range(10):
+            rate.record(float(t))
+        assert rate.rate(now=9.0) == pytest.approx(1.0)
+
+    def test_old_events_fall_out(self):
+        rate = WindowedRate("hits", window=5.0)
+        rate.record(0.0)
+        rate.record(10.0)
+        assert rate.rate(now=10.0) == pytest.approx(1.0 / 5.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedRate("x", window=0.0)
+
+
+class TestMetricRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.tracker("b") is registry.tracker("b")
+        assert registry.series("c") is registry.series("c")
+
+    def test_snapshot_flattens(self):
+        registry = MetricRegistry()
+        registry.counter("hits").increment(3)
+        registry.tracker("latency").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["hits"] == 3.0
+        assert snapshot["latency.mean"] == pytest.approx(0.5)

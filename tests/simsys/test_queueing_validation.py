@@ -1,0 +1,94 @@
+"""Validate the event kernel against closed-form queueing theory.
+
+The load-balancer results all flow through this kernel, so we check it
+against the one thing queueing gives us exactly: the M/M/1 queue.  We
+build one from raw Simulator primitives — Poisson arrivals, a single
+exponential server, FIFO queue — and compare the simulated mean number
+in system and mean sojourn time to the analytic values
+
+    E[N] = ρ / (1 − ρ)        E[T] = 1 / (μ − λ)
+
+If these come out right, the clock, the event ordering, and the
+Poisson source are all doing their jobs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simsys.events import Simulator
+from repro.simsys.metrics import PercentileTracker, TimeSeries
+from repro.simsys.random_source import RandomSource
+
+
+def simulate_mm1(lam: float, mu: float, horizon: float, seed: int = 0):
+    """An M/M/1 queue on the raw kernel; returns (E[N] est, E[T] est)."""
+    randomness = RandomSource(seed, _name="mm1")
+    service_rng = randomness.child("service")
+    sim = Simulator()
+    queue: list[float] = []  # arrival times of waiting customers
+    state = {"busy": False, "in_system": 0}
+    occupancy = TimeSeries("N")
+    sojourn = PercentileTracker("T")
+
+    def record():
+        occupancy.record(sim.now, float(state["in_system"]))
+
+    def finish_service(arrival_time: float) -> None:
+        state["in_system"] -= 1
+        sojourn.observe(sim.now - arrival_time)
+        record()
+        if queue:
+            start_service(queue.pop(0))
+        else:
+            state["busy"] = False
+
+    def start_service(arrival_time: float) -> None:
+        state["busy"] = True
+        service_time = service_rng.exponential(1.0 / mu)
+        sim.schedule(service_time, lambda: finish_service(arrival_time))
+
+    def arrive() -> None:
+        state["in_system"] += 1
+        record()
+        if state["busy"]:
+            queue.append(sim.now)
+        else:
+            start_service(sim.now)
+
+    for t in randomness.child("arrivals").poisson_process(lam, horizon):
+        sim.schedule_at(t, arrive)
+    sim.run()
+    return occupancy.time_average(), sojourn.mean()
+
+
+class TestMM1Validation:
+    @pytest.mark.parametrize("lam,mu", [(5.0, 10.0), (8.0, 10.0)])
+    def test_mean_number_in_system(self, lam, mu):
+        rho = lam / mu
+        expected = rho / (1.0 - rho)
+        estimates = [
+            simulate_mm1(lam, mu, horizon=3000.0, seed=s)[0]
+            for s in range(3)
+        ]
+        assert float(np.mean(estimates)) == pytest.approx(expected, rel=0.1)
+
+    @pytest.mark.parametrize("lam,mu", [(5.0, 10.0), (8.0, 10.0)])
+    def test_mean_sojourn_time(self, lam, mu):
+        expected = 1.0 / (mu - lam)
+        estimates = [
+            simulate_mm1(lam, mu, horizon=3000.0, seed=10 + s)[1]
+            for s in range(3)
+        ]
+        assert float(np.mean(estimates)) == pytest.approx(expected, rel=0.1)
+
+    def test_littles_law(self):
+        """L = λW must hold for the *same* run, by construction of a
+        correct simulation — a strong internal-consistency check."""
+        lam, mu = 6.0, 10.0
+        n_in_system, sojourn = simulate_mm1(lam, mu, horizon=5000.0, seed=21)
+        assert n_in_system == pytest.approx(lam * sojourn, rel=0.05)
+
+    def test_heavier_load_longer_queues(self):
+        light, _ = simulate_mm1(3.0, 10.0, horizon=1500.0, seed=4)
+        heavy, _ = simulate_mm1(9.0, 10.0, horizon=1500.0, seed=4)
+        assert heavy > 2 * light

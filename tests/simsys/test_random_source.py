@@ -1,0 +1,116 @@
+"""Unit tests for seeded randomness streams."""
+
+import numpy as np
+import pytest
+
+from repro.simsys.random_source import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_child_streams_are_deterministic(self):
+        a = RandomSource(7).child("workload")
+        b = RandomSource(7).child("workload")
+        assert a.uniform() == b.uniform()
+
+    def test_sibling_children_are_independent(self):
+        root = RandomSource(7)
+        wl = root.child("workload")
+        policy = root.child("policy")
+        assert wl.seed != policy.seed
+        assert [wl.uniform() for _ in range(5)] != [
+            policy.uniform() for _ in range(5)
+        ]
+
+    def test_child_name_path(self):
+        grandchild = RandomSource(0).child("a").child("b")
+        assert grandchild.name == "root.a.b"
+
+    def test_drawing_from_one_child_does_not_shift_another(self):
+        root = RandomSource(3)
+        first = root.child("x")
+        _ = [first.uniform() for _ in range(100)]
+        # A freshly derived sibling is unaffected by prior draws.
+        assert root.child("y").uniform() == RandomSource(3).child("y").uniform()
+
+
+class TestDraws:
+    def test_uniform_range(self):
+        src = RandomSource(0)
+        draws = [src.uniform(2.0, 3.0) for _ in range(100)]
+        assert all(2.0 <= d < 3.0 for d in draws)
+
+    def test_exponential_mean(self):
+        src = RandomSource(0)
+        draws = [src.exponential(2.0) for _ in range(20000)]
+        assert np.mean(draws) == pytest.approx(2.0, rel=0.05)
+
+    def test_randint_bounds(self):
+        src = RandomSource(0)
+        draws = [src.randint(3, 7) for _ in range(200)]
+        assert set(draws) <= {3, 4, 5, 6}
+        assert len(set(draws)) == 4  # all values reached
+
+    def test_choice_with_probabilities(self):
+        src = RandomSource(0)
+        draws = [src.choice(["x", "y"], p=[0.9, 0.1]) for _ in range(2000)]
+        assert draws.count("x") > draws.count("y") * 4
+
+    def test_sample_without_replacement(self):
+        src = RandomSource(0)
+        out = src.sample(list(range(10)), 5)
+        assert len(out) == 5
+        assert len(set(out)) == 5
+
+    def test_sample_too_many_raises(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).sample([1, 2], 3)
+
+    def test_shuffle_is_permutation(self):
+        src = RandomSource(0)
+        items = list(range(20))
+        shuffled = src.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # original untouched
+
+    def test_bernoulli_rate(self):
+        src = RandomSource(0)
+        draws = [src.bernoulli(0.3) for _ in range(5000)]
+        assert np.mean(draws) == pytest.approx(0.3, abs=0.03)
+
+    def test_zipf_skew(self):
+        src = RandomSource(0)
+        draws = [src.zipf_index(100, 1.2) for _ in range(3000)]
+        counts = np.bincount(draws, minlength=100)
+        assert counts[0] > counts[50]
+        assert counts[0] > counts[10]
+
+    def test_zipf_invalid_n(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).zipf_index(0, 1.0)
+
+
+class TestPoissonProcess:
+    def test_arrivals_within_horizon_and_sorted(self):
+        src = RandomSource(0)
+        times = list(src.poisson_process(5.0, 100.0))
+        assert all(0 < t < 100.0 for t in times)
+        assert times == sorted(times)
+
+    def test_rate_matches(self):
+        src = RandomSource(0)
+        times = list(src.poisson_process(5.0, 2000.0))
+        assert len(times) / 2000.0 == pytest.approx(5.0, rel=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            list(RandomSource(0).poisson_process(0.0, 10.0))

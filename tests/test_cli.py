@@ -1,0 +1,36 @@
+"""Smoke tests for the command-line entry point and quickstart."""
+
+import subprocess
+import sys
+
+
+def test_python_m_repro_prints_catalog():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert "Harvesting Randomness" in result.stdout
+    assert "fig3" in result.stdout
+    assert "table2" in result.stdout
+    assert "pytest benchmarks/" in result.stdout
+
+
+def test_quickstart_example_runs():
+    result = subprocess.run(
+        [sys.executable, "examples/quickstart.py"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "harvested 5000 exploration points" in result.stdout
+    assert "constant[1]" in result.stdout
+
+
+def test_main_module_returns_zero():
+    from repro.__main__ import main
+
+    assert main([]) == 0

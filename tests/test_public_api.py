@@ -1,0 +1,80 @@
+"""Public API surface checks.
+
+Every name a package's ``__init__`` exports must import and be listed
+in ``__all__``; downstream users program against this surface.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.core.estimators",
+    "repro.core.learners",
+    "repro.simsys",
+    "repro.loadbalance",
+    "repro.cache",
+    "repro.machinehealth",
+    "repro.chaos",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} must define __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), (
+            f"{package_name}.__all__ lists {name!r} which does not exist"
+        )
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_has_no_duplicates(package_name):
+    package = importlib.import_module(package_name)
+    assert len(package.__all__) == len(set(package.__all__))
+
+
+def test_version_string():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_core_star_import_is_clean():
+    namespace = {}
+    exec("from repro.core import *", namespace)  # noqa: S102
+    assert "IPSEstimator" in namespace
+    assert "Dataset" in namespace
+    # Nothing private leaks.
+    assert not any(name.startswith("_") for name in namespace
+                   if name != "__builtins__")
+
+
+def test_readme_quickstart_names_exist():
+    """The README's import list must stay valid."""
+    from repro.core import (  # noqa: F401
+        ConstantPolicy,
+        Dataset,
+        EmpiricalPropensityModel,
+        Interaction,
+        IPSEstimator,
+    )
+
+
+def test_key_estimators_share_interface():
+    from repro.core.estimators import (
+        DirectMethodEstimator,
+        DoublyRobustEstimator,
+        IPSEstimator,
+        OffPolicyEstimator,
+        SNIPSEstimator,
+        SwitchEstimator,
+    )
+
+    for cls in (IPSEstimator, SNIPSEstimator, DirectMethodEstimator,
+                DoublyRobustEstimator, SwitchEstimator):
+        assert issubclass(cls, OffPolicyEstimator)
