@@ -1,0 +1,252 @@
+"""Microbenchmarks for the off-policy evaluation engine.
+
+Measures the columnar (vectorized) evaluation path against the per-row
+scalar reference on the workload the engine was built for: policy-class
+search over a large exploration log (§4's "evaluate a whole class Π
+simultaneously").  Throughputs land in ``BENCH_ope.json`` at the repo
+root so the speedup is tracked across PRs.
+
+Sizes: a 100k-interaction synthetic log with 8 actions and a 64-policy
+random linear class.  The scalar path is timed on a slice (it is the
+whole point of this engine that the full product is too slow for it)
+and compared on *throughput* — policies × interactions per second —
+which is size-independent for both paths.
+
+``REPRO_PERF_SMOKE=1`` shrinks everything for CI smoke runs (few
+seconds total, no speedup gate — CI shared runners are too noisy to
+gate on; the artifact still uploads for tracking).
+
+Run with::
+
+    pytest benchmarks/perf/ -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.learners.cb import PolicyClassOptimizer
+from repro.core.estimators.ips import IPSEstimator
+from repro.core.policies import (
+    EpsilonGreedyPolicy,
+    LinearThresholdPolicy,
+    PolicyClass,
+)
+from repro.core.types import ActionSpace, Dataset, Interaction, RewardRange
+
+from benchmarks.conftest import print_table
+
+SMOKE = os.environ.get("REPRO_PERF_SMOKE", "") not in ("", "0")
+
+#: Full-size workload (the ISSUE's acceptance target) vs CI smoke.
+N_LOG = 2_000 if SMOKE else 100_000
+N_ACTIONS = 8
+N_CLASS = 8 if SMOKE else 64
+#: The scalar reference runs on a slice; throughput is extrapolated.
+N_SCALAR_SLICE = 500 if SMOKE else 5_000
+N_CLASS_SCALAR = 4 if SMOKE else 8
+ROUNDS = 1 if SMOKE else 3
+#: Acceptance gate (full mode only): vectorized class search must beat
+#: the scalar path by at least this factor in throughput.
+MIN_SPEEDUP = 10.0
+
+FEATURES = [f"f{i}" for i in range(4)]
+
+ARTIFACT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "BENCH_ope.json"
+)
+
+#: Populated by the benchmark tests (in file order), consumed by the
+#: artifact/gate test at the end of the module.
+RESULTS: dict = {}
+
+
+def make_log(n: int, seed: int = 42) -> Dataset:
+    rng = np.random.default_rng(seed)
+    dataset = Dataset(
+        action_space=ActionSpace(N_ACTIONS),
+        reward_range=RewardRange(0.0, 1.0, maximize=True),
+    )
+    features = rng.uniform(size=(n, len(FEATURES)))
+    actions = rng.integers(0, N_ACTIONS, size=n)
+    rewards = np.clip(
+        0.3 + 0.05 * actions + 0.4 * features[:, 0] * (actions % 2)
+        + rng.normal(0, 0.05, size=n),
+        0.0,
+        1.0,
+    )
+    interactions = [
+        Interaction(
+            context=dict(zip(FEATURES, map(float, features[t]))),
+            action=int(actions[t]),
+            reward=float(rewards[t]),
+            propensity=1.0 / N_ACTIONS,
+            timestamp=float(t),
+        )
+        for t in range(n)
+    ]
+    dataset.extend(interactions)
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def workload():
+    log = make_log(N_LOG)
+    scalar_slice = log[:N_SCALAR_SLICE]
+    policy_class = PolicyClass.random_linear(
+        N_CLASS, N_ACTIONS, FEATURES, np.random.default_rng(7)
+    )
+    scalar_class = PolicyClass(
+        policy_class.policies[:N_CLASS_SCALAR], name="scalar-slice-class"
+    )
+    single_policy = EpsilonGreedyPolicy(policy_class[0], epsilon=0.1)
+    return log, scalar_slice, policy_class, scalar_class, single_policy
+
+
+def _timed(benchmark, fn) -> float:
+    """Run ``fn`` under pytest-benchmark, returning the best wall time.
+
+    Timing is taken with our own clock inside the benchmarked callable
+    so the result is available regardless of benchmark-plugin options
+    (``--benchmark-disable`` still runs the function once).
+    """
+    durations: list[float] = []
+
+    def run():
+        start = time.perf_counter()
+        fn()
+        durations.append(time.perf_counter() - start)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=0)
+    return min(durations)
+
+
+class TestSinglePolicyOPE:
+    """IPS over the whole log for one candidate policy."""
+
+    def test_bench_ips_vectorized(self, workload, benchmark):
+        log, _, _, _, policy = workload
+        log.columns()  # one-time featurization outside the timed region
+        estimator = IPSEstimator(backend="vectorized")
+        seconds = _timed(benchmark, lambda: estimator.estimate(policy, log))
+        RESULTS["single_vectorized"] = {
+            "n": len(log),
+            "seconds": seconds,
+            "interactions_per_sec": len(log) / seconds,
+        }
+
+    def test_bench_ips_scalar(self, workload, benchmark):
+        _, scalar_slice, _, _, policy = workload
+        estimator = IPSEstimator(backend="scalar")
+        seconds = _timed(
+            benchmark, lambda: estimator.estimate(policy, scalar_slice)
+        )
+        RESULTS["single_scalar"] = {
+            "n": len(scalar_slice),
+            "seconds": seconds,
+            "interactions_per_sec": len(scalar_slice) / seconds,
+        }
+
+
+class TestPolicyClassSearch:
+    """IPS-score every member of a policy class on one shared log."""
+
+    def test_bench_class_search_vectorized(self, workload, benchmark):
+        log, _, policy_class, _, _ = workload
+        optimizer = PolicyClassOptimizer(IPSEstimator(backend="vectorized"))
+        seconds = _timed(
+            benchmark, lambda: optimizer.score_all(policy_class, log)
+        )
+        work = len(policy_class) * len(log)
+        RESULTS["class_vectorized"] = {
+            "n": len(log),
+            "n_policies": len(policy_class),
+            "seconds": seconds,
+            "policy_interactions_per_sec": work / seconds,
+        }
+
+    def test_bench_class_search_scalar(self, workload, benchmark):
+        _, scalar_slice, _, scalar_class, _ = workload
+        optimizer = PolicyClassOptimizer(IPSEstimator(backend="scalar"))
+        seconds = _timed(
+            benchmark, lambda: optimizer.score_all(scalar_class, scalar_slice)
+        )
+        work = len(scalar_class) * len(scalar_slice)
+        RESULTS["class_scalar"] = {
+            "n": len(scalar_slice),
+            "n_policies": len(scalar_class),
+            "seconds": seconds,
+            "policy_interactions_per_sec": work / seconds,
+        }
+
+
+class TestThroughputArtifact:
+    """Derive speedups, write ``BENCH_ope.json``, enforce the gate."""
+
+    def test_record_and_gate(self):
+        assert set(RESULTS) >= {
+            "single_vectorized",
+            "single_scalar",
+            "class_vectorized",
+            "class_scalar",
+        }, "benchmark tests must run before the artifact test (file order)"
+        single_speedup = (
+            RESULTS["single_vectorized"]["interactions_per_sec"]
+            / RESULTS["single_scalar"]["interactions_per_sec"]
+        )
+        class_speedup = (
+            RESULTS["class_vectorized"]["policy_interactions_per_sec"]
+            / RESULTS["class_scalar"]["policy_interactions_per_sec"]
+        )
+        artifact = {
+            "workload": {
+                "smoke": SMOKE,
+                "n_log": N_LOG,
+                "n_actions": N_ACTIONS,
+                "n_policies": N_CLASS,
+                "n_scalar_slice": N_SCALAR_SLICE,
+                "n_policies_scalar": N_CLASS_SCALAR,
+            },
+            "single_policy_ips": {
+                "vectorized": RESULTS["single_vectorized"],
+                "scalar": RESULTS["single_scalar"],
+                "speedup": single_speedup,
+            },
+            "class_search": {
+                "vectorized": RESULTS["class_vectorized"],
+                "scalar": RESULTS["class_scalar"],
+                "speedup": class_speedup,
+            },
+        }
+        with open(ARTIFACT_PATH, "w", encoding="utf-8") as f:
+            json.dump(artifact, f, indent=2)
+            f.write("\n")
+
+        print_table(
+            "OPE engine throughput (vectorized vs scalar)",
+            ["kernel", "scalar /s", "vectorized /s", "speedup"],
+            [
+                [
+                    "single-policy IPS (interactions/s)",
+                    f"{RESULTS['single_scalar']['interactions_per_sec']:.0f}",
+                    f"{RESULTS['single_vectorized']['interactions_per_sec']:.0f}",
+                    f"{single_speedup:.1f}x",
+                ],
+                [
+                    "class search (policy-interactions/s)",
+                    f"{RESULTS['class_scalar']['policy_interactions_per_sec']:.0f}",
+                    f"{RESULTS['class_vectorized']['policy_interactions_per_sec']:.0f}",
+                    f"{class_speedup:.1f}x",
+                ],
+            ],
+        )
+        if not SMOKE:
+            assert class_speedup >= MIN_SPEEDUP, (
+                f"class-search speedup {class_speedup:.1f}x below the "
+                f"{MIN_SPEEDUP:.0f}x acceptance target"
+            )

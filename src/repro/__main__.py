@@ -1,16 +1,46 @@
-"""``python -m repro`` — orientation for the command line.
+"""``python -m repro`` — orientation and offline evaluation for the CLI.
 
-Prints the package version, the experiment catalog, and how to run
-things.  The benchmarks themselves run under pytest (each one asserts
-its paper artifact's shape); this entry point just tells you where
-they are.
+With no arguments, prints the package version, the experiment catalog,
+and how to run things (the benchmarks themselves run under pytest; this
+entry point just tells you where they are).
+
+``python -m repro evaluate LOG.jsonl`` runs off-policy estimators over
+a harvested JSONL exploration log from the shell::
+
+    python -m repro evaluate exploration.jsonl \
+        --policy uniform --policy constant:1 --policy eps:0:0.1 \
+        --estimator ips --estimator snips \
+        --backend vectorized
+
+``--backend`` selects the evaluation engine (see
+:mod:`repro.core.engine`): ``vectorized`` (default) runs through the
+columnar batch path; ``scalar`` walks the log row by row.  Policies
+without a batch implementation fall back to the row loop with a
+one-time warning per policy type.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 import repro
+from repro.core.engine import BACKENDS, set_default_backend
+from repro.core.estimators.direct import DirectMethodEstimator
+from repro.core.estimators.doubly_robust import DoublyRobustEstimator
+from repro.core.estimators.ips import (
+    ClippedIPSEstimator,
+    IPSEstimator,
+    SNIPSEstimator,
+)
+from repro.core.estimators.switch import SwitchEstimator
+from repro.core.policies import (
+    ConstantPolicy,
+    EpsilonGreedyPolicy,
+    Policy,
+    UniformRandomPolicy,
+)
+from repro.core.types import Dataset
 
 EXPERIMENTS = [
     ("fig1", "benchmarks/test_fig1_ab_vs_cb.py", "A/B vs CB data needs"),
@@ -31,8 +61,10 @@ EXAMPLES = [
     "experiment_planning",
 ]
 
+ESTIMATOR_NAMES = ("ips", "snips", "clipped-ips", "dm", "dr", "switch")
 
-def main(argv: list[str]) -> int:
+
+def print_catalog() -> None:
     print(f"repro {repro.__version__} — Harvesting Randomness to Optimize "
           f"Distributed Systems (HotNets 2017), reproduced\n")
     print("experiments (run with `pytest <file> -s` to see the rows):")
@@ -40,11 +72,145 @@ def main(argv: list[str]) -> int:
         print(f"  {exp_id:<8s} {path:<46s} {blurb}")
     print("\nexamples (run with `python examples/<name>.py`):")
     print("  " + ", ".join(EXAMPLES))
+    print("\nevaluate a log offline:")
+    print("  python -m repro evaluate LOG.jsonl --policy constant:1 "
+          "--estimator ips")
     print("\nsuites:")
     print("  pytest tests/                      # unit/integration/property")
     print("  pytest benchmarks/ -s              # every table & figure")
     print("  pytest benchmarks/ --benchmark-only  # timing kernels")
     print("\ndocs: README.md, DESIGN.md, EXPERIMENTS.md, docs/methodology.md")
+
+
+def parse_policy(spec: str) -> Policy:
+    """Build a policy from a CLI spec.
+
+    Specs: ``uniform``; ``constant:<action>``; ``eps:<action>:<epsilon>``
+    (ε-greedy around a constant action).
+    """
+    parts = spec.split(":")
+    kind = parts[0]
+    try:
+        if kind == "uniform" and len(parts) == 1:
+            return UniformRandomPolicy()
+        if kind == "constant" and len(parts) == 2:
+            return ConstantPolicy(int(parts[1]))
+        if kind == "eps" and len(parts) == 3:
+            return EpsilonGreedyPolicy(
+                ConstantPolicy(int(parts[1])), float(parts[2])
+            )
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"bad policy spec {spec!r}: {error}"
+        ) from error
+    raise argparse.ArgumentTypeError(
+        f"unknown policy spec {spec!r}; expected 'uniform', "
+        "'constant:<action>', or 'eps:<action>:<epsilon>'"
+    )
+
+
+def make_estimator(name: str):
+    if name == "ips":
+        return IPSEstimator()
+    if name == "snips":
+        return SNIPSEstimator()
+    if name == "clipped-ips":
+        return ClippedIPSEstimator()
+    if name == "dm":
+        return DirectMethodEstimator()
+    if name == "dr":
+        return DoublyRobustEstimator()
+    if name == "switch":
+        return SwitchEstimator()
+    raise ValueError(f"unknown estimator {name!r}")
+
+
+def run_evaluate(args: argparse.Namespace) -> int:
+    # The flag sets the process-wide default, so everything downstream —
+    # estimators, bootstrap, model fitting — follows it uniformly.
+    set_default_backend(args.backend)
+    try:
+        dataset = Dataset.load_jsonl(args.log)
+    except OSError as error:
+        print(f"error: cannot read {args.log}: {error}", file=sys.stderr)
+        return 1
+    if len(dataset) == 0:
+        print(f"error: no interactions in {args.log}", file=sys.stderr)
+        return 1
+    try:
+        policies = [parse_policy(spec) for spec in args.policy] or [
+            UniformRandomPolicy()
+        ]
+    except argparse.ArgumentTypeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    estimators = [make_estimator(name) for name in args.estimator] or [
+        IPSEstimator()
+    ]
+    print(f"log: {args.log} ({len(dataset)} interactions)  "
+          f"backend: {args.backend}")
+    header = f"{'policy':<28s}" + "".join(
+        f"{e.name:>22s}" for e in estimators
+    )
+    print(header)
+    print("-" * len(header))
+    for policy in policies:
+        cells = []
+        for estimator in estimators:
+            try:
+                result = estimator.estimate(policy, dataset)
+            except ValueError as error:
+                print(f"error: {policy.name} × {estimator.name}: {error}",
+                      file=sys.stderr)
+                return 1
+            cells.append(f"{result.value:>12.4f} ±{result.std_error:<7.4f}")
+        print(f"{policy.name:<28s}" + "".join(f"{c:>22s}" for c in cells))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Harvesting-randomness reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    evaluate = subparsers.add_parser(
+        "evaluate", help="off-policy evaluation of a JSONL exploration log"
+    )
+    evaluate.add_argument("log", help="path to a JSONL exploration log")
+    evaluate.add_argument(
+        "--policy",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="candidate policy: uniform | constant:<a> | eps:<a>:<epsilon> "
+        "(repeatable; default: uniform)",
+    )
+    evaluate.add_argument(
+        "--estimator",
+        action="append",
+        default=[],
+        choices=ESTIMATOR_NAMES,
+        help="estimator to run (repeatable; default: ips)",
+    )
+    evaluate.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="vectorized",
+        help="evaluation engine: columnar batch path (vectorized, default) "
+        "or per-row reference loop (scalar)",
+    )
+    return parser
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print_catalog()
+        return 0
+    args = build_parser().parse_args(argv)
+    if args.command == "evaluate":
+        return run_evaluate(args)
+    print_catalog()
     return 0
 
 

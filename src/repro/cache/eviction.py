@@ -114,6 +114,20 @@ class ScoredEvictionPolicy(Policy):
         probs[int(np.argmax(scores))] = 1.0
         return probs
 
+    def probabilities_batch(self, columns) -> np.ndarray:
+        # The score callable is opaque, so scores are gathered per row,
+        # but the argmax/point-mass assembly is vectorized and the
+        # estimators avoid any further per-row dispatch.
+        if not columns.canonical_order:
+            from repro.core.columns import loop_probabilities
+
+            return loop_probabilities(self, columns)
+        scores = np.zeros((columns.n, columns.n_actions))
+        for row, context in enumerate(columns.contexts):
+            for action in columns.eligible_lists[row]:
+                scores[row, action] = self.score(context, action)
+        return columns.point_mass_matrix(columns.masked_argbest(scores))
+
 
 def random_eviction_policy() -> Policy:
     """Evict a uniformly random candidate (Redis ``allkeys-random``)."""

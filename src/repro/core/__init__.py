@@ -21,6 +21,12 @@ from repro.core.types import (
     Interaction,
     RewardRange,
 )
+from repro.core.columns import DatasetColumns
+from repro.core.engine import (
+    get_default_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.core.features import FeatureEncoder, Featurizer
 from repro.core.policies import (
     ConstantPolicy,
@@ -99,8 +105,12 @@ from repro.core.bootstrap import (
 __all__ = [
     "ActionSpace",
     "Dataset",
+    "DatasetColumns",
     "Interaction",
     "RewardRange",
+    "get_default_backend",
+    "set_default_backend",
+    "use_backend",
     "FeatureEncoder",
     "Featurizer",
     "Policy",

@@ -52,9 +52,16 @@ def bootstrap_ips_interval(
     delta: float = 0.05,
     n_boot: int = 1000,
     rng: Optional[np.random.Generator] = None,
+    backend: Optional[str] = None,
 ) -> ConfidenceInterval:
-    """Bootstrap CI for a policy's IPS value on an exploration log."""
-    terms = IPSEstimator().weighted_rewards(policy, dataset)
+    """Bootstrap CI for a policy's IPS value on an exploration log.
+
+    ``backend`` selects the evaluation path for the single pass that
+    computes the IPS terms (the resampling itself is always one
+    fancy-indexing matrix operation); the vectorized default shares the
+    dataset's cached columnar view with any other estimator runs.
+    """
+    terms = IPSEstimator(backend=backend).weighted_rewards(policy, dataset)
     return bootstrap_interval_from_terms(terms, delta, n_boot, rng)
 
 
@@ -64,10 +71,11 @@ def bootstrap_snips_interval(
     delta: float = 0.05,
     n_boot: int = 1000,
     rng: Optional[np.random.Generator] = None,
+    backend: Optional[str] = None,
 ) -> ConfidenceInterval:
     """Bootstrap CI for SNIPS — resamples (weight, weighted-reward)
     pairs jointly, since the estimator is a ratio of means."""
-    snips = SNIPSEstimator()
+    snips = SNIPSEstimator(backend=backend)
     weights = snips.match_weights(policy, dataset)
     rewards = dataset.rewards()
     if weights.size < 2:

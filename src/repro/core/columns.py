@@ -1,0 +1,215 @@
+"""Columnar dataset representation for batch off-policy evaluation.
+
+The scalar estimators walk a :class:`~repro.core.types.Dataset` one
+:class:`~repro.core.types.Interaction` at a time, re-resolving eligible
+actions and re-featurizing the context for every policy they score.
+That per-row work is identical across the hundreds of candidate
+policies a class search evaluates — §4's "simultaneous evaluation"
+promise makes it the hottest path in the system.
+
+:class:`DatasetColumns` hoists everything that depends only on the
+*log* out of the per-policy loop:
+
+- ``actions``, ``rewards``, ``propensities`` as flat NumPy arrays;
+- the per-row eligible-action sets, resolved once into an ``(N, K)``
+  boolean mask (replicating
+  :func:`repro.core.estimators.base.eligible_actions_fn` semantics);
+- memoized feature matrices — both the named-feature layout used by
+  linear policies and the hashed layout used by reward models — so
+  featurization cost is paid once per dataset, not once per policy.
+
+Policies consume it through
+:meth:`~repro.core.policies.Policy.probabilities_batch`, which returns
+the full ``(N, K)`` probability matrix; estimators then reduce that
+matrix with a handful of array operations.  Columns are cached on the
+dataset (see :meth:`repro.core.types.Dataset.columns`) and invalidated
+when the dataset is mutated, so every estimator and every member of a
+policy class shares one featurization pass.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.core.types import Context, Dataset
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.features import Featurizer
+    from repro.core.policies import Policy
+
+
+class DatasetColumns:
+    """Immutable columnar view of a dataset, shared across evaluations.
+
+    ``n_actions`` (K) is the action-space size when the dataset carries
+    one, else ``max(logged action) + 1`` — the best reconstruction
+    available for scavenged logs.  ``eligible_mask[t, a]`` is whether
+    action ``a`` was eligible at row ``t``; probabilities of ineligible
+    actions are exactly zero in every batch matrix.
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        interactions = list(dataset)
+        n = len(interactions)
+        self.n = n
+        self.contexts: tuple[Context, ...] = tuple(
+            i.context for i in interactions
+        )
+        self.actions = np.fromiter(
+            (i.action for i in interactions), dtype=np.int64, count=n
+        )
+        self.rewards = np.fromiter(
+            (i.reward for i in interactions), dtype=np.float64, count=n
+        )
+        self.propensities = np.fromiter(
+            (i.propensity for i in interactions), dtype=np.float64, count=n
+        )
+
+        space = dataset.action_space
+        if space is not None:
+            self.n_actions = space.n_actions
+        elif n > 0:
+            self.n_actions = int(self.actions.max()) + 1
+        else:
+            self.n_actions = 1
+        k = self.n_actions
+
+        # Per-row eligible actions, mirroring eligible_actions_fn: the
+        # action space (possibly context-restricted) when present, else
+        # the set of actions observed anywhere in the log.
+        if space is not None and space.restricted:
+            self.eligible_lists: tuple[tuple[int, ...], ...] = tuple(
+                tuple(space.actions(context)) for context in self.contexts
+            )
+            mask = np.zeros((n, k), dtype=bool)
+            for row, eligible in enumerate(self.eligible_lists):
+                mask[row, list(eligible)] = True
+            self.eligible_mask = mask
+            self.uniform_eligibility = False
+        else:
+            if space is not None:
+                shared: tuple[int, ...] = tuple(range(k))
+            elif n > 0:
+                shared = tuple(sorted(set(self.actions.tolist())))
+            else:
+                shared = (0,)
+            self.eligible_lists = (shared,) * n
+            mask = np.zeros((n, k), dtype=bool)
+            mask[:, list(shared)] = True
+            self.eligible_mask = mask
+            self.uniform_eligibility = True
+
+        self.eligible_counts = self.eligible_mask.sum(axis=1).astype(float)
+        #: Whether every row's eligible list is sorted ascending.  When
+        #: true, a masked argmax (lowest-id tie-break) reproduces the
+        #: scalar path's first-in-list tie-break exactly; deterministic
+        #: batch policies fall back to the loop otherwise.
+        self.canonical_order = all(
+            all(a < b for a, b in zip(row, row[1:]))
+            for row in set(self.eligible_lists)
+        )
+
+        self._row_index = np.arange(n)
+        self._feature_matrices: dict[tuple[str, ...], np.ndarray] = {}
+        self._hashed_matrices: dict[int, tuple[object, np.ndarray]] = {}
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "DatasetColumns":
+        """Build (without caching) the columnar view of ``dataset``."""
+        return cls(dataset)
+
+    # -- memoized featurizations -------------------------------------------
+
+    def feature_matrix(self, feature_names: Sequence[str]) -> np.ndarray:
+        """``(N, F+1)`` matrix of named features plus a bias column.
+
+        Matches :class:`~repro.core.policies.LinearThresholdPolicy`'s
+        ``φ(x)`` layout; memoized per feature-name tuple so a class of
+        |Π| linear policies sharing a template featurizes once.
+        """
+        key = tuple(feature_names)
+        cached = self._feature_matrices.get(key)
+        if cached is None:
+            cached = np.empty((self.n, len(key) + 1))
+            for row, context in enumerate(self.contexts):
+                for col, name in enumerate(key):
+                    cached[row, col] = float(context.get(name, 0.0))
+            cached[:, -1] = 1.0
+            self._feature_matrices[key] = cached
+        return cached
+
+    def hashed_matrix(self, featurizer: "Featurizer") -> np.ndarray:
+        """``(N, n_dims)`` hashed context matrix, memoized per featurizer."""
+        entry = self._hashed_matrices.get(id(featurizer))
+        if entry is None or entry[0] is not featurizer:
+            matrix = featurizer.matrix(list(self.contexts))
+            entry = (featurizer, matrix)
+            self._hashed_matrices[id(featurizer)] = entry
+        return entry[1]
+
+    # -- batch building blocks ---------------------------------------------
+
+    def uniform_matrix(self) -> np.ndarray:
+        """``(N, K)`` uniform distribution over each row's eligible set."""
+        out = np.zeros((self.n, self.n_actions))
+        np.divide(
+            1.0,
+            self.eligible_counts[:, None],
+            out=out,
+            where=self.eligible_mask,
+        )
+        return out
+
+    def point_mass_matrix(self, chosen: np.ndarray) -> np.ndarray:
+        """``(N, K)`` matrix putting probability 1 on ``chosen[t]``."""
+        chosen = np.asarray(chosen, dtype=np.int64)
+        if chosen.shape != (self.n,):
+            raise ValueError(f"chosen must have shape ({self.n},)")
+        out = np.zeros((self.n, self.n_actions))
+        out[self._row_index, chosen] = 1.0
+        return out
+
+    def masked_argbest(self, scores: np.ndarray, maximize: bool = True) -> np.ndarray:
+        """Per-row best *eligible* action id for a ``(N, K)`` score matrix.
+
+        Ties break toward the lowest action id, matching the scalar
+        path when eligible lists are in canonical (ascending) order.
+        """
+        if scores.shape != (self.n, self.n_actions):
+            raise ValueError(
+                f"scores must have shape ({self.n}, {self.n_actions})"
+            )
+        guarded = np.where(
+            self.eligible_mask, scores if maximize else -scores, -np.inf
+        )
+        return np.argmax(guarded, axis=1)
+
+    def probability_of_logged(self, matrix: np.ndarray) -> np.ndarray:
+        """Extract ``π(a_t | x_t)`` from a batch probability matrix."""
+        return matrix[self._row_index, self.actions]
+
+    def logged_probabilities(self, policy: "Policy") -> np.ndarray:
+        """``π(a_t | x_t)`` for every row, via the policy's batch API."""
+        return self.probability_of_logged(policy.probabilities_batch(self))
+
+    def __repr__(self) -> str:
+        return f"DatasetColumns(n={self.n}, k={self.n_actions})"
+
+
+def loop_probabilities(policy: "Policy", columns: DatasetColumns) -> np.ndarray:
+    """Reference ``(N, K)`` probability matrix via per-row dispatch.
+
+    The correct-for-anything fallback behind
+    :meth:`~repro.core.policies.Policy.probabilities_batch`: calls
+    ``policy.distribution`` once per row and scatters the result into
+    the batch layout.  Arbitrary user policies get this for free; the
+    built-ins override it with real array code.
+    """
+    out = np.zeros((columns.n, columns.n_actions))
+    for row in range(columns.n):
+        eligible = list(columns.eligible_lists[row])
+        probs = policy.distribution(columns.contexts[row], eligible)
+        out[row, eligible] = probs
+    return out

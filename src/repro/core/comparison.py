@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -55,6 +56,7 @@ def evaluate_with_bound(
     dataset: Dataset,
     delta: float = 0.05,
     method: str = "bernstein",
+    backend: Optional[str] = None,
 ) -> BoundedEstimate:
     """IPS estimate with a distribution-free confidence interval.
 
@@ -63,7 +65,7 @@ def evaluate_with_bound(
     of the IPS terms is ``reward_range.width / min propensity``, which
     both bounds assume.
     """
-    terms = IPSEstimator().weighted_rewards(policy, dataset)
+    terms = IPSEstimator(backend=backend).weighted_rewards(policy, dataset)
     value_range = dataset.reward_range.width / dataset.min_propensity()
     if method == "bernstein":
         interval = empirical_bernstein_interval(terms, delta, value_range)
@@ -111,6 +113,7 @@ def compare_policies(
     challenger: Policy,
     dataset: Dataset,
     delta: float = 0.05,
+    backend: Optional[str] = None,
 ) -> PairedComparison:
     """Paired off-policy comparison on a shared exploration log.
 
@@ -119,7 +122,7 @@ def compare_policies(
     agree contribute exactly zero, so shared noise cancels instead of
     inflating the interval.
     """
-    ips = IPSEstimator()
+    ips = IPSEstimator(backend=backend)
     champion_terms = ips.weighted_rewards(champion, dataset)
     challenger_terms = ips.weighted_rewards(challenger, dataset)
     differences = champion_terms - challenger_terms
@@ -140,6 +143,7 @@ def sufficient_log_size(
     challenger: Policy,
     dataset: Dataset,
     delta: float = 0.05,
+    backend: Optional[str] = None,
 ) -> float:
     """Rough N at which the current paired comparison would separate.
 
@@ -150,7 +154,7 @@ def sufficient_log_size(
     ``1/sqrt(N)``.  ``inf`` when the observed difference is
     (numerically) zero.
     """
-    ips = IPSEstimator()
+    ips = IPSEstimator(backend=backend)
     differences = (
         ips.weighted_rewards(champion, dataset)
         - ips.weighted_rewards(challenger, dataset)

@@ -1,0 +1,98 @@
+"""Evaluation-backend selection for the off-policy machinery.
+
+Two interchangeable execution paths compute every estimator:
+
+- ``"scalar"`` — the reference implementation: walk the log one
+  :class:`~repro.core.types.Interaction` at a time, calling
+  :meth:`~repro.core.policies.Policy.distribution` per row.  Simple,
+  obviously correct, and the semantics the vectorized path must match.
+- ``"vectorized"`` — the columnar engine: featurize the log once into
+  :class:`~repro.core.columns.DatasetColumns` and evaluate policies
+  with :meth:`~repro.core.policies.Policy.probabilities_batch`, which
+  returns the whole ``(N, K)`` probability matrix in a handful of
+  NumPy operations.
+
+The two paths agree to floating-point noise (asserted by
+``tests/core/test_batch_equivalence.py``); the vectorized path exists
+purely because §4's promise — one harvested log evaluates a *large
+class* of policies simultaneously — is only credible when evaluation
+runs at array speed rather than interpreter speed.
+
+Every estimator takes a ``backend=`` override; this module holds the
+process-wide default plus a context manager for scoped switches.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: The recognized backend names.
+BACKENDS = ("scalar", "vectorized")
+
+_default_backend = "vectorized"
+
+#: Policy types already warned about missing a batch implementation.
+_warned_fallback_types: set = set()
+
+
+def _check(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def get_default_backend() -> str:
+    """The process-wide default evaluation backend."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default evaluation backend."""
+    global _default_backend
+    _default_backend = _check(name)
+
+
+def resolve_backend(override: Optional[str] = None) -> str:
+    """An explicit backend if given, else the process default."""
+    return _check(override) if override is not None else _default_backend
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Temporarily switch the default backend within a ``with`` block."""
+    global _default_backend
+    previous = _default_backend
+    _default_backend = _check(name)
+    try:
+        yield _default_backend
+    finally:
+        _default_backend = previous
+
+
+def warn_missing_batch(policy_type: type) -> None:
+    """One-time warning that a policy type lacks ``probabilities_batch``.
+
+    The loop fallback is correct but forfeits the vectorized speedup;
+    surfacing it once per type tells users which custom policies are
+    worth giving a batch implementation (see DESIGN.md).
+    """
+    if policy_type in _warned_fallback_types:
+        return
+    _warned_fallback_types.add(policy_type)
+    warnings.warn(
+        f"{policy_type.__name__} does not implement probabilities_batch(); "
+        "the vectorized backend is falling back to a per-row Python loop "
+        "for it. Implement probabilities_batch(columns) to restore array "
+        "speed (see DESIGN.md, 'Columnar evaluation engine').",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def reset_fallback_warnings() -> None:
+    """Forget which policy types have been warned about (test helper)."""
+    _warned_fallback_types.clear()

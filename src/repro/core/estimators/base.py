@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.engine import resolve_backend
 from repro.core.policies import Policy
 from repro.core.types import Dataset, Interaction
 
@@ -60,9 +61,28 @@ def eligible_actions_fn(dataset: Dataset) -> Callable[[Interaction], list[int]]:
 
 
 class OffPolicyEstimator(ABC):
-    """Interface: estimate a policy's value from logged exploration data."""
+    """Interface: estimate a policy's value from logged exploration data.
+
+    ``backend`` selects the execution path (see :mod:`repro.core.engine`):
+    ``"vectorized"`` evaluates through the columnar
+    :class:`~repro.core.columns.DatasetColumns` view shared on the
+    dataset, ``"scalar"`` walks the log row by row, and ``None`` (the
+    default) follows the process-wide default backend.  Both paths
+    compute the same estimate up to floating-point reassociation.
+    """
 
     name: str = "estimator"
+    #: Backend override; None follows the process-wide default.  A class
+    #: attribute so subclasses with bespoke __init__ still resolve.
+    backend: Optional[str] = None
+
+    def __init__(self, backend: Optional[str] = None) -> None:
+        resolve_backend(backend)  # validate eagerly; None is "follow default"
+        self.backend = backend
+
+    def resolved_backend(self) -> str:
+        """The concrete backend this estimator will execute with now."""
+        return resolve_backend(self.backend)
 
     @abstractmethod
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:

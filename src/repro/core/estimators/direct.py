@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.columns import DatasetColumns
 from repro.core.estimators.base import (
     EstimatorResult,
     OffPolicyEstimator,
@@ -75,6 +76,45 @@ class RewardModel:
             return self._global_mean
         return float(weights @ self.featurizer.vector(context))
 
+    def predict_matrix(self, columns: DatasetColumns) -> np.ndarray:
+        """``(N, K)`` predictions for every (context, action) pair.
+
+        One matrix product per fitted action against the columnar
+        view's memoized hashed-feature matrix; actions without a fitted
+        model fill with the global mean, exactly like :meth:`predict`.
+
+        Subclasses that override :meth:`predict` without overriding
+        this method automatically get a per-row loop over their
+        ``predict``, so the batch path can never disagree with the
+        scalar one.
+        """
+        if not self._fitted:
+            raise RuntimeError("reward model must be fitted before predicting")
+        if type(self).predict is not RewardModel.predict:
+            out = np.empty((columns.n, columns.n_actions))
+            for row, context in enumerate(columns.contexts):
+                for action in range(columns.n_actions):
+                    out[row, action] = self.predict(context, action)
+            return out
+        phi = columns.hashed_matrix(self.featurizer)
+        out = np.full((columns.n, columns.n_actions), self._global_mean)
+        for action, weights in self._weights.items():
+            if 0 <= action < columns.n_actions:
+                out[:, action] = phi @ weights
+        return out
+
+
+def fit_default_model(dataset: Dataset) -> RewardModel:
+    """The model DM/DR/SWITCH fit when none is supplied: one reward
+    model over the dataset's own action space (or the largest logged
+    action id when the log carries no action space)."""
+    n_actions = (
+        dataset.action_space.n_actions
+        if dataset.action_space is not None
+        else int(dataset.actions().max()) + 1
+    )
+    return RewardModel(n_actions).fit(dataset)
+
 
 class DirectMethodEstimator(OffPolicyEstimator):
     """Score a policy with a fitted reward model.
@@ -85,28 +125,31 @@ class DirectMethodEstimator(OffPolicyEstimator):
 
     name = "direct-method"
 
-    def __init__(self, model: Optional[RewardModel] = None) -> None:
+    def __init__(
+        self,
+        model: Optional[RewardModel] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(backend=backend)
         self.model = model
 
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
         self._require_data(dataset)
-        model = self.model
-        if model is None:
-            n_actions = (
-                dataset.action_space.n_actions
-                if dataset.action_space is not None
-                else int(dataset.actions().max()) + 1
-            )
-            model = RewardModel(n_actions).fit(dataset)
-        eligible = eligible_actions_fn(dataset)
-        predictions = np.empty(len(dataset))
-        for index, interaction in enumerate(dataset):
-            actions = eligible(interaction)
-            probs = policy.distribution(interaction.context, actions)
-            predictions[index] = sum(
-                p * model.predict(interaction.context, a)
-                for p, a in zip(probs, actions)
-            )
+        model = self.model or fit_default_model(dataset)
+        if self.resolved_backend() == "vectorized":
+            columns = dataset.columns()
+            probs = policy.probabilities_batch(columns)
+            predictions = (probs * model.predict_matrix(columns)).sum(axis=1)
+        else:
+            eligible = eligible_actions_fn(dataset)
+            predictions = np.empty(len(dataset))
+            for index, interaction in enumerate(dataset):
+                actions = eligible(interaction)
+                probs = policy.distribution(interaction.context, actions)
+                predictions[index] = sum(
+                    p * model.predict(interaction.context, a)
+                    for p, a in zip(probs, actions)
+                )
         return EstimatorResult(
             value=float(predictions.mean()),
             std_error=self._standard_error(predictions),

@@ -23,7 +23,7 @@ from repro.core.estimators.base import (
     OffPolicyEstimator,
     eligible_actions_fn,
 )
-from repro.core.estimators.direct import RewardModel
+from repro.core.estimators.direct import RewardModel, fit_default_model
 from repro.core.policies import Policy
 from repro.core.types import Dataset
 
@@ -39,39 +39,51 @@ class DoublyRobustEstimator(OffPolicyEstimator):
 
     name = "doubly-robust"
 
-    def __init__(self, model: Optional[RewardModel] = None) -> None:
+    def __init__(
+        self,
+        model: Optional[RewardModel] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(backend=backend)
         self.model = model
 
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
         self._require_data(dataset)
-        model = self.model
-        if model is None:
-            n_actions = (
-                dataset.action_space.n_actions
-                if dataset.action_space is not None
-                else int(dataset.actions().max()) + 1
+        model = self.model or fit_default_model(dataset)
+        if self.resolved_backend() == "vectorized":
+            columns = dataset.columns()
+            probs = policy.probabilities_batch(columns)
+            predictions = model.predict_matrix(columns)
+            baseline = (probs * predictions).sum(axis=1)
+            ratio = (
+                columns.probability_of_logged(probs) / columns.propensities
             )
-            model = RewardModel(n_actions).fit(dataset)
-        eligible = eligible_actions_fn(dataset)
-        terms = np.empty(len(dataset))
-        matched = 0
-        for index, interaction in enumerate(dataset):
-            actions = eligible(interaction)
-            probs = policy.distribution(interaction.context, actions)
-            baseline = sum(
-                p * model.predict(interaction.context, a)
-                for p, a in zip(probs, actions)
+            residual = columns.rewards - columns.probability_of_logged(
+                predictions
             )
-            pi_prob = policy.probability_of(
-                interaction.context, actions, interaction.action
-            )
-            ratio = pi_prob / interaction.propensity
-            if ratio > 0:
-                matched += 1
-            residual = interaction.reward - model.predict(
-                interaction.context, interaction.action
-            )
-            terms[index] = baseline + ratio * residual
+            terms = baseline + ratio * residual
+            matched = int(np.count_nonzero(ratio > 0))
+        else:
+            eligible = eligible_actions_fn(dataset)
+            terms = np.empty(len(dataset))
+            matched = 0
+            for index, interaction in enumerate(dataset):
+                actions = eligible(interaction)
+                probs = policy.distribution(interaction.context, actions)
+                baseline = sum(
+                    p * model.predict(interaction.context, a)
+                    for p, a in zip(probs, actions)
+                )
+                pi_prob = policy.probability_of(
+                    interaction.context, actions, interaction.action
+                )
+                ratio = pi_prob / interaction.propensity
+                if ratio > 0:
+                    matched += 1
+                residual = interaction.reward - model.predict(
+                    interaction.context, interaction.action
+                )
+                terms[index] = baseline + ratio * residual
         return EstimatorResult(
             value=float(terms.mean()),
             std_error=self._standard_error(terms),

@@ -13,9 +13,19 @@ variants also implemented here.
 
 For a *stochastic* candidate π the indicator generalizes to the
 importance ratio ``π(a_t | x_t) / p_t``.
+
+All three estimators run on either evaluation backend (see
+:mod:`repro.core.engine`): the vectorized path computes the whole
+importance-weight vector from one
+:meth:`~repro.core.policies.Policy.probabilities_batch` call against
+the dataset's cached columnar view; the scalar path is the per-row
+reference.  Every derived quantity (terms, match counts, clipping
+statistics) comes from a *single* weight pass per estimate.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
@@ -33,21 +43,12 @@ class IPSEstimator(OffPolicyEstimator):
 
     name = "ips"
 
-    def weighted_rewards(self, policy: Policy, dataset: Dataset) -> np.ndarray:
-        """Per-interaction terms ``π(a_t|x_t)/p_t · r_t`` (the summands)."""
-        self._require_data(dataset)
-        eligible = eligible_actions_fn(dataset)
-        terms = np.empty(len(dataset))
-        for index, interaction in enumerate(dataset):
-            pi_prob = policy.probability_of(
-                interaction.context, eligible(interaction), interaction.action
-            )
-            terms[index] = pi_prob / interaction.propensity * interaction.reward
-        return terms
-
     def match_weights(self, policy: Policy, dataset: Dataset) -> np.ndarray:
         """Per-interaction importance ratios ``π(a_t|x_t)/p_t``."""
         self._require_data(dataset)
+        if self.resolved_backend() == "vectorized":
+            columns = dataset.columns()
+            return columns.logged_probabilities(policy) / columns.propensities
         eligible = eligible_actions_fn(dataset)
         weights = np.empty(len(dataset))
         for index, interaction in enumerate(dataset):
@@ -57,9 +58,21 @@ class IPSEstimator(OffPolicyEstimator):
             weights[index] = pi_prob / interaction.propensity
         return weights
 
+    def weighted_rewards(self, policy: Policy, dataset: Dataset) -> np.ndarray:
+        """Per-interaction terms ``π(a_t|x_t)/p_t · r_t`` (the summands)."""
+        return self.match_weights(policy, dataset) * self._rewards(dataset)
+
+    def _rewards(self, dataset: Dataset) -> np.ndarray:
+        if self.resolved_backend() == "vectorized":
+            return dataset.columns().rewards
+        return dataset.rewards()
+
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        terms = self.weighted_rewards(policy, dataset)
-        matched = int(np.count_nonzero(self.match_weights(policy, dataset)))
+        # One probability pass: terms and the match count are both
+        # derived from the same weight vector.
+        weights = self.match_weights(policy, dataset)
+        terms = weights * self._rewards(dataset)
+        matched = int(np.count_nonzero(weights))
         return EstimatorResult(
             value=float(terms.mean()),
             std_error=self._standard_error(terms),
@@ -78,16 +91,19 @@ class ClippedIPSEstimator(IPSEstimator):
     tiny propensities.
     """
 
-    def __init__(self, max_weight: float = 100.0) -> None:
+    def __init__(
+        self, max_weight: float = 100.0, backend: Optional[str] = None
+    ) -> None:
+        super().__init__(backend=backend)
         if max_weight <= 0:
             raise ValueError("max_weight must be positive")
         self.max_weight = max_weight
         self.name = f"clipped-ips[{max_weight:g}]"
 
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        weights = np.minimum(self.match_weights(policy, dataset), self.max_weight)
-        rewards = dataset.rewards()
-        terms = weights * rewards
+        raw = self.match_weights(policy, dataset)
+        weights = np.minimum(raw, self.max_weight)
+        terms = weights * self._rewards(dataset)
         matched = int(np.count_nonzero(weights))
         return EstimatorResult(
             value=float(terms.mean()),
@@ -97,9 +113,7 @@ class ClippedIPSEstimator(IPSEstimator):
             estimator=self.name,
             details={
                 "match_rate": matched / len(dataset),
-                "clipped_fraction": float(
-                    np.mean(self.match_weights(policy, dataset) > self.max_weight)
-                ),
+                "clipped_fraction": float(np.mean(raw > self.max_weight)),
             },
         )
 
@@ -115,7 +129,7 @@ class SNIPSEstimator(IPSEstimator):
 
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
         weights = self.match_weights(policy, dataset)
-        rewards = dataset.rewards()
+        rewards = self._rewards(dataset)
         weight_sum = float(weights.sum())
         matched = int(np.count_nonzero(weights))
         if weight_sum == 0.0:

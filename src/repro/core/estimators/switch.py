@@ -39,7 +39,7 @@ from repro.core.estimators.base import (
     OffPolicyEstimator,
     eligible_actions_fn,
 )
-from repro.core.estimators.direct import RewardModel
+from repro.core.estimators.direct import RewardModel, fit_default_model
 from repro.core.policies import Policy
 from repro.core.types import Dataset
 
@@ -48,8 +48,12 @@ class SwitchEstimator(OffPolicyEstimator):
     """SWITCH: IPS below the weight threshold τ, Direct Method above."""
 
     def __init__(
-        self, tau: float = 10.0, model: Optional[RewardModel] = None
+        self,
+        tau: float = 10.0,
+        model: Optional[RewardModel] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        super().__init__(backend=backend)
         if tau <= 0:
             raise ValueError("tau must be positive")
         self.tau = tau
@@ -58,35 +62,40 @@ class SwitchEstimator(OffPolicyEstimator):
 
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
         self._require_data(dataset)
-        model = self.model
-        if model is None:
-            n_actions = (
-                dataset.action_space.n_actions
-                if dataset.action_space is not None
-                else int(dataset.actions().max()) + 1
+        model = self.model or fit_default_model(dataset)
+        if self.resolved_backend() == "vectorized":
+            columns = dataset.columns()
+            probs = policy.probabilities_batch(columns)
+            weight = (
+                columns.probability_of_logged(probs) / columns.propensities
             )
-            model = RewardModel(n_actions).fit(dataset)
-        eligible = eligible_actions_fn(dataset)
-        terms = np.empty(len(dataset))
-        switched = 0
-        matched = 0
-        for index, interaction in enumerate(dataset):
-            actions = eligible(interaction)
-            pi_prob = policy.probability_of(
-                interaction.context, actions, interaction.action
-            )
-            weight = pi_prob / interaction.propensity
-            if weight > 0:
-                matched += 1
-            if weight <= self.tau:
-                terms[index] = weight * interaction.reward
-            else:
-                switched += 1
-                probs = policy.distribution(interaction.context, actions)
-                terms[index] = sum(
-                    p * model.predict(interaction.context, a)
-                    for p, a in zip(probs, actions)
+            dm_terms = (probs * model.predict_matrix(columns)).sum(axis=1)
+            use_ips = weight <= self.tau
+            terms = np.where(use_ips, weight * columns.rewards, dm_terms)
+            switched = int(np.count_nonzero(~use_ips))
+            matched = int(np.count_nonzero(weight > 0))
+        else:
+            eligible = eligible_actions_fn(dataset)
+            terms = np.empty(len(dataset))
+            switched = 0
+            matched = 0
+            for index, interaction in enumerate(dataset):
+                actions = eligible(interaction)
+                pi_prob = policy.probability_of(
+                    interaction.context, actions, interaction.action
                 )
+                weight = pi_prob / interaction.propensity
+                if weight > 0:
+                    matched += 1
+                if weight <= self.tau:
+                    terms[index] = weight * interaction.reward
+                else:
+                    switched += 1
+                    probs = policy.distribution(interaction.context, actions)
+                    terms[index] = sum(
+                        p * model.predict(interaction.context, a)
+                        for p, a in zip(probs, actions)
+                    )
         return EstimatorResult(
             value=float(terms.mean()),
             std_error=self._standard_error(terms),

@@ -309,6 +309,12 @@ class PolicyClassOptimizer:
     for the Eq. 1 simultaneous-evaluation experiments).  The paper
     notes production systems use smarter search [7]; enumeration is
     exact and fine at the class sizes we simulate.
+
+    With a vectorized estimator (the default), the search runs against
+    the dataset's shared :class:`~repro.core.columns.DatasetColumns`
+    view: contexts are featurized and eligible-action sets resolved
+    once for the whole class, so each additional candidate costs only
+    its own ``(N, K)`` probability matrix and a few reductions.
     """
 
     def __init__(
@@ -323,6 +329,13 @@ class PolicyClassOptimizer:
         self, policy_class: PolicyClass, dataset: Dataset
     ) -> list[tuple[Policy, float]]:
         """Evaluate every policy; returns ``(policy, value)`` pairs."""
+        if (
+            len(dataset) > 0
+            and self.estimator.resolved_backend() == "vectorized"
+        ):
+            # Materialize the columnar view up front so the one-time
+            # featurization pass is amortized across all |Π| members.
+            dataset.columns()
         scored = []
         for policy in policy_class:
             result = self.estimator.estimate(policy, dataset)

@@ -10,6 +10,12 @@ distribution.  Every policy here exposes:
   propensities.
 - :meth:`Policy.act`: sample an action, returning ``(action,
   propensity)`` so the caller can log the exploration tuple.
+- :meth:`Policy.probabilities_batch`: the whole-log analogue of
+  :meth:`~Policy.distribution` — an ``(N, K)`` probability matrix over
+  a :class:`~repro.core.columns.DatasetColumns` view, which is what
+  the vectorized estimators consume.  Built-in policies implement it
+  with array code; the base class provides a correct per-row fallback
+  so arbitrary user policies keep working.
 
 The enumerable :class:`PolicyClass` models the paper's "class of
 policies Π defined by a tunable template" that offline optimization
@@ -20,11 +26,16 @@ from __future__ import annotations
 
 import zlib
 from abc import ABC, abstractmethod
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.core.columns import loop_probabilities
+from repro.core.engine import warn_missing_batch
 from repro.core.types import Context
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.columns import DatasetColumns
 
 
 class Policy(ABC):
@@ -61,6 +72,21 @@ class Policy(ABC):
         probs = self.distribution(context, actions)
         return float(probs[list(actions).index(action)])
 
+    def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+        """``(N, K)`` action-probability matrix over a columnar log view.
+
+        Row ``t`` is this policy's distribution at context ``x_t``,
+        with exactly zero mass on ineligible actions.  This base
+        implementation is the loop fallback: correct for any policy,
+        but it forfeits the vectorized speedup, so it warns once per
+        policy type.  Subclasses override it with array code; the
+        contract is bit-for-bit agreement with per-row
+        :meth:`distribution` up to floating-point reassociation
+        (enforced by ``tests/core/test_batch_equivalence.py``).
+        """
+        warn_missing_batch(type(self))
+        return loop_probabilities(self, columns)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name})"
 
@@ -85,6 +111,19 @@ class ConstantPolicy(Policy):
             )
         return _point_mass(actions, self._action)
 
+    def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+        if (
+            not 0 <= self._action < columns.n_actions
+            or not columns.eligible_mask[:, self._action].all()
+        ):
+            raise ValueError(
+                f"constant action {self._action} not eligible at every "
+                "logged context"
+            )
+        return columns.point_mass_matrix(
+            np.full(columns.n, self._action, dtype=np.int64)
+        )
+
 
 class UniformRandomPolicy(Policy):
     """Choose uniformly at random — the canonical logging policy."""
@@ -93,6 +132,9 @@ class UniformRandomPolicy(Policy):
 
     def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
         return np.full(len(actions), 1.0 / len(actions))
+
+    def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+        return columns.uniform_matrix()
 
 
 class DeterministicFunctionPolicy(Policy):
@@ -136,6 +178,10 @@ class EpsilonGreedyPolicy(Policy):
         uniform = np.full(len(actions), 1.0 / len(actions))
         return (1.0 - self.epsilon) * base + self.epsilon * uniform
 
+    def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+        base = self.base.probabilities_batch(columns)
+        return (1.0 - self.epsilon) * base + self.epsilon * columns.uniform_matrix()
+
 
 class SoftmaxPolicy(Policy):
     """Boltzmann distribution over a per-action score function.
@@ -143,6 +189,12 @@ class SoftmaxPolicy(Policy):
     ``scorer(context, action)`` returns a desirability score; higher is
     better.  ``temperature`` → 0 approaches greedy; → ∞ approaches
     uniform.
+
+    ``batch_scorer(columns)``, when given, returns the whole ``(N, K)``
+    score matrix for a columnar log view in one call, letting
+    :meth:`probabilities_batch` run entirely at array speed; without it
+    the scores are gathered per row (the softmax itself is still
+    vectorized).
     """
 
     def __init__(
@@ -150,10 +202,14 @@ class SoftmaxPolicy(Policy):
         scorer: Callable[[Context, int], float],
         temperature: float = 1.0,
         name: str = "softmax",
+        batch_scorer: Optional[
+            Callable[["DatasetColumns"], np.ndarray]
+        ] = None,
     ) -> None:
         if temperature <= 0:
             raise ValueError("temperature must be positive")
         self._scorer = scorer
+        self._batch_scorer = batch_scorer
         self.temperature = temperature
         self.name = name
 
@@ -164,6 +220,31 @@ class SoftmaxPolicy(Policy):
         exp = np.exp(scaled)
         return exp / exp.sum()
 
+    def _score_matrix(self, columns: "DatasetColumns") -> np.ndarray:
+        if self._batch_scorer is not None:
+            scores = np.asarray(self._batch_scorer(columns), dtype=float)
+            if scores.shape != (columns.n, columns.n_actions):
+                raise ValueError(
+                    f"batch_scorer must return shape "
+                    f"({columns.n}, {columns.n_actions}), got {scores.shape}"
+                )
+            return scores
+        scores = np.zeros((columns.n, columns.n_actions))
+        for row, context in enumerate(columns.contexts):
+            for action in columns.eligible_lists[row]:
+                scores[row, action] = self._scorer(context, action)
+        return scores
+
+    def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+        mask = columns.eligible_mask
+        scaled = self._score_matrix(columns) / self.temperature
+        guarded = np.where(mask, scaled, -np.inf)
+        # Row-wise overflow-safe softmax over the eligible entries;
+        # exp(-inf) puts exact zeros on ineligible actions.
+        guarded -= guarded.max(axis=1, keepdims=True)
+        exp = np.exp(guarded)
+        return exp / exp.sum(axis=1, keepdims=True)
+
 
 class GreedyRegressorPolicy(Policy):
     """Greedily pick the action with the best predicted reward.
@@ -172,6 +253,11 @@ class GreedyRegressorPolicy(Policy):
     trained with importance weighting (see
     :class:`repro.core.learners.cb.EpsilonGreedyLearner`).  Ties break
     toward the lowest action id, deterministically.
+
+    ``batch_predict(columns)``, when given, returns the ``(N, K)``
+    prediction matrix in one call (e.g.
+    :meth:`repro.core.estimators.direct.RewardModel.predict_matrix`),
+    making :meth:`probabilities_batch` a pure array computation.
     """
 
     def __init__(
@@ -179,8 +265,12 @@ class GreedyRegressorPolicy(Policy):
         predict: Callable[[Context, int], float],
         maximize: bool = True,
         name: str = "greedy-regressor",
+        batch_predict: Optional[
+            Callable[["DatasetColumns"], np.ndarray]
+        ] = None,
     ) -> None:
         self._predict = predict
+        self._batch_predict = batch_predict
         self.maximize = maximize
         self.name = name
 
@@ -188,6 +278,27 @@ class GreedyRegressorPolicy(Policy):
         scores = np.array([self._predict(context, a) for a in actions], dtype=float)
         best = int(np.argmax(scores)) if self.maximize else int(np.argmin(scores))
         return _point_mass(actions, actions[best])
+
+    def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+        if not columns.canonical_order:
+            # Masked argmax tie-breaks by lowest action id; that only
+            # matches the scalar path's first-in-list tie-break when
+            # eligible lists are ascending, so play it safe otherwise.
+            return loop_probabilities(self, columns)
+        if self._batch_predict is not None:
+            scores = np.asarray(self._batch_predict(columns), dtype=float)
+            if scores.shape != (columns.n, columns.n_actions):
+                raise ValueError(
+                    f"batch_predict must return shape "
+                    f"({columns.n}, {columns.n_actions}), got {scores.shape}"
+                )
+        else:
+            scores = np.zeros((columns.n, columns.n_actions))
+            for row, context in enumerate(columns.contexts):
+                for action in columns.eligible_lists[row]:
+                    scores[row, action] = self._predict(context, action)
+        best = columns.masked_argbest(scores, maximize=self.maximize)
+        return columns.point_mass_matrix(best)
 
 
 class HashPolicy(Policy):
@@ -207,6 +318,10 @@ class HashPolicy(Policy):
     def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
         # Marginal over hash keys: uniform. Used for propensities.
         return np.full(len(actions), 1.0 / len(actions))
+
+    def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+        # Same marginal the scalar path reports: uniform over eligible.
+        return columns.uniform_matrix()
 
     def act(
         self, context: Context, actions: Sequence[int], rng: np.random.Generator
@@ -246,6 +361,12 @@ class MixturePolicy(Policy):
             out += weight * policy.distribution(context, actions)
         return out
 
+    def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+        out = np.zeros((columns.n, columns.n_actions))
+        for policy, weight in zip(self.policies, self.weights):
+            out += weight * policy.probabilities_batch(columns)
+        return out
+
 
 class LinearThresholdPolicy(Policy):
     """Deterministic policy from a linear score over context features.
@@ -281,6 +402,20 @@ class LinearThresholdPolicy(Policy):
         phi = self._phi(context)
         scores = np.array([self.weights[a] @ phi for a in actions])
         return _point_mass(actions, actions[int(np.argmax(scores))])
+
+    def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+        if (
+            self.weights.shape[0] < columns.n_actions
+            or not columns.canonical_order
+        ):
+            # Either some eligible action has no weight row (the scalar
+            # path would fail on it anyway) or argmax tie-breaking is
+            # not reproducible by a masked argmax; defer to the loop.
+            return loop_probabilities(self, columns)
+        phi = columns.feature_matrix(self.feature_names)
+        scores = phi @ self.weights[: columns.n_actions].T
+        best = columns.masked_argbest(scores)
+        return columns.point_mass_matrix(best)
 
 
 class PolicyClass:

@@ -88,6 +88,11 @@ class ActionSpace:
         ]
         self._eligibility = eligibility
 
+    @property
+    def restricted(self) -> bool:
+        """Whether eligibility may vary per context."""
+        return self._eligibility is not None
+
     def actions(self, context: Optional[Context] = None) -> list[int]:
         """Eligible action ids for ``context`` (all actions if unrestricted)."""
         if self._eligibility is None or context is None:
@@ -193,6 +198,11 @@ class Dataset:
         self._interactions: list[Interaction] = list(interactions or [])
         self.action_space = action_space
         self.reward_range = reward_range or RewardRange()
+        # Mutation counter + cache slot for the columnar view (see
+        # :meth:`columns`); appends invalidate by bumping the counter.
+        self._version = 0
+        self._columns_cache = None
+        self._columns_version = -1
 
     # -- container protocol ------------------------------------------------
 
@@ -212,10 +222,12 @@ class Dataset:
     def append(self, interaction: Interaction) -> None:
         """Add one interaction to the end of the log."""
         self._interactions.append(interaction)
+        self._version += 1
 
     def extend(self, interactions: Iterable[Interaction]) -> None:
         """Add many interactions, preserving order."""
         self._interactions.extend(interactions)
+        self._version += 1
 
     # -- vectorized views ----------------------------------------------------
 
@@ -236,6 +248,22 @@ class Dataset:
         if not self._interactions:
             raise ValueError("empty dataset has no propensities")
         return float(min(i.propensity for i in self._interactions))
+
+    def columns(self):
+        """The cached columnar view (see :mod:`repro.core.columns`).
+
+        Built lazily on first use and shared by every estimator and
+        every candidate policy evaluated against this dataset — this is
+        what amortizes featurization and eligibility resolution across
+        a whole policy-class search.  Invalidated automatically when
+        the dataset is mutated via :meth:`append`/:meth:`extend`.
+        """
+        if self._columns_cache is None or self._columns_version != self._version:
+            from repro.core.columns import DatasetColumns
+
+            self._columns_cache = DatasetColumns.from_dataset(self)
+            self._columns_version = self._version
+        return self._columns_cache
 
     # -- splits and transforms ----------------------------------------------
 

@@ -9,17 +9,21 @@ log evaluate all of them offline.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.core.columns import loop_probabilities
 from repro.core.policies import (
     ConstantPolicy,
-    DeterministicFunctionPolicy,
     Policy,
     UniformRandomPolicy,
+    _point_mass,
 )
 from repro.core.types import Context
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.columns import DatasetColumns
 
 
 def connection_count(context: Context, server: int) -> float:
@@ -27,7 +31,18 @@ def connection_count(context: Context, server: int) -> float:
     return float(context.get(f"conns_{server}", 0.0))
 
 
-def least_loaded_policy() -> Policy:
+def _connection_matrix(columns: "DatasetColumns") -> np.ndarray:
+    """``(N, K)`` open-connection counts read from the logged contexts.
+
+    Reuses the columnar view's memoized named-feature matrix (the
+    trailing bias column is dropped), so every load-aware policy in a
+    candidate set shares one extraction pass.
+    """
+    names = tuple(f"conns_{server}" for server in range(columns.n_actions))
+    return columns.feature_matrix(names)[:, :-1]
+
+
+class _LeastLoaded(Policy):
     """Route to the server with the fewest open connections.
 
     Nginx's ``least_conn``.  Ties break toward the lowest server id
@@ -35,10 +50,22 @@ def least_loaded_policy() -> Policy:
     equal-weight peers.
     """
 
-    def choose(context: Context, actions: Sequence[int]) -> int:
-        return min(actions, key=lambda a: (connection_count(context, a), a))
+    name = "least-loaded"
 
-    return DeterministicFunctionPolicy(choose, name="least-loaded")
+    def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
+        chosen = min(actions, key=lambda a: (connection_count(context, a), a))
+        return _point_mass(actions, chosen)
+
+    def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+        if not columns.canonical_order:
+            return loop_probabilities(self, columns)
+        best = columns.masked_argbest(_connection_matrix(columns), maximize=False)
+        return columns.point_mass_matrix(best)
+
+
+def least_loaded_policy() -> Policy:
+    """Route to the server with the fewest open connections."""
+    return _LeastLoaded()
 
 
 def send_to_policy(server: int) -> Policy:
@@ -67,6 +94,16 @@ def weighted_random_policy(weights: Sequence[float]) -> Policy:
                 return np.full(len(actions), 1.0 / len(actions))
             return local / local.sum()
 
+        def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+            if columns.n_actions > len(weights_arr):
+                return loop_probabilities(self, columns)
+            local = np.where(
+                columns.eligible_mask, weights_arr[: columns.n_actions], 0.0
+            )
+            sums = local.sum(axis=1, keepdims=True)
+            return np.where(sums > 0, local / np.where(sums > 0, sums, 1.0),
+                            columns.uniform_matrix())
+
     return _Weighted()
 
 
@@ -86,6 +123,9 @@ def round_robin_policy(n_servers: int) -> Policy:
         def distribution(self, context: Context, actions: Sequence[int]) -> np.ndarray:
             # Marginal distribution: uniform (used for propensities).
             return np.full(len(actions), 1.0 / len(actions))
+
+        def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+            return columns.uniform_matrix()
 
         def act(
             self, context: Context, actions: Sequence[int], rng: np.random.Generator
@@ -127,6 +167,22 @@ def power_of_two_policy(randomness_name: str = "p2c") -> Policy:
                     else:
                         probs[second_index] += 1.0
             return probs / probs.sum()
+
+        def probabilities_batch(self, columns: "DatasetColumns") -> np.ndarray:
+            k = columns.n_actions
+            if not columns.uniform_eligibility or k == 1:
+                return loop_probabilities(self, columns)
+            counts = _connection_matrix(columns)
+            ids = np.arange(k)
+            # beats[t, i, j]: in the ordered draw (i, j), i wins.  Each
+            # unordered pair is drawn in both orders, so a server's
+            # probability is twice its win count over n(n-1) draws.
+            beats = (counts[:, :, None] < counts[:, None, :]) | (
+                (counts[:, :, None] == counts[:, None, :])
+                & (ids[:, None] < ids[None, :])
+            )
+            wins = 2.0 * beats.sum(axis=2)
+            return wins / wins.sum(axis=1, keepdims=True)
 
     return _PowerOfTwo()
 

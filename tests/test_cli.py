@@ -3,6 +3,11 @@
 import subprocess
 import sys
 
+import pytest
+
+from repro.__main__ import main, parse_policy
+from tests.conftest import make_uniform_dataset
+
 
 def test_python_m_repro_prints_catalog():
     result = subprocess.run(
@@ -31,6 +36,57 @@ def test_quickstart_example_runs():
 
 
 def test_main_module_returns_zero():
-    from repro.__main__ import main
-
     assert main([]) == 0
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    path = tmp_path / "exploration.jsonl"
+    make_uniform_dataset(200, seed=11).save_jsonl(str(path))
+    return str(path)
+
+
+class TestEvaluateSubcommand:
+    def _run(self, extra, capsys):
+        code = main(["evaluate"] + extra)
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_default_backend_is_vectorized(self, log_path, capsys):
+        code, out = self._run([log_path], capsys)
+        assert code == 0
+        assert "backend: vectorized" in out
+        assert "uniform-random" in out
+        assert "ips" in out
+
+    def test_backends_print_identical_estimates(self, log_path, capsys):
+        args = [
+            log_path,
+            "--policy", "constant:1",
+            "--policy", "eps:0:0.2",
+            "--estimator", "ips",
+            "--estimator", "snips",
+        ]
+        code_v, out_v = self._run(args + ["--backend", "vectorized"], capsys)
+        code_s, out_s = self._run(args + ["--backend", "scalar"], capsys)
+        assert code_v == code_s == 0
+        # Identical tables modulo the backend banner line.
+        strip = lambda out: out.splitlines()[1:]  # noqa: E731
+        assert strip(out_v) == strip(out_s)
+
+    def test_default_backend_restored_after_run(self, log_path, capsys):
+        from repro.core.engine import get_default_backend, set_default_backend
+
+        self._run([log_path, "--backend", "scalar"], capsys)
+        # The flag is an explicit process-wide switch, documented as such.
+        assert get_default_backend() == "scalar"
+        set_default_backend("vectorized")
+
+    def test_empty_log_errors(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["evaluate", str(path)]) == 1
+
+    def test_bad_policy_spec_rejected(self):
+        with pytest.raises(Exception):
+            parse_policy("nonsense:1:2:3")
