@@ -1,0 +1,114 @@
+"""Tolerance-based regression gate over ``BENCH_ope.json``.
+
+Raw throughput numbers are hostage to whatever machine ran them, so the
+gate compares the *speedup ratios* (vectorized / scalar on the same
+box, same run) against a committed baseline.  A run fails when any
+tracked speedup falls more than ``tolerance`` (default 30%) below its
+baseline value — a real engine regression, not runner noise, at that
+magnitude.
+
+Usage::
+
+    python benchmarks/perf/gate.py BENCH_ope.json \
+        --baseline benchmarks/perf/BENCH_ope.smoke_baseline.json \
+        --tolerance 0.30
+
+Exit status 0 when every metric is within tolerance, 1 otherwise.
+Pure stdlib so CI can call it without the benchmark plugins installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: (human label, path into the artifact dict) for each gated ratio.
+GATED_METRICS = (
+    ("single-policy IPS speedup", ("single_policy_ips", "speedup")),
+    ("class-search speedup", ("class_search", "speedup")),
+)
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_ope.smoke_baseline.json"
+)
+
+
+def _lookup(artifact: dict, path: tuple) -> float:
+    value = artifact
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            raise KeyError("/".join(path))
+        value = value[key]
+    return float(value)
+
+
+def check_regressions(
+    current: dict, baseline: dict, tolerance: float = 0.30
+) -> list[str]:
+    """Compare gated metrics; return a failure message per regression.
+
+    An empty list means the run passes.  Metrics *above* baseline (or
+    missing from the baseline entirely, e.g. a newly added kernel) never
+    fail the gate — it guards against losing performance, not gaining it.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures = []
+    for label, path in GATED_METRICS:
+        try:
+            expected = _lookup(baseline, path)
+        except KeyError:
+            continue  # not in baseline yet: nothing to regress against
+        actual = _lookup(current, path)
+        floor = expected * (1.0 - tolerance)
+        if actual < floor:
+            failures.append(
+                f"{label}: {actual:.2f}x is more than {tolerance:.0%} below "
+                f"the baseline {expected:.2f}x (floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_ope.json speedups against a baseline."
+    )
+    parser.add_argument("artifact", help="freshly produced BENCH_ope.json")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="committed baseline artifact (default: smoke baseline)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below baseline (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.artifact, "r", encoding="utf-8") as f:
+        current = json.load(f)
+    with open(args.baseline, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    failures = check_regressions(current, baseline, tolerance=args.tolerance)
+    for label, path in GATED_METRICS:
+        try:
+            now = _lookup(current, path)
+            then = _lookup(baseline, path)
+        except KeyError:
+            continue
+        print(f"{label}: {now:.2f}x (baseline {then:.2f}x)")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

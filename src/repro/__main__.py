@@ -28,12 +28,14 @@ import repro
 from repro.core.engine import BACKENDS, set_default_backend
 from repro.core.estimators.direct import DirectMethodEstimator
 from repro.core.estimators.doubly_robust import DoublyRobustEstimator
+from repro.core.estimators.fallback import FallbackEstimator
 from repro.core.estimators.ips import (
     ClippedIPSEstimator,
     IPSEstimator,
     SNIPSEstimator,
 )
 from repro.core.estimators.switch import SwitchEstimator
+from repro.core.validation import MODES
 from repro.core.policies import (
     ConstantPolicy,
     EpsilonGreedyPolicy,
@@ -61,7 +63,7 @@ EXAMPLES = [
     "experiment_planning",
 ]
 
-ESTIMATOR_NAMES = ("ips", "snips", "clipped-ips", "dm", "dr", "switch")
+ESTIMATOR_NAMES = ("ips", "snips", "clipped-ips", "dm", "dr", "switch", "auto")
 
 
 def print_catalog() -> None:
@@ -122,6 +124,8 @@ def make_estimator(name: str):
         return DoublyRobustEstimator()
     if name == "switch":
         return SwitchEstimator()
+    if name == "auto":
+        return FallbackEstimator()
     raise ValueError(f"unknown estimator {name!r}")
 
 
@@ -130,12 +134,19 @@ def run_evaluate(args: argparse.Namespace) -> int:
     # estimators, bootstrap, model fitting — follows it uniformly.
     set_default_backend(args.backend)
     try:
-        dataset = Dataset.load_jsonl(args.log)
+        dataset = Dataset.load_jsonl(args.log, mode=args.mode)
     except OSError as error:
         print(f"error: cannot read {args.log}: {error}", file=sys.stderr)
         return 1
+    except ValueError as error:
+        # Strict-mode validation failure: the message already names the
+        # file and 1-based line number.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if dataset.quarantine:
+        print(dataset.quarantine.summary_text(), file=sys.stderr)
     if len(dataset) == 0:
-        print(f"error: no interactions in {args.log}", file=sys.stderr)
+        print(f"error: no usable interactions in {args.log}", file=sys.stderr)
         return 1
     try:
         policies = [parse_policy(spec) for spec in args.policy] or [
@@ -154,6 +165,7 @@ def run_evaluate(args: argparse.Namespace) -> int:
     )
     print(header)
     print("-" * len(header))
+    flagged: list[tuple[str, str, tuple[str, ...]]] = []
     for policy in policies:
         cells = []
         for estimator in estimators:
@@ -163,8 +175,23 @@ def run_evaluate(args: argparse.Namespace) -> int:
                 print(f"error: {policy.name} × {estimator.name}: {error}",
                       file=sys.stderr)
                 return 1
-            cells.append(f"{result.value:>12.4f} ±{result.std_error:<7.4f}")
+            marker = ""
+            if not result.reliable:
+                marker = "!"
+                flagged.append(
+                    (policy.name, result.estimator,
+                     result.diagnostics.reasons)
+                )
+            cells.append(
+                f"{result.value:>12.4f} ±{result.std_error:<6.4f}{marker:<1s}"
+            )
         print(f"{policy.name:<28s}" + "".join(f"{c:>22s}" for c in cells))
+    for policy_name, estimator_name, reasons in flagged:
+        print(
+            f"UNRELIABLE: {policy_name} × {estimator_name}: "
+            + ("; ".join(reasons) or "diagnostics tripped"),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -199,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="evaluation engine: columnar batch path (vectorized, default) "
         "or per-row reference loop (scalar)",
+    )
+    evaluate.add_argument(
+        "--mode",
+        choices=MODES,
+        default="strict",
+        help="log validation mode: strict (default) raises on the first "
+        "bad record; quarantine sets bad records aside with a per-reason "
+        "report; repair clamps fixable defects",
     )
     return parser
 

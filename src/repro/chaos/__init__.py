@@ -10,8 +10,14 @@ valuable exploration data."
 (effective) crashes into the load-balancer simulation; the
 `abl-chaos` benchmark measures how much the injected faults broaden
 the context coverage of harvested logs.
+:class:`~repro.chaos.corruption.LogCorruptor` extends the chaos idea
+to the *data path*: it injects truncated lines, dropped fields, and
+broken propensities into JSONL exploration logs so the validation and
+quarantine layer (:mod:`repro.core.validation`) can be tested end to
+end against realistic damage.
 """
 
+from repro.chaos.corruption import LogCorruptor
 from repro.chaos.drift import ChainedHooks, EnvironmentDrift
 from repro.chaos.monkey import ChaosMonkey, FaultSpec, InjectedFault
 
@@ -21,4 +27,5 @@ __all__ = [
     "EnvironmentDrift",
     "FaultSpec",
     "InjectedFault",
+    "LogCorruptor",
 ]

@@ -1,0 +1,149 @@
+"""Chaos for the *data path*: corrupt JSONL exploration logs on purpose.
+
+The chaos monkey (:mod:`repro.chaos.monkey`) perturbs the simulated
+*systems*; this module perturbs the *logs they emit*.  Real harvesting
+pipelines meet truncated writes, half-flushed lines, schema drift, and
+propensity bugs long before they meet clean data — the validation layer
+(:mod:`repro.core.validation`) exists because of them, and
+:class:`LogCorruptor` generates exactly those defects, reproducibly, so
+the integration suite can prove the corrupted-log → quarantine-report →
+flagged-but-finite-estimates path end to end.
+
+Corruption kinds:
+
+- ``truncate``       — cut the line mid-JSON (a crashed writer);
+- ``drop_field``     — remove a required field (schema drift);
+- ``zero_propensity`` — set ``propensity`` to 0.0 (the classic logging
+  bug that silently breaks IPS);
+- ``garble_propensity`` — set ``propensity`` to garbage (> 1, negative,
+  or the string ``"NaN"``);
+- ``duplicate``      — emit the line twice (at-least-once delivery).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+#: The supported corruption kinds, in default rotation order.
+KINDS = (
+    "truncate",
+    "drop_field",
+    "zero_propensity",
+    "garble_propensity",
+    "duplicate",
+)
+
+_GARBLE_VALUES = (1.7, -0.25, "NaN")
+
+
+class LogCorruptor:
+    """Inject a controlled rate of defects into a JSONL line stream.
+
+    ``rate`` is the per-line corruption probability; each corrupted
+    line draws one kind from ``kinds`` uniformly.  Seeded, so a test
+    can assert exact per-kind counts.  Lines that fail to parse as
+    JSON pass through untouched (they are already corrupt).
+
+    ``counts`` records how many corruptions of each kind were applied
+    in the most recent :meth:`corrupt_lines` / :meth:`corrupt_file`
+    run; ``n_corrupted`` totals them.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.1,
+        kinds: Sequence[str] = KINDS,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        unknown = [k for k in kinds if k not in KINDS]
+        if unknown:
+            raise ValueError(f"unknown corruption kind(s) {unknown}; "
+                             f"expected a subset of {KINDS}")
+        if not kinds:
+            raise ValueError("need at least one corruption kind")
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.seed = seed
+        self.counts: Counter = Counter()
+
+    @property
+    def n_corrupted(self) -> int:
+        """Total corruptions applied in the most recent run."""
+        return sum(self.counts.values())
+
+    def corrupt_lines(self, lines: Iterable[str]) -> Iterator[str]:
+        """Yield ``lines`` with defects injected at ``self.rate``."""
+        rng = np.random.default_rng(self.seed)
+        self.counts = Counter()
+        for line in lines:
+            stripped = line.rstrip("\n")
+            if not stripped.strip() or rng.random() >= self.rate:
+                yield stripped
+                continue
+            kind = self.kinds[int(rng.integers(len(self.kinds)))]
+            for out in self._apply(kind, stripped, rng):
+                yield out
+
+    def corrupt_file(self, src_path: str, dst_path: str) -> Counter:
+        """Corrupt ``src_path`` into ``dst_path``; return per-kind counts."""
+        with open(src_path, "r", encoding="utf-8") as src:
+            corrupted = list(self.corrupt_lines(src))
+        with open(dst_path, "w", encoding="utf-8") as dst:
+            for line in corrupted:
+                dst.write(line + "\n")
+        return Counter(self.counts)
+
+    # -- the individual defects ----------------------------------------------
+
+    def _apply(
+        self, kind: str, line: str, rng: np.random.Generator
+    ) -> list[str]:
+        record = self._parse(line)
+        if kind == "truncate":
+            # Cut inside the JSON body, never at a clean boundary.
+            cut = int(rng.integers(1, max(2, len(line) - 1)))
+            self.counts[kind] += 1
+            return [line[:cut]]
+        if kind == "duplicate":
+            self.counts[kind] += 1
+            return [line, line]
+        if record is None:
+            # Field-level defects need a parseable record to mutate.
+            return [line]
+        if kind == "drop_field":
+            present = [
+                f for f in ("context", "action", "reward", "propensity")
+                if f in record
+            ]
+            if not present:
+                return [line]
+            field = present[int(rng.integers(len(present)))]
+            del record[field]
+        elif kind == "zero_propensity":
+            record["propensity"] = 0.0
+        elif kind == "garble_propensity":
+            record["propensity"] = _GARBLE_VALUES[
+                int(rng.integers(len(_GARBLE_VALUES)))
+            ]
+        self.counts[kind] += 1
+        return [json.dumps(record)]
+
+    @staticmethod
+    def _parse(line: str) -> Optional[dict]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        return record if isinstance(record, dict) else None
+
+    def __repr__(self) -> str:
+        return (
+            f"LogCorruptor(rate={self.rate}, kinds={list(self.kinds)}, "
+            f"seed={self.seed})"
+        )

@@ -47,6 +47,7 @@ from repro.core.estimators import (
     DirectMethodEstimator,
     DoublyRobustEstimator,
     EstimatorResult,
+    FallbackEstimator,
     IPSEstimator,
     PerDecisionISEstimator,
     SNIPSEstimator,
@@ -55,6 +56,18 @@ from repro.core.estimators import (
     ab_testing_sample_size,
     ips_error_bound,
     ips_sample_size,
+)
+from repro.core.diagnostics import (
+    DiagnosticThresholds,
+    ReliabilityDiagnostics,
+    diagnose,
+    effective_sample_size,
+)
+from repro.core.validation import (
+    Quarantine,
+    RecordValidator,
+    RejectedRecord,
+    validated_interactions,
 )
 from repro.core.learners import (
     CBLearner,
@@ -84,6 +97,7 @@ from repro.core.streaming import (
     StreamingEvaluationBoard,
     StreamingIPS,
     StreamingSnapshot,
+    ValidatedInteractionStream,
 )
 from repro.core.design import (
     ExplorationPlan,
@@ -93,8 +107,10 @@ from repro.core.design import (
 )
 from repro.core.reporting import (
     dataset_summary,
+    diagnostics_table,
     estimator_table,
     offline_online_table,
+    quarantine_table,
 )
 from repro.core.bootstrap import (
     bootstrap_interval_from_terms,
@@ -132,6 +148,15 @@ __all__ = [
     "DirectMethodEstimator",
     "DoublyRobustEstimator",
     "EstimatorResult",
+    "FallbackEstimator",
+    "ReliabilityDiagnostics",
+    "DiagnosticThresholds",
+    "diagnose",
+    "effective_sample_size",
+    "Quarantine",
+    "RecordValidator",
+    "RejectedRecord",
+    "validated_interactions",
     "ConfidenceInterval",
     "ips_error_bound",
     "ips_sample_size",
@@ -160,13 +185,16 @@ __all__ = [
     "StreamingIPS",
     "StreamingEvaluationBoard",
     "StreamingSnapshot",
+    "ValidatedInteractionStream",
     "ExplorationPlan",
     "exploration_plan",
     "epsilon_for_deadline",
     "wasted_potential",
     "dataset_summary",
+    "diagnostics_table",
     "estimator_table",
     "offline_online_table",
+    "quarantine_table",
     "bootstrap_interval_from_terms",
     "bootstrap_ips_interval",
     "bootstrap_snips_interval",

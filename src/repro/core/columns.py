@@ -114,6 +114,8 @@ class DatasetColumns:
         self._row_index = np.arange(n)
         self._feature_matrices: dict[tuple[str, ...], np.ndarray] = {}
         self._hashed_matrices: dict[int, tuple[object, np.ndarray]] = {}
+        self._observed_actions: Optional[np.ndarray] = None
+        self._identity_error: Optional[float] = None
 
     @classmethod
     def from_dataset(cls, dataset: Dataset) -> "DatasetColumns":
@@ -148,6 +150,33 @@ class DatasetColumns:
             entry = (featurizer, matrix)
             self._hashed_matrices[id(featurizer)] = entry
         return entry[1]
+
+    # -- policy-independent diagnostic inputs --------------------------------
+
+    def observed_actions(self) -> np.ndarray:
+        """Sorted unique logged action ids, computed once per dataset.
+
+        The logged *support*: any candidate-policy mass outside this set
+        is invisible to importance-weighted estimators (see
+        :mod:`repro.core.diagnostics`).
+        """
+        if self._observed_actions is None:
+            self._observed_actions = np.unique(self.actions)
+        return self._observed_actions
+
+    def propensity_identity_error(self) -> float:
+        """Cached per-action A1 identity deviation of the *log* itself.
+
+        Depends only on the logged (action, propensity) pairs, so a
+        class search over hundreds of candidates pays for it once.
+        """
+        if self._identity_error is None:
+            from repro.core.diagnostics import propensity_identity_error
+
+            self._identity_error = propensity_identity_error(
+                self.actions, self.propensities
+            )
+        return self._identity_error
 
     # -- batch building blocks ---------------------------------------------
 

@@ -15,12 +15,16 @@ any *other* policy would have obtained.
 - :mod:`~repro.core.estimators.bounds` — the Eq. 1 confidence interval,
   the A/B-testing bound, and the sample-size calculators behind
   Figs. 1–2.
+- :mod:`~repro.core.estimators.fallback` — graceful degradation down
+  the IPS → clipped IPS → SNIPS → DM ladder when reliability
+  diagnostics flag an estimate as untrustworthy.
 """
 
 from repro.core.estimators.base import EstimatorResult, OffPolicyEstimator
 from repro.core.estimators.ips import ClippedIPSEstimator, IPSEstimator, SNIPSEstimator
 from repro.core.estimators.direct import DirectMethodEstimator, RewardModel
 from repro.core.estimators.doubly_robust import DoublyRobustEstimator
+from repro.core.estimators.fallback import FallbackEstimator, default_ladder
 from repro.core.estimators.switch import SwitchEstimator
 from repro.core.estimators.trajectory import (
     PerDecisionISEstimator,
@@ -47,6 +51,8 @@ __all__ = [
     "DirectMethodEstimator",
     "RewardModel",
     "DoublyRobustEstimator",
+    "FallbackEstimator",
+    "default_ladder",
     "SwitchEstimator",
     "Trajectory",
     "TrajectoryISEstimator",

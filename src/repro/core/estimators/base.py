@@ -8,6 +8,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.diagnostics import ReliabilityDiagnostics, diagnose
 from repro.core.engine import resolve_backend
 from repro.core.policies import Policy
 from repro.core.types import Dataset, Interaction
@@ -21,7 +22,9 @@ class EstimatorResult:
     ``std_error`` the standard error of that estimate; ``n`` the number
     of exploration datapoints used; ``effective_n`` the number whose
     logged action matched the candidate policy (the "match rate"
-    governs the variance of IPS-style estimators).
+    governs the variance of IPS-style estimators).  ``diagnostics``
+    carries the reliability verdict (see :mod:`repro.core.diagnostics`)
+    when the estimator computes one.
     """
 
     value: float
@@ -30,6 +33,12 @@ class EstimatorResult:
     effective_n: int
     estimator: str
     details: dict = field(default_factory=dict)
+    diagnostics: Optional[ReliabilityDiagnostics] = None
+
+    @property
+    def reliable(self) -> bool:
+        """Whether diagnostics (if computed) clear the UNRELIABLE bar."""
+        return self.diagnostics is None or self.diagnostics.reliable
 
     def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
         """Normal-approximation CI at ``z`` standard errors."""
@@ -37,9 +46,10 @@ class EstimatorResult:
 
     def __repr__(self) -> str:
         lo, hi = self.confidence_interval()
+        flag = "" if self.reliable else " UNRELIABLE"
         return (
             f"EstimatorResult({self.estimator}: {self.value:.4f} "
-            f"[{lo:.4f}, {hi:.4f}], n={self.n})"
+            f"[{lo:.4f}, {hi:.4f}], n={self.n}{flag})"
         )
 
 
@@ -75,6 +85,9 @@ class OffPolicyEstimator(ABC):
     #: Backend override; None follows the process-wide default.  A class
     #: attribute so subclasses with bespoke __init__ still resolve.
     backend: Optional[str] = None
+    #: Which diagnostic check profile applies to this estimator family
+    #: (see :data:`repro.core.diagnostics.PROFILES`).
+    diagnostics_profile: str = "ips"
 
     def __init__(self, backend: Optional[str] = None) -> None:
         resolve_backend(backend)  # validate eagerly; None is "follow default"
@@ -98,3 +111,25 @@ class OffPolicyEstimator(ABC):
     def _require_data(self, dataset: Dataset) -> None:
         if len(dataset) == 0:
             raise ValueError(f"{self.name}: cannot estimate from an empty dataset")
+
+    def _diagnose(
+        self,
+        dataset: Dataset,
+        weights: Optional[np.ndarray],
+        support_coverage: float,
+    ) -> ReliabilityDiagnostics:
+        """Reliability diagnostics for one estimate (both backends).
+
+        Reads the logged (action, propensity) columns — identical data
+        on either backend — and the estimator's own weight vector, so
+        scalar and vectorized runs yield matching diagnostics.
+        """
+        columns = dataset.columns()
+        return diagnose(
+            weights,
+            columns.propensities,
+            columns.actions,
+            support_coverage,
+            profile=self.diagnostics_profile,
+            identity_error=columns.propensity_identity_error(),
+        )

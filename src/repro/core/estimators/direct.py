@@ -124,6 +124,9 @@ class DirectMethodEstimator(OffPolicyEstimator):
     """
 
     name = "direct-method"
+    # No importance weights: only support coverage applies, and only as
+    # a warning — the model extrapolates off-support, it doesn't blow up.
+    diagnostics_profile = "model"
 
     def __init__(
         self,
@@ -136,13 +139,17 @@ class DirectMethodEstimator(OffPolicyEstimator):
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
         self._require_data(dataset)
         model = self.model or fit_default_model(dataset)
+        observed = dataset.columns().observed_actions()
         if self.resolved_backend() == "vectorized":
             columns = dataset.columns()
             probs = policy.probabilities_batch(columns)
             predictions = (probs * model.predict_matrix(columns)).sum(axis=1)
+            coverage = float(probs[:, observed].sum(axis=1).mean())
         else:
             eligible = eligible_actions_fn(dataset)
+            observed_set = set(observed.tolist())
             predictions = np.empty(len(dataset))
+            coverage_sum = 0.0
             for index, interaction in enumerate(dataset):
                 actions = eligible(interaction)
                 probs = policy.distribution(interaction.context, actions)
@@ -150,10 +157,17 @@ class DirectMethodEstimator(OffPolicyEstimator):
                     p * model.predict(interaction.context, a)
                     for p, a in zip(probs, actions)
                 )
+                coverage_sum += sum(
+                    float(p)
+                    for p, a in zip(probs, actions)
+                    if a in observed_set
+                )
+            coverage = coverage_sum / len(dataset)
         return EstimatorResult(
             value=float(predictions.mean()),
             std_error=self._standard_error(predictions),
             n=len(dataset),
             effective_n=len(dataset),
             estimator=self.name,
+            diagnostics=self._diagnose(dataset, None, coverage),
         )

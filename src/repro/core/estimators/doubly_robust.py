@@ -38,6 +38,9 @@ class DoublyRobustEstimator(OffPolicyEstimator):
     """
 
     name = "doubly-robust"
+    # The model term softens — but does not remove — sensitivity to bad
+    # weights, so DR keeps the full IPS check battery.
+    diagnostics_profile = "ips"
 
     def __init__(
         self,
@@ -50,6 +53,7 @@ class DoublyRobustEstimator(OffPolicyEstimator):
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
         self._require_data(dataset)
         model = self.model or fit_default_model(dataset)
+        observed = dataset.columns().observed_actions()
         if self.resolved_backend() == "vectorized":
             columns = dataset.columns()
             probs = policy.probabilities_batch(columns)
@@ -63,10 +67,15 @@ class DoublyRobustEstimator(OffPolicyEstimator):
             )
             terms = baseline + ratio * residual
             matched = int(np.count_nonzero(ratio > 0))
+            coverage = float(probs[:, observed].sum(axis=1).mean())
+            weights = ratio
         else:
             eligible = eligible_actions_fn(dataset)
+            observed_set = set(observed.tolist())
             terms = np.empty(len(dataset))
+            weights = np.empty(len(dataset))
             matched = 0
+            coverage_sum = 0.0
             for index, interaction in enumerate(dataset):
                 actions = eligible(interaction)
                 probs = policy.distribution(interaction.context, actions)
@@ -74,9 +83,12 @@ class DoublyRobustEstimator(OffPolicyEstimator):
                     p * model.predict(interaction.context, a)
                     for p, a in zip(probs, actions)
                 )
-                pi_prob = policy.probability_of(
-                    interaction.context, actions, interaction.action
-                )
+                pi_prob = 0.0
+                for position, action in enumerate(actions):
+                    if action == interaction.action:
+                        pi_prob = float(probs[position])
+                    if action in observed_set:
+                        coverage_sum += float(probs[position])
                 ratio = pi_prob / interaction.propensity
                 if ratio > 0:
                     matched += 1
@@ -84,6 +96,8 @@ class DoublyRobustEstimator(OffPolicyEstimator):
                     interaction.context, interaction.action
                 )
                 terms[index] = baseline + ratio * residual
+                weights[index] = ratio
+            coverage = coverage_sum / len(dataset)
         return EstimatorResult(
             value=float(terms.mean()),
             std_error=self._standard_error(terms),
@@ -91,4 +105,5 @@ class DoublyRobustEstimator(OffPolicyEstimator):
             effective_n=matched,
             estimator=self.name,
             details={"match_rate": matched / len(dataset)},
+            diagnostics=self._diagnose(dataset, weights, coverage),
         )

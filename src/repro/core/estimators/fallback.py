@@ -1,0 +1,130 @@
+"""Graceful degradation: fall down an estimator ladder, never crash.
+
+When the reliability diagnostics (:mod:`repro.core.diagnostics`) flag
+an IPS estimate as ``UNRELIABLE`` — the Table 2 situation — the honest
+move is not to return the number anyway, nor to crash, but to degrade
+to an estimator whose failure mode is gentler and *say so*.
+:class:`FallbackEstimator` walks a ladder::
+
+    IPS  →  clipped IPS  →  SNIPS  →  Direct Method
+
+accepting the first rung whose estimate is finite and whose diagnostics
+clear the UNRELIABLE bar.  The last rung (DM by default) is terminal:
+its value is always finite, so the caller is guaranteed a usable —
+if biased — number.  Every attempt, with its verdict and the reasons
+it was rejected, is logged (``repro.fallback`` logger) and recorded in
+``details["fallback"]`` so the downgrade is auditable.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from typing import Optional, Sequence
+
+from repro.core.estimators.base import EstimatorResult, OffPolicyEstimator
+from repro.core.estimators.direct import DirectMethodEstimator
+from repro.core.estimators.ips import (
+    ClippedIPSEstimator,
+    IPSEstimator,
+    SNIPSEstimator,
+)
+from repro.core.policies import Policy
+from repro.core.types import Dataset
+
+logger = logging.getLogger("repro.fallback")
+
+
+def default_ladder(backend: Optional[str] = None) -> tuple[OffPolicyEstimator, ...]:
+    """The standard degradation ladder, most-trusted first."""
+    return (
+        IPSEstimator(backend=backend),
+        ClippedIPSEstimator(backend=backend),
+        SNIPSEstimator(backend=backend),
+        DirectMethodEstimator(backend=backend),
+    )
+
+
+class FallbackEstimator(OffPolicyEstimator):
+    """Try each ladder rung until one produces a reliable estimate.
+
+    The returned :class:`EstimatorResult` is the accepted rung's result
+    with two additions in ``details``:
+
+    - ``"fallback"`` — one entry per attempted rung: its name, verdict,
+      whether it was accepted, and the diagnostic reasons if not;
+    - ``"degraded"`` — True when the first rung was rejected, i.e. the
+      caller is looking at a downgraded estimate.
+
+    The result's ``estimator`` field names the rung that produced it,
+    so downstream reporting stays truthful about what was computed.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        ladder: Optional[Sequence[OffPolicyEstimator]] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(backend=backend)
+        self.ladder = tuple(ladder) if ladder is not None else default_ladder(backend)
+        if not self.ladder:
+            raise ValueError("fallback ladder must have at least one rung")
+
+    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
+        self._require_data(dataset)
+        attempts: list[dict] = []
+        chosen: Optional[EstimatorResult] = None
+        for rung in self.ladder:
+            result = rung.estimate(policy, dataset)
+            finite = math.isfinite(result.value)
+            reasons: list[str] = []
+            if not finite:
+                reasons.append(f"estimate is {result.value}")
+            if result.diagnostics is not None:
+                reasons.extend(result.diagnostics.reasons)
+            accepted = finite and result.reliable
+            attempts.append(
+                {
+                    "estimator": result.estimator,
+                    "verdict": (
+                        result.diagnostics.verdict
+                        if result.diagnostics is not None
+                        else "OK"
+                    ),
+                    "accepted": accepted,
+                    "reasons": reasons,
+                }
+            )
+            chosen = result
+            if accepted:
+                break
+            logger.info(
+                "fallback: %s rejected %s for policy %r: %s",
+                self.name,
+                result.estimator,
+                policy.name,
+                "; ".join(reasons) or "unreliable",
+            )
+        assert chosen is not None
+        degraded = len(attempts) > 1 or not attempts[0]["accepted"]
+        if degraded:
+            logger.info(
+                "fallback: policy %r served by %s after %d attempt(s)",
+                policy.name,
+                chosen.estimator,
+                len(attempts),
+            )
+        details = dict(chosen.details)
+        details["fallback"] = attempts
+        details["degraded"] = degraded
+        return EstimatorResult(
+            value=chosen.value,
+            std_error=chosen.std_error,
+            n=chosen.n,
+            effective_n=chosen.effective_n,
+            estimator=chosen.estimator,
+            details=details,
+            diagnostics=chosen.diagnostics,
+        )

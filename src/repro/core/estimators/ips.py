@@ -29,6 +29,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.diagnostics import effective_sample_size
 from repro.core.estimators.base import (
     EstimatorResult,
     OffPolicyEstimator,
@@ -42,6 +43,7 @@ class IPSEstimator(OffPolicyEstimator):
     """Plain (unclipped) inverse propensity scoring."""
 
     name = "ips"
+    diagnostics_profile = "ips"
 
     def match_weights(self, policy: Policy, dataset: Dataset) -> np.ndarray:
         """Per-interaction importance ratios ``π(a_t|x_t)/p_t``."""
@@ -58,6 +60,41 @@ class IPSEstimator(OffPolicyEstimator):
             weights[index] = pi_prob / interaction.propensity
         return weights
 
+    def _weights_and_coverage(
+        self, policy: Policy, dataset: Dataset
+    ) -> tuple[np.ndarray, float]:
+        """Weights plus support coverage from *one* probability pass.
+
+        Coverage is the mean candidate-policy mass on actions observed
+        anywhere in the log — the fraction of π the estimator can see.
+        Derived from the same probability matrix (or per-row
+        distribution) as the weights so diagnostics cost no extra
+        policy evaluation.
+        """
+        self._require_data(dataset)
+        columns = dataset.columns()
+        observed = columns.observed_actions()
+        if self.resolved_backend() == "vectorized":
+            matrix = policy.probabilities_batch(columns)
+            weights = columns.probability_of_logged(matrix) / columns.propensities
+            coverage = float(matrix[:, observed].sum(axis=1).mean())
+            return weights, coverage
+        eligible = eligible_actions_fn(dataset)
+        observed_set = set(observed.tolist())
+        weights = np.empty(len(dataset))
+        coverage_sum = 0.0
+        for index, interaction in enumerate(dataset):
+            actions = eligible(interaction)
+            probs = policy.distribution(interaction.context, actions)
+            pi_prob = 0.0
+            for position, action in enumerate(actions):
+                if action == interaction.action:
+                    pi_prob = float(probs[position])
+                if action in observed_set:
+                    coverage_sum += float(probs[position])
+            weights[index] = pi_prob / interaction.propensity
+        return weights, coverage_sum / len(dataset)
+
     def weighted_rewards(self, policy: Policy, dataset: Dataset) -> np.ndarray:
         """Per-interaction terms ``π(a_t|x_t)/p_t · r_t`` (the summands)."""
         return self.match_weights(policy, dataset) * self._rewards(dataset)
@@ -68,9 +105,9 @@ class IPSEstimator(OffPolicyEstimator):
         return dataset.rewards()
 
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        # One probability pass: terms and the match count are both
-        # derived from the same weight vector.
-        weights = self.match_weights(policy, dataset)
+        # One probability pass: terms, the match count, and the
+        # reliability diagnostics all derive from the same weight vector.
+        weights, coverage = self._weights_and_coverage(policy, dataset)
         terms = weights * self._rewards(dataset)
         matched = int(np.count_nonzero(weights))
         return EstimatorResult(
@@ -80,6 +117,7 @@ class IPSEstimator(OffPolicyEstimator):
             effective_n=matched,
             estimator=self.name,
             details={"match_rate": matched / len(dataset)},
+            diagnostics=self._diagnose(dataset, weights, coverage),
         )
 
 
@@ -91,6 +129,8 @@ class ClippedIPSEstimator(IPSEstimator):
     tiny propensities.
     """
 
+    diagnostics_profile = "clipped"
+
     def __init__(
         self, max_weight: float = 100.0, backend: Optional[str] = None
     ) -> None:
@@ -101,7 +141,7 @@ class ClippedIPSEstimator(IPSEstimator):
         self.name = f"clipped-ips[{max_weight:g}]"
 
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        raw = self.match_weights(policy, dataset)
+        raw, coverage = self._weights_and_coverage(policy, dataset)
         weights = np.minimum(raw, self.max_weight)
         terms = weights * self._rewards(dataset)
         matched = int(np.count_nonzero(weights))
@@ -115,6 +155,10 @@ class ClippedIPSEstimator(IPSEstimator):
                 "match_rate": matched / len(dataset),
                 "clipped_fraction": float(np.mean(raw > self.max_weight)),
             },
+            # Diagnose the weights actually used: clipping caps the
+            # tail, which the "clipped" profile's one-sided identity
+            # check accounts for.
+            diagnostics=self._diagnose(dataset, weights, coverage),
         )
 
 
@@ -126,12 +170,14 @@ class SNIPSEstimator(IPSEstimator):
     """
 
     name = "snips"
+    diagnostics_profile = "snips"
 
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        weights = self.match_weights(policy, dataset)
+        weights, coverage = self._weights_and_coverage(policy, dataset)
         rewards = self._rewards(dataset)
         weight_sum = float(weights.sum())
         matched = int(np.count_nonzero(weights))
+        diagnostics = self._diagnose(dataset, weights, coverage)
         if weight_sum == 0.0:
             # The candidate never matches the log: no information at all.
             return EstimatorResult(
@@ -141,6 +187,7 @@ class SNIPSEstimator(IPSEstimator):
                 effective_n=0,
                 estimator=self.name,
                 details={"match_rate": 0.0},
+                diagnostics=diagnostics,
             )
         value = float((weights * rewards).sum() / weight_sum)
         # Delta-method standard error for a ratio of means.
@@ -157,10 +204,10 @@ class SNIPSEstimator(IPSEstimator):
             estimator=self.name,
             details={
                 "match_rate": matched / n,
-                "effective_sample_size": float(
-                    weights.sum() ** 2 / np.sum(weights**2)
-                )
-                if np.any(weights)
-                else 0.0,
+                # Kish ESS via the guarded helper: denormal weights can
+                # make Σw² underflow to exactly 0 while Σw > 0, which
+                # the naive ratio turned into NaN.
+                "effective_sample_size": effective_sample_size(weights),
             },
+            diagnostics=diagnostics,
         )

@@ -10,6 +10,7 @@ an off-policy estimator into the paper's three-step methodology.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -19,6 +20,13 @@ from repro.core.learners.cb import PolicyClassOptimizer
 from repro.core.policies import Policy, PolicyClass
 from repro.core.propensity import PropensityModel
 from repro.core.types import ActionSpace, Context, Dataset, Interaction, RewardRange
+from repro.core.validation import (
+    PROPENSITY,
+    REWARD,
+    Quarantine,
+    check_mode,
+    check_values,
+)
 
 
 @dataclass
@@ -96,6 +104,9 @@ class HarvestReport:
     n_dropped: int
     min_propensity: float
     evaluations: dict[str, EstimatorResult] = field(default_factory=dict)
+    #: Records rejected (or repaired) by validation during build_dataset.
+    #: Empty (falsy) when every scavenged record passed.
+    quarantine: Optional[Quarantine] = None
 
 
 class HarvestPipeline:
@@ -116,40 +127,113 @@ class HarvestPipeline:
         action_space: Optional[ActionSpace] = None,
         reward_range: Optional[RewardRange] = None,
         estimator: Optional[OffPolicyEstimator] = None,
+        mode: str = "strict",
+        repair_propensity_floor: float = 1e-3,
     ) -> None:
         self.scavenger = scavenger
         self.propensity_model = propensity_model
         self.action_space = action_space
         self.reward_range = reward_range
         self.estimator = estimator or IPSEstimator()
+        self.mode = check_mode(mode)
+        if not 0.0 < repair_propensity_floor <= 1.0:
+            raise ValueError("repair_propensity_floor must be in (0, 1]")
+        self.repair_propensity_floor = repair_propensity_floor
+        #: Quarantine from the most recent build_dataset call.
+        self.quarantine: Optional[Quarantine] = None
 
-    def build_dataset(self, records: Iterable[dict]) -> Dataset:
-        """Steps 1 and 2: raw log records → exploration dataset."""
+    def build_dataset(
+        self, records: Iterable[dict], mode: Optional[str] = None
+    ) -> Dataset:
+        """Steps 1 and 2: raw log records → exploration dataset.
+
+        Every candidate tuple — including the propensity the model
+        just *inferred* — passes through the value rules of
+        :mod:`repro.core.validation` before it reaches the dataset.
+        ``mode`` overrides the pipeline's default: ``"strict"`` raises
+        on the first violation, ``"quarantine"`` sets violators aside
+        with a reason, ``"repair"`` clamps fixable propensities/rewards
+        and quarantines the rest.  The quarantine lands on both the
+        returned dataset and ``self.quarantine``.
+        """
+        mode = check_mode(mode) if mode is not None else self.mode
         scavenged = self.scavenger.scavenge(records)
         if not scavenged:
             raise ValueError("scavenger extracted no usable records")
         dataset = Dataset(
             action_space=self.action_space, reward_range=self.reward_range
         )
-        for record in scavenged:
+        quarantine = Quarantine()
+        if self.action_space is None:
+            # Hoisted out of the loop: the observed-action ceiling is a
+            # property of the whole scavenge, not of any one record.
+            default_eligible = list(
+                range(max(r.action for r in scavenged) + 1)
+            )
+        for number, record in enumerate(scavenged, start=1):
             if record.eligible_actions is not None:
                 eligible = list(record.eligible_actions)
             elif self.action_space is not None:
                 eligible = self.action_space.actions(record.context)
             else:
-                eligible = list(range(max(r.action for r in scavenged) + 1))
+                eligible = default_eligible
             propensity = self.propensity_model.propensity(
                 record.context, record.action, eligible
             )
+            reward = record.reward
+            issues = check_values(
+                record.context,
+                record.action,
+                reward,
+                propensity,
+                eligible=eligible,
+                reward_range=self.reward_range,
+            )
+            if issues and mode == "repair":
+                remaining = []
+                for reason, detail in issues:
+                    if reason == PROPENSITY and math.isfinite(propensity):
+                        propensity = (
+                            1.0
+                            if propensity > 1.0
+                            else self.repair_propensity_floor
+                        )
+                        quarantine.note_repair(reason)
+                    elif reason == REWARD and self.reward_range is not None \
+                            and math.isfinite(reward):
+                        reward = self.reward_range.clip(reward)
+                        quarantine.note_repair(reason)
+                    else:
+                        remaining.append((reason, detail))
+                issues = remaining
+            if issues:
+                reason, detail = issues[0]
+                if mode == "strict":
+                    raise ValueError(
+                        f"harvest: record {number}: {reason}: {detail}"
+                    )
+                quarantine.add(
+                    number, reason, "; ".join(d for _, d in issues)
+                )
+                continue
             dataset.append(
                 Interaction(
                     context=record.context,
                     action=record.action,
-                    reward=record.reward,
+                    reward=reward,
                     propensity=propensity,
                     timestamp=record.timestamp,
                 )
             )
+        if len(dataset) == 0:
+            raise ValueError(
+                "validation rejected every scavenged record; quarantine: "
+                + ", ".join(
+                    f"{k}={v}" for k, v in quarantine.counts_by_reason().items()
+                )
+            )
+        dataset.quarantine = quarantine
+        self.quarantine = quarantine
         return dataset
 
     def evaluate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
@@ -183,4 +267,5 @@ class HarvestPipeline:
             n_dropped=self.scavenger.dropped,
             min_propensity=dataset.min_propensity(),
             evaluations=evaluations,
+            quarantine=self.quarantine,
         )

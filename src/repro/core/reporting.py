@@ -88,21 +88,88 @@ def estimator_table(
     results: Mapping[str, EstimatorResult],
     markdown: bool = False,
 ) -> str:
-    """Render policy → EstimatorResult rows with CIs and match rates."""
+    """Render policy → EstimatorResult rows with CIs and match rates.
+
+    When any result carries reliability diagnostics (see
+    :mod:`repro.core.diagnostics`), a ``reliability`` column is added
+    with the per-estimate verdict — an ``UNRELIABLE`` row should never
+    reach a decision meeting unflagged.
+    """
+    with_verdicts = any(
+        result.diagnostics is not None for result in results.values()
+    )
     headers = ["policy", "estimate", "95% CI", "n", "match rate"]
+    if with_verdicts:
+        headers.append("reliability")
     rows = []
     for name, result in results.items():
         lo, hi = result.confidence_interval()
         match = result.details.get("match_rate")
+        row = [
+            name,
+            f"{result.value:.4f}",
+            f"[{lo:.4f}, {hi:.4f}]",
+            result.n,
+            f"{match:.1%}" if match is not None else "-",
+        ]
+        if with_verdicts:
+            row.append(
+                result.diagnostics.verdict
+                if result.diagnostics is not None
+                else "-"
+            )
+        rows.append(row)
+    renderer = markdown_table if markdown else text_table
+    return renderer(headers, rows)
+
+
+def diagnostics_table(
+    results: Mapping[str, EstimatorResult],
+    markdown: bool = False,
+) -> str:
+    """Per-policy reliability detail: ESS, weight tail, coverage, verdict.
+
+    The companion drill-down to :func:`estimator_table`'s verdict
+    column; rows without diagnostics render as dashes.
+    """
+    headers = [
+        "policy", "verdict", "ESS", "max w", "coverage", "reasons",
+    ]
+    rows = []
+    for name, result in results.items():
+        d = result.diagnostics
+        if d is None:
+            rows.append([name, "-", "-", "-", "-", "-"])
+            continue
         rows.append(
             [
                 name,
-                f"{result.value:.4f}",
-                f"[{lo:.4f}, {hi:.4f}]",
-                result.n,
-                f"{match:.1%}" if match is not None else "-",
+                d.verdict,
+                f"{d.effective_sample_size:.1f}"
+                if d.effective_sample_size is not None
+                else "-",
+                f"{d.max_weight:.1f}" if d.max_weight is not None else "-",
+                f"{d.support_coverage:.0%}",
+                "; ".join(d.reasons) if d.reasons else "-",
             ]
         )
+    renderer = markdown_table if markdown else text_table
+    return renderer(headers, rows)
+
+
+def quarantine_table(quarantine, markdown: bool = False) -> str:
+    """Per-reason rejection/repair counts for a validation quarantine."""
+    headers = ["reason", "rejected", "repaired"]
+    reasons = sorted(set(quarantine.counts) | set(quarantine.repairs))
+    rows = [
+        [
+            reason,
+            quarantine.counts.get(reason, 0),
+            quarantine.repairs.get(reason, 0),
+        ]
+        for reason in reasons
+    ]
+    rows.append(["total", quarantine.n_rejected, quarantine.n_repaired])
     renderer = markdown_table if markdown else text_table
     return renderer(headers, rows)
 

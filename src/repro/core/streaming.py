@@ -10,16 +10,26 @@ memory, so a tail of production logs can be followed continuously.
 mean, Welford variance, match count, and a normal-approximation CI.
 :class:`StreamingEvaluationBoard` fans one stream out to many
 candidates — the "evaluate K policies from one log" mode, live.
+:class:`ValidatedInteractionStream` guards the front of that pipe: it
+validates raw JSONL lines (or parsed records) on the fly, quarantining
+defects instead of crashing, so a tail of messy production logs can be
+followed indefinitely.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.core.policies import Policy
 from repro.core.types import ActionSpace, Interaction
+from repro.core.validation import (
+    Quarantine,
+    RecordValidator,
+    check_mode,
+    validated_interactions,
+)
 
 
 @dataclass(frozen=True)
@@ -95,6 +105,48 @@ class StreamingIPS:
             std_error=std_error,
             match_rate=self._matches / self._n,
         )
+
+
+class ValidatedInteractionStream:
+    """Validate a live stream of raw records into clean Interactions.
+
+    Wraps :func:`repro.core.validation.validated_interactions` with an
+    owned :class:`~repro.core.validation.Quarantine`, so streaming
+    consumers (:class:`StreamingIPS`, :class:`StreamingEvaluationBoard`)
+    read clean tuples and can inspect what was set aside at any point —
+    still O(1) memory apart from the quarantine's bounded examples::
+
+        stream = ValidatedInteractionStream(tail_f(path), mode="quarantine")
+        board.update_all(stream)
+        print(stream.quarantine.summary_text())
+
+    ``source`` may mix raw JSONL strings and parsed dicts.  In strict
+    mode the first defect raises; ``quarantine``/``repair`` keep going.
+    """
+
+    def __init__(
+        self,
+        source: Iterable[Union[str, Mapping]],
+        mode: str = "quarantine",
+        validator: Optional[RecordValidator] = None,
+        source_name: str = "<stream>",
+    ) -> None:
+        check_mode(mode)
+        self.mode = mode
+        self.quarantine = Quarantine()
+        self.n_accepted = 0
+        self._iterator = validated_interactions(
+            source,
+            mode=mode,
+            validator=validator,
+            quarantine=self.quarantine,
+            source_name=source_name,
+        )
+
+    def __iter__(self) -> Iterator[Interaction]:
+        for interaction in self._iterator:
+            self.n_accepted += 1
+            yield interaction
 
 
 class StreamingEvaluationBoard:

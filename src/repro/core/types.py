@@ -198,6 +198,9 @@ class Dataset:
         self._interactions: list[Interaction] = list(interactions or [])
         self.action_space = action_space
         self.reward_range = reward_range or RewardRange()
+        #: Populated by validated loaders (see :mod:`repro.core.validation`):
+        #: the records rejected or repaired while building this dataset.
+        self.quarantine = None
         # Mutation counter + cache slot for the columnar view (see
         # :meth:`columns`); appends invalidate by bumping the counter.
         self._version = 0
@@ -344,15 +347,55 @@ class Dataset:
         path: str,
         action_space: Optional[ActionSpace] = None,
         reward_range: Optional[RewardRange] = None,
+        mode: str = "strict",
+        validator=None,
     ) -> "Dataset":
-        """Inverse of :meth:`save_jsonl`."""
-        interactions = []
+        """Inverse of :meth:`save_jsonl`, with a validated data boundary.
+
+        ``mode`` selects how defective records are handled (see
+        :mod:`repro.core.validation`): ``"strict"`` (default) raises a
+        :class:`ValueError` naming the file and 1-based line number of
+        the first bad record; ``"quarantine"`` sets bad records aside
+        with reasons; ``"repair"`` additionally fixes clampable defects.
+        The quarantine is attached to the returned dataset as
+        ``dataset.quarantine``.
+
+        In strict mode without an explicit ``validator`` only the
+        structural invariants are enforced (parseable JSON plus the
+        :class:`Interaction` constructor's own checks), matching the
+        historical contract; the non-strict modes also check action
+        eligibility and the declared reward range.
+        """
+        from repro.core.validation import (
+            Quarantine,
+            RecordValidator,
+            check_mode,
+            validated_interactions,
+        )
+
+        check_mode(mode)
+        if validator is None:
+            validator = (
+                RecordValidator()
+                if mode == "strict"
+                else RecordValidator(
+                    action_space=action_space, reward_range=reward_range
+                )
+            )
+        quarantine = Quarantine()
         with open(path, "r", encoding="utf-8") as f:
-            for line in f:
-                line = line.strip()
-                if line:
-                    interactions.append(Interaction.from_dict(json.loads(line)))
-        return cls(interactions, action_space, reward_range)
+            interactions = list(
+                validated_interactions(
+                    f,
+                    mode=mode,
+                    validator=validator,
+                    quarantine=quarantine,
+                    source_name=path,
+                )
+            )
+        dataset = cls(interactions, action_space, reward_range)
+        dataset.quarantine = quarantine
+        return dataset
 
     def __repr__(self) -> str:
         return f"Dataset(n={len(self)}, actions={self.action_space})"

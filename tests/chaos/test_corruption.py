@@ -1,0 +1,127 @@
+"""Unit tests for the JSONL log corruptor."""
+
+import json
+
+import pytest
+
+from repro.chaos.corruption import KINDS, LogCorruptor
+
+
+def clean_lines(n=100):
+    return [
+        json.dumps(
+            {
+                "context": {"load": i / n},
+                "action": i % 3,
+                "reward": 0.5,
+                "propensity": 1.0 / 3.0,
+                "timestamp": float(i),
+            }
+        )
+        for i in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_rate_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            LogCorruptor(rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            LogCorruptor(rate=-0.1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown corruption kind"):
+            LogCorruptor(kinds=("truncate", "bitflip"))
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            LogCorruptor(kinds=())
+
+
+class TestCorruptLines:
+    def test_zero_rate_is_identity(self):
+        lines = clean_lines(50)
+        out = list(LogCorruptor(rate=0.0).corrupt_lines(lines))
+        assert out == lines
+
+    def test_seeded_runs_are_deterministic(self):
+        lines = clean_lines(200)
+        first = list(LogCorruptor(rate=0.3, seed=42).corrupt_lines(lines))
+        second = list(LogCorruptor(rate=0.3, seed=42).corrupt_lines(lines))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        lines = clean_lines(200)
+        a = list(LogCorruptor(rate=0.3, seed=1).corrupt_lines(lines))
+        b = list(LogCorruptor(rate=0.3, seed=2).corrupt_lines(lines))
+        assert a != b
+
+    def test_counts_match_actual_damage(self):
+        lines = clean_lines(500)
+        corruptor = LogCorruptor(rate=0.2, seed=7)
+        out = list(corruptor.corrupt_lines(lines))
+        assert corruptor.n_corrupted > 0
+        # Duplicates add a line each; everything else is 1:1.
+        assert len(out) == len(lines) + corruptor.counts["duplicate"]
+        assert set(corruptor.counts) <= set(KINDS)
+
+    def test_rate_roughly_honored(self):
+        lines = clean_lines(2000)
+        corruptor = LogCorruptor(rate=0.1, seed=3)
+        list(corruptor.corrupt_lines(lines))
+        assert 0.05 < corruptor.n_corrupted / 2000 < 0.2
+
+    def test_single_kind_only_produces_that_kind(self):
+        lines = clean_lines(300)
+        corruptor = LogCorruptor(rate=0.5, kinds=("zero_propensity",), seed=0)
+        out = list(corruptor.corrupt_lines(lines))
+        assert set(corruptor.counts) == {"zero_propensity"}
+        zeroed = [
+            line for line in out if json.loads(line)["propensity"] == 0.0
+        ]
+        assert len(zeroed) == corruptor.counts["zero_propensity"]
+
+    def test_truncate_breaks_json(self):
+        lines = clean_lines(300)
+        corruptor = LogCorruptor(rate=0.5, kinds=("truncate",), seed=0)
+        out = list(corruptor.corrupt_lines(lines))
+        broken = 0
+        for line in out:
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                broken += 1
+        assert broken == corruptor.counts["truncate"] > 0
+
+    def test_drop_field_removes_a_required_field(self):
+        lines = clean_lines(300)
+        corruptor = LogCorruptor(rate=0.5, kinds=("drop_field",), seed=0)
+        out = list(corruptor.corrupt_lines(lines))
+        required = {"context", "action", "reward", "propensity"}
+        incomplete = [
+            line for line in out if not required <= set(json.loads(line))
+        ]
+        assert len(incomplete) == corruptor.counts["drop_field"] > 0
+
+    def test_blank_lines_pass_through(self):
+        out = list(LogCorruptor(rate=1.0, seed=0).corrupt_lines(["", "  "]))
+        assert out == ["", "  "]
+
+    def test_counts_reset_between_runs(self):
+        lines = clean_lines(100)
+        corruptor = LogCorruptor(rate=0.5, seed=0)
+        list(corruptor.corrupt_lines(lines))
+        first = corruptor.n_corrupted
+        list(corruptor.corrupt_lines(lines))
+        assert corruptor.n_corrupted == first  # same seed, fresh counter
+
+
+class TestCorruptFile:
+    def test_file_round_trip(self, tmp_path):
+        src = tmp_path / "clean.jsonl"
+        dst = tmp_path / "dirty.jsonl"
+        src.write_text("\n".join(clean_lines(100)) + "\n")
+        counts = LogCorruptor(rate=0.3, seed=5).corrupt_file(str(src), str(dst))
+        assert sum(counts.values()) > 0
+        dirty = dst.read_text().splitlines()
+        assert len(dirty) == 100 + counts["duplicate"]

@@ -53,6 +53,45 @@ class TestEnvironmentDrift:
             EnvironmentDrift(0.0, {0: 0.0})
 
 
+class TestEnvironmentDriftEdgeCases:
+    def test_boundary_tick_exactly_at_time_applies(self):
+        drift = EnvironmentDrift(10.0, {0: 2.0})
+        servers = make_servers()
+        drift.tick(10.0 - 1e-12, servers)
+        assert servers[0].drift_multiplier == 1.0
+        drift.tick(10.0, servers)  # now == at_time: inclusive boundary
+        assert servers[0].drift_multiplier == 2.0
+
+    def test_clock_jump_past_at_time_still_applies(self):
+        """A coarse tick that skips over at_time must not lose the
+        drift — the event loop's time steps are request-driven and will
+        rarely land exactly on the configured instant."""
+        drift = EnvironmentDrift(10.0, {0: 2.0})
+        servers = make_servers()
+        drift.tick(9.0, servers)
+        drift.tick(137.5, servers)
+        assert servers[0].drift_multiplier == 2.0
+        assert drift.applied
+
+    def test_two_drifts_on_same_server_compose_multiplicatively(self):
+        early = EnvironmentDrift(1.0, {0: 2.0})
+        late = EnvironmentDrift(2.0, {0: 3.0})
+        servers = make_servers()
+        for t in (0.5, 1.5, 2.5):
+            early.tick(t, servers)
+            late.tick(t, servers)
+        assert servers[0].drift_multiplier == pytest.approx(6.0)
+
+    def test_speedup_drift_allowed(self):
+        # Multipliers in (0, 1) model a server getting *faster* — a
+        # hardware upgrade is drift too.
+        drift = EnvironmentDrift(0.0, {0: 0.5})
+        servers = make_servers()
+        before = servers[0].service_latency()
+        drift.tick(0.0, servers)
+        assert servers[0].service_latency() == pytest.approx(0.5 * before)
+
+
 class TestChainedHooks:
     def test_all_hooks_ticked(self):
         drift_a = EnvironmentDrift(1.0, {0: 2.0})

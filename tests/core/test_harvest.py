@@ -142,3 +142,83 @@ class TestHarvestPipeline:
         pipeline = self._pipeline()
         with pytest.raises(ValueError):
             pipeline.build_dataset([{"garbage": 1}])
+
+
+class TestHarvestValidationModes:
+    def _pipeline(self, mode="strict", reward_range=RewardRange(0.0, 1.0)):
+        return HarvestPipeline(
+            scavenger=make_scavenger(),
+            propensity_model=DeclaredPropensityModel(UniformRandomPolicy()),
+            action_space=ActionSpace(3),
+            reward_range=reward_range,
+            mode=mode,
+        )
+
+    def _records_with_bad_reward(self, n=50):
+        records = make_records(n)
+        records[7]["latency"] = 9.5  # outside [0, 1]
+        records[21]["latency"] = float("nan")
+        return records
+
+    def test_strict_mode_raises_naming_record_and_reason(self):
+        pipeline = self._pipeline("strict")
+        with pytest.raises(ValueError, match=r"record 8: reward"):
+            pipeline.build_dataset(self._records_with_bad_reward())
+
+    def test_quarantine_mode_sets_violators_aside(self):
+        pipeline = self._pipeline("quarantine")
+        dataset = pipeline.build_dataset(self._records_with_bad_reward())
+        assert len(dataset) == 48
+        assert dataset.quarantine.n_rejected == 2
+        assert dataset.quarantine.counts_by_reason() == {"reward": 2}
+        assert pipeline.quarantine is dataset.quarantine
+
+    def test_repair_mode_clips_finite_rewards_only(self):
+        pipeline = self._pipeline("repair")
+        dataset = pipeline.build_dataset(self._records_with_bad_reward())
+        # 9.5 clips to 1.0; NaN is unfixable and stays quarantined.
+        assert len(dataset) == 49
+        assert dataset.quarantine.n_repaired == 1
+        assert dataset.quarantine.n_rejected == 1
+        rewards = [i.reward for i in dataset]
+        assert max(rewards) <= 1.0
+
+    def test_mode_argument_overrides_pipeline_default(self):
+        pipeline = self._pipeline("strict")
+        dataset = pipeline.build_dataset(
+            self._records_with_bad_reward(), mode="quarantine"
+        )
+        assert dataset.quarantine.n_rejected == 2
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown validation mode"):
+            self._pipeline("lenient")
+
+    def test_all_rejected_raises(self):
+        pipeline = self._pipeline("quarantine")
+        records = make_records(10)
+        for record in records:
+            record["latency"] = float("inf")
+        with pytest.raises(ValueError, match="rejected every"):
+            pipeline.build_dataset(records)
+
+    def test_report_carries_quarantine(self):
+        pipeline = self._pipeline("quarantine")
+        report = pipeline.run(
+            self._records_with_bad_reward(200),
+            candidates=[ConstantPolicy(0), ConstantPolicy(1)],
+        )
+        assert report.quarantine is not None
+        assert report.quarantine.n_rejected == 2
+
+    def test_spaceless_pipeline_infers_eligibility_once(self):
+        # No declared action space: the observed-action ceiling is
+        # computed from the whole scavenge (the hoisted path).
+        pipeline = HarvestPipeline(
+            scavenger=make_scavenger(),
+            propensity_model=DeclaredPropensityModel(UniformRandomPolicy()),
+            mode="quarantine",
+        )
+        dataset = pipeline.build_dataset(make_records(300))
+        assert len(dataset) == 300
+        assert not dataset.quarantine

@@ -94,3 +94,67 @@ class TestOfflineOnlineTable:
     def test_markdown_mode(self):
         out = offline_online_table({"a": (1.0, 2.0)}, markdown=True)
         assert out.splitlines()[0] == "| policy | off-policy eval | online eval |"
+
+
+class TestDiagnosticsTable:
+    def _results(self):
+        dataset = make_uniform_dataset(300, seed=3)
+        estimator = IPSEstimator()
+        return {
+            "uniform": estimator.estimate(UniformRandomPolicy(), dataset),
+            "const-1": estimator.estimate(ConstantPolicy(1), dataset),
+        }
+
+    def test_renders_verdicts_and_metrics(self):
+        from repro.core.reporting import diagnostics_table
+
+        out = diagnostics_table(self._results())
+        assert "verdict" in out
+        assert "OK" in out
+        assert "coverage" in out
+
+    def test_missing_diagnostics_render_dashes(self):
+        from repro.core.estimators.base import EstimatorResult
+        from repro.core.reporting import diagnostics_table
+
+        bare = EstimatorResult(
+            value=0.5, std_error=0.1, n=10, effective_n=10,
+            estimator="ips",
+        )
+        out = diagnostics_table({"p": bare})
+        assert "-" in out
+
+    def test_estimator_table_gains_reliability_column(self):
+        out = estimator_table(self._results())
+        assert "reliability" in out
+
+    def test_markdown_mode(self):
+        from repro.core.reporting import diagnostics_table
+
+        out = diagnostics_table(self._results(), markdown=True)
+        assert out.startswith("| policy |")
+
+
+class TestQuarantineTable:
+    def test_counts_per_reason_and_total(self):
+        from repro.core.reporting import quarantine_table
+        from repro.core.validation import PROPENSITY, SCHEMA, Quarantine
+
+        quarantine = Quarantine()
+        quarantine.add(1, SCHEMA, "missing reward")
+        quarantine.add(2, PROPENSITY, "propensity 0")
+        quarantine.add(5, PROPENSITY, "propensity 2")
+        quarantine.note_repair(PROPENSITY)
+        out = quarantine_table(quarantine)
+        lines = out.splitlines()
+        assert any("propensity" in line and "2" in line for line in lines)
+        assert any("total" in line for line in lines)
+
+    def test_markdown_mode(self):
+        from repro.core.reporting import quarantine_table
+        from repro.core.validation import UNPARSEABLE, Quarantine
+
+        quarantine = Quarantine()
+        quarantine.add(1, UNPARSEABLE, "bad json")
+        out = quarantine_table(quarantine, markdown=True)
+        assert out.startswith("| reason |")

@@ -96,3 +96,72 @@ class TestStreamingBoard:
     def test_no_candidates_rejected(self):
         with pytest.raises(ValueError):
             StreamingEvaluationBoard([], ActionSpace(2))
+
+
+class TestValidatedInteractionStream:
+    def _raw(self, n=20):
+        import json
+
+        lines = []
+        for i in range(n):
+            lines.append(
+                json.dumps(
+                    {
+                        "context": {"load": i / n},
+                        "action": i % 3,
+                        "reward": 0.5,
+                        "propensity": 1.0 / 3.0,
+                        "timestamp": float(i),
+                    }
+                )
+            )
+        return lines
+
+    def test_clean_stream_passes_through(self):
+        from repro.core.streaming import ValidatedInteractionStream
+
+        stream = ValidatedInteractionStream(self._raw(20))
+        out = list(stream)
+        assert len(out) == 20
+        assert stream.n_accepted == 20
+        assert not stream.quarantine
+
+    def test_defects_quarantined_mid_stream(self):
+        from repro.core.streaming import ValidatedInteractionStream
+
+        lines = self._raw(10)
+        lines.insert(3, "{cut off")
+        lines.insert(7, '{"action": 1}')
+        stream = ValidatedInteractionStream(lines)
+        out = list(stream)
+        assert len(out) == 10
+        assert stream.quarantine.n_rejected == 2
+
+    def test_feeds_streaming_ips_end_to_end(self):
+        from repro.core.streaming import ValidatedInteractionStream
+
+        lines = self._raw(300)
+        lines.insert(50, "{truncated")
+        stream = ValidatedInteractionStream(lines)
+        ips = StreamingIPS(ConstantPolicy(1), ActionSpace(3))
+        for interaction in stream:
+            ips.update(interaction)
+        snap = ips.snapshot()
+        assert snap.n == 300
+        assert np.isfinite(snap.value)
+        assert stream.quarantine.n_rejected == 1
+
+    def test_strict_mode_raises_on_first_defect(self):
+        from repro.core.streaming import ValidatedInteractionStream
+
+        lines = self._raw(5)
+        lines.insert(2, "{bad")
+        stream = ValidatedInteractionStream(lines, mode="strict")
+        with pytest.raises(ValueError, match="line 3"):
+            list(stream)
+
+    def test_unknown_mode_rejected(self):
+        from repro.core.streaming import ValidatedInteractionStream
+
+        with pytest.raises(ValueError, match="unknown validation mode"):
+            ValidatedInteractionStream([], mode="loose")

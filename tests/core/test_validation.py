@@ -1,0 +1,313 @@
+"""Unit tests for the validation + quarantine layer."""
+
+import json
+
+import pytest
+
+from repro.core.types import ActionSpace, Dataset, Interaction, RewardRange
+from repro.core.validation import (
+    ACTION,
+    PROPENSITY,
+    REWARD,
+    SCHEMA,
+    TIMESTAMP,
+    UNPARSEABLE,
+    Quarantine,
+    RecordValidator,
+    check_mode,
+    check_values,
+    validated_interactions,
+)
+
+
+def good_record(**overrides):
+    record = {
+        "context": {"load": 0.5},
+        "action": 1,
+        "reward": 0.7,
+        "propensity": 0.25,
+        "timestamp": 3.0,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestCheckMode:
+    def test_accepts_known_modes(self):
+        for mode in ("strict", "quarantine", "repair"):
+            assert check_mode(mode) == mode
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown validation mode"):
+            check_mode("lenient")
+
+
+class TestCheckValues:
+    def test_clean_tuple_has_no_issues(self):
+        assert check_values({"x": 1.0}, 1, 0.5, 0.25) == []
+
+    def test_zero_propensity_flagged(self):
+        issues = check_values({}, 0, 0.5, 0.0)
+        assert [r for r, _ in issues] == [PROPENSITY]
+
+    def test_propensity_above_one_flagged(self):
+        issues = check_values({}, 0, 0.5, 1.5)
+        assert [r for r, _ in issues] == [PROPENSITY]
+
+    def test_nan_propensity_flagged(self):
+        issues = check_values({}, 0, 0.5, float("nan"))
+        assert [r for r, _ in issues] == [PROPENSITY]
+
+    def test_non_integer_action_flagged(self):
+        issues = check_values({}, 1.5, 0.5, 0.5)
+        assert ACTION in [r for r, _ in issues]
+
+    def test_action_outside_eligible_flagged(self):
+        issues = check_values({}, 5, 0.5, 0.5, eligible=[0, 1, 2])
+        assert ACTION in [r for r, _ in issues]
+
+    def test_reward_outside_range_flagged(self):
+        issues = check_values(
+            {}, 0, 7.0, 0.5, reward_range=RewardRange(0.0, 1.0)
+        )
+        assert REWARD in [r for r, _ in issues]
+
+    def test_non_finite_reward_flagged(self):
+        issues = check_values({}, 0, float("inf"), 0.5)
+        assert REWARD in [r for r, _ in issues]
+
+    def test_multiple_issues_all_reported(self):
+        issues = check_values({}, -1, float("nan"), 0.0)
+        reasons = {r for r, _ in issues}
+        assert reasons == {ACTION, REWARD, PROPENSITY}
+
+
+class TestQuarantine:
+    def test_counts_and_truthiness(self):
+        quarantine = Quarantine()
+        assert not quarantine
+        quarantine.add(3, PROPENSITY, "propensity 0 outside (0, 1]")
+        quarantine.add(9, SCHEMA, "missing field(s) ['reward']")
+        quarantine.add(12, PROPENSITY, "propensity 2 outside (0, 1]")
+        assert quarantine
+        assert len(quarantine) == 3
+        assert quarantine.counts_by_reason() == {PROPENSITY: 2, SCHEMA: 1}
+
+    def test_example_cap_keeps_counting(self):
+        quarantine = Quarantine(max_kept=2)
+        for line in range(10):
+            quarantine.add(line + 1, UNPARSEABLE, "bad json")
+        assert quarantine.n_rejected == 10
+        assert len(quarantine.rejected) == 2
+
+    def test_report_is_json_serializable(self):
+        quarantine = Quarantine()
+        quarantine.add(1, UNPARSEABLE, "Expecting value", raw="{truncated")
+        quarantine.note_repair(PROPENSITY)
+        report = json.loads(json.dumps(quarantine.report()))
+        assert report["n_rejected"] == 1
+        assert report["n_repaired"] == 1
+        assert report["by_reason"] == {UNPARSEABLE: 1}
+        assert report["examples"][0]["line"] == 1
+
+    def test_summary_text_mentions_reasons(self):
+        quarantine = Quarantine()
+        quarantine.add(4, PROPENSITY, "propensity 0 outside (0, 1]")
+        text = quarantine.summary_text()
+        assert "1 record(s) rejected" in text
+        assert PROPENSITY in text
+
+
+class TestRecordValidator:
+    def test_clean_record_passes(self):
+        assert RecordValidator().check(good_record()) == []
+
+    def test_missing_field_is_schema_issue(self):
+        record = good_record()
+        del record["propensity"]
+        issues = RecordValidator().check(record)
+        assert [r for r, _ in issues] == [SCHEMA]
+
+    def test_non_mapping_record_is_schema_issue(self):
+        issues = RecordValidator().check([1, 2, 3])
+        assert [r for r, _ in issues] == [SCHEMA]
+
+    def test_non_mapping_context_is_schema_issue(self):
+        issues = RecordValidator().check(good_record(context="nope"))
+        assert SCHEMA in [r for r, _ in issues]
+
+    def test_action_space_eligibility_enforced(self):
+        validator = RecordValidator(action_space=ActionSpace(2))
+        issues = validator.check(good_record(action=5))
+        assert ACTION in [r for r, _ in issues]
+
+    def test_monotone_timestamps_via_observe(self):
+        validator = RecordValidator(monotone_timestamps=True)
+        first = good_record(timestamp=5.0)
+        assert validator.check(first) == []
+        validator.observe(first)
+        issues = validator.check(good_record(timestamp=2.0))
+        assert [r for r, _ in issues] == [TIMESTAMP]
+        # check() is pure: the watermark did not advance on rejection.
+        assert validator.check(good_record(timestamp=6.0)) == []
+
+    def test_extra_rules_compose(self):
+        validator = RecordValidator(
+            extra_rules=[
+                lambda record: ("reward", "reward is suspiciously round")
+                if record["reward"] == 1.0
+                else None
+            ]
+        )
+        assert validator.check(good_record()) == []
+        issues = validator.check(good_record(reward=1.0))
+        assert ("reward", "reward is suspiciously round") in issues
+
+    def test_repair_clamps_propensity_and_reward(self):
+        validator = RecordValidator(reward_range=RewardRange(0.0, 1.0))
+        record = good_record(propensity=0.0, reward=3.5)
+        issues = validator.check(record)
+        repaired, remaining, applied = validator.repair(record, issues)
+        assert remaining == []
+        assert sorted(applied) == [PROPENSITY, REWARD]
+        assert repaired["propensity"] == validator.repair_propensity_floor
+        assert repaired["reward"] == 1.0
+
+    def test_repair_never_fixes_schema(self):
+        validator = RecordValidator()
+        record = good_record()
+        del record["action"]
+        issues = validator.check(record)
+        _, remaining, applied = validator.repair(record, issues)
+        assert applied == []
+        assert remaining == issues
+
+
+class TestValidatedInteractions:
+    def lines(self, *records):
+        return [json.dumps(r) if isinstance(r, dict) else r for r in records]
+
+    def test_strict_raises_with_source_and_line(self):
+        source = self.lines(good_record(), "{not json")
+        with pytest.raises(ValueError, match=r"my\.jsonl: invalid JSON at line 2"):
+            list(
+                validated_interactions(
+                    source, mode="strict", source_name="my.jsonl"
+                )
+            )
+
+    def test_strict_raises_on_value_defect_with_line(self):
+        source = self.lines(good_record(), good_record(propensity=0.0))
+        with pytest.raises(ValueError, match="line 2: propensity"):
+            list(validated_interactions(source, mode="strict"))
+
+    def test_quarantine_collects_and_continues(self):
+        quarantine = Quarantine()
+        source = self.lines(
+            good_record(),
+            "{truncated",
+            good_record(propensity=0.0),
+            good_record(),
+        )
+        out = list(
+            validated_interactions(
+                source, mode="quarantine", quarantine=quarantine
+            )
+        )
+        assert len(out) == 2
+        assert all(isinstance(i, Interaction) for i in out)
+        assert quarantine.counts_by_reason() == {UNPARSEABLE: 1, PROPENSITY: 1}
+
+    def test_repair_mode_fixes_and_counts(self):
+        quarantine = Quarantine()
+        source = self.lines(good_record(propensity=1.8))
+        out = list(
+            validated_interactions(
+                source, mode="repair", quarantine=quarantine
+            )
+        )
+        assert len(out) == 1
+        assert out[0].propensity == 1.0
+        assert quarantine.n_repaired == 1
+        assert quarantine.n_rejected == 0
+
+    def test_blank_lines_skipped_silently(self):
+        quarantine = Quarantine()
+        source = ["", "   ", json.dumps(good_record())]
+        out = list(
+            validated_interactions(
+                source, mode="quarantine", quarantine=quarantine
+            )
+        )
+        assert len(out) == 1
+        assert not quarantine
+
+    def test_parsed_dicts_accepted_directly(self):
+        out = list(validated_interactions([good_record()], mode="strict"))
+        assert len(out) == 1
+        assert out[0].action == 1
+
+
+class TestDatasetLoadJsonl:
+    def write(self, tmp_path, lines):
+        path = tmp_path / "log.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_malformed_json_names_path_and_line(self, tmp_path):
+        path = self.write(
+            tmp_path, [json.dumps(good_record()), "{oops", ""]
+        )
+        with pytest.raises(ValueError) as excinfo:
+            Dataset.load_jsonl(path)
+        message = str(excinfo.value)
+        assert path in message
+        assert "line 2" in message
+
+    def test_strict_default_loads_clean_log(self, tmp_path):
+        path = self.write(
+            tmp_path, [json.dumps(good_record()) for _ in range(5)]
+        )
+        dataset = Dataset.load_jsonl(path)
+        assert len(dataset) == 5
+        assert not dataset.quarantine
+
+    def test_quarantine_mode_attaches_report(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            [
+                json.dumps(good_record()),
+                "{broken",
+                json.dumps(good_record(propensity=-0.5)),
+            ],
+        )
+        dataset = Dataset.load_jsonl(path, mode="quarantine")
+        assert len(dataset) == 1
+        assert dataset.quarantine.n_rejected == 2
+        assert dataset.quarantine.counts_by_reason() == {
+            UNPARSEABLE: 1,
+            PROPENSITY: 1,
+        }
+
+    def test_repair_mode_keeps_fixable_records(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            [
+                json.dumps(good_record(propensity=2.0)),
+                json.dumps(good_record()),
+            ],
+        )
+        dataset = Dataset.load_jsonl(path, mode="repair")
+        assert len(dataset) == 2
+        assert dataset.quarantine.n_repaired == 1
+        assert dataset[0].propensity == 1.0
+
+    def test_round_trip_save_then_strict_load(self, tmp_path):
+        from tests.conftest import make_uniform_dataset
+
+        original = make_uniform_dataset(50, seed=7)
+        path = str(tmp_path / "round.jsonl")
+        original.save_jsonl(path)
+        loaded = Dataset.load_jsonl(path)
+        assert len(loaded) == 50
+        assert loaded[0].propensity == original[0].propensity

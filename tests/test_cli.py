@@ -90,3 +90,96 @@ class TestEvaluateSubcommand:
     def test_bad_policy_spec_rejected(self):
         with pytest.raises(Exception):
             parse_policy("nonsense:1:2:3")
+
+
+class TestValidationModeFlag:
+    def _dirty_log(self, tmp_path):
+        import json
+
+        path = tmp_path / "dirty.jsonl"
+        lines = []
+        dataset = make_uniform_dataset(100, seed=19)
+        for i, interaction in enumerate(dataset):
+            record = {
+                "context": interaction.context,
+                "action": interaction.action,
+                "reward": interaction.reward,
+                "propensity": interaction.propensity,
+                "timestamp": interaction.timestamp,
+            }
+            line = json.dumps(record)
+            if i % 10 == 5:
+                line = line[: len(line) // 2]  # truncate every 10th
+            lines.append(line)
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_strict_default_fails_on_dirty_log(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(["evaluate", self._dirty_log(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "line" in captured.err
+
+    def test_quarantine_mode_evaluates_and_reports(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["evaluate", self._dirty_log(tmp_path), "--mode", "quarantine"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "ips" in captured.out
+        assert "rejected" in captured.err
+
+    def test_repair_mode_accepted(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["evaluate", self._dirty_log(tmp_path), "--mode", "repair"]
+        )
+        assert code == 0
+
+
+class TestAutoEstimator:
+    def test_auto_estimator_runs(self, log_path, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["evaluate", log_path, "--estimator", "auto",
+             "--policy", "constant:1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "constant[1]" in captured.out
+
+    def test_unreliable_estimates_flagged_on_stderr(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        # Degenerate log: deterministic choice truthfully logged as
+        # propensity 1 — the Table 2 trap the CLI must call out.
+        path = tmp_path / "degenerate.jsonl"
+        lines = [
+            json.dumps(
+                {
+                    "context": {"load": i / 100},
+                    "action": i % 2,
+                    "reward": 0.5,
+                    "propensity": 1.0,
+                    "timestamp": float(i),
+                }
+            )
+            for i in range(101)
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        code = main(
+            ["evaluate", str(path), "--policy", "constant:1",
+             "--estimator", "ips"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "!" in captured.out  # unreliable marker in the table
+        assert "UNRELIABLE" in captured.err

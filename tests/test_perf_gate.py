@@ -1,0 +1,76 @@
+"""Unit tests for the perf regression gate (benchmarks/perf/gate.py)."""
+
+import json
+
+import pytest
+
+from benchmarks.perf.gate import check_regressions, main
+
+
+def artifact(single=2.9, klass=90.0):
+    return {
+        "single_policy_ips": {"speedup": single},
+        "class_search": {"speedup": klass},
+    }
+
+
+class TestCheckRegressions:
+    def test_matching_baseline_passes(self):
+        assert check_regressions(artifact(), artifact()) == []
+
+    def test_improvement_passes(self):
+        assert check_regressions(artifact(5.0, 200.0), artifact()) == []
+
+    def test_drop_within_tolerance_passes(self):
+        current = artifact(2.9 * 0.75, 90.0 * 0.75)
+        assert check_regressions(current, artifact(), tolerance=0.30) == []
+
+    def test_drop_beyond_tolerance_fails(self):
+        current = artifact(2.9 * 0.6, 90.0)
+        failures = check_regressions(current, artifact(), tolerance=0.30)
+        assert len(failures) == 1
+        assert "single-policy" in failures[0]
+
+    def test_both_metrics_reported(self):
+        failures = check_regressions(
+            artifact(0.5, 10.0), artifact(), tolerance=0.30
+        )
+        assert len(failures) == 2
+
+    def test_metric_missing_from_baseline_is_not_a_regression(self):
+        baseline = {"class_search": {"speedup": 90.0}}
+        assert check_regressions(artifact(), baseline) == []
+
+    def test_metric_missing_from_current_raises(self):
+        with pytest.raises(KeyError):
+            check_regressions({"class_search": {}}, artifact())
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            check_regressions(artifact(), artifact(), tolerance=1.5)
+
+
+class TestGateCli:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_passing_run_exits_zero(self, tmp_path, capsys):
+        current = self.write(tmp_path, "current.json", artifact())
+        baseline = self.write(tmp_path, "baseline.json", artifact())
+        assert main([current, "--baseline", baseline]) == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_regressed_run_exits_one(self, tmp_path, capsys):
+        current = self.write(tmp_path, "current.json", artifact(1.0, 10.0))
+        baseline = self.write(tmp_path, "baseline.json", artifact())
+        assert main([current, "--baseline", baseline]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_committed_smoke_baseline_is_loadable(self):
+        from benchmarks.perf.gate import DEFAULT_BASELINE
+
+        with open(DEFAULT_BASELINE, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+        assert check_regressions(artifact(), baseline, tolerance=0.30) == []
