@@ -28,6 +28,8 @@ import sys
 GATED_METRICS = (
     ("single-policy IPS speedup", ("single_policy_ips", "speedup")),
     ("class-search speedup", ("class_search", "speedup")),
+    ("chunked relative throughput", ("chunked", "relative_throughput")),
+    ("parallel bootstrap speedup", ("bootstrap", "parallel_speedup")),
 )
 
 DEFAULT_BASELINE = os.path.join(

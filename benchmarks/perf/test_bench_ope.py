@@ -30,6 +30,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.bootstrap import bootstrap_interval_from_terms
 from repro.core.learners.cb import PolicyClassOptimizer
 from repro.core.estimators.ips import IPSEstimator
 from repro.core.policies import (
@@ -51,6 +52,11 @@ N_CLASS = 8 if SMOKE else 64
 N_SCALAR_SLICE = 500 if SMOKE else 5_000
 N_CLASS_SCALAR = 4 if SMOKE else 8
 ROUNDS = 1 if SMOKE else 3
+#: Chunk size for the out-of-core fold and replicate count for the
+#: sharded bootstrap benchmarks.
+CHUNK_SIZE = 512 if SMOKE else 8_192
+N_BOOT = 400 if SMOKE else 4_000
+BOOT_WORKERS = 2
 #: Acceptance gate (full mode only): vectorized class search must beat
 #: the scalar path by at least this factor in throughput.
 MIN_SPEEDUP = 10.0
@@ -185,6 +191,79 @@ class TestPolicyClassSearch:
         }
 
 
+class TestChunkedBackend:
+    """The out-of-core fold, timed on the same single-policy workload.
+
+    The chunked path pays for per-chunk Dataset construction and fold
+    state merging; the tracked ratio against the vectorized whole-log
+    path bounds that overhead so a kernel regression (e.g. accidental
+    per-row work inside ``fold``) shows up as a throughput drop.
+    """
+
+    def test_bench_ips_chunked(self, workload, benchmark):
+        from repro.core.engine import get_chunk_size, set_chunk_size
+
+        log, _, _, _, policy = workload
+        estimator = IPSEstimator(backend="chunked")
+        previous = get_chunk_size()
+        set_chunk_size(CHUNK_SIZE)
+        try:
+            seconds = _timed(
+                benchmark, lambda: estimator.estimate(policy, log)
+            )
+        finally:
+            set_chunk_size(previous)
+        RESULTS["single_chunked"] = {
+            "n": len(log),
+            "chunk_size": CHUNK_SIZE,
+            "seconds": seconds,
+            "interactions_per_sec": len(log) / seconds,
+        }
+
+
+class TestShardedBootstrap:
+    """Seeded sharded bootstrap: serial vs process-parallel replicates.
+
+    Shard RNGs are keyed ``(seed, shard)`` so both paths produce
+    bit-identical intervals; the artifact records the wall-clock ratio.
+    On single-core runners the "speedup" is ≤1 (process overhead with
+    no parallelism to buy), so the gate tracks it only when a baseline
+    entry exists for the runner class.
+    """
+
+    def test_bench_bootstrap_serial_vs_parallel(self, workload, benchmark):
+        log, _, _, _, policy = workload
+        terms = IPSEstimator(backend="vectorized").weighted_rewards(
+            policy, log
+        )
+
+        serial_seconds = _timed(
+            benchmark,
+            lambda: bootstrap_interval_from_terms(
+                terms, n_boot=N_BOOT, seed=13, workers=1
+            ),
+        )
+        start = time.perf_counter()
+        parallel_interval = bootstrap_interval_from_terms(
+            terms, n_boot=N_BOOT, seed=13, workers=BOOT_WORKERS
+        )
+        parallel_seconds = time.perf_counter() - start
+        serial_interval = bootstrap_interval_from_terms(
+            terms, n_boot=N_BOOT, seed=13, workers=1
+        )
+        assert parallel_interval == serial_interval, (
+            "parallel bootstrap must be bit-identical to serial"
+        )
+        RESULTS["bootstrap"] = {
+            "n": len(terms),
+            "n_boot": N_BOOT,
+            "workers": BOOT_WORKERS,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "parallel_speedup": serial_seconds / parallel_seconds,
+        }
+
+
 class TestThroughputArtifact:
     """Derive speedups, write ``BENCH_ope.json``, enforce the gate."""
 
@@ -194,6 +273,8 @@ class TestThroughputArtifact:
             "single_scalar",
             "class_vectorized",
             "class_scalar",
+            "single_chunked",
+            "bootstrap",
         }, "benchmark tests must run before the artifact test (file order)"
         single_speedup = (
             RESULTS["single_vectorized"]["interactions_per_sec"]
@@ -202,6 +283,10 @@ class TestThroughputArtifact:
         class_speedup = (
             RESULTS["class_vectorized"]["policy_interactions_per_sec"]
             / RESULTS["class_scalar"]["policy_interactions_per_sec"]
+        )
+        chunked_relative = (
+            RESULTS["single_chunked"]["interactions_per_sec"]
+            / RESULTS["single_vectorized"]["interactions_per_sec"]
         )
         artifact = {
             "workload": {
@@ -222,6 +307,11 @@ class TestThroughputArtifact:
                 "scalar": RESULTS["class_scalar"],
                 "speedup": class_speedup,
             },
+            "chunked": {
+                "single": RESULTS["single_chunked"],
+                "relative_throughput": chunked_relative,
+            },
+            "bootstrap": RESULTS["bootstrap"],
         }
         with open(ARTIFACT_PATH, "w", encoding="utf-8") as f:
             json.dump(artifact, f, indent=2)
@@ -242,6 +332,18 @@ class TestThroughputArtifact:
                     f"{RESULTS['class_scalar']['policy_interactions_per_sec']:.0f}",
                     f"{RESULTS['class_vectorized']['policy_interactions_per_sec']:.0f}",
                     f"{class_speedup:.1f}x",
+                ],
+                [
+                    "chunked fold (vs vectorized)",
+                    "-",
+                    f"{RESULTS['single_chunked']['interactions_per_sec']:.0f}",
+                    f"{chunked_relative:.2f}x",
+                ],
+                [
+                    f"bootstrap x{RESULTS['bootstrap']['workers']} workers",
+                    f"{RESULTS['bootstrap']['serial_seconds']:.3f}s",
+                    f"{RESULTS['bootstrap']['parallel_seconds']:.3f}s",
+                    f"{RESULTS['bootstrap']['parallel_speedup']:.2f}x",
                 ],
             ],
         )

@@ -8,8 +8,19 @@ actually quote: resample the per-interaction terms with replacement,
 recompute the mean, and take empirical quantiles.
 
 The resampling operates on the *term vector*, not the dataset, so a
-thousand bootstrap replicates of a million-point log cost one
-matrix-multiply — cheap enough to run on every evaluation.
+thousand bootstrap replicates of a million-point log cost a handful of
+matrix-multiplies — cheap enough to run on every evaluation.
+
+Replicates are generated in fixed **shards** of
+:data:`BOOTSTRAP_SHARD`: shard ``s`` draws its index matrix from
+``np.random.default_rng((seed, s))``, independent of every other
+shard.  That makes the replicate set a pure function of ``(seed,
+n_boot, len(terms))`` — the same shards can be computed serially or
+fanned across a worker pool and concatenated in shard order, and the
+resulting percentile interval is *bit-for-bit identical* either way
+(asserted by ``tests/core/test_bootstrap.py``).  Passing an explicit
+``rng`` instead of a ``seed`` keeps the historical single-stream
+behavior, which cannot be parallelized deterministically.
 """
 
 from __future__ import annotations
@@ -23,24 +34,107 @@ from repro.core.estimators.ips import IPSEstimator, SNIPSEstimator
 from repro.core.policies import Policy
 from repro.core.types import Dataset
 
+#: Replicates per shard.  Small enough that n_boot=1000 splits across a
+#: few workers, large enough that each shard is one real matrix op.
+BOOTSTRAP_SHARD = 256
+
+
+def _shard_sizes(n_boot: int) -> list[int]:
+    """Split ``n_boot`` replicates into BOOTSTRAP_SHARD-sized shards."""
+    full, rest = divmod(n_boot, BOOTSTRAP_SHARD)
+    return [BOOTSTRAP_SHARD] * full + ([rest] if rest else [])
+
+
+def _mean_shard(payload) -> np.ndarray:
+    """One shard of resampled means (top-level: picklable for workers)."""
+    terms, count, seed, shard = payload
+    rng = np.random.default_rng((seed, shard))
+    indices = rng.integers(0, terms.size, size=(count, terms.size))
+    return terms[indices].mean(axis=1)
+
+
+def _ratio_shard(payload) -> np.ndarray:
+    """One shard of resampled SNIPS ratios (jointly resampled pairs)."""
+    numerators, weights, count, seed, shard = payload
+    rng = np.random.default_rng((seed, shard))
+    indices = rng.integers(0, weights.size, size=(count, weights.size))
+    num = numerators[indices].sum(axis=1)
+    den = weights[indices].sum(axis=1)
+    return np.divide(num, den, out=np.full(count, np.nan), where=den > 0)
+
+
+def _sharded_replicates(
+    shard_fn, static_args: tuple, n_boot: int, seed: int, workers: int
+) -> np.ndarray:
+    """Run the shard function over every shard, serially or in a pool.
+
+    Each shard is a deterministic function of ``(seed, shard index)``,
+    and shards concatenate in index order — so the output is identical
+    for any ``workers`` value.
+    """
+    payloads = [
+        static_args + (count, seed, shard)
+        for shard, count in enumerate(_shard_sizes(n_boot))
+    ]
+    if workers > 1 and len(payloads) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            shards = list(pool.map(shard_fn, payloads))
+    else:
+        shards = [shard_fn(payload) for payload in payloads]
+    return np.concatenate(shards)
+
+
+def _check_replication(
+    n_boot: int,
+    delta: float,
+    rng: Optional[np.random.Generator],
+    seed: Optional[int],
+    workers: int,
+) -> None:
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if n_boot < 10:
+        raise ValueError("n_boot too small to estimate quantiles")
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and seed is None:
+        raise ValueError(
+            "parallel bootstrap requires a seed: the legacy rng stream "
+            "cannot be split across workers deterministically"
+        )
+
 
 def bootstrap_interval_from_terms(
     terms: np.ndarray,
     delta: float = 0.05,
     n_boot: int = 1000,
     rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    workers: int = 1,
 ) -> ConfidenceInterval:
-    """Percentile-bootstrap CI for the mean of ``terms``."""
+    """Percentile-bootstrap CI for the mean of ``terms``.
+
+    With ``seed`` the replicates come from the sharded generator and
+    ``workers`` may fan the shards across processes without changing
+    the interval; with ``rng`` (or neither) the historical single
+    stream is used and must stay serial.
+    """
     terms = np.asarray(terms, dtype=float)
     if terms.size < 2:
         raise ValueError("need at least two terms to bootstrap")
-    if not 0.0 < delta < 1.0:
-        raise ValueError(f"delta must be in (0, 1), got {delta}")
-    if n_boot < 10:
-        raise ValueError("n_boot too small to estimate quantiles")
-    rng = rng or np.random.default_rng(0)
-    indices = rng.integers(0, terms.size, size=(n_boot, terms.size))
-    means = terms[indices].mean(axis=1)
+    _check_replication(n_boot, delta, rng, seed, workers)
+    if seed is not None:
+        means = _sharded_replicates(
+            _mean_shard, (terms,), n_boot, seed, workers
+        )
+    else:
+        rng = rng or np.random.default_rng(0)
+        indices = rng.integers(0, terms.size, size=(n_boot, terms.size))
+        means = terms[indices].mean(axis=1)
     low = float(np.quantile(means, delta / 2.0))
     high = float(np.quantile(means, 1.0 - delta / 2.0))
     return ConfidenceInterval(low, high, 1.0 - delta)
@@ -53,16 +147,21 @@ def bootstrap_ips_interval(
     n_boot: int = 1000,
     rng: Optional[np.random.Generator] = None,
     backend: Optional[str] = None,
+    seed: Optional[int] = None,
+    workers: int = 1,
 ) -> ConfidenceInterval:
     """Bootstrap CI for a policy's IPS value on an exploration log.
 
     ``backend`` selects the evaluation path for the single pass that
-    computes the IPS terms (the resampling itself is always one
-    fancy-indexing matrix operation); the vectorized default shares the
-    dataset's cached columnar view with any other estimator runs.
+    computes the IPS terms (the resampling itself operates on the term
+    vector); the vectorized default shares the dataset's cached
+    columnar view with any other estimator runs.  ``seed``/``workers``
+    select the sharded replicate generator (see module docstring).
     """
     terms = IPSEstimator(backend=backend).weighted_rewards(policy, dataset)
-    return bootstrap_interval_from_terms(terms, delta, n_boot, rng)
+    return bootstrap_interval_from_terms(
+        terms, delta, n_boot, rng, seed=seed, workers=workers
+    )
 
 
 def bootstrap_snips_interval(
@@ -72,6 +171,8 @@ def bootstrap_snips_interval(
     n_boot: int = 1000,
     rng: Optional[np.random.Generator] = None,
     backend: Optional[str] = None,
+    seed: Optional[int] = None,
+    workers: int = 1,
 ) -> ConfidenceInterval:
     """Bootstrap CI for SNIPS — resamples (weight, weighted-reward)
     pairs jointly, since the estimator is a ratio of means."""
@@ -82,12 +183,20 @@ def bootstrap_snips_interval(
         raise ValueError("need at least two interactions")
     if weights.sum() == 0:
         raise ValueError("candidate never matches the log; no information")
-    rng = rng or np.random.default_rng(0)
+    _check_replication(n_boot, delta, rng, seed, workers)
     numerators = weights * rewards
-    indices = rng.integers(0, weights.size, size=(n_boot, weights.size))
-    num = numerators[indices].sum(axis=1)
-    den = weights[indices].sum(axis=1)
-    ratios = np.divide(num, den, out=np.full(n_boot, np.nan), where=den > 0)
+    if seed is not None:
+        ratios = _sharded_replicates(
+            _ratio_shard, (numerators, weights), n_boot, seed, workers
+        )
+    else:
+        rng = rng or np.random.default_rng(0)
+        indices = rng.integers(0, weights.size, size=(n_boot, weights.size))
+        num = numerators[indices].sum(axis=1)
+        den = weights[indices].sum(axis=1)
+        ratios = np.divide(
+            num, den, out=np.full(n_boot, np.nan), where=den > 0
+        )
     ratios = ratios[np.isfinite(ratios)]
     if ratios.size < n_boot // 2:
         raise ValueError(

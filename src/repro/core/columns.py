@@ -29,11 +29,11 @@ policy class shares one featurization pass.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.core.types import Context, Dataset
+from repro.core.types import ActionSpace, Context, Dataset
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.core.features import Featurizer
@@ -225,6 +225,74 @@ class DatasetColumns:
 
     def __repr__(self) -> str:
         return f"DatasetColumns(n={self.n}, k={self.n_actions})"
+
+
+class FixedEligibility:
+    """Picklable eligibility callback returning one fixed action tuple.
+
+    Used to pin a spaceless log's globally observed actions onto chunk
+    datasets (a lambda would not survive the trip to worker processes).
+    """
+
+    def __init__(self, actions: Sequence[int]) -> None:
+        self.actions = tuple(int(a) for a in actions)
+
+    def __call__(self, context: Context) -> tuple[int, ...]:
+        return self.actions
+
+
+def pinned_action_space(
+    dataset: Optional[Dataset] = None,
+    *,
+    space: Optional[ActionSpace] = None,
+    observed: Optional[Sequence[int]] = None,
+) -> Optional[ActionSpace]:
+    """An action space that makes chunk views match the whole-log view.
+
+    A chunk of a dataset *with* an action space already sees the right
+    ``n_actions`` and eligibility — the space passes through unchanged.
+    A chunk of a *spaceless* log would reconstruct both from the chunk's
+    own rows (wrong: a chunk may miss actions the log contains), so we
+    pin the global reconstruction — ``max(observed)+1`` actions,
+    eligibility fixed to the sorted globally observed set — exactly what
+    :class:`DatasetColumns` derives for the whole spaceless log.
+    """
+    if dataset is not None:
+        if dataset.action_space is not None:
+            return dataset.action_space
+        observed = sorted({i.action for i in dataset})
+    elif space is not None:
+        return space
+    else:
+        observed = sorted(set(observed or ()))
+    if not observed:
+        return None
+    return ActionSpace(
+        int(max(observed)) + 1, eligibility=FixedEligibility(observed)
+    )
+
+
+def iter_chunk_columns(
+    dataset: Dataset, chunk_size: int
+) -> Iterator[DatasetColumns]:
+    """Yield columnar views of consecutive ``chunk_size`` slices.
+
+    Each chunk carries the pinned action space, so per-chunk eligible
+    sets, masks, and ``n_actions`` agree with the whole-log view — the
+    invariant the chunked backend's equivalence guarantee rests on.
+    Feature matrices are memoized per chunk and released with it.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    space = pinned_action_space(dataset)
+    interactions = list(dataset)
+    for start in range(0, len(interactions), chunk_size):
+        chunk = Dataset(
+            interactions[start:start + chunk_size],
+            action_space=space,
+            reward_range=dataset.reward_range,
+        )
+        yield chunk.columns()
 
 
 def loop_probabilities(policy: "Policy", columns: DatasetColumns) -> np.ndarray:

@@ -14,6 +14,12 @@ Two tools:
   two policies' values estimated on the same log.  Pairing cancels the
   per-context reward noise shared by both candidates, so the
   difference CI is far tighter than differencing two independent CIs.
+
+Both accept a ``backend=`` override (``"scalar"``, ``"vectorized"``,
+or ``"chunked"``; see :mod:`repro.core.engine`) for the single pass
+that computes the per-interaction IPS terms — on ``"chunked"`` the
+term vector is assembled chunk by chunk, so the peak working set
+stays O(chunk) plus the O(N) terms the bounds themselves need.
 """
 
 from __future__ import annotations

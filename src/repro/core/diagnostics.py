@@ -98,6 +98,45 @@ def weight_quantile(weights: np.ndarray, q: float = 0.99) -> float:
     return float(np.partition(weights, index)[index])
 
 
+@dataclass(frozen=True)
+class WeightSummary:
+    """Sufficient statistics of an importance-weight vector.
+
+    Everything the verdict logic needs to know about a weight vector,
+    in O(1) space: the count, first two power sums, the maximum, and
+    the 99th-percentile weight.  Built either from a full array
+    (:meth:`from_weights`) or folded chunk-by-chunk by the reduction
+    kernel (:class:`repro.core.estimators.reductions.WeightStats`), so
+    whole-log and chunked evaluation produce identical diagnostics.
+    """
+
+    n: int
+    total: float
+    total_sq: float
+    maximum: float
+    q99: float
+
+    @classmethod
+    def from_weights(cls, weights: np.ndarray) -> "WeightSummary":
+        weights = np.asarray(weights, dtype=float)
+        n = int(weights.size)
+        return cls(
+            n=n,
+            total=float(np.sum(weights)) if n else 0.0,
+            total_sq=float(np.sum(np.square(weights))) if n else 0.0,
+            maximum=float(weights.max()) if n else 0.0,
+            q99=weight_quantile(weights),
+        )
+
+    @property
+    def effective_sample_size(self) -> float:
+        """Kish ESS ``(Σw)²/Σw²`` with the same underflow guard as
+        :func:`effective_sample_size`."""
+        if self.total_sq <= 0.0:
+            return 0.0
+        return self.total * self.total / self.total_sq
+
+
 def propensity_identity_error(
     actions: np.ndarray, propensities: np.ndarray
 ) -> float:
@@ -196,25 +235,54 @@ def diagnose(
     :meth:`repro.core.columns.DatasetColumns.propensity_identity_error`)
     so class searches don't recompute it per candidate.
     """
-    if profile not in PROFILES:
-        raise ValueError(f"unknown profile {profile!r}; expected one of {PROFILES}")
-    t = thresholds or DEFAULT_THRESHOLDS
     propensities = np.asarray(propensities, dtype=float)
     n = int(propensities.size)
     min_propensity = float(propensities.min()) if n else 0.0
     if identity_error is None:
         identity_error = propensity_identity_error(actions, propensities)
+    summary = (
+        WeightSummary.from_weights(weights) if weights is not None else None
+    )
+    return diagnose_from_stats(
+        summary,
+        n=n,
+        min_propensity=min_propensity,
+        identity_error=identity_error,
+        support_coverage=support_coverage,
+        profile=profile,
+        thresholds=thresholds,
+    )
+
+
+def diagnose_from_stats(
+    weights: Optional[WeightSummary],
+    n: int,
+    min_propensity: float,
+    identity_error: float,
+    support_coverage: float,
+    profile: str = "ips",
+    thresholds: Optional[DiagnosticThresholds] = None,
+) -> ReliabilityDiagnostics:
+    """Verdict logic over sufficient statistics (the fold-friendly core).
+
+    :func:`diagnose` is a thin wrapper that reduces full arrays to these
+    statistics first; the chunked backend folds the same statistics
+    incrementally (see :mod:`repro.core.estimators.reductions`), so
+    both paths share one copy of the threshold logic and agree exactly.
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; expected one of {PROFILES}")
+    t = thresholds or DEFAULT_THRESHOLDS
 
     failures: list[str] = []
     warnings_: list[str] = []
 
     if weights is not None:
-        weights = np.asarray(weights, dtype=float)
-        ess = effective_sample_size(weights)
+        ess = weights.effective_sample_size
         ess_fraction = ess / n if n else 0.0
-        mean_weight = float(weights.mean()) if n else 0.0
-        max_weight = float(weights.max()) if n else 0.0
-        q99 = weight_quantile(weights)
+        mean_weight = weights.total / n if n else 0.0
+        max_weight = weights.maximum
+        q99 = weights.q99
 
         if ess_fraction < t.ess_fraction_fail:
             failures.append(

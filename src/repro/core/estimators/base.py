@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -76,8 +76,10 @@ class OffPolicyEstimator(ABC):
     ``backend`` selects the execution path (see :mod:`repro.core.engine`):
     ``"vectorized"`` evaluates through the columnar
     :class:`~repro.core.columns.DatasetColumns` view shared on the
-    dataset, ``"scalar"`` walks the log row by row, and ``None`` (the
-    default) follows the process-wide default backend.  Both paths
+    dataset, ``"scalar"`` walks the log row by row, ``"chunked"``
+    folds fixed-size chunks through the reduction kernel
+    (:mod:`repro.core.estimators.reductions`), and ``None`` (the
+    default) follows the process-wide default backend.  All paths
     compute the same estimate up to floating-point reassociation.
     """
 
@@ -88,6 +90,9 @@ class OffPolicyEstimator(ABC):
     #: Which diagnostic check profile applies to this estimator family
     #: (see :data:`repro.core.diagnostics.PROFILES`).
     diagnostics_profile: str = "ips"
+    #: Whether this estimator's reduction requires a fitted reward
+    #: model (the chunked file driver fits one shared model up front).
+    needs_model: bool = False
 
     def __init__(self, backend: Optional[str] = None) -> None:
         resolve_backend(backend)  # validate eagerly; None is "follow default"
@@ -97,9 +102,58 @@ class OffPolicyEstimator(ABC):
         """The concrete backend this estimator will execute with now."""
         return resolve_backend(self.backend)
 
-    @abstractmethod
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        """Estimate the average reward ``policy`` would obtain."""
+        """Estimate the average reward ``policy`` would obtain.
+
+        The template all reduction-backed estimators share: build this
+        estimator's reduction for the policy, fold the dataset through
+        it on the resolved backend, and finalize against the log
+        summary.  Subclasses customize by implementing
+        :meth:`reduction`; estimators outside the reduction protocol
+        (e.g. trajectory estimators) override this method wholesale.
+        """
+        self._require_data(dataset)
+        from repro.core.columns import iter_chunk_columns
+        from repro.core.engine import get_chunk_size
+        from repro.core.estimators.reductions import (
+            LogSummary,
+            ReductionContext,
+        )
+
+        context = ReductionContext.from_dataset(dataset)
+        reduction = self._reduction(policy, dataset, context)
+        backend = self.resolved_backend()
+        state = reduction.init_state()
+        if backend == "scalar":
+            state = reduction.fold_scalar(state, dataset)
+        elif backend == "chunked":
+            for chunk_columns in iter_chunk_columns(
+                dataset, get_chunk_size()
+            ):
+                state = reduction.fold(state, chunk_columns)
+        else:
+            state = reduction.fold(state, dataset.columns())
+        return reduction.finalize(
+            state, LogSummary.from_columns(dataset.columns())
+        )
+
+    def reduction(self, policy: Policy, context):
+        """Build this estimator's reduction for one candidate policy.
+
+        ``context`` is a
+        :class:`~repro.core.estimators.reductions.ReductionContext`
+        describing the whole log.  Model-based estimators take an
+        additional ``model`` keyword (a fitted
+        :class:`~repro.core.estimators.direct.RewardModel`).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the reduction "
+            "protocol"
+        )
+
+    def _reduction(self, policy: Policy, dataset: Dataset, context):
+        """Reduction for the in-memory template (hooks model fitting)."""
+        return self.reduction(policy, context)
 
     @staticmethod
     def _standard_error(samples: np.ndarray) -> float:

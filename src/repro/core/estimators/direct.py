@@ -15,11 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.columns import DatasetColumns
-from repro.core.estimators.base import (
-    EstimatorResult,
-    OffPolicyEstimator,
-    eligible_actions_fn,
-)
+from repro.core.estimators.base import OffPolicyEstimator
 from repro.core.features import Featurizer
 from repro.core.policies import Policy
 from repro.core.types import Context, Dataset
@@ -104,6 +100,81 @@ class RewardModel:
         return out
 
 
+class RewardModelFolder:
+    """Incrementally fit a :class:`RewardModel` from streamed chunks.
+
+    Ridge regression is itself a reduction: the per-action Gram matrix
+    ``ΣX'X`` and moment vector ``ΣX'y`` are sums over rows, so the
+    chunked file driver folds them during its discovery pass and solves
+    once at the end — the same normal equations :meth:`RewardModel.fit`
+    solves, up to float reassociation of the sums.
+    """
+
+    def __init__(
+        self,
+        featurizer: Optional[Featurizer] = None,
+        l2: float = 1.0,
+    ) -> None:
+        self.featurizer = featurizer or Featurizer(n_dims=32)
+        self.l2 = l2
+        self._gram: dict[int, np.ndarray] = {}
+        self._moment: dict[int, np.ndarray] = {}
+        self._reward_sum = 0.0
+        self._n = 0
+
+    def fold_rows(
+        self,
+        contexts,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+    ) -> None:
+        """Fold one chunk of (context, action, reward) rows."""
+        actions = np.asarray(actions)
+        rewards = np.asarray(rewards, dtype=float)
+        if actions.size == 0:
+            return
+        phi = self.featurizer.matrix(list(contexts))
+        for action in np.unique(actions):
+            mask = actions == action
+            X = phi[mask]
+            y = rewards[mask]
+            key = int(action)
+            if key in self._gram:
+                self._gram[key] += X.T @ X
+                self._moment[key] += X.T @ y
+            else:
+                self._gram[key] = X.T @ X
+                self._moment[key] = X.T @ y
+        self._reward_sum += float(rewards.sum())
+        self._n += int(actions.size)
+
+    def merge_in(self, other: "RewardModelFolder") -> None:
+        for key, gram in other._gram.items():
+            if key in self._gram:
+                self._gram[key] += gram
+                self._moment[key] += other._moment[key]
+            else:
+                self._gram[key] = gram.copy()
+                self._moment[key] = other._moment[key].copy()
+        self._reward_sum += other._reward_sum
+        self._n += other._n
+
+    def finalize(self, n_actions: int) -> RewardModel:
+        """Solve the folded normal equations into a fitted model."""
+        if self._n == 0:
+            raise ValueError("cannot fit a reward model on zero rows")
+        model = RewardModel(n_actions, self.featurizer, self.l2)
+        model._global_mean = self._reward_sum / self._n
+        dims = self.featurizer.n_dims
+        ridge = self.l2 * np.eye(dims)
+        for action, gram in self._gram.items():
+            model._weights[action] = np.linalg.solve(
+                gram + ridge, self._moment[action]
+            )
+        model._fitted = True
+        return model
+
+
 def fit_default_model(dataset: Dataset) -> RewardModel:
     """The model DM/DR/SWITCH fit when none is supplied: one reward
     model over the dataset's own action space (or the largest logged
@@ -127,6 +198,7 @@ class DirectMethodEstimator(OffPolicyEstimator):
     # No importance weights: only support coverage applies, and only as
     # a warning — the model extrapolates off-support, it doesn't blow up.
     diagnostics_profile = "model"
+    needs_model = True
 
     def __init__(
         self,
@@ -136,38 +208,19 @@ class DirectMethodEstimator(OffPolicyEstimator):
         super().__init__(backend=backend)
         self.model = model
 
-    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        self._require_data(dataset)
-        model = self.model or fit_default_model(dataset)
-        observed = dataset.columns().observed_actions()
-        if self.resolved_backend() == "vectorized":
-            columns = dataset.columns()
-            probs = policy.probabilities_batch(columns)
-            predictions = (probs * model.predict_matrix(columns)).sum(axis=1)
-            coverage = float(probs[:, observed].sum(axis=1).mean())
-        else:
-            eligible = eligible_actions_fn(dataset)
-            observed_set = set(observed.tolist())
-            predictions = np.empty(len(dataset))
-            coverage_sum = 0.0
-            for index, interaction in enumerate(dataset):
-                actions = eligible(interaction)
-                probs = policy.distribution(interaction.context, actions)
-                predictions[index] = sum(
-                    p * model.predict(interaction.context, a)
-                    for p, a in zip(probs, actions)
-                )
-                coverage_sum += sum(
-                    float(p)
-                    for p, a in zip(probs, actions)
-                    if a in observed_set
-                )
-            coverage = coverage_sum / len(dataset)
-        return EstimatorResult(
-            value=float(predictions.mean()),
-            std_error=self._standard_error(predictions),
-            n=len(dataset),
-            effective_n=len(dataset),
-            estimator=self.name,
-            diagnostics=self._diagnose(dataset, None, coverage),
+    def reduction(self, policy: Policy, context, model=None):
+        from repro.core.estimators.reductions import DirectMethodReduction
+
+        model = self.model or model
+        if model is None:
+            raise ValueError(
+                f"{self.name}: reduction requires a fitted reward model"
+            )
+        return DirectMethodReduction(
+            policy, context, name=self.name, model=model
+        )
+
+    def _reduction(self, policy: Policy, dataset: Dataset, context):
+        return self.reduction(
+            policy, context, model=self.model or fit_default_model(dataset)
         )

@@ -16,13 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from repro.core.estimators.base import (
-    EstimatorResult,
-    OffPolicyEstimator,
-    eligible_actions_fn,
-)
+from repro.core.estimators.base import OffPolicyEstimator
 from repro.core.estimators.direct import RewardModel, fit_default_model
 from repro.core.policies import Policy
 from repro.core.types import Dataset
@@ -41,6 +35,7 @@ class DoublyRobustEstimator(OffPolicyEstimator):
     # The model term softens — but does not remove — sensitivity to bad
     # weights, so DR keeps the full IPS check battery.
     diagnostics_profile = "ips"
+    needs_model = True
 
     def __init__(
         self,
@@ -50,60 +45,19 @@ class DoublyRobustEstimator(OffPolicyEstimator):
         super().__init__(backend=backend)
         self.model = model
 
-    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        self._require_data(dataset)
-        model = self.model or fit_default_model(dataset)
-        observed = dataset.columns().observed_actions()
-        if self.resolved_backend() == "vectorized":
-            columns = dataset.columns()
-            probs = policy.probabilities_batch(columns)
-            predictions = model.predict_matrix(columns)
-            baseline = (probs * predictions).sum(axis=1)
-            ratio = (
-                columns.probability_of_logged(probs) / columns.propensities
+    def reduction(self, policy: Policy, context, model=None):
+        from repro.core.estimators.reductions import DoublyRobustReduction
+
+        model = self.model or model
+        if model is None:
+            raise ValueError(
+                f"{self.name}: reduction requires a fitted reward model"
             )
-            residual = columns.rewards - columns.probability_of_logged(
-                predictions
-            )
-            terms = baseline + ratio * residual
-            matched = int(np.count_nonzero(ratio > 0))
-            coverage = float(probs[:, observed].sum(axis=1).mean())
-            weights = ratio
-        else:
-            eligible = eligible_actions_fn(dataset)
-            observed_set = set(observed.tolist())
-            terms = np.empty(len(dataset))
-            weights = np.empty(len(dataset))
-            matched = 0
-            coverage_sum = 0.0
-            for index, interaction in enumerate(dataset):
-                actions = eligible(interaction)
-                probs = policy.distribution(interaction.context, actions)
-                baseline = sum(
-                    p * model.predict(interaction.context, a)
-                    for p, a in zip(probs, actions)
-                )
-                pi_prob = 0.0
-                for position, action in enumerate(actions):
-                    if action == interaction.action:
-                        pi_prob = float(probs[position])
-                    if action in observed_set:
-                        coverage_sum += float(probs[position])
-                ratio = pi_prob / interaction.propensity
-                if ratio > 0:
-                    matched += 1
-                residual = interaction.reward - model.predict(
-                    interaction.context, interaction.action
-                )
-                terms[index] = baseline + ratio * residual
-                weights[index] = ratio
-            coverage = coverage_sum / len(dataset)
-        return EstimatorResult(
-            value=float(terms.mean()),
-            std_error=self._standard_error(terms),
-            n=len(dataset),
-            effective_n=matched,
-            estimator=self.name,
-            details={"match_rate": matched / len(dataset)},
-            diagnostics=self._diagnose(dataset, weights, coverage),
+        return DoublyRobustReduction(
+            policy, context, name=self.name, model=model
+        )
+
+    def _reduction(self, policy: Policy, dataset: Dataset, context):
+        return self.reduction(
+            policy, context, model=self.model or fit_default_model(dataset)
         )

@@ -14,13 +14,25 @@ its value is always finite, so the caller is guaranteed a usable —
 if biased — number.  Every attempt, with its verdict and the reasons
 it was rejected, is logged (``repro.fallback`` logger) and recorded in
 ``details["fallback"]`` so the downgrade is auditable.
+
+Two execution modes share the selection logic:
+
+- :meth:`FallbackEstimator.estimate` walks the ladder *lazily* — rung
+  ``k+1`` is never evaluated when rung ``k`` is accepted, which keeps
+  the in-memory happy path at one estimator's cost;
+- :class:`FallbackReduction` folds *every* rung over the same chunks
+  in one pass (a
+  :class:`~repro.core.estimators.reductions.CompositeReduction`) and
+  selects at ``finalize``.  The chunked file driver uses it: when the
+  log streams by once, re-reading it per rung would cost more than
+  folding four cheap states side by side.
 """
 
 from __future__ import annotations
 
 import logging
 import math
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.core.estimators.base import EstimatorResult, OffPolicyEstimator
 from repro.core.estimators.direct import DirectMethodEstimator
@@ -29,6 +41,7 @@ from repro.core.estimators.ips import (
     IPSEstimator,
     SNIPSEstimator,
 )
+from repro.core.estimators.reductions import CompositeReduction, LogSummary
 from repro.core.policies import Policy
 from repro.core.types import Dataset
 
@@ -43,6 +56,97 @@ def default_ladder(backend: Optional[str] = None) -> tuple[OffPolicyEstimator, .
         SNIPSEstimator(backend=backend),
         DirectMethodEstimator(backend=backend),
     )
+
+
+def _assess(result: EstimatorResult) -> tuple[bool, dict]:
+    """One rung's accept/reject decision and its audit-trail entry."""
+    finite = math.isfinite(result.value)
+    reasons: list[str] = []
+    if not finite:
+        reasons.append(f"estimate is {result.value}")
+    if result.diagnostics is not None:
+        reasons.extend(result.diagnostics.reasons)
+    accepted = finite and result.reliable
+    return accepted, {
+        "estimator": result.estimator,
+        "verdict": (
+            result.diagnostics.verdict
+            if result.diagnostics is not None
+            else "OK"
+        ),
+        "accepted": accepted,
+        "reasons": reasons,
+    }
+
+
+def select_down_ladder(
+    results: Iterable[EstimatorResult],
+    ladder_name: str,
+    policy_name: str,
+) -> EstimatorResult:
+    """Walk rung results in ladder order; keep the first acceptable one.
+
+    ``results`` is consumed lazily — pass a generator to avoid
+    evaluating rungs below the accepted one.  The returned result is the
+    accepted (or last) rung's, annotated with the ``"fallback"`` audit
+    trail and the ``"degraded"`` flag.
+    """
+    attempts: list[dict] = []
+    chosen: Optional[EstimatorResult] = None
+    for result in results:
+        accepted, attempt = _assess(result)
+        attempts.append(attempt)
+        chosen = result
+        if accepted:
+            break
+        logger.info(
+            "fallback: %s rejected %s for policy %r: %s",
+            ladder_name,
+            result.estimator,
+            policy_name,
+            "; ".join(attempt["reasons"]) or "unreliable",
+        )
+    assert chosen is not None
+    degraded = len(attempts) > 1 or not attempts[0]["accepted"]
+    if degraded:
+        logger.info(
+            "fallback: policy %r served by %s after %d attempt(s)",
+            policy_name,
+            chosen.estimator,
+            len(attempts),
+        )
+    details = dict(chosen.details)
+    details["fallback"] = attempts
+    details["degraded"] = degraded
+    return EstimatorResult(
+        value=chosen.value,
+        std_error=chosen.std_error,
+        n=chosen.n,
+        effective_n=chosen.effective_n,
+        estimator=chosen.estimator,
+        details=details,
+        diagnostics=chosen.diagnostics,
+    )
+
+
+class FallbackReduction(CompositeReduction):
+    """Every ladder rung folded in one pass; selection at finalize.
+
+    The single-pass counterpart of the lazy estimate walk: the states
+    are cheap (sufficient statistics only), the data pass is the
+    expensive part, so the chunked driver folds all rungs at once and
+    applies the identical ladder selection to the finalized results.
+    """
+
+    def __init__(self, members, name: str) -> None:
+        super().__init__(members, name)
+
+    def finalize(self, state: list, log: LogSummary) -> EstimatorResult:  # type: ignore[override]
+        results = [
+            member.finalize(part, log)
+            for member, part in zip(self.members, state)
+        ]
+        return select_down_ladder(results, self.name, self.policy.name)
 
 
 class FallbackEstimator(OffPolicyEstimator):
@@ -61,6 +165,7 @@ class FallbackEstimator(OffPolicyEstimator):
     """
 
     name = "auto"
+    needs_model = True  # the terminal DM rung needs one in reduction mode
 
     def __init__(
         self,
@@ -74,57 +179,17 @@ class FallbackEstimator(OffPolicyEstimator):
 
     def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
         self._require_data(dataset)
-        attempts: list[dict] = []
-        chosen: Optional[EstimatorResult] = None
-        for rung in self.ladder:
-            result = rung.estimate(policy, dataset)
-            finite = math.isfinite(result.value)
-            reasons: list[str] = []
-            if not finite:
-                reasons.append(f"estimate is {result.value}")
-            if result.diagnostics is not None:
-                reasons.extend(result.diagnostics.reasons)
-            accepted = finite and result.reliable
-            attempts.append(
-                {
-                    "estimator": result.estimator,
-                    "verdict": (
-                        result.diagnostics.verdict
-                        if result.diagnostics is not None
-                        else "OK"
-                    ),
-                    "accepted": accepted,
-                    "reasons": reasons,
-                }
-            )
-            chosen = result
-            if accepted:
-                break
-            logger.info(
-                "fallback: %s rejected %s for policy %r: %s",
-                self.name,
-                result.estimator,
-                policy.name,
-                "; ".join(reasons) or "unreliable",
-            )
-        assert chosen is not None
-        degraded = len(attempts) > 1 or not attempts[0]["accepted"]
-        if degraded:
-            logger.info(
-                "fallback: policy %r served by %s after %d attempt(s)",
-                policy.name,
-                chosen.estimator,
-                len(attempts),
-            )
-        details = dict(chosen.details)
-        details["fallback"] = attempts
-        details["degraded"] = degraded
-        return EstimatorResult(
-            value=chosen.value,
-            std_error=chosen.std_error,
-            n=chosen.n,
-            effective_n=chosen.effective_n,
-            estimator=chosen.estimator,
-            details=details,
-            diagnostics=chosen.diagnostics,
+        return select_down_ladder(
+            (rung.estimate(policy, dataset) for rung in self.ladder),
+            self.name,
+            policy.name,
         )
+
+    def reduction(self, policy: Policy, context, model=None):
+        members = [
+            rung.reduction(policy, context, model=model)
+            if rung.needs_model
+            else rung.reduction(policy, context)
+            for rung in self.ladder
+        ]
+        return FallbackReduction(members, name=self.name)

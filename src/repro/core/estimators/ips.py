@@ -14,13 +14,15 @@ variants also implemented here.
 For a *stochastic* candidate π the indicator generalizes to the
 importance ratio ``π(a_t | x_t) / p_t``.
 
-All three estimators run on either evaluation backend (see
-:mod:`repro.core.engine`): the vectorized path computes the whole
-importance-weight vector from one
-:meth:`~repro.core.policies.Policy.probabilities_batch` call against
-the dataset's cached columnar view; the scalar path is the per-row
-reference.  Every derived quantity (terms, match counts, clipping
-statistics) comes from a *single* weight pass per estimate.
+All three estimators execute through the reduction kernel
+(:mod:`repro.core.estimators.reductions`) on any evaluation backend
+(see :mod:`repro.core.engine`): the vectorized path folds one
+whole-log chunk computed from a single
+:meth:`~repro.core.policies.Policy.probabilities_batch` call, the
+scalar path folds the per-row reference loop's output, and the chunked
+path folds fixed-size chunks in O(chunk) memory.  Every derived
+quantity (terms, match counts, clipping statistics, diagnostics
+accumulators) comes from a *single* weight pass per chunk.
 """
 
 from __future__ import annotations
@@ -29,9 +31,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.diagnostics import effective_sample_size
 from repro.core.estimators.base import (
-    EstimatorResult,
     OffPolicyEstimator,
     eligible_actions_fn,
 )
@@ -45,12 +45,30 @@ class IPSEstimator(OffPolicyEstimator):
     name = "ips"
     diagnostics_profile = "ips"
 
+    def reduction(self, policy: Policy, context):
+        from repro.core.estimators.reductions import IPSReduction
+
+        return IPSReduction(policy, context, name=self.name)
+
     def match_weights(self, policy: Policy, dataset: Dataset) -> np.ndarray:
         """Per-interaction importance ratios ``π(a_t|x_t)/p_t``."""
         self._require_data(dataset)
-        if self.resolved_backend() == "vectorized":
+        backend = self.resolved_backend()
+        if backend == "vectorized":
             columns = dataset.columns()
             return columns.logged_probabilities(policy) / columns.propensities
+        if backend == "chunked":
+            from repro.core.columns import iter_chunk_columns
+            from repro.core.engine import get_chunk_size
+
+            return np.concatenate(
+                [
+                    chunk.logged_probabilities(policy) / chunk.propensities
+                    for chunk in iter_chunk_columns(
+                        dataset, get_chunk_size()
+                    )
+                ]
+            )
         eligible = eligible_actions_fn(dataset)
         weights = np.empty(len(dataset))
         for index, interaction in enumerate(dataset):
@@ -60,41 +78,6 @@ class IPSEstimator(OffPolicyEstimator):
             weights[index] = pi_prob / interaction.propensity
         return weights
 
-    def _weights_and_coverage(
-        self, policy: Policy, dataset: Dataset
-    ) -> tuple[np.ndarray, float]:
-        """Weights plus support coverage from *one* probability pass.
-
-        Coverage is the mean candidate-policy mass on actions observed
-        anywhere in the log — the fraction of π the estimator can see.
-        Derived from the same probability matrix (or per-row
-        distribution) as the weights so diagnostics cost no extra
-        policy evaluation.
-        """
-        self._require_data(dataset)
-        columns = dataset.columns()
-        observed = columns.observed_actions()
-        if self.resolved_backend() == "vectorized":
-            matrix = policy.probabilities_batch(columns)
-            weights = columns.probability_of_logged(matrix) / columns.propensities
-            coverage = float(matrix[:, observed].sum(axis=1).mean())
-            return weights, coverage
-        eligible = eligible_actions_fn(dataset)
-        observed_set = set(observed.tolist())
-        weights = np.empty(len(dataset))
-        coverage_sum = 0.0
-        for index, interaction in enumerate(dataset):
-            actions = eligible(interaction)
-            probs = policy.distribution(interaction.context, actions)
-            pi_prob = 0.0
-            for position, action in enumerate(actions):
-                if action == interaction.action:
-                    pi_prob = float(probs[position])
-                if action in observed_set:
-                    coverage_sum += float(probs[position])
-            weights[index] = pi_prob / interaction.propensity
-        return weights, coverage_sum / len(dataset)
-
     def weighted_rewards(self, policy: Policy, dataset: Dataset) -> np.ndarray:
         """Per-interaction terms ``π(a_t|x_t)/p_t · r_t`` (the summands)."""
         return self.match_weights(policy, dataset) * self._rewards(dataset)
@@ -103,22 +86,6 @@ class IPSEstimator(OffPolicyEstimator):
         if self.resolved_backend() == "vectorized":
             return dataset.columns().rewards
         return dataset.rewards()
-
-    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        # One probability pass: terms, the match count, and the
-        # reliability diagnostics all derive from the same weight vector.
-        weights, coverage = self._weights_and_coverage(policy, dataset)
-        terms = weights * self._rewards(dataset)
-        matched = int(np.count_nonzero(weights))
-        return EstimatorResult(
-            value=float(terms.mean()),
-            std_error=self._standard_error(terms),
-            n=len(dataset),
-            effective_n=matched,
-            estimator=self.name,
-            details={"match_rate": matched / len(dataset)},
-            diagnostics=self._diagnose(dataset, weights, coverage),
-        )
 
 
 class ClippedIPSEstimator(IPSEstimator):
@@ -140,25 +107,11 @@ class ClippedIPSEstimator(IPSEstimator):
         self.max_weight = max_weight
         self.name = f"clipped-ips[{max_weight:g}]"
 
-    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        raw, coverage = self._weights_and_coverage(policy, dataset)
-        weights = np.minimum(raw, self.max_weight)
-        terms = weights * self._rewards(dataset)
-        matched = int(np.count_nonzero(weights))
-        return EstimatorResult(
-            value=float(terms.mean()),
-            std_error=self._standard_error(terms),
-            n=len(dataset),
-            effective_n=matched,
-            estimator=self.name,
-            details={
-                "match_rate": matched / len(dataset),
-                "clipped_fraction": float(np.mean(raw > self.max_weight)),
-            },
-            # Diagnose the weights actually used: clipping caps the
-            # tail, which the "clipped" profile's one-sided identity
-            # check accounts for.
-            diagnostics=self._diagnose(dataset, weights, coverage),
+    def reduction(self, policy: Policy, context):
+        from repro.core.estimators.reductions import ClippedIPSReduction
+
+        return ClippedIPSReduction(
+            policy, context, name=self.name, max_weight=self.max_weight
         )
 
 
@@ -172,42 +125,7 @@ class SNIPSEstimator(IPSEstimator):
     name = "snips"
     diagnostics_profile = "snips"
 
-    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        weights, coverage = self._weights_and_coverage(policy, dataset)
-        rewards = self._rewards(dataset)
-        weight_sum = float(weights.sum())
-        matched = int(np.count_nonzero(weights))
-        diagnostics = self._diagnose(dataset, weights, coverage)
-        if weight_sum == 0.0:
-            # The candidate never matches the log: no information at all.
-            return EstimatorResult(
-                value=float("nan"),
-                std_error=float("inf"),
-                n=len(dataset),
-                effective_n=0,
-                estimator=self.name,
-                details={"match_rate": 0.0},
-                diagnostics=diagnostics,
-            )
-        value = float((weights * rewards).sum() / weight_sum)
-        # Delta-method standard error for a ratio of means.
-        n = len(dataset)
-        residuals = weights * (rewards - value)
-        std_error = float(
-            np.sqrt(np.sum(residuals**2)) / weight_sum
-        ) if n > 1 else float("inf")
-        return EstimatorResult(
-            value=value,
-            std_error=std_error,
-            n=n,
-            effective_n=matched,
-            estimator=self.name,
-            details={
-                "match_rate": matched / n,
-                # Kish ESS via the guarded helper: denormal weights can
-                # make Σw² underflow to exactly 0 while Σw > 0, which
-                # the naive ratio turned into NaN.
-                "effective_sample_size": effective_sample_size(weights),
-            },
-            diagnostics=diagnostics,
-        )
+    def reduction(self, policy: Policy, context):
+        from repro.core.estimators.reductions import SNIPSReduction
+
+        return SNIPSReduction(policy, context, name=self.name)

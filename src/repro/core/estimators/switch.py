@@ -32,13 +32,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from repro.core.estimators.base import (
-    EstimatorResult,
-    OffPolicyEstimator,
-    eligible_actions_fn,
-)
+from repro.core.estimators.base import OffPolicyEstimator
 from repro.core.estimators.direct import RewardModel, fit_default_model
 from repro.core.policies import Policy
 from repro.core.types import Dataset
@@ -46,6 +40,8 @@ from repro.core.types import Dataset
 
 class SwitchEstimator(OffPolicyEstimator):
     """SWITCH: IPS below the weight threshold τ, Direct Method above."""
+
+    needs_model = True
 
     def __init__(
         self,
@@ -60,50 +56,19 @@ class SwitchEstimator(OffPolicyEstimator):
         self.model = model
         self.name = f"switch[tau={tau:g}]"
 
-    def estimate(self, policy: Policy, dataset: Dataset) -> EstimatorResult:
-        self._require_data(dataset)
-        model = self.model or fit_default_model(dataset)
-        if self.resolved_backend() == "vectorized":
-            columns = dataset.columns()
-            probs = policy.probabilities_batch(columns)
-            weight = (
-                columns.probability_of_logged(probs) / columns.propensities
+    def reduction(self, policy: Policy, context, model=None):
+        from repro.core.estimators.reductions import SwitchReduction
+
+        model = self.model or model
+        if model is None:
+            raise ValueError(
+                f"{self.name}: reduction requires a fitted reward model"
             )
-            dm_terms = (probs * model.predict_matrix(columns)).sum(axis=1)
-            use_ips = weight <= self.tau
-            terms = np.where(use_ips, weight * columns.rewards, dm_terms)
-            switched = int(np.count_nonzero(~use_ips))
-            matched = int(np.count_nonzero(weight > 0))
-        else:
-            eligible = eligible_actions_fn(dataset)
-            terms = np.empty(len(dataset))
-            switched = 0
-            matched = 0
-            for index, interaction in enumerate(dataset):
-                actions = eligible(interaction)
-                pi_prob = policy.probability_of(
-                    interaction.context, actions, interaction.action
-                )
-                weight = pi_prob / interaction.propensity
-                if weight > 0:
-                    matched += 1
-                if weight <= self.tau:
-                    terms[index] = weight * interaction.reward
-                else:
-                    switched += 1
-                    probs = policy.distribution(interaction.context, actions)
-                    terms[index] = sum(
-                        p * model.predict(interaction.context, a)
-                        for p, a in zip(probs, actions)
-                    )
-        return EstimatorResult(
-            value=float(terms.mean()),
-            std_error=self._standard_error(terms),
-            n=len(dataset),
-            effective_n=matched,
-            estimator=self.name,
-            details={
-                "match_rate": matched / len(dataset),
-                "switch_fraction": switched / len(dataset),
-            },
+        return SwitchReduction(
+            policy, context, name=self.name, model=model, tau=self.tau
+        )
+
+    def _reduction(self, policy: Policy, dataset: Dataset, context):
+        return self.reduction(
+            policy, context, model=self.model or fit_default_model(dataset)
         )

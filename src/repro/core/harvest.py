@@ -129,12 +129,17 @@ class HarvestPipeline:
         estimator: Optional[OffPolicyEstimator] = None,
         mode: str = "strict",
         repair_propensity_floor: float = 1e-3,
+        backend: Optional[str] = None,
     ) -> None:
         self.scavenger = scavenger
         self.propensity_model = propensity_model
         self.action_space = action_space
         self.reward_range = reward_range
-        self.estimator = estimator or IPSEstimator()
+        #: ``backend`` seeds the default estimator's execution path
+        #: (``"scalar"`` / ``"vectorized"`` / ``"chunked"``, see
+        #: :mod:`repro.core.engine`); an explicit ``estimator`` carries
+        #: its own backend and ignores this knob.
+        self.estimator = estimator or IPSEstimator(backend=backend)
         self.mode = check_mode(mode)
         if not 0.0 < repair_propensity_floor <= 1.0:
             raise ValueError("repair_propensity_floor must be in (0, 1]")

@@ -18,10 +18,10 @@ followed indefinitely.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
+from repro.core.estimators.reductions import Moments
 from repro.core.policies import Policy
 from repro.core.types import ActionSpace, Interaction
 from repro.core.validation import (
@@ -51,23 +51,25 @@ class StreamingSnapshot:
 class StreamingIPS:
     """One candidate's running IPS estimate over an exploration stream.
 
-    Uses Welford's algorithm for the running variance of the IPS terms,
-    so the standard error is available at every step without storing
-    the stream.
+    A thin wrapper over the reduction kernel's
+    :class:`~repro.core.estimators.reductions.Moments` accumulator:
+    ``update`` is one Welford ``push`` of the IPS term, so the standard
+    error is available at every step without storing the stream, and
+    two streams that consumed disjoint tails can be combined with
+    :meth:`merge_in` (Chan's parallel-variance merge — the same
+    associativity the chunked backend relies on).
     """
 
     def __init__(self, policy: Policy, action_space: ActionSpace) -> None:
         self.policy = policy
         self.action_space = action_space
-        self._n = 0
-        self._mean = 0.0
-        self._m2 = 0.0
+        self._moments = Moments()
         self._matches = 0
 
     @property
     def n(self) -> int:
         """Number of exploration tuples consumed."""
-        return self._n
+        return self._moments.n
 
     def update(self, interaction: Interaction) -> None:
         """Fold one exploration tuple into the running estimate."""
@@ -76,34 +78,35 @@ class StreamingIPS:
             interaction.context, actions, interaction.action
         )
         weight = pi_prob / interaction.propensity
-        term = weight * interaction.reward
         if weight > 0:
             self._matches += 1
-        self._n += 1
-        delta = term - self._mean
-        self._mean += delta / self._n
-        self._m2 += delta * (term - self._mean)
+        self._moments.push(weight * interaction.reward)
 
     def update_all(self, interactions: Iterable[Interaction]) -> None:
         """Consume a batch (convenience; still O(1) memory)."""
         for interaction in interactions:
             self.update(interaction)
 
+    def merge_in(self, other: "StreamingIPS") -> None:
+        """Absorb another stream's state (e.g. a partitioned tail)."""
+        if other.policy.name != self.policy.name:
+            raise ValueError(
+                "cannot merge streams tracking different policies "
+                f"({self.policy.name!r} vs {other.policy.name!r})"
+            )
+        self._moments.merge_in(other._moments)
+        self._matches += other._matches
+
     def snapshot(self) -> StreamingSnapshot:
         """The current estimate; callable at any point in the stream."""
-        if self._n == 0:
+        if self._moments.n == 0:
             raise ValueError("no data consumed yet")
-        if self._n > 1:
-            variance = self._m2 / (self._n - 1)
-            std_error = math.sqrt(variance / self._n)
-        else:
-            std_error = float("inf")
         return StreamingSnapshot(
             policy_name=self.policy.name,
-            n=self._n,
-            value=self._mean,
-            std_error=std_error,
-            match_rate=self._matches / self._n,
+            n=self._moments.n,
+            value=self._moments.mean,
+            std_error=self._moments.std_error(),
+            match_rate=self._matches / self._moments.n,
         )
 
 
@@ -172,6 +175,13 @@ class StreamingEvaluationBoard:
         """Feed a batch to every candidate."""
         for interaction in interactions:
             self.update(interaction)
+
+    def merge_in(self, other: "StreamingEvaluationBoard") -> None:
+        """Absorb another board that consumed a disjoint stream slice."""
+        if len(other._streams) != len(self._streams):
+            raise ValueError("boards track different candidate sets")
+        for mine, theirs in zip(self._streams, other._streams):
+            mine.merge_in(theirs)
 
     def snapshots(self) -> list[StreamingSnapshot]:
         """Current estimates for every candidate."""

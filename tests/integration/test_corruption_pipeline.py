@@ -105,6 +105,95 @@ class TestQuarantineSurvivesChaos:
         assert dirty_value == pytest.approx(clean_value, abs=0.15)
 
 
+class TestChunkedBackendSurvivesChaos:
+    """Quarantine counts and verdicts must survive chunk-boundary folds.
+
+    The chunked file driver validates while streaming, so a corrupted
+    line discovered mid-chunk must land in the same quarantine bucket —
+    and leave the same diagnostics verdicts — as the whole-log path,
+    regardless of where chunk boundaries fall.
+    """
+
+    ESTIMATORS = (
+        IPSEstimator,
+        SNIPSEstimator,
+        DirectMethodEstimator,
+        FallbackEstimator,
+    )
+
+    def _evaluate_chunked(self, path, chunk_size, workers=1):
+        from repro.core.engine import evaluate_jsonl_chunked
+
+        return evaluate_jsonl_chunked(
+            path,
+            [UniformRandomPolicy(), ConstantPolicy(1)],
+            [cls() for cls in self.ESTIMATORS],
+            mode="quarantine",
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+
+    @pytest.mark.parametrize("chunk_size", [37, 256])
+    def test_quarantine_counts_match_whole_log_path(
+        self, corrupted_log, chunk_size
+    ):
+        path, _ = corrupted_log
+        reference = Dataset.load_jsonl(path, mode="quarantine")
+        evaluation = self._evaluate_chunked(path, chunk_size)
+        assert evaluation.n == len(reference)
+        assert (
+            evaluation.quarantine.counts_by_reason()
+            == reference.quarantine.counts_by_reason()
+        )
+        assert (
+            evaluation.quarantine.n_rejected
+            == reference.quarantine.n_rejected
+        )
+
+    @pytest.mark.parametrize("chunk_size", [37, 256])
+    def test_verdicts_and_values_match_in_memory_evaluation(
+        self, corrupted_log, chunk_size
+    ):
+        path, _ = corrupted_log
+        dataset = Dataset.load_jsonl(path, mode="quarantine")
+        evaluation = self._evaluate_chunked(path, chunk_size)
+        policies = [UniformRandomPolicy(), ConstantPolicy(1)]
+        for pi, policy in enumerate(policies):
+            for ei, estimator_cls in enumerate(self.ESTIMATORS):
+                reference = estimator_cls().estimate(policy, dataset)
+                chunked = evaluation.results[pi][ei]
+                assert math.isfinite(chunked.value)
+                assert chunked.value == pytest.approx(
+                    reference.value, rel=1e-8, abs=1e-8
+                )
+                assert chunked.diagnostics is not None
+                assert (
+                    chunked.diagnostics.verdict
+                    == reference.diagnostics.verdict
+                )
+                assert (
+                    chunked.diagnostics.reasons
+                    == reference.diagnostics.reasons
+                )
+
+    def test_parallel_folding_preserves_quarantine_and_verdicts(
+        self, corrupted_log
+    ):
+        path, _ = corrupted_log
+        serial = self._evaluate_chunked(path, chunk_size=64, workers=1)
+        parallel = self._evaluate_chunked(path, chunk_size=64, workers=3)
+        assert (
+            serial.quarantine.counts_by_reason()
+            == parallel.quarantine.counts_by_reason()
+        )
+        for row_a, row_b in zip(serial.results, parallel.results):
+            for a, b in zip(row_a, row_b):
+                assert a.value == b.value
+                verdict_a = a.diagnostics and a.diagnostics.verdict
+                verdict_b = b.diagnostics and b.diagnostics.verdict
+                assert verdict_a == verdict_b
+
+
 class TestCliOnCorruptedLog:
     def test_evaluate_quarantine_mode_end_to_end(
         self, corrupted_log, capsys
@@ -137,3 +226,31 @@ class TestCliOnCorruptedLog:
         captured = capsys.readouterr()
         assert code == 1
         assert "line" in captured.err
+
+    def test_chunked_backend_end_to_end_on_corrupted_log(
+        self, corrupted_log, capsys
+    ):
+        from repro.__main__ import main
+
+        path, _ = corrupted_log
+        code = main(
+            [
+                "evaluate",
+                path,
+                "--backend",
+                "chunked",
+                "--chunk-size",
+                "128",
+                "--mode",
+                "quarantine",
+                "--policy",
+                "constant:1",
+                "--estimator",
+                "auto",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "backend: chunked" in captured.out
+        assert "constant[1]" in captured.out
+        assert "rejected" in captured.err  # quarantine summary on stderr
