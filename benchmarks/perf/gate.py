@@ -30,6 +30,10 @@ GATED_METRICS = (
     ("class-search speedup", ("class_search", "speedup")),
     ("chunked relative throughput", ("chunked", "relative_throughput")),
     ("parallel bootstrap speedup", ("bootstrap", "parallel_speedup")),
+    (
+        "instrumentation relative throughput",
+        ("instrumentation", "relative_throughput"),
+    ),
 )
 
 DEFAULT_BASELINE = os.path.join(

@@ -39,6 +39,8 @@ from repro.core.policies import (
     PolicyClass,
 )
 from repro.core.types import ActionSpace, Dataset, Interaction, RewardRange
+from repro.obs.metrics import use_metrics
+from repro.obs.tracing import use_tracer
 
 from benchmarks.conftest import print_table
 
@@ -264,6 +266,46 @@ class TestShardedBootstrap:
         }
 
 
+class TestInstrumentationOverhead:
+    """Span tracing + metrics on vs off, same kernel, same log.
+
+    The observability layer promises near-zero cost: with no
+    instruments installed the hooks hit shared no-op singletons, and
+    with a real tracer/registry the per-estimate work is one span and
+    a few counter bumps.  The tracked ratio (instrumented / plain
+    throughput) gates that promise: full mode asserts < 5% overhead,
+    and the smoke artifact feeds ``gate.py`` so a hook that starts
+    allocating per row shows up as a regression.
+    """
+
+    def test_bench_instrumentation_overhead(self, workload, benchmark):
+        log, _, _, _, policy = workload
+        log.columns()
+        estimator = IPSEstimator(backend="vectorized")
+        plain_seconds = _timed(
+            benchmark, lambda: estimator.estimate(policy, log)
+        )
+        durations: list[float] = []
+        for _ in range(ROUNDS):
+            with use_tracer(), use_metrics():
+                start = time.perf_counter()
+                estimator.estimate(policy, log)
+                durations.append(time.perf_counter() - start)
+        instrumented_seconds = min(durations)
+        relative = plain_seconds / instrumented_seconds
+        RESULTS["instrumentation"] = {
+            "n": len(log),
+            "plain_seconds": plain_seconds,
+            "instrumented_seconds": instrumented_seconds,
+            "relative_throughput": relative,
+        }
+        if not SMOKE:
+            assert relative >= 0.95, (
+                f"instrumentation overhead {(1 - relative):.1%} exceeds "
+                "the 5% acceptance bound"
+            )
+
+
 class TestThroughputArtifact:
     """Derive speedups, write ``BENCH_ope.json``, enforce the gate."""
 
@@ -275,6 +317,7 @@ class TestThroughputArtifact:
             "class_scalar",
             "single_chunked",
             "bootstrap",
+            "instrumentation",
         }, "benchmark tests must run before the artifact test (file order)"
         single_speedup = (
             RESULTS["single_vectorized"]["interactions_per_sec"]
@@ -312,6 +355,7 @@ class TestThroughputArtifact:
                 "relative_throughput": chunked_relative,
             },
             "bootstrap": RESULTS["bootstrap"],
+            "instrumentation": RESULTS["instrumentation"],
         }
         with open(ARTIFACT_PATH, "w", encoding="utf-8") as f:
             json.dump(artifact, f, indent=2)
@@ -344,6 +388,12 @@ class TestThroughputArtifact:
                     f"{RESULTS['bootstrap']['serial_seconds']:.3f}s",
                     f"{RESULTS['bootstrap']['parallel_seconds']:.3f}s",
                     f"{RESULTS['bootstrap']['parallel_speedup']:.2f}x",
+                ],
+                [
+                    "instrumented IPS (vs plain)",
+                    f"{RESULTS['instrumentation']['plain_seconds']:.3f}s",
+                    f"{RESULTS['instrumentation']['instrumented_seconds']:.3f}s",
+                    f"{RESULTS['instrumentation']['relative_throughput']:.2f}x",
                 ],
             ],
         )

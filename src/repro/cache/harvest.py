@@ -21,6 +21,8 @@ from repro.core.learners.cb import PerActionFeaturesLearner
 from repro.core.policies import Policy, UniformRandomPolicy
 from repro.core.propensity import DeclaredPropensityModel
 from repro.core.types import ActionSpace, Context, Dataset, Interaction, RewardRange
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
 
 #: Censoring cap for "never accessed again", in workload time units.
 DEFAULT_REWARD_CAP = 2000.0
@@ -107,34 +109,45 @@ def eviction_dataset_from_log(
     eviction (the Table 3 collection policy) for propensity
     declaration.
     """
-    events: list[KeyspaceEvent] = []
-    for item in lines_or_events:
-        if isinstance(item, str):
-            parsed = parse_keyspace_line(item)
-            if parsed is not None:
-                events.append(parsed)
-        else:
-            events.append(item)
-    if not events:
-        raise ValueError("no parseable keyspace events")
-    model = DeclaredPropensityModel(logging_policy or UniformRandomPolicy())
-    dataset = Dataset(
-        action_space=eviction_action_space(sample_size),
-        reward_range=RewardRange(0.0, reward_cap, maximize=True),
-    )
-    for event, reward in reconstruct_rewards(events, reward_cap):
-        context = _context_from_candidates(event.candidates)
-        actions = list(range(len(event.candidates)))
-        propensity = model.propensity(context, event.victim_slot, actions)
-        dataset.append(
-            Interaction(
-                context=context,
-                action=event.victim_slot,
-                reward=reward,
-                propensity=propensity,
-                timestamp=event.time,
-            )
+    with get_tracer().span(
+        "harvest.cache", sample_size=sample_size
+    ) as span:
+        events: list[KeyspaceEvent] = []
+        dropped = 0
+        for item in lines_or_events:
+            if isinstance(item, str):
+                parsed = parse_keyspace_line(item)
+                if parsed is not None:
+                    events.append(parsed)
+                else:
+                    dropped += 1
+            else:
+                events.append(item)
+        if not events:
+            raise ValueError("no parseable keyspace events")
+        model = DeclaredPropensityModel(logging_policy or UniformRandomPolicy())
+        dataset = Dataset(
+            action_space=eviction_action_space(sample_size),
+            reward_range=RewardRange(0.0, reward_cap, maximize=True),
         )
+        for event, reward in reconstruct_rewards(events, reward_cap):
+            context = _context_from_candidates(event.candidates)
+            actions = list(range(len(event.candidates)))
+            propensity = model.propensity(context, event.victim_slot, actions)
+            dataset.append(
+                Interaction(
+                    context=context,
+                    action=event.victim_slot,
+                    reward=reward,
+                    propensity=propensity,
+                    timestamp=event.time,
+                )
+            )
+        span.set(rows=len(dataset), events=len(events), dropped=dropped)
+    metrics = get_metrics()
+    metrics.counter("harvest.rows", scenario="cache").inc(len(dataset))
+    if dropped:
+        metrics.counter("harvest.dropped", scenario="cache").inc(dropped)
     return dataset
 
 

@@ -25,6 +25,7 @@ behavior, which cannot be parallelized deterministically.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -33,6 +34,8 @@ from repro.core.estimators.bounds import ConfidenceInterval
 from repro.core.estimators.ips import IPSEstimator, SNIPSEstimator
 from repro.core.policies import Policy
 from repro.core.types import Dataset
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
 
 #: Replicates per shard.  Small enough that n_boot=1000 splits across a
 #: few workers, large enough that each shard is one real matrix op.
@@ -63,6 +66,31 @@ def _ratio_shard(payload) -> np.ndarray:
     return np.divide(num, den, out=np.full(count, np.nan), where=den > 0)
 
 
+def _traced_shard(item):
+    """Run one shard in a worker, timing it (and tracing when asked).
+
+    The payload's last three entries are always ``(count, seed,
+    shard)``, so the span can be labeled without knowing which shard
+    function is running.  Returns ``(replicates, seconds, span_dict)``.
+    """
+    shard_fn, payload, traced = item
+    start = time.perf_counter()
+    if traced:
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
+        with tracer.span(
+            "bootstrap.shard",
+            shard=payload[-1],
+            replicates=payload[-3],
+            worker=True,
+        ):
+            replicates = shard_fn(payload)
+        return replicates, time.perf_counter() - start, tracer.span_tree()[0]
+    replicates = shard_fn(payload)
+    return replicates, time.perf_counter() - start, None
+
+
 def _sharded_replicates(
     shard_fn, static_args: tuple, n_boot: int, seed: int, workers: int
 ) -> np.ndarray:
@@ -70,19 +98,52 @@ def _sharded_replicates(
 
     Each shard is a deterministic function of ``(seed, shard index)``,
     and shards concatenate in index order — so the output is identical
-    for any ``workers`` value.
+    for any ``workers`` value.  Every shard lands a
+    ``bootstrap.shard`` span (worker shards are serialized home) and
+    feeds the ``bootstrap.shard_seconds`` histogram.
     """
+    tracer = get_tracer()
+    metrics = get_metrics()
     payloads = [
         static_args + (count, seed, shard)
         for shard, count in enumerate(_shard_sizes(n_boot))
     ]
-    if workers > 1 and len(payloads) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    shard_seconds = metrics.histogram("bootstrap.shard_seconds")
+    shard_count = metrics.counter("bootstrap.shards")
+    with tracer.span(
+        "bootstrap.replicates",
+        n_boot=n_boot,
+        seed=seed,
+        workers=workers,
+        shards=len(payloads),
+    ):
+        if workers > 1 and len(payloads) > 1:
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            shards = list(pool.map(shard_fn, payloads))
-    else:
-        shards = [shard_fn(payload) for payload in payloads]
+            items = [(shard_fn, p, tracer.enabled) for p in payloads]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_traced_shard, items))
+        else:
+            outcomes = []
+            for payload in payloads:
+                start = time.perf_counter()
+                with tracer.span(
+                    "bootstrap.shard",
+                    shard=payload[-1],
+                    replicates=payload[-3],
+                ):
+                    replicates = shard_fn(payload)
+                outcomes.append(
+                    (replicates, time.perf_counter() - start, None)
+                )
+        shards = []
+        for replicates, seconds, span_dict in outcomes:
+            shard_seconds.observe(seconds)
+            shard_count.inc()
+            if span_dict is not None:
+                tracer.attach(span_dict)
+            shards.append(replicates)
+    metrics.counter("bootstrap.replicates").inc(n_boot)
     return np.concatenate(shards)
 
 

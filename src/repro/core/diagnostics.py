@@ -39,6 +39,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
+
 VERDICT_OK = "OK"
 VERDICT_WARN = "WARN"
 VERDICT_UNRELIABLE = "UNRELIABLE"
@@ -351,6 +353,11 @@ def diagnose_from_stats(
         verdict = VERDICT_WARN
     else:
         verdict = VERDICT_OK
+    # Every verdict — scalar, vectorized, or chunked — passes through
+    # here, so this one counter is the authoritative per-run tally.
+    get_metrics().counter(
+        "estimator.verdicts", verdict=verdict, profile=profile
+    ).inc()
     return ReliabilityDiagnostics(
         n=n,
         effective_sample_size=ess,

@@ -35,9 +35,13 @@ process-wide default plus a context manager for scoped switches.
 
 from __future__ import annotations
 
+import time
 import warnings
 from contextlib import contextmanager
 from typing import Iterator, Optional
+
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
 
 #: The recognized backend names.
 BACKENDS = ("scalar", "vectorized", "chunked")
@@ -142,7 +146,15 @@ def warn_missing_batch(policy_type: type) -> None:
     The loop fallback is correct but forfeits the vectorized speedup;
     surfacing it once per type tells users which custom policies are
     worth giving a batch implementation (see DESIGN.md).
+
+    Every downgrade event also increments the
+    ``engine.batch_fallback`` counter on the active metrics registry
+    (labeled by policy type), so instrumented runs count downgrades
+    per run even though the warning prints once per process.
     """
+    get_metrics().counter(
+        "engine.batch_fallback", policy_type=policy_type.__name__
+    ).inc()
     if policy_type in _warned_fallback_types:
         return
     _warned_fallback_types.add(policy_type)
@@ -192,17 +204,44 @@ def _fold_chunk_worker(payload):
     bit-identical to folding it into the accumulated state directly —
     ``fold`` is implemented as merge-of-a-chunk-local-state — which is
     what makes parallel and serial chunked runs agree exactly.
+
+    Returns ``(states, seconds, span_dict)``: the fold wall time is
+    always measured (two clock reads — the parent feeds it to the
+    ``engine.chunk_fold_seconds`` histogram), and when the parent runs
+    traced the worker opens its own ``evaluate.chunk`` span and ships
+    it home serialized so the merged span tree covers every chunk no
+    matter which process folded it.
     """
-    interactions, space, reward_range, reductions = payload
+    interactions, space, reward_range, reductions, index, traced = payload
     from repro.core.types import Dataset
 
-    columns = Dataset(
-        interactions, action_space=space, reward_range=reward_range
-    ).columns()
-    return [
-        reduction.fold(reduction.init_state(), columns)
-        for reduction in reductions
-    ]
+    span_dict = None
+    start = time.perf_counter()
+    if traced:
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
+        with tracer.span(
+            "evaluate.chunk", index=index, rows=len(interactions),
+            worker=True,
+        ):
+            columns = Dataset(
+                interactions, action_space=space, reward_range=reward_range
+            ).columns()
+            states = [
+                reduction.fold(reduction.init_state(), columns)
+                for reduction in reductions
+            ]
+        span_dict = tracer.span_tree()[0]
+    else:
+        columns = Dataset(
+            interactions, action_space=space, reward_range=reward_range
+        ).columns()
+        states = [
+            reduction.fold(reduction.init_state(), columns)
+            for reduction in reductions
+        ]
+    return states, time.perf_counter() - start, span_dict
 
 
 class ChunkedEvaluation:
@@ -279,7 +318,57 @@ def evaluate_jsonl_chunked(
     ``"quarantine"``/``"repair"`` set defects aside and keep going —
     the chaos suite proves quarantine counts and UNRELIABLE verdicts
     survive chunk-boundary folding.
+
+    Instrumented end to end (see :mod:`repro.obs`): under an active
+    tracer the run produces an ``evaluate.jsonl`` span tree covering
+    the validation/discovery pass, every chunk fold (including folds
+    executed in worker processes, whose spans are merged home), and
+    the finalize step; under an active metrics registry it feeds the
+    ``engine.*`` counters/histograms and the ``validation.*``
+    quarantine counters (fold pass only — discovery's duplicate sight
+    of each defect is deliberately not mirrored).  With the default
+    no-op tracer/registry the overhead is unmeasurable.
     """
+    policies = list(policies)
+    estimators = list(estimators)
+    tracer = get_tracer()
+    with tracer.span(
+        "evaluate.jsonl",
+        path=path,
+        backend="chunked",
+        mode=mode,
+        n_policies=len(policies),
+        n_estimators=len(estimators),
+    ) as root:
+        evaluation = _evaluate_jsonl_chunked(
+            path,
+            policies,
+            estimators,
+            chunk_size=chunk_size,
+            workers=workers,
+            mode=mode,
+            validator=validator,
+            action_space=action_space,
+            reward_range=reward_range,
+            collect_terms=collect_terms,
+        )
+        root.set(rows=evaluation.n, chunks=evaluation.n_chunks)
+        return evaluation
+
+
+def _evaluate_jsonl_chunked(
+    path: str,
+    policies,
+    estimators,
+    *,
+    chunk_size: Optional[int],
+    workers: Optional[int],
+    mode: str,
+    validator,
+    action_space,
+    reward_range,
+    collect_terms: bool,
+) -> ChunkedEvaluation:
     import pickle
 
     import numpy as np
@@ -293,7 +382,7 @@ def evaluate_jsonl_chunked(
     )
     from repro.core.streaming import ValidatedInteractionStream
     from repro.core.types import Dataset
-    from repro.core.validation import RecordValidator, check_mode
+    from repro.core.validation import Quarantine, RecordValidator, check_mode
 
     check_mode(mode)
     policies = list(policies)
@@ -323,32 +412,47 @@ def evaluate_jsonl_chunked(
     )
 
     # -- pass 1: discovery -------------------------------------------------
+    tracer = get_tracer()
+    metrics = get_metrics()
     stats = LogStats()
     observed: set = set()
     total_rows = 0
     folder = RewardModelFolder() if needs_shared_model else None
-    with open(path, "r", encoding="utf-8") as handle:
-        stream = ValidatedInteractionStream(
-            handle, mode=mode, validator=validator, source_name=path
-        )
-        for chunk in _iter_interaction_chunks(stream, chunk_size):
-            count = len(chunk)
-            actions = np.fromiter(
-                (i.action for i in chunk), dtype=np.int64, count=count
+    # Validation is deterministic and the fold pass re-validates every
+    # record; this pass's quarantine stays out of the metrics mirror so
+    # each defect is counted once per run.
+    with tracer.span(
+        "evaluate.validation", path=path, mode=mode
+    ) as validation_span:
+        with open(path, "r", encoding="utf-8") as handle:
+            stream = ValidatedInteractionStream(
+                handle,
+                mode=mode,
+                validator=validator,
+                source_name=path,
+                quarantine=Quarantine(record_metrics=False),
             )
-            propensities = np.fromiter(
-                (i.propensity for i in chunk), dtype=np.float64, count=count
+            for chunk in _iter_interaction_chunks(stream, chunk_size):
+                count = len(chunk)
+                actions = np.fromiter(
+                    (i.action for i in chunk), dtype=np.int64, count=count
+                )
+                propensities = np.fromiter(
+                    (i.propensity for i in chunk), dtype=np.float64, count=count
+                )
+                stats.fold(actions, propensities)
+                observed.update(int(a) for a in np.unique(actions))
+                total_rows += count
+                if folder is not None:
+                    rewards = np.fromiter(
+                        (i.reward for i in chunk), dtype=np.float64, count=count
+                    )
+                    folder.fold_rows(
+                        [i.context for i in chunk], actions, rewards
+                    )
+            validation_span.set(
+                rows=total_rows, rejected=stream.quarantine.n_rejected
             )
-            stats.fold(actions, propensities)
-            observed.update(int(a) for a in np.unique(actions))
-            total_rows += count
-            if folder is not None:
-                rewards = np.fromiter(
-                    (i.reward for i in chunk), dtype=np.float64, count=count
-                )
-                folder.fold_rows(
-                    [i.context for i in chunk], actions, rewards
-                )
     if total_rows == 0:
         raise ValueError(f"{path}: no valid interactions to evaluate")
 
@@ -388,66 +492,90 @@ def evaluate_jsonl_chunked(
     # -- pass 2: fold ------------------------------------------------------
     states = [reduction.init_state() for reduction in reductions]
     n_chunks = 0
-    with open(path, "r", encoding="utf-8") as handle:
-        stream = ValidatedInteractionStream(
-            handle, mode=mode, validator=validator, source_name=path
-        )
-        chunks = _iter_interaction_chunks(stream, chunk_size)
-        if workers == 1:
-            for chunk in chunks:
-                columns = Dataset(
-                    chunk, action_space=space, reward_range=reward_range
-                ).columns()
-                for index, reduction in enumerate(reductions):
-                    states[index] = reduction.fold(states[index], columns)
-                n_chunks += 1
-        else:
-            from collections import deque
-            from concurrent.futures import ProcessPoolExecutor
-
-            def _merge(chunk_states) -> None:
-                for index, reduction in enumerate(reductions):
-                    states[index] = reduction.merge(
-                        states[index], chunk_states[index]
-                    )
-
-            # Bound in-flight chunks so peak memory stays O(workers ×
-            # chunk) even when folding lags the file read.
-            in_flight: deque = deque()
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+    fold_seconds = metrics.histogram("engine.chunk_fold_seconds")
+    fold_count = metrics.counter("engine.chunk_folds")
+    with tracer.span(
+        "evaluate.fold", chunk_size=chunk_size, workers=workers
+    ) as fold_span:
+        with open(path, "r", encoding="utf-8") as handle:
+            stream = ValidatedInteractionStream(
+                handle, mode=mode, validator=validator, source_name=path
+            )
+            chunks = _iter_interaction_chunks(stream, chunk_size)
+            if workers == 1:
                 for chunk in chunks:
-                    in_flight.append(
-                        pool.submit(
-                            _fold_chunk_worker,
-                            (chunk, space, reward_range, reductions),
-                        )
-                    )
+                    start = time.perf_counter()
+                    with tracer.span(
+                        "evaluate.chunk", index=n_chunks, rows=len(chunk)
+                    ):
+                        columns = Dataset(
+                            chunk, action_space=space,
+                            reward_range=reward_range,
+                        ).columns()
+                        for index, reduction in enumerate(reductions):
+                            states[index] = reduction.fold(
+                                states[index], columns
+                            )
+                    fold_seconds.observe(time.perf_counter() - start)
+                    fold_count.inc()
                     n_chunks += 1
-                    if len(in_flight) >= 2 * workers:
+            else:
+                from collections import deque
+                from concurrent.futures import ProcessPoolExecutor
+
+                def _merge(outcome) -> None:
+                    chunk_states, seconds, span_dict = outcome
+                    fold_seconds.observe(seconds)
+                    fold_count.inc()
+                    if span_dict is not None:
+                        tracer.attach(span_dict)
+                    for index, reduction in enumerate(reductions):
+                        states[index] = reduction.merge(
+                            states[index], chunk_states[index]
+                        )
+
+                # Bound in-flight chunks so peak memory stays O(workers ×
+                # chunk) even when folding lags the file read.
+                traced = tracer.enabled
+                in_flight: deque = deque()
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for chunk in chunks:
+                        in_flight.append(
+                            pool.submit(
+                                _fold_chunk_worker,
+                                (chunk, space, reward_range, reductions,
+                                 n_chunks, traced),
+                            )
+                        )
+                        n_chunks += 1
+                        if len(in_flight) >= 2 * workers:
+                            _merge(in_flight.popleft().result())
+                    while in_flight:
                         _merge(in_flight.popleft().result())
-                while in_flight:
-                    _merge(in_flight.popleft().result())
-        quarantine = stream.quarantine
+            quarantine = stream.quarantine
+        fold_span.set(chunks=n_chunks)
+    metrics.counter("engine.rows_ingested", backend="chunked").inc(total_rows)
 
     # -- finalize ----------------------------------------------------------
     log_summary = stats.summary()
     terms = {}
     results = []
-    flat = iter(zip(reductions, states))
-    for policy in policies:
-        row = []
-        for est in estimators:
-            reduction, state = next(flat)
-            row.append(reduction.finalize(state, log_summary))
-            if (
-                collect_terms
-                and isinstance(state, FoldState)
-                and state.term_chunks is not None
-            ):
-                terms[(policy.name, reduction.name)] = (
-                    reduction.collected_terms(state)
-                )
-        results.append(row)
+    with tracer.span("evaluate.finalize"):
+        flat = iter(zip(reductions, states))
+        for policy in policies:
+            row = []
+            for est in estimators:
+                reduction, state = next(flat)
+                row.append(reduction.finalize(state, log_summary))
+                if (
+                    collect_terms
+                    and isinstance(state, FoldState)
+                    and state.term_chunks is not None
+                ):
+                    terms[(policy.name, reduction.name)] = (
+                        reduction.collected_terms(state)
+                    )
+            results.append(row)
 
     return ChunkedEvaluation(
         policy_names=[p.name for p in policies],

@@ -12,6 +12,7 @@ from repro.core.diagnostics import ReliabilityDiagnostics, diagnose
 from repro.core.engine import resolve_backend
 from repro.core.policies import Policy
 from repro.core.types import Dataset, Interaction
+from repro.obs.tracing import get_tracer
 
 
 @dataclass
@@ -120,22 +121,29 @@ class OffPolicyEstimator(ABC):
             ReductionContext,
         )
 
-        context = ReductionContext.from_dataset(dataset)
-        reduction = self._reduction(policy, dataset, context)
         backend = self.resolved_backend()
-        state = reduction.init_state()
-        if backend == "scalar":
-            state = reduction.fold_scalar(state, dataset)
-        elif backend == "chunked":
-            for chunk_columns in iter_chunk_columns(
-                dataset, get_chunk_size()
-            ):
-                state = reduction.fold(state, chunk_columns)
-        else:
-            state = reduction.fold(state, dataset.columns())
-        return reduction.finalize(
-            state, LogSummary.from_columns(dataset.columns())
-        )
+        with get_tracer().span(
+            "estimate",
+            estimator=self.name,
+            policy=policy.name,
+            backend=backend,
+            n=len(dataset),
+        ):
+            context = ReductionContext.from_dataset(dataset)
+            reduction = self._reduction(policy, dataset, context)
+            state = reduction.init_state()
+            if backend == "scalar":
+                state = reduction.fold_scalar(state, dataset)
+            elif backend == "chunked":
+                for chunk_columns in iter_chunk_columns(
+                    dataset, get_chunk_size()
+                ):
+                    state = reduction.fold(state, chunk_columns)
+            else:
+                state = reduction.fold(state, dataset.columns())
+            return reduction.finalize(
+                state, LogSummary.from_columns(dataset.columns())
+            )
 
     def reduction(self, policy: Policy, context):
         """Build this estimator's reduction for one candidate policy.

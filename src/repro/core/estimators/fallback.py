@@ -44,6 +44,7 @@ from repro.core.estimators.ips import (
 from repro.core.estimators.reductions import CompositeReduction, LogSummary
 from repro.core.policies import Policy
 from repro.core.types import Dataset
+from repro.obs.metrics import get_metrics
 
 logger = logging.getLogger("repro.fallback")
 
@@ -91,12 +92,18 @@ def select_down_ladder(
     accepted (or last) rung's, annotated with the ``"fallback"`` audit
     trail and the ``"degraded"`` flag.
     """
+    metrics = get_metrics()
     attempts: list[dict] = []
     chosen: Optional[EstimatorResult] = None
     for result in results:
         accepted, attempt = _assess(result)
         attempts.append(attempt)
         chosen = result
+        metrics.counter(
+            "fallback.attempts",
+            estimator=result.estimator,
+            accepted=str(accepted).lower(),
+        ).inc()
         if accepted:
             break
         logger.info(
@@ -109,6 +116,14 @@ def select_down_ladder(
     assert chosen is not None
     degraded = len(attempts) > 1 or not attempts[0]["accepted"]
     if degraded:
+        # Counted on the per-run registry (not just logged once per
+        # process): how many estimates this run served from a rung
+        # below the ladder's head, and which rung served them.
+        metrics.counter(
+            "fallback.downgrades",
+            ladder=ladder_name,
+            served_by=chosen.estimator,
+        ).inc()
         logger.info(
             "fallback: policy %r served by %s after %d attempt(s)",
             policy_name,

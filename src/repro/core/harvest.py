@@ -27,6 +27,8 @@ from repro.core.validation import (
     check_mode,
     check_values,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
 
 
 @dataclass
@@ -68,30 +70,35 @@ class LogScavenger:
         """Extract all parseable records, counting drops."""
         out: list[ScavengedRecord] = []
         self.dropped = 0
-        for index, record in enumerate(records):
-            try:
-                context = self._context_of(record)
-                action = self._action_of(record)
-                reward = self._reward_of(record)
-            except (KeyError, ValueError, TypeError):
-                self.dropped += 1
-                continue
-            if context is None or action is None or reward is None:
-                self.dropped += 1
-                continue
-            timestamp = (
-                self._timestamp_of(record)
-                if self._timestamp_of is not None
-                else float(index)
-            )
-            eligible = (
-                list(self._eligible_of(record))
-                if self._eligible_of is not None
-                else None
-            )
-            out.append(
-                ScavengedRecord(context, int(action), float(reward), timestamp, eligible)
-            )
+        with get_tracer().span("harvest.scavenge") as span:
+            for index, record in enumerate(records):
+                try:
+                    context = self._context_of(record)
+                    action = self._action_of(record)
+                    reward = self._reward_of(record)
+                except (KeyError, ValueError, TypeError):
+                    self.dropped += 1
+                    continue
+                if context is None or action is None or reward is None:
+                    self.dropped += 1
+                    continue
+                timestamp = (
+                    self._timestamp_of(record)
+                    if self._timestamp_of is not None
+                    else float(index)
+                )
+                eligible = (
+                    list(self._eligible_of(record))
+                    if self._eligible_of is not None
+                    else None
+                )
+                out.append(
+                    ScavengedRecord(context, int(action), float(reward), timestamp, eligible)
+                )
+            span.set(scavenged=len(out), dropped=self.dropped)
+        metrics = get_metrics()
+        metrics.counter("harvest.scavenged").inc(len(out))
+        metrics.counter("harvest.dropped").inc(self.dropped)
         return out
 
 
@@ -160,8 +167,20 @@ class HarvestPipeline:
         with a reason, ``"repair"`` clamps fixable propensities/rewards
         and quarantines the rest.  The quarantine lands on both the
         returned dataset and ``self.quarantine``.
+
+        Instrumented: the run is covered by a ``harvest.build_dataset``
+        span (with the scavenge as a child span) and feeds the
+        ``harvest.rows`` counter with the accepted-row count.
         """
         mode = check_mode(mode) if mode is not None else self.mode
+        with get_tracer().span("harvest.build_dataset", mode=mode) as span:
+            dataset = self._build_dataset(records, mode)
+            span.set(rows=len(dataset), rejected=self.quarantine.n_rejected
+                     if self.quarantine is not None else 0)
+        get_metrics().counter("harvest.rows").inc(len(dataset))
+        return dataset
+
+    def _build_dataset(self, records: Iterable[dict], mode: str) -> Dataset:
         scavenged = self.scavenger.scavenge(records)
         if not scavenged:
             raise ValueError("scavenger extracted no usable records")
@@ -262,10 +281,12 @@ class HarvestPipeline:
     ) -> HarvestReport:
         """End-to-end: scavenge, infer, evaluate every candidate."""
         records = list(records)
-        dataset = self.build_dataset(records)
-        evaluations = {
-            policy.name: self.evaluate(policy, dataset) for policy in candidates
-        }
+        with get_tracer().span("harvest.run", candidates=len(candidates)):
+            dataset = self.build_dataset(records)
+            evaluations = {
+                policy.name: self.evaluate(policy, dataset)
+                for policy in candidates
+            }
         return HarvestReport(
             n_records=len(records),
             n_scavenged=len(dataset),

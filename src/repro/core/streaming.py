@@ -125,6 +125,10 @@ class ValidatedInteractionStream:
 
     ``source`` may mix raw JSONL strings and parsed dicts.  In strict
     mode the first defect raises; ``quarantine``/``repair`` keep going.
+    Pass an explicit ``quarantine`` to aggregate across streams or to
+    opt out of metrics mirroring
+    (``Quarantine(record_metrics=False)`` — the chunked engine's
+    discovery pass does, so two-pass runs count each defect once).
     """
 
     def __init__(
@@ -133,10 +137,11 @@ class ValidatedInteractionStream:
         mode: str = "quarantine",
         validator: Optional[RecordValidator] = None,
         source_name: str = "<stream>",
+        quarantine: Optional[Quarantine] = None,
     ) -> None:
         check_mode(mode)
         self.mode = mode
-        self.quarantine = Quarantine()
+        self.quarantine = quarantine if quarantine is not None else Quarantine()
         self.n_accepted = 0
         self._iterator = validated_interactions(
             source,

@@ -395,6 +395,11 @@ class Dataset:
             )
         dataset = cls(interactions, action_space, reward_range)
         dataset.quarantine = quarantine
+        from repro.obs.metrics import get_metrics
+
+        get_metrics().counter("engine.rows_ingested", backend="memory").inc(
+            len(dataset)
+        )
         return dataset
 
     def __repr__(self) -> str:

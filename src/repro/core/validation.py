@@ -43,6 +43,7 @@ from repro.core.types import (
     Interaction,
     RewardRange,
 )
+from repro.obs.metrics import get_metrics
 
 #: Rejection reason codes, used as quarantine bucket keys.
 UNPARSEABLE = "unparseable"
@@ -89,12 +90,20 @@ class Quarantine:
     ``max_kept`` full :class:`RejectedRecord` examples (counting always
     continues past the cap — a 10%-corrupt billion-line log must not
     hold a billion lines of garbage in memory).
+
+    Every rejection and repair is also mirrored to the active metrics
+    registry (:mod:`repro.obs.metrics`) as ``validation.rejected`` /
+    ``validation.repaired`` counters labeled by reason — a no-op until
+    a run installs a registry.  ``record_metrics=False`` opts a
+    quarantine out of the mirror; the chunked engine uses it for its
+    discovery pass so a two-pass run does not double-count.
     """
 
-    def __init__(self, max_kept: int = 1000) -> None:
+    def __init__(self, max_kept: int = 1000, record_metrics: bool = True) -> None:
         if max_kept < 0:
             raise ValueError("max_kept must be non-negative")
         self.max_kept = max_kept
+        self.record_metrics = record_metrics
         self.rejected: list[RejectedRecord] = []
         self.counts: Counter = Counter()
         self.repairs: Counter = Counter()
@@ -104,6 +113,8 @@ class Quarantine:
     def add(self, line_number: int, reason: str, detail: str, raw: str = "") -> None:
         """Record one rejection."""
         self.counts[reason] += 1
+        if self.record_metrics:
+            get_metrics().counter("validation.rejected", reason=reason).inc()
         if len(self.rejected) < self.max_kept:
             self.rejected.append(
                 RejectedRecord(line_number, reason, detail, raw[:200])
@@ -112,6 +123,8 @@ class Quarantine:
     def note_repair(self, reason: str) -> None:
         """Record one successful in-place repair (repair mode)."""
         self.repairs[reason] += 1
+        if self.record_metrics:
+            get_metrics().counter("validation.repaired", reason=reason).inc()
 
     # -- inspection ----------------------------------------------------------
 

@@ -20,6 +20,8 @@ from repro.core.propensity import (
 )
 from repro.core.types import ActionSpace, Context, Dataset, Interaction, RewardRange
 from repro.loadbalance.access_log import AccessLogEntry
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
 
 #: Latency cap (seconds) for the declared reward range.
 LATENCY_CAP = 10.0
@@ -58,18 +60,27 @@ def exploration_dataset_from_entries(
     dataset = Dataset(
         action_space=lb_action_space(n_servers), reward_range=lb_reward_range()
     )
-    for entry in entries:
-        context = _entry_context(entry)
-        propensity = propensity_model.propensity(context, entry.upstream, actions)
-        dataset.append(
-            Interaction(
-                context=context,
-                action=entry.upstream,
-                reward=entry.upstream_response_time,
-                propensity=propensity,
-                timestamp=entry.time,
+    with get_tracer().span(
+        "harvest.loadbalance", n_servers=n_servers
+    ) as span:
+        for entry in entries:
+            context = _entry_context(entry)
+            propensity = propensity_model.propensity(
+                context, entry.upstream, actions
             )
-        )
+            dataset.append(
+                Interaction(
+                    context=context,
+                    action=entry.upstream,
+                    reward=entry.upstream_response_time,
+                    propensity=propensity,
+                    timestamp=entry.time,
+                )
+            )
+        span.set(rows=len(dataset))
+    get_metrics().counter("harvest.rows", scenario="loadbalance").inc(
+        len(dataset)
+    )
     return dataset
 
 

@@ -37,6 +37,8 @@ from repro.machinehealth.failures import (
     generate_failures,
 )
 from repro.machinehealth.fleet import FleetConfig, generate_fleet
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
 from repro.simsys.random_source import RandomSource
 
 #: Index of the safe default action ("wait 10 minutes") in WAIT_TIMES.
@@ -127,24 +129,35 @@ def simulate_exploration(
     exploration = Dataset(
         action_space=space, reward_range=full_dataset.reward_range
     )
-    for interaction in full_dataset:
-        if interaction.full_rewards is None:
-            raise ValueError("exploration simulation requires full feedback")
-        actions = (
-            space.actions(interaction.context)
-            if space is not None
-            else list(range(len(interaction.full_rewards)))
-        )
-        action, propensity = logging_policy.act(interaction.context, actions, rng)
-        exploration.append(
-            Interaction(
-                context=interaction.context,
-                action=action,
-                reward=interaction.full_rewards[action],
-                propensity=propensity,
-                timestamp=interaction.timestamp,
+    with get_tracer().span(
+        "harvest.machinehealth", policy=logging_policy.name
+    ) as span:
+        for interaction in full_dataset:
+            if interaction.full_rewards is None:
+                raise ValueError(
+                    "exploration simulation requires full feedback"
+                )
+            actions = (
+                space.actions(interaction.context)
+                if space is not None
+                else list(range(len(interaction.full_rewards)))
             )
-        )
+            action, propensity = logging_policy.act(
+                interaction.context, actions, rng
+            )
+            exploration.append(
+                Interaction(
+                    context=interaction.context,
+                    action=action,
+                    reward=interaction.full_rewards[action],
+                    propensity=propensity,
+                    timestamp=interaction.timestamp,
+                )
+            )
+        span.set(rows=len(exploration))
+    get_metrics().counter("harvest.rows", scenario="machinehealth").inc(
+        len(exploration)
+    )
     return exploration
 
 

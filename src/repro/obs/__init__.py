@@ -1,0 +1,86 @@
+"""``repro.obs`` — instrumentation for the harvesting pipeline.
+
+A dependency-free observability layer threaded through harvest →
+validation → estimator folds → bootstrap → reporting:
+
+- :mod:`repro.obs.tracing` — nested wall/CPU spans with cross-process
+  merge (``with get_tracer().span("evaluate.chunk", rows=n): ...``);
+- :mod:`repro.obs.metrics` — counters/gauges/histograms with
+  Prometheus-text and JSON exporters;
+- :mod:`repro.obs.manifest` — provenance manifests
+  (``run_manifest.json``) binding input digest, config, metrics,
+  span tree, and results into one reproducible record;
+- :mod:`repro.obs.report` — render a saved manifest back into tables
+  (the ``python -m repro report`` subcommand).
+
+Both the tracer and the registry default to shared no-op
+implementations, so the instrumented hot paths cost nothing until a
+run opts in (:func:`use_tracer` / :func:`use_metrics`, or the CLI's
+``--trace`` / ``--metrics-out`` / ``--manifest`` flags).
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    file_digest,
+    result_entry,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.report import (
+    aggregate_spans,
+    flatten_spans,
+    manifest_summary_text,
+    metric_totals,
+    verdict_tally,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    # tracing
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    # manifest
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "file_digest",
+    "result_entry",
+    # report
+    "flatten_spans",
+    "aggregate_spans",
+    "verdict_tally",
+    "metric_totals",
+    "manifest_summary_text",
+]

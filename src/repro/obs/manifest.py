@@ -1,0 +1,189 @@
+"""Provenance manifests: every reported number, reproducible.
+
+A decision meeting trusts an offline estimate only as far as it can
+answer "where did this number come from?".  A :class:`RunManifest`
+captures one ``evaluate``/``compare`` run end to end:
+
+- **input** — path, byte size, and SHA-256 digest of the evaluated log
+  (two manifests with the same digest evaluated the same bytes);
+- **config** — backend, chunk size, workers, seed, validation mode,
+  policy and estimator specs: everything needed to re-issue the run;
+- **environment** — package version, Python version, platform;
+- **results** — per (policy × estimator) value, standard error, n, and
+  the reliability verdict;
+- **metrics** — the run's :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot (quarantine counts, downgrades, fold latencies, …);
+- **spans** — the run's :class:`~repro.obs.tracing.Tracer` tree.
+
+``python -m repro evaluate … --manifest run_manifest.json`` writes
+one; ``python -m repro report run_manifest.json`` renders it back as a
+human-readable summary (:mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from typing import Mapping, Optional, Sequence
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "file_digest",
+    "result_entry",
+]
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+_DIGEST_CHUNK = 1 << 20
+
+
+def file_digest(path: str, algorithm: str = "sha256") -> str:
+    """Streaming content digest of ``path`` (constant memory)."""
+    digest = hashlib.new(algorithm)
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(_DIGEST_CHUNK)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def result_entry(policy_name: str, result) -> dict:
+    """One manifest row from an
+    :class:`~repro.core.estimators.base.EstimatorResult`."""
+    entry = {
+        "policy": policy_name,
+        "estimator": result.estimator,
+        "value": result.value,
+        "std_error": result.std_error,
+        "n": result.n,
+        "effective_n": result.effective_n,
+        "verdict": (
+            result.diagnostics.verdict
+            if result.diagnostics is not None
+            else None
+        ),
+        "reliable": result.reliable,
+    }
+    if result.details.get("degraded"):
+        entry["degraded"] = True
+        entry["fallback"] = result.details.get("fallback")
+    return entry
+
+
+class RunManifest:
+    """Builder/parser for ``run_manifest.json``."""
+
+    def __init__(self, data: dict) -> None:
+        self.data = data
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        command: str,
+        input_path: Optional[str] = None,
+        config: Optional[Mapping] = None,
+        results: Sequence[dict] = (),
+        metrics=None,
+        tracer=None,
+        quarantine=None,
+        extra: Optional[Mapping] = None,
+    ) -> "RunManifest":
+        """Assemble a manifest from a finished run's artifacts.
+
+        ``metrics``/``tracer`` accept the run's registry and tracer
+        (their snapshots are embedded); ``quarantine`` a
+        :class:`~repro.core.validation.Quarantine`.  All are optional —
+        an un-instrumented run still gets input digest, config,
+        environment, and results.
+        """
+        import repro
+
+        data: dict = {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "created_unix": time.time(),
+            "command": command,
+            "environment": {
+                "repro_version": repro.__version__,
+                "python": sys.version.split()[0],
+                "platform": platform.platform(),
+            },
+            "config": dict(config or {}),
+            "results": list(results),
+        }
+        if input_path is not None:
+            try:
+                import os
+
+                data["input"] = {
+                    "path": input_path,
+                    "sha256": file_digest(input_path),
+                    "bytes": os.path.getsize(input_path),
+                }
+            except OSError:
+                data["input"] = {"path": input_path}
+        if quarantine is not None:
+            data["quarantine"] = quarantine.report()
+        if metrics is not None:
+            data["metrics"] = metrics.snapshot()
+        if tracer is not None:
+            data["spans"] = tracer.span_tree()
+        if extra:
+            data.update(dict(extra))
+        return cls(data)
+
+    # -- IO ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return self.data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.data, indent=indent, default=str)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: manifest root must be an object")
+        version = data.get("schema_version")
+        if version != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: unsupported manifest schema version {version!r} "
+                f"(this build reads {MANIFEST_SCHEMA_VERSION})"
+            )
+        return cls(data)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def results(self) -> list[dict]:
+        return list(self.data.get("results", ()))
+
+    @property
+    def spans(self) -> list[dict]:
+        return list(self.data.get("spans", ()))
+
+    @property
+    def metrics(self) -> dict:
+        return dict(self.data.get("metrics", {}))
+
+    def __repr__(self) -> str:
+        return (
+            f"RunManifest(command={self.data.get('command')!r}, "
+            f"results={len(self.results)})"
+        )

@@ -1,0 +1,381 @@
+"""Counters, gauges, and histograms for the harvesting pipeline.
+
+The reliability layer computes quarantine counts, fallback downgrades,
+and diagnostics verdicts — and, before this module, threw most of them
+away after printing.  :class:`MetricsRegistry` is the place they
+accumulate instead: a flat registry of named instruments with optional
+labels, exportable as Prometheus text (for scrapers and CI artifacts)
+or JSON (for the run manifest).
+
+Instrument names use dotted segments (``validation.rejected``); the
+Prometheus exporter rewrites them to the conventional
+``repro_validation_rejected`` form.  Labels are plain keyword
+arguments: ``registry.counter("validation.rejected",
+reason="propensity").inc()``.
+
+**Zero overhead when off.**  The process-wide default registry is
+:data:`NULL_METRICS`, which hands every caller one shared no-op
+instrument — no dict lookups, no accumulation.  Install a real
+registry per run with :func:`use_metrics` (the CLI's
+``--metrics-out`` / ``--manifest`` flags do) and counts become
+per-run, not per-process.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+#: Default histogram buckets (seconds-flavored; override per histogram).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, float("inf"),
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram with count/sum/min/max.
+
+    Matches Prometheus semantics: ``buckets[i]`` counts observations
+    ``<= bounds[i]``, the final bound is ``+Inf``, and ``sum``/``count``
+    ride along so averages are recoverable.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                break
+
+    def cumulative_counts(self) -> list[int]:
+        """Per-bound cumulative counts (the Prometheus ``le`` series)."""
+        running, out = 0, []
+        for count in self.bucket_counts:
+            running += count
+            out.append(running)
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                ("+Inf" if bound == float("inf") else repr(bound)): cum
+                for bound, cum in zip(self.bounds, self.cumulative_counts())
+            },
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def prometheus_name(name: str) -> str:
+    """``validation.rejected`` → ``repro_validation_rejected``."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"repro_{sanitized}"
+
+
+def _format_labels(label_key: tuple) -> str:
+    if not label_key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in label_key)
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, optionally labeled instruments.
+
+    The same ``(name, labels)`` always returns the same instrument, so
+    call sites can fetch-and-increment without holding references.
+    Mixing instrument kinds under one name is an error.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        #: name -> (kind, {label_key -> instrument})
+        self._metrics: dict[str, tuple[str, dict[tuple, Instrument]]] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(name, Counter, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(name, Gauge, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        return self._get(name, Histogram, labels, buckets=buckets)
+
+    def _get(self, name: str, factory, labels: dict, **kwargs) -> Instrument:
+        kind = factory.kind
+        entry = self._metrics.get(name)
+        if entry is None:
+            entry = (kind, {})
+            self._metrics[name] = entry
+        elif entry[0] != kind:
+            raise ValueError(
+                f"metric {name!r} is a {entry[0]}, not a {kind}"
+            )
+        key = _label_key(labels)
+        instrument = entry[1].get(key)
+        if instrument is None:
+            instrument = factory(**kwargs)
+            entry[1][key] = instrument
+        return instrument
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every instrument.
+
+        Shape: ``{name: {"kind": ..., "series": [{"labels": {...},
+        "value"/"histogram": ...}]}}`` — the form embedded in run
+        manifests.
+        """
+        out: dict = {}
+        for name in sorted(self._metrics):
+            kind, series = self._metrics[name]
+            out[name] = {
+                "kind": kind,
+                "series": [
+                    {
+                        "labels": dict(key),
+                        ("histogram" if kind == "histogram" else "value"):
+                            instrument.snapshot(),
+                    }
+                    for key, instrument in sorted(series.items())
+                ],
+            }
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            kind, series = self._metrics[name]
+            metric = prometheus_name(name)
+            if kind == "counter":
+                metric += "_total"
+            lines.append(f"# TYPE {metric} {kind}")
+            for key, instrument in sorted(series.items()):
+                if kind == "histogram":
+                    assert isinstance(instrument, Histogram)
+                    for bound, cum in zip(
+                        instrument.bounds, instrument.cumulative_counts()
+                    ):
+                        le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                        labels = _format_labels(key + (("le", le),))
+                        lines.append(f"{metric}_bucket{labels} {cum}")
+                    labels = _format_labels(key)
+                    lines.append(f"{metric}_sum{labels} {instrument.total:g}")
+                    lines.append(f"{metric}_count{labels} {instrument.count}")
+                else:
+                    labels = _format_labels(key)
+                    lines.append(
+                        f"{metric}{labels} {instrument.snapshot():g}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- convenience reads (tests, reports) ----------------------------------
+
+    def value(self, name: str, **labels) -> Optional[float]:
+        """Current value of a counter/gauge series, or ``None``."""
+        entry = self._metrics.get(name)
+        if entry is None:
+            return None
+        instrument = entry[1].get(_label_key(labels))
+        if instrument is None or isinstance(instrument, Histogram):
+            return None
+        return instrument.snapshot()
+
+    def total(self, name: str) -> float:
+        """Sum of a counter's value across every label combination."""
+        entry = self._metrics.get(name)
+        if entry is None:
+            return 0.0
+        kind, series = entry
+        if kind == "histogram":
+            return float(sum(i.count for i in series.values()))
+        return float(sum(i.snapshot() for i in series.values()))
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self._metrics)})"
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The default registry: accepts every call, stores nothing."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def to_json(self, indent: int = 2) -> str:
+        return "{}"
+
+    def to_prometheus(self) -> str:
+        return ""
+
+    def value(self, name: str, **labels) -> Optional[float]:
+        return None
+
+    def total(self, name: str) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NullMetrics()"
+
+
+NULL_METRICS = NullMetrics()
+
+_metrics: Union[MetricsRegistry, NullMetrics] = NULL_METRICS
+
+
+def get_metrics() -> Union[MetricsRegistry, NullMetrics]:
+    """The process-wide active registry (the no-op one by default)."""
+    return _metrics
+
+
+def set_metrics(
+    registry: Optional[Union[MetricsRegistry, NullMetrics]],
+) -> None:
+    """Install a registry process-wide; ``None`` restores the no-op."""
+    global _metrics
+    _metrics = registry if registry is not None else NULL_METRICS
+
+
+@contextmanager
+def use_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[Union[MetricsRegistry, NullMetrics]]:
+    """Scope a registry to a ``with`` block (fresh registry by default);
+    the previous registry is restored on exit."""
+    global _metrics
+    previous = _metrics
+    _metrics = registry if registry is not None else MetricsRegistry()
+    try:
+        yield _metrics
+    finally:
+        _metrics = previous

@@ -1,0 +1,199 @@
+"""Provenance manifests: build, save/load, digest, report rendering."""
+
+import json
+
+import pytest
+
+from repro.core.estimators.base import EstimatorResult
+from repro.core.validation import Quarantine
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    file_digest,
+    result_entry,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    aggregate_spans,
+    flatten_spans,
+    manifest_summary_text,
+    metric_totals,
+    verdict_tally,
+)
+from repro.obs.tracing import Tracer
+
+
+def _result(value=0.5, estimator="ips", degraded=False):
+    details = {}
+    if degraded:
+        details = {"degraded": True, "fallback": [{"estimator": "ips"}]}
+    return EstimatorResult(
+        value=value,
+        std_error=0.01,
+        n=100,
+        effective_n=40,
+        estimator=estimator,
+        details=details,
+    )
+
+
+def _manifest(tmp_path, **overrides):
+    log = tmp_path / "log.jsonl"
+    log.write_text('{"x": 1}\n')
+    tracer = Tracer()
+    with tracer.span("evaluate.jsonl"):
+        with tracer.span("evaluate.chunk", index=0):
+            pass
+    registry = MetricsRegistry()
+    registry.counter("engine.rows_ingested").inc(100)
+    quarantine = Quarantine()
+    quarantine.add(3, "propensity", "propensity 0 outside (0, 1]")
+    kwargs = dict(
+        command="evaluate",
+        input_path=str(log),
+        config={"backend": "chunked", "mode": "quarantine"},
+        results=[result_entry("uniform-random", _result())],
+        metrics=registry,
+        tracer=tracer,
+        quarantine=quarantine,
+    )
+    kwargs.update(overrides)
+    return RunManifest.build(**kwargs)
+
+
+class TestFileDigest:
+    def test_digest_is_content_addressed(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text("same bytes")
+        b.write_text("same bytes")
+        assert file_digest(str(a)) == file_digest(str(b))
+        b.write_text("different")
+        assert file_digest(str(a)) != file_digest(str(b))
+
+
+class TestResultEntry:
+    def test_plain_entry(self):
+        entry = result_entry("uniform-random", _result())
+        assert entry["policy"] == "uniform-random"
+        assert entry["estimator"] == "ips"
+        assert entry["value"] == 0.5
+        assert entry["verdict"] is None  # no diagnostics computed
+        assert entry["reliable"] is True
+        assert "degraded" not in entry
+
+    def test_degraded_entry_carries_audit_trail(self):
+        entry = result_entry("p", _result(estimator="snips", degraded=True))
+        assert entry["degraded"] is True
+        assert entry["fallback"] == [{"estimator": "ips"}]
+
+
+class TestRunManifest:
+    def test_build_captures_everything(self, tmp_path):
+        manifest = _manifest(tmp_path)
+        data = manifest.to_dict()
+        assert data["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert data["command"] == "evaluate"
+        assert data["input"]["sha256"] == file_digest(data["input"]["path"])
+        assert data["input"]["bytes"] > 0
+        assert data["environment"]["repro_version"]
+        assert data["config"]["backend"] == "chunked"
+        assert data["quarantine"]["n_rejected"] == 1
+        assert data["metrics"]["engine.rows_ingested"]["kind"] == "counter"
+        assert data["spans"][0]["name"] == "evaluate.jsonl"
+
+    def test_missing_input_is_tolerated(self, tmp_path):
+        manifest = RunManifest.build(
+            command="evaluate", input_path=str(tmp_path / "absent.jsonl")
+        )
+        assert manifest.to_dict()["input"] == {
+            "path": str(tmp_path / "absent.jsonl")
+        }
+
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = _manifest(tmp_path)
+        path = tmp_path / "run_manifest.json"
+        manifest.save(str(path))
+        loaded = RunManifest.load(str(path))
+        assert loaded.to_dict() == manifest.to_dict()
+        # The file itself is valid JSON with a trailing newline.
+        raw = path.read_text()
+        assert raw.endswith("\n")
+        json.loads(raw)
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(ValueError, match="schema version"):
+            RunManifest.load(str(path))
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="must be an object"):
+            RunManifest.load(str(path))
+
+
+class TestReportHelpers:
+    SPANS = [
+        {
+            "name": "root",
+            "wall_s": 1.0,
+            "cpu_s": 0.8,
+            "children": [
+                {"name": "chunk", "wall_s": 0.3, "cpu_s": 0.2},
+                {"name": "chunk", "wall_s": 0.5, "cpu_s": 0.4,
+                 "error": "ValueError: x"},
+            ],
+        }
+    ]
+
+    def test_flatten_spans_paths(self):
+        paths = [path for path, _ in flatten_spans(self.SPANS)]
+        assert paths == ["root", "root/chunk", "root/chunk"]
+
+    def test_aggregate_spans_totals_and_order(self):
+        aggregated = aggregate_spans(self.SPANS)
+        assert aggregated[0]["name"] == "root"  # most wall time first
+        chunk = aggregated[1]
+        assert chunk["count"] == 2
+        assert chunk["wall_s"] == pytest.approx(0.8)
+        assert chunk["max_wall_s"] == pytest.approx(0.5)
+        assert chunk["errors"] == 1
+
+    def test_verdict_tally(self):
+        results = [
+            {"verdict": "OK"}, {"verdict": "OK"},
+            {"verdict": "UNRELIABLE"}, {"verdict": None},
+        ]
+        assert verdict_tally(results) == {"OK": 2, "UNRELIABLE": 1, "-": 1}
+
+    def test_metric_totals_sums_labels_out(self):
+        registry = MetricsRegistry()
+        registry.counter("rejected", reason="a").inc(2)
+        registry.counter("rejected", reason="b").inc(3)
+        registry.histogram("seconds").observe(0.1)
+        totals = dict(
+            (name, total)
+            for name, _kind, total in metric_totals(registry.snapshot())
+        )
+        assert totals == {"rejected": 5.0, "seconds": 1.0}
+
+
+class TestSummaryText:
+    def test_renders_every_section(self, tmp_path):
+        text = manifest_summary_text(_manifest(tmp_path))
+        for fragment in (
+            "command", "evaluate", "sha256", "config.backend",
+            "results", "uniform-random", "verdicts",
+            "top spans by wall time", "evaluate.jsonl",
+            "metric totals", "engine.rows_ingested",
+            "quarantine", "propensity", "total rejected",
+        ):
+            assert fragment in text, f"missing {fragment!r}"
+
+    def test_sparse_manifest_renders(self):
+        manifest = RunManifest.build(command="evaluate")
+        text = manifest_summary_text(manifest)
+        assert "command" in text
+        assert "top spans" not in text  # no spans section without spans

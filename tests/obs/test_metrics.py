@@ -1,0 +1,137 @@
+"""Metrics registry: instruments, labels, exporters, scoping."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    get_metrics,
+    prometheus_name,
+    use_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("rows").inc()
+        registry.counter("rows").inc(4)
+        assert registry.value("rows") == 5.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            MetricsRegistry().counter("rows").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("workers")
+        gauge.set(4)
+        gauge.dec()
+        gauge.inc(2)
+        assert registry.value("workers") == 5.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 2.0):
+            histogram.observe(value)
+        assert histogram.cumulative_counts() == [1, 3, 4]
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(3.05)
+        assert snap["min"] == 0.05 and snap["max"] == 2.0
+
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("rejected", reason="propensity").inc(3)
+        registry.counter("rejected", reason="reward").inc(2)
+        assert registry.value("rejected", reason="propensity") == 3.0
+        assert registry.value("rejected", reason="reward") == 2.0
+        assert registry.total("rejected") == 5.0
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_same_series_is_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a", k="v") is registry.counter("a", k="v")
+
+
+class TestExport:
+    def test_snapshot_shape_and_json(self):
+        registry = MetricsRegistry()
+        registry.counter("folds", backend="chunked").inc(6)
+        registry.histogram("latency").observe(0.02)
+        snap = registry.snapshot()
+        assert snap["folds"]["kind"] == "counter"
+        assert snap["folds"]["series"][0] == {
+            "labels": {"backend": "chunked"},
+            "value": 6.0,
+        }
+        assert snap["latency"]["series"][0]["histogram"]["count"] == 1
+        assert json.loads(registry.to_json()) == snap
+
+    def test_prometheus_names(self):
+        assert prometheus_name("validation.rejected") == (
+            "repro_validation_rejected"
+        )
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("validation.rejected", reason="propensity").inc(4)
+        registry.gauge("engine.workers").set(2)
+        registry.histogram("fold.seconds", buckets=(0.1,)).observe(0.05)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_validation_rejected_total counter" in text
+        assert (
+            'repro_validation_rejected_total{reason="propensity"} 4' in text
+        )
+        assert "repro_engine_workers 2" in text
+        assert 'repro_fold_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_fold_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_fold_seconds_sum 0.05" in text
+        assert "repro_fold_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_exports_empty(self):
+        registry = MetricsRegistry()
+        assert registry.to_prometheus() == ""
+        assert registry.snapshot() == {}
+
+
+class TestNullMetrics:
+    def test_default_registry_is_null(self):
+        assert get_metrics() is NULL_METRICS
+        assert not get_metrics().enabled
+
+    def test_null_instruments_are_shared_and_inert(self):
+        counter = NULL_METRICS.counter("a", reason="x")
+        histogram = NULL_METRICS.histogram("b")
+        assert counter is histogram  # one shared no-op instrument
+        counter.inc(10)
+        histogram.observe(1.0)
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.to_prometheus() == ""
+        assert NULL_METRICS.total("a") == 0.0
+
+
+class TestScoping:
+    def test_use_metrics_installs_and_restores(self):
+        assert isinstance(get_metrics(), NullMetrics)
+        with use_metrics() as registry:
+            assert get_metrics() is registry
+            get_metrics().counter("scoped").inc()
+        assert isinstance(get_metrics(), NullMetrics)
+        assert registry.value("scoped") == 1.0
+
+    def test_use_metrics_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_metrics():
+                raise RuntimeError
+        assert isinstance(get_metrics(), NullMetrics)

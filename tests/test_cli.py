@@ -217,6 +217,98 @@ class TestBootstrapFlag:
         )
 
 
+class TestObservabilityFlags:
+    def _run(self, extra, capsys):
+        code = main(["evaluate"] + extra)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_trace_prints_top_spans(self, log_path, capsys):
+        code, out, err = self._run([log_path, "--trace"], capsys)
+        assert code == 0
+        assert "trace (top spans by wall time):" in err
+        assert "estimate" in err
+
+    def test_trace_leaves_estimates_unchanged(self, log_path, capsys):
+        code_plain, out_plain, _ = self._run([log_path], capsys)
+        code_traced, out_traced, _ = self._run([log_path, "--trace"], capsys)
+        assert code_plain == code_traced == 0
+        assert out_plain == out_traced
+
+    def test_metrics_out_writes_prometheus_text(self, log_path, tmp_path,
+                                                capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        code, _out, _err = self._run(
+            [log_path, "--metrics-out", str(metrics_path)], capsys
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE repro_estimator_verdicts_total counter" in text
+        assert "repro_engine_rows_ingested_total" in text
+
+    def test_metrics_out_dash_prints_to_stdout(self, log_path, capsys):
+        code, out, _err = self._run([log_path, "--metrics-out", "-"], capsys)
+        assert code == 0
+        assert "repro_estimator_verdicts_total" in out
+
+    def test_instruments_restored_after_run(self, log_path, capsys):
+        from repro.obs.metrics import NullMetrics, get_metrics
+        from repro.obs.tracing import NullTracer, get_tracer
+
+        code, _out, _err = self._run(
+            [log_path, "--trace", "--metrics-out", "-"], capsys
+        )
+        assert code == 0
+        assert isinstance(get_tracer(), NullTracer)
+        assert isinstance(get_metrics(), NullMetrics)
+
+    def test_manifest_written_and_reported(self, log_path, tmp_path, capsys):
+        import json
+
+        manifest_path = tmp_path / "run_manifest.json"
+        code, _out, err = self._run(
+            [log_path,
+             "--backend", "chunked", "--chunk-size", "64", "--workers", "2",
+             "--policy", "uniform", "--policy", "constant:1",
+             "--bootstrap", "300", "--seed", "3",
+             "--manifest", str(manifest_path)],
+            capsys,
+        )
+        assert code == 0
+        assert str(manifest_path) in err
+        data = json.loads(manifest_path.read_text())
+        assert data["schema_version"] == 1
+        assert data["command"] == "evaluate"
+        assert data["config"]["backend"] == "chunked"
+        assert len(data["results"]) == 2  # 2 policies × 1 estimator
+        assert all("bootstrap" in r for r in data["results"])
+        assert "sha256" in data["input"]
+        span_names = {s["name"] for s in data["spans"]}
+        assert "evaluate.jsonl" in span_names
+        assert "bootstrap.replicates" in span_names
+        assert "engine.chunk_folds" in data["metrics"]
+
+        # The report subcommand renders the saved manifest.
+        code = main(["report", str(manifest_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "top spans by wall time" in out
+        assert "uniform-random" in out
+        assert "metric totals" in out
+
+    def test_report_missing_file_errors(self, tmp_path, capsys):
+        code = main(["report", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_rejects_bad_schema(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 99}')
+        code = main(["report", str(path)])
+        assert code == 1
+        assert "schema version" in capsys.readouterr().err
+
+
 class TestAutoEstimator:
     def test_auto_estimator_runs(self, log_path, capsys):
         from repro.__main__ import main

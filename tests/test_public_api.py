@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.cache",
     "repro.machinehealth",
     "repro.chaos",
+    "repro.obs",
 ]
 
 
