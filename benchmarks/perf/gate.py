@@ -34,6 +34,12 @@ GATED_METRICS = (
         "instrumentation relative throughput",
         ("instrumentation", "relative_throughput"),
     ),
+    (
+        "harvest machinehealth speedup",
+        ("harvest", "machinehealth", "speedup"),
+    ),
+    ("harvest loadbalance speedup", ("harvest", "loadbalance", "speedup")),
+    ("harvest cache speedup", ("harvest", "cache", "speedup")),
 )
 
 DEFAULT_BASELINE = os.path.join(

@@ -62,6 +62,16 @@ BOOT_WORKERS = 2
 #: Acceptance gate (full mode only): vectorized class search must beat
 #: the scalar path by at least this factor in throughput.
 MIN_SPEEDUP = 10.0
+#: Harvest-side sizes: rows generated per scenario by the batched
+#: engine, and the per-row (batch_size=1) reference slice it is
+#: compared against on throughput.
+N_HARVEST = 1_000 if SMOKE else 100_000
+N_HARVEST_PER_ROW = 200 if SMOKE else 2_000
+#: Cache rows are evictions, roughly 0.48 per big/small request.
+N_CACHE_REQUESTS = 3_000 if SMOKE else 210_000
+#: Acceptance gate (full mode only): batched harvesting must beat the
+#: per-row mode by at least this factor for every scenario.
+MIN_HARVEST_SPEEDUP = 10.0
 
 FEATURES = [f"f{i}" for i in range(4)]
 
@@ -306,6 +316,151 @@ class TestInstrumentationOverhead:
             )
 
 
+class TestHarvestThroughput:
+    """Batched ``act_batch`` harvesting vs per-row, per scenario.
+
+    "Per-row" is ``batch_size=1`` through the same engine — the same
+    RNG stream, documented as such — timed on a slice and compared on
+    rows/second (size-independent for both modes).  Scenario data
+    preparation (fleet generation, cache simulation, reward-matrix
+    reconstruction) is identical in both modes and excluded from the
+    timed region; what is measured is the harvest engine itself: one
+    ``act_batch`` + one reward gather per batch.  Each scenario uses a
+    stochastic logging policy, so the inverse-CDF sampler is on the
+    timed path.
+    """
+
+    def _record(self, key, policy_name, n_batch, batch_seconds,
+                n_per_row, per_row_seconds):
+        batch_rps = n_batch / batch_seconds
+        per_row_rps = n_per_row / per_row_seconds
+        RESULTS[f"harvest_{key}"] = {
+            "policy": policy_name,
+            "n_batch": n_batch,
+            "batch_seconds": batch_seconds,
+            "batch_rows_per_sec": batch_rps,
+            "n_per_row": n_per_row,
+            "per_row_seconds": per_row_seconds,
+            "per_row_rows_per_sec": per_row_rps,
+            "speedup": batch_rps / per_row_rps,
+        }
+
+    def _per_row_seconds(self, harvest, rounds=ROUNDS) -> float:
+        durations = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            harvest()
+            durations.append(time.perf_counter() - start)
+        return min(durations)
+
+    def test_bench_harvest_machinehealth(self, benchmark):
+        from repro.machinehealth.dataset import (
+            build_full_feedback_dataset,
+            simulate_exploration_columns,
+        )
+
+        full = build_full_feedback_dataset(n_events=N_HARVEST, seed=21)
+        batch_seconds = _timed(
+            benchmark,
+            lambda: simulate_exploration_columns(
+                full.full, np.random.default_rng(0)
+            ),
+        )
+        small = build_full_feedback_dataset(n_events=N_HARVEST_PER_ROW, seed=21)
+        per_row_seconds = self._per_row_seconds(
+            lambda: simulate_exploration_columns(
+                small.full, np.random.default_rng(0), batch_size=1
+            )
+        )
+        self._record(
+            "machinehealth", "uniform-random", N_HARVEST, batch_seconds,
+            N_HARVEST_PER_ROW, per_row_seconds,
+        )
+
+    def test_bench_harvest_loadbalance(self, benchmark):
+        from repro.loadbalance.harvest import (
+            batch_exploration_columns,
+            synthetic_decision_snapshots,
+        )
+        from repro.loadbalance.policies import weighted_random_policy
+        from repro.loadbalance.proxy import fig5_servers
+
+        servers = fig5_servers()
+        policy = weighted_random_policy([0.7, 0.3])
+        snapshots = synthetic_decision_snapshots(N_HARVEST, 2, seed=21)
+        batch_seconds = _timed(
+            benchmark,
+            lambda: batch_exploration_columns(
+                policy, snapshots, servers, np.random.default_rng(0)
+            ),
+        )
+        small = synthetic_decision_snapshots(N_HARVEST_PER_ROW, 2, seed=21)
+        per_row_seconds = self._per_row_seconds(
+            lambda: batch_exploration_columns(
+                policy, small, servers, np.random.default_rng(0),
+                batch_size=1,
+            )
+        )
+        self._record(
+            "loadbalance", policy.name, N_HARVEST, batch_seconds,
+            N_HARVEST_PER_ROW, per_row_seconds,
+        )
+
+    def test_bench_harvest_cache(self, benchmark):
+        from repro.cache.eviction import random_eviction_policy
+        from repro.cache.harvest import (
+            _context_from_candidates,
+            candidate_reward_matrix,
+        )
+        from repro.cache.keyspace_log import parse_keyspace_line
+        from repro.cache.sim import CacheSim
+        from repro.cache.workload import BigSmallWorkload
+        from repro.core.harvest import harvest_columns
+        from repro.simsys.random_source import RandomSource
+
+        workload = BigSmallWorkload(
+            n_big=20, n_small=200,
+            randomness=RandomSource(21, _name="bench-wl"),
+        )
+        sim = CacheSim(150, random_eviction_policy(), seed=21)
+        result = sim.run(
+            workload.requests(N_CACHE_REQUESTS), keep_log=True
+        )
+        events = [
+            parsed
+            for parsed in map(parse_keyspace_line, result.log_lines)
+            if parsed is not None
+        ]
+        evictions, rewards = candidate_reward_matrix(events, 5)
+        contexts = [
+            _context_from_candidates(event.candidates[:5])
+            for event in evictions
+        ]
+        eligible = [
+            tuple(range(min(len(event.candidates), 5))) or (0,)
+            for event in evictions
+        ]
+
+        def reveal(indices, actions):
+            return rewards[indices, actions]
+
+        policy = random_eviction_policy()
+        harvest = lambda size, n: harvest_columns(  # noqa: E731
+            policy, contexts[:n], reveal, np.random.default_rng(0),
+            eligible=eligible[:n], batch_size=size, scenario="cache",
+        )
+        n_batch = len(evictions)
+        n_per_row = min(N_HARVEST_PER_ROW, n_batch)
+        batch_seconds = _timed(benchmark, lambda: harvest(8_192, n_batch))
+        per_row_seconds = self._per_row_seconds(
+            lambda: harvest(1, n_per_row)
+        )
+        self._record(
+            "cache", policy.name, n_batch, batch_seconds,
+            n_per_row, per_row_seconds,
+        )
+
+
 class TestThroughputArtifact:
     """Derive speedups, write ``BENCH_ope.json``, enforce the gate."""
 
@@ -318,6 +473,9 @@ class TestThroughputArtifact:
             "single_chunked",
             "bootstrap",
             "instrumentation",
+            "harvest_machinehealth",
+            "harvest_loadbalance",
+            "harvest_cache",
         }, "benchmark tests must run before the artifact test (file order)"
         single_speedup = (
             RESULTS["single_vectorized"]["interactions_per_sec"]
@@ -356,6 +514,11 @@ class TestThroughputArtifact:
             },
             "bootstrap": RESULTS["bootstrap"],
             "instrumentation": RESULTS["instrumentation"],
+            "harvest": {
+                "machinehealth": RESULTS["harvest_machinehealth"],
+                "loadbalance": RESULTS["harvest_loadbalance"],
+                "cache": RESULTS["harvest_cache"],
+            },
         }
         with open(ARTIFACT_PATH, "w", encoding="utf-8") as f:
             json.dump(artifact, f, indent=2)
@@ -395,6 +558,15 @@ class TestThroughputArtifact:
                     f"{RESULTS['instrumentation']['instrumented_seconds']:.3f}s",
                     f"{RESULTS['instrumentation']['relative_throughput']:.2f}x",
                 ],
+            ]
+            + [
+                [
+                    f"harvest {scenario} (rows/s)",
+                    f"{RESULTS[f'harvest_{scenario}']['per_row_rows_per_sec']:.0f}",
+                    f"{RESULTS[f'harvest_{scenario}']['batch_rows_per_sec']:.0f}",
+                    f"{RESULTS[f'harvest_{scenario}']['speedup']:.1f}x",
+                ]
+                for scenario in ("machinehealth", "loadbalance", "cache")
             ],
         )
         if not SMOKE:
@@ -402,3 +574,9 @@ class TestThroughputArtifact:
                 f"class-search speedup {class_speedup:.1f}x below the "
                 f"{MIN_SPEEDUP:.0f}x acceptance target"
             )
+            for scenario in ("machinehealth", "loadbalance", "cache"):
+                speedup = RESULTS[f"harvest_{scenario}"]["speedup"]
+                assert speedup >= MIN_HARVEST_SPEEDUP, (
+                    f"harvest {scenario} batch speedup {speedup:.1f}x "
+                    f"below the {MIN_HARVEST_SPEEDUP:.0f}x acceptance target"
+                )

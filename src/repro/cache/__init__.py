@@ -41,8 +41,10 @@ from repro.cache.keyspace_log import (
     parse_keyspace_line,
 )
 from repro.cache.harvest import (
+    candidate_reward_matrix,
     eviction_dataset_from_log,
     reconstruct_rewards,
+    resample_eviction_columns,
     train_cb_eviction,
 )
 from repro.cache.replay import replay_evaluate, replay_rank, requests_from_log
@@ -75,8 +77,10 @@ __all__ = [
     "KeyspaceEvent",
     "format_keyspace_line",
     "parse_keyspace_line",
+    "candidate_reward_matrix",
     "eviction_dataset_from_log",
     "reconstruct_rewards",
+    "resample_eviction_columns",
     "train_cb_eviction",
     "replay_evaluate",
     "replay_rank",

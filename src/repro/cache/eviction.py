@@ -225,8 +225,11 @@ def naive_freq_size_policy() -> ScoredEvictionPolicy:
 
 
 def cb_eviction_policy(predict, name: str = "CB policy") -> ScoredEvictionPolicy:
-    """Greedy CB eviction: evict the candidate with the *largest*
-    predicted time-to-next-access (the Table 1 CB reward)."""
+    """Greedy CB eviction from a learned score function.
+
+    Evicts the candidate with the *largest* predicted
+    time-to-next-access (the Table 1 CB reward).
+    """
     return ScoredEvictionPolicy(predict, name=name)
 
 

@@ -14,9 +14,13 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.cache.eviction import candidate_features
 from repro.cache.keyspace_log import KeyspaceEvent, parse_keyspace_line
+from repro.core.columns import DatasetColumns
 from repro.core.features import Featurizer
+from repro.core.harvest import DEFAULT_BATCH_SIZE, harvest_columns
 from repro.core.learners.cb import PerActionFeaturesLearner
 from repro.core.policies import Policy, UniformRandomPolicy
 from repro.core.propensity import DeclaredPropensityModel
@@ -73,6 +77,111 @@ def reconstruct_rewards(
             reward = reward_cap
         rewarded.append((event, reward))
     return rewarded
+
+
+def candidate_reward_matrix(
+    events: Sequence[KeyspaceEvent],
+    sample_size: int = 5,
+    reward_cap: float = DEFAULT_REWARD_CAP,
+) -> tuple[list[KeyspaceEvent], np.ndarray]:
+    """Per-slot look-ahead rewards for every logged eviction point.
+
+    The full-feedback analogue of :func:`reconstruct_rewards`: because
+    the keyspace log names *every sampled candidate* (not just the
+    victim), the time-to-next-access look-ahead works for any slot the
+    policy might have evicted.  Returns the EVICT events alongside an
+    ``(N, sample_size)`` reward matrix — rows align with the events,
+    entry ``[t, s]`` is the capped time until candidate ``s``'s key
+    reappears after eviction time ``t`` (slots beyond the row's sample
+    hold the cap, but are never eligible).  This is what lets
+    :func:`resample_eviction_columns` replay the same decision points
+    under a different eviction policy.
+    """
+    import bisect
+
+    access_times: dict[str, list[float]] = {}
+    for event in events:
+        if event.kind == "GET":
+            access_times.setdefault(event.key, []).append(event.time)
+    for times in access_times.values():
+        times.sort()
+    evictions = [event for event in events if event.kind == "EVICT"]
+    rewards = np.full((len(evictions), sample_size), reward_cap)
+    for row, event in enumerate(evictions):
+        for slot, (key, *_features) in enumerate(event.candidates):
+            if slot >= sample_size:
+                break
+            times = access_times.get(key, [])
+            index = bisect.bisect_right(times, event.time)
+            if index < len(times):
+                rewards[row, slot] = min(times[index] - event.time, reward_cap)
+    return evictions, rewards
+
+
+def resample_eviction_columns(
+    lines_or_events,
+    policy: Policy,
+    rng: np.random.Generator,
+    sample_size: int = 5,
+    reward_cap: float = DEFAULT_REWARD_CAP,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> DatasetColumns:
+    """Replay logged eviction points under ``policy``, in batches.
+
+    The cache instance of the batch harvest engine: every EVICT event
+    in the keyspace log becomes a decision point whose candidate
+    features form the context; ``policy`` re-decides all of them
+    through :meth:`~repro.core.policies.Policy.act_batch`, and the
+    revealed reward is the chosen candidate's look-ahead
+    time-to-next-access from :func:`candidate_reward_matrix`.
+    Eligibility is per-row (only the slots actually sampled at that
+    decision).  Output is columnar and bit-identical for any
+    ``batch_size`` under a fixed generator.
+    """
+    events: list[KeyspaceEvent] = []
+    for item in lines_or_events:
+        if isinstance(item, str):
+            parsed = parse_keyspace_line(item)
+            if parsed is not None:
+                events.append(parsed)
+        else:
+            events.append(item)
+    with get_tracer().span(
+        "harvest.cache", sample_size=sample_size, batched=True
+    ) as span:
+        evictions, rewards = candidate_reward_matrix(
+            events, sample_size, reward_cap
+        )
+        if not evictions:
+            raise ValueError("no EVICT events to resample")
+        contexts = [
+            _context_from_candidates(event.candidates[:sample_size])
+            for event in evictions
+        ]
+        eligible = [
+            tuple(range(min(len(event.candidates), sample_size))) or (0,)
+            for event in evictions
+        ]
+        timestamps = np.array([event.time for event in evictions])
+
+        def reveal(indices: np.ndarray, actions: np.ndarray) -> np.ndarray:
+            return rewards[indices, actions]
+
+        columns = harvest_columns(
+            policy,
+            contexts,
+            reveal,
+            rng,
+            eligible=eligible,
+            action_space=eviction_action_space(sample_size),
+            batch_size=batch_size,
+            reward_range=RewardRange(0.0, reward_cap, maximize=True),
+            scenario="cache",
+            timestamps=timestamps,
+        )
+        span.set(rows=columns.n, events=len(events))
+    get_metrics().counter("harvest.rows", scenario="cache").inc(columns.n)
+    return columns
 
 
 def eviction_action_space(sample_size: int) -> ActionSpace:

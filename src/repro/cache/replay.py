@@ -61,8 +61,10 @@ def replay_evaluate(
     seed: int = 0,
     warmup_fraction: float = 0.1,
 ) -> CacheSimResult:
-    """Counterfactually evaluate ``policy`` by replaying the logged
-    GET stream through a fresh simulated cache.
+    """Counterfactually evaluate ``policy`` against a logged GET stream.
+
+    Replays the stream through a fresh simulated cache running
+    ``policy`` instead of the logging policy.
 
     Returns the full :class:`CacheSimResult`; ``.hit_rate`` is the
     model-based estimate of the policy's deployed hit rate.

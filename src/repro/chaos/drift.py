@@ -64,5 +64,6 @@ class ChainedHooks:
         self.hooks = hooks
 
     def tick(self, now: float, servers: Sequence) -> None:
+        """Run every chained hook in order."""
         for hook in self.hooks:
             hook.tick(now, servers)

@@ -21,7 +21,7 @@ from repro.core.types import (
     Interaction,
     RewardRange,
 )
-from repro.core.columns import DatasetColumns
+from repro.core.columns import ContextColumns, DatasetColumns, DecisionBatch
 from repro.core.engine import (
     get_default_backend,
     set_default_backend,
@@ -40,6 +40,7 @@ from repro.core.policies import (
     PolicyClass,
     SoftmaxPolicy,
     UniformRandomPolicy,
+    sample_from_probabilities,
 )
 from repro.core.estimators import (
     ClippedIPSEstimator,
@@ -84,7 +85,13 @@ from repro.core.propensity import (
     PropensityModel,
     RegressionPropensityModel,
 )
-from repro.core.harvest import HarvestPipeline, LogScavenger
+from repro.core.harvest import (
+    HarvestPipeline,
+    LogScavenger,
+    harvest_columns,
+    harvest_dataset,
+    harvest_rows,
+)
 from repro.core.ab_testing import ABTest, ABTestReport
 from repro.core.comparison import (
     BoundedEstimate,
@@ -120,8 +127,10 @@ from repro.core.bootstrap import (
 
 __all__ = [
     "ActionSpace",
+    "ContextColumns",
     "Dataset",
     "DatasetColumns",
+    "DecisionBatch",
     "Interaction",
     "RewardRange",
     "get_default_backend",
@@ -140,6 +149,7 @@ __all__ = [
     "LinearThresholdPolicy",
     "MixturePolicy",
     "PolicyClass",
+    "sample_from_probabilities",
     "IPSEstimator",
     "ClippedIPSEstimator",
     "SNIPSEstimator",
@@ -175,6 +185,9 @@ __all__ = [
     "RegressionPropensityModel",
     "HarvestPipeline",
     "LogScavenger",
+    "harvest_columns",
+    "harvest_dataset",
+    "harvest_rows",
     "ABTest",
     "ABTestReport",
     "BoundedEstimate",

@@ -235,8 +235,11 @@ def bootstrap_snips_interval(
     seed: Optional[int] = None,
     workers: int = 1,
 ) -> ConfidenceInterval:
-    """Bootstrap CI for SNIPS — resamples (weight, weighted-reward)
-    pairs jointly, since the estimator is a ratio of means."""
+    """Bootstrap confidence interval for SNIPS.
+
+    Resamples (weight, weighted-reward) pairs jointly, since the
+    estimator is a ratio of means.
+    """
     snips = SNIPSEstimator(backend=backend)
     weights = snips.match_weights(policy, dataset)
     rewards = dataset.rewards()

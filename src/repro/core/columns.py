@@ -1,126 +1,154 @@
-"""Columnar dataset representation for batch off-policy evaluation.
+"""Columnar views for batch off-policy evaluation *and* batch harvesting.
 
-The scalar estimators walk a :class:`~repro.core.types.Dataset` one
-:class:`~repro.core.types.Interaction` at a time, re-resolving eligible
-actions and re-featurizing the context for every policy they score.
-That per-row work is identical across the hundreds of candidate
-policies a class search evaluates — §4's "simultaneous evaluation"
-promise makes it the hottest path in the system.
+The scalar paths walk one row at a time, re-resolving eligible actions
+and re-featurizing the context for every policy they touch.  That
+per-row work is identical across the hundreds of candidate policies a
+class search evaluates — §4's "simultaneous evaluation" promise makes
+it the hottest path in the system — and, symmetrically, identical
+across the hundreds of thousands of decisions a harvest-side workload
+generator draws.  Both sides share the machinery in this module:
 
-:class:`DatasetColumns` hoists everything that depends only on the
-*log* out of the per-policy loop:
+- :class:`ContextColumns` hoists everything that depends only on the
+  *decision-time inputs* (contexts + eligibility) out of the per-row
+  loop: the ``(N, K)`` boolean eligibility mask, eligible counts, and
+  memoized feature matrices (named-feature and hashed layouts).
+- :class:`DecisionBatch` is the harvest-side view: a batch of contexts
+  about to be *acted on* by :meth:`repro.core.policies.Policy.act_batch`,
+  before any action, reward, or propensity exists.
+- :class:`DatasetColumns` is the evaluation-side view: a logged
+  dataset's contexts plus its ``actions``/``rewards``/``propensities``
+  arrays.  :meth:`DatasetColumns.from_arrays` closes the loop — the
+  batch harvester writes its sampled actions and propensities straight
+  into a columnar view, so generated logs feed the vectorized
+  estimators without ever constructing per-row objects.
 
-- ``actions``, ``rewards``, ``propensities`` as flat NumPy arrays;
-- the per-row eligible-action sets, resolved once into an ``(N, K)``
-  boolean mask (replicating
-  :func:`repro.core.estimators.base.eligible_actions_fn` semantics);
-- memoized feature matrices — both the named-feature layout used by
-  linear policies and the hashed layout used by reward models — so
-  featurization cost is paid once per dataset, not once per policy.
-
-Policies consume it through
+Policies consume either view through
 :meth:`~repro.core.policies.Policy.probabilities_batch`, which returns
-the full ``(N, K)`` probability matrix; estimators then reduce that
-matrix with a handful of array operations.  Columns are cached on the
-dataset (see :meth:`repro.core.types.Dataset.columns`) and invalidated
-when the dataset is mutated, so every estimator and every member of a
-policy class shares one featurization pass.
+the full ``(N, K)`` probability matrix; estimators reduce that matrix
+with a handful of array operations, and ``act_batch`` samples from it
+with one uniform draw per row.  Columns are cached on the dataset (see
+:meth:`repro.core.types.Dataset.columns`) and invalidated when the
+dataset is mutated, so every estimator and every member of a policy
+class shares one featurization pass.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.types import ActionSpace, Context, Dataset
+from repro.core.types import ActionSpace, Context, Dataset, Interaction, RewardRange
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.core.features import Featurizer
     from repro.core.policies import Policy
 
+#: Eligibility in batch form: one shared action list for every row, or
+#: one list per row.
+EligibleSpec = Union[Sequence[int], Sequence[Sequence[int]]]
 
-class DatasetColumns:
-    """Immutable columnar view of a dataset, shared across evaluations.
 
-    ``n_actions`` (K) is the action-space size when the dataset carries
-    one, else ``max(logged action) + 1`` — the best reconstruction
-    available for scavenged logs.  ``eligible_mask[t, a]`` is whether
-    action ``a`` was eligible at row ``t``; probabilities of ineligible
-    actions are exactly zero in every batch matrix.
+def is_per_row_eligibility(eligible: EligibleSpec) -> bool:
+    """Whether an eligibility spec is per-row (vs one shared list).
+
+    A shared spec is a flat sequence of ints; a per-row spec is a
+    sequence of sequences, one per row.  Empty specs count as shared.
+    """
+    try:
+        first = eligible[0]  # type: ignore[index]
+    except (IndexError, TypeError, KeyError):
+        return False
+    return not isinstance(first, (int, np.integer))
+
+
+class ContextColumns:
+    """Columnar view of decision-time inputs: contexts + eligibility.
+
+    ``n_actions`` (K) bounds the action ids; ``eligible_mask[t, a]`` is
+    whether action ``a`` is eligible at row ``t``.  Probabilities of
+    ineligible actions are exactly zero in every batch matrix built
+    from this view.  Subclasses add outcome columns
+    (:class:`DatasetColumns`) or stay pure decision batches
+    (:class:`DecisionBatch`).
     """
 
-    def __init__(self, dataset: Dataset) -> None:
-        interactions = list(dataset)
-        n = len(interactions)
-        self.n = n
-        self.contexts: tuple[Context, ...] = tuple(
-            i.context for i in interactions
-        )
-        self.actions = np.fromiter(
-            (i.action for i in interactions), dtype=np.int64, count=n
-        )
-        self.rewards = np.fromiter(
-            (i.reward for i in interactions), dtype=np.float64, count=n
-        )
-        self.propensities = np.fromiter(
-            (i.propensity for i in interactions), dtype=np.float64, count=n
-        )
-
-        space = dataset.action_space
-        if space is not None:
-            self.n_actions = space.n_actions
-        elif n > 0:
-            self.n_actions = int(self.actions.max()) + 1
-        else:
-            self.n_actions = 1
-        k = self.n_actions
-
-        # Per-row eligible actions, mirroring eligible_actions_fn: the
-        # action space (possibly context-restricted) when present, else
-        # the set of actions observed anywhere in the log.
-        if space is not None and space.restricted:
-            self.eligible_lists: tuple[tuple[int, ...], ...] = tuple(
-                tuple(space.actions(context)) for context in self.contexts
+    def __init__(
+        self,
+        contexts: Sequence[Context],
+        eligible: EligibleSpec,
+        n_actions: Optional[int] = None,
+    ) -> None:
+        contexts = tuple(contexts)
+        n = len(contexts)
+        if is_per_row_eligibility(eligible):
+            eligible_lists = tuple(
+                tuple(int(a) for a in row) for row in eligible
             )
-            mask = np.zeros((n, k), dtype=bool)
-            for row, eligible in enumerate(self.eligible_lists):
-                mask[row, list(eligible)] = True
-            self.eligible_mask = mask
-            self.uniform_eligibility = False
+            if len(eligible_lists) != n:
+                raise ValueError(
+                    f"got {len(eligible_lists)} eligibility rows for "
+                    f"{n} contexts"
+                )
+            uniform = len(set(eligible_lists)) <= 1
         else:
-            if space is not None:
-                shared: tuple[int, ...] = tuple(range(k))
-            elif n > 0:
-                shared = tuple(sorted(set(self.actions.tolist())))
-            else:
-                shared = (0,)
-            self.eligible_lists = (shared,) * n
-            mask = np.zeros((n, k), dtype=bool)
-            mask[:, list(shared)] = True
-            self.eligible_mask = mask
-            self.uniform_eligibility = True
+            shared = tuple(int(a) for a in eligible)
+            eligible_lists = (shared,) * n
+            uniform = True
+        for row in set(eligible_lists):
+            if not row:
+                raise ValueError("every row needs at least one eligible action")
+            if min(row) < 0:
+                raise ValueError(f"negative action id in eligible set {row}")
+        if n_actions is None:
+            n_actions = (
+                max(max(row) for row in set(eligible_lists)) + 1
+                if eligible_lists
+                else 1
+            )
+        self._init_columns(contexts, eligible_lists, int(n_actions), uniform)
 
-        self.eligible_counts = self.eligible_mask.sum(axis=1).astype(float)
+    # Shared initializer so DatasetColumns can keep its own eligibility
+    # reconstruction (action space / observed actions) while reusing the
+    # mask assembly and caches.
+    def _init_columns(
+        self,
+        contexts: tuple[Context, ...],
+        eligible_lists: tuple[tuple[int, ...], ...],
+        n_actions: int,
+        uniform_eligibility: bool,
+    ) -> None:
+        n = len(contexts)
+        self.n = n
+        self.contexts = contexts
+        self.n_actions = n_actions
+        self.eligible_lists = eligible_lists
+        distinct = set(eligible_lists)
+        for row in distinct:
+            if row and max(row) >= n_actions:
+                raise ValueError(
+                    f"eligible action {max(row)} outside action space of "
+                    f"size {n_actions}"
+                )
+        mask = np.zeros((n, n_actions), dtype=bool)
+        if uniform_eligibility and n > 0:
+            mask[:, list(eligible_lists[0])] = True
+        else:
+            for row, eligible in enumerate(eligible_lists):
+                mask[row, list(eligible)] = True
+        self.eligible_mask = mask
+        self.uniform_eligibility = uniform_eligibility
+        self.eligible_counts = mask.sum(axis=1).astype(float)
         #: Whether every row's eligible list is sorted ascending.  When
         #: true, a masked argmax (lowest-id tie-break) reproduces the
         #: scalar path's first-in-list tie-break exactly; deterministic
         #: batch policies fall back to the loop otherwise.
         self.canonical_order = all(
-            all(a < b for a, b in zip(row, row[1:]))
-            for row in set(self.eligible_lists)
+            all(a < b for a, b in zip(row, row[1:])) for row in distinct
         )
-
         self._row_index = np.arange(n)
         self._feature_matrices: dict[tuple[str, ...], np.ndarray] = {}
         self._hashed_matrices: dict[int, tuple[object, np.ndarray]] = {}
-        self._observed_actions: Optional[np.ndarray] = None
-        self._identity_error: Optional[float] = None
-
-    @classmethod
-    def from_dataset(cls, dataset: Dataset) -> "DatasetColumns":
-        """Build (without caching) the columnar view of ``dataset``."""
-        return cls(dataset)
 
     # -- memoized featurizations -------------------------------------------
 
@@ -150,33 +178,6 @@ class DatasetColumns:
             entry = (featurizer, matrix)
             self._hashed_matrices[id(featurizer)] = entry
         return entry[1]
-
-    # -- policy-independent diagnostic inputs --------------------------------
-
-    def observed_actions(self) -> np.ndarray:
-        """Sorted unique logged action ids, computed once per dataset.
-
-        The logged *support*: any candidate-policy mass outside this set
-        is invisible to importance-weighted estimators (see
-        :mod:`repro.core.diagnostics`).
-        """
-        if self._observed_actions is None:
-            self._observed_actions = np.unique(self.actions)
-        return self._observed_actions
-
-    def propensity_identity_error(self) -> float:
-        """Cached per-action A1 identity deviation of the *log* itself.
-
-        Depends only on the logged (action, propensity) pairs, so a
-        class search over hundreds of candidates pays for it once.
-        """
-        if self._identity_error is None:
-            from repro.core.diagnostics import propensity_identity_error
-
-            self._identity_error = propensity_identity_error(
-                self.actions, self.propensities
-            )
-        return self._identity_error
 
     # -- batch building blocks ---------------------------------------------
 
@@ -215,6 +216,276 @@ class DatasetColumns:
         )
         return np.argmax(guarded, axis=1)
 
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n}, k={self.n_actions})"
+
+
+class DecisionBatch(ContextColumns):
+    """A batch of contexts about to be acted on (the harvest side).
+
+    This is what :meth:`repro.core.policies.Policy.act_batch` consumes:
+    decision-time contexts plus eligibility, with no actions, rewards,
+    or propensities yet.  It shares the memoized feature matrices and
+    mask machinery of :class:`ContextColumns`, so a vectorized policy
+    pays featurization once per batch rather than once per row.
+    """
+
+    @classmethod
+    def from_action_space(
+        cls,
+        contexts: Sequence[Context],
+        space: Optional[ActionSpace],
+        observed: Optional[Sequence[int]] = None,
+    ) -> "DecisionBatch":
+        """Build a batch whose eligibility comes from an action space.
+
+        Mirrors :class:`DatasetColumns`' reconstruction: a restricted
+        space is resolved per context, an unrestricted one is shared;
+        with no space at all, ``observed`` (sorted) stands in for the
+        eligible set, as for a scavenged log.
+        """
+        if space is not None and space.restricted:
+            eligible: EligibleSpec = [
+                tuple(space.actions(context)) for context in contexts
+            ]
+            return cls(contexts, eligible, n_actions=space.n_actions)
+        if space is not None:
+            return cls(
+                contexts, tuple(range(space.n_actions)),
+                n_actions=space.n_actions,
+            )
+        shared = tuple(sorted(set(int(a) for a in (observed or ())))) or (0,)
+        return cls(contexts, shared, n_actions=max(shared) + 1)
+
+
+def as_decision_batch(
+    contexts, eligible: Optional[EligibleSpec] = None
+) -> ContextColumns:
+    """Coerce ``(contexts, eligible)`` into a columnar decision view.
+
+    Accepts a prebuilt :class:`ContextColumns` (with ``eligible=None``)
+    and passes it through unchanged, so callers that already hold a
+    batch — the harvest engine, chained policies — pay for mask
+    construction once.
+    """
+    if isinstance(contexts, ContextColumns):
+        if eligible is not None:
+            raise ValueError(
+                "eligible must be None when contexts is already columnar"
+            )
+        return contexts
+    if eligible is None:
+        raise ValueError("eligible is required for raw context sequences")
+    return DecisionBatch(contexts, eligible)
+
+
+class DatasetColumns(ContextColumns):
+    """Immutable columnar view of a dataset, shared across evaluations.
+
+    ``n_actions`` (K) is the action-space size when the dataset carries
+    one, else ``max(logged action) + 1`` — the best reconstruction
+    available for scavenged logs.  ``eligible_mask[t, a]`` is whether
+    action ``a`` was eligible at row ``t``; probabilities of ineligible
+    actions are exactly zero in every batch matrix.
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        interactions = list(dataset)
+        n = len(interactions)
+        contexts: tuple[Context, ...] = tuple(i.context for i in interactions)
+        actions = np.fromiter(
+            (i.action for i in interactions), dtype=np.int64, count=n
+        )
+
+        space = dataset.action_space
+        if space is not None:
+            n_actions = space.n_actions
+        elif n > 0:
+            n_actions = int(actions.max()) + 1
+        else:
+            n_actions = 1
+
+        # Per-row eligible actions, mirroring eligible_actions_fn: the
+        # action space (possibly context-restricted) when present, else
+        # the set of actions observed anywhere in the log.
+        if space is not None and space.restricted:
+            eligible_lists: tuple[tuple[int, ...], ...] = tuple(
+                tuple(space.actions(context)) for context in contexts
+            )
+            uniform = False
+        else:
+            if space is not None:
+                shared: tuple[int, ...] = tuple(range(n_actions))
+            elif n > 0:
+                shared = tuple(sorted(set(actions.tolist())))
+            else:
+                shared = (0,)
+            eligible_lists = (shared,) * n
+            uniform = True
+
+        self._init_columns(contexts, eligible_lists, n_actions, uniform)
+        self.actions = actions
+        self.rewards = np.fromiter(
+            (i.reward for i in interactions), dtype=np.float64, count=n
+        )
+        self.propensities = np.fromiter(
+            (i.propensity for i in interactions), dtype=np.float64, count=n
+        )
+        self.timestamps = np.fromiter(
+            (i.timestamp for i in interactions), dtype=np.float64, count=n
+        )
+        self.action_space = space
+        self.reward_range = dataset.reward_range
+        self._observed_actions: Optional[np.ndarray] = None
+        self._identity_error: Optional[float] = None
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "DatasetColumns":
+        """Build (without caching) the columnar view of ``dataset``."""
+        return cls(dataset)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        contexts: Sequence[Context],
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        propensities: np.ndarray,
+        *,
+        eligible: Optional[EligibleSpec] = None,
+        n_actions: Optional[int] = None,
+        action_space: Optional[ActionSpace] = None,
+        reward_range: Optional[RewardRange] = None,
+        timestamps: Optional[np.ndarray] = None,
+    ) -> "DatasetColumns":
+        """Assemble a columnar log directly from arrays — no Dataset.
+
+        This is the batch harvester's output path: sampled actions and
+        propensities land in the columnar layout the vectorized
+        estimators consume, skipping per-row ``Interaction``
+        construction entirely.  ``eligible`` follows the
+        :data:`EligibleSpec` convention; when omitted it is derived
+        from ``action_space`` (per-row if restricted) or from the
+        sorted set of observed actions, exactly as the Dataset path
+        reconstructs it.  Use :meth:`to_dataset` to materialize
+        per-row objects when the scalar paths (or JSONL export) need
+        them.
+        """
+        n = len(contexts)
+        actions = np.asarray(actions, dtype=np.int64)
+        rewards = np.asarray(rewards, dtype=np.float64)
+        propensities = np.asarray(propensities, dtype=np.float64)
+        for name, array in (
+            ("actions", actions),
+            ("rewards", rewards),
+            ("propensities", propensities),
+        ):
+            if array.shape != (n,):
+                raise ValueError(
+                    f"{name} must have shape ({n},), got {array.shape}"
+                )
+        if n > 0 and (
+            (propensities <= 0.0).any() or (propensities > 1.0).any()
+        ):
+            raise ValueError("propensities must be in (0, 1]")
+        if n > 0 and not np.isfinite(rewards).all():
+            raise ValueError("rewards must be finite")
+
+        if eligible is None:
+            if action_space is not None and action_space.restricted:
+                eligible = [
+                    tuple(action_space.actions(context))
+                    for context in contexts
+                ]
+            elif action_space is not None:
+                eligible = tuple(range(action_space.n_actions))
+            else:
+                eligible = tuple(
+                    sorted(set(actions.tolist()))
+                ) if n > 0 else (0,)
+        if n_actions is None and action_space is not None:
+            n_actions = action_space.n_actions
+
+        columns = cls.__new__(cls)
+        ContextColumns.__init__(columns, contexts, eligible, n_actions)
+        if n > 0:
+            chosen_eligible = columns.eligible_mask[
+                np.arange(n), np.clip(actions, 0, columns.n_actions - 1)
+            ]
+            if (actions >= columns.n_actions).any() or not chosen_eligible.all():
+                bad = int(np.argmin(chosen_eligible))
+                raise ValueError(
+                    f"row {bad}: action {int(actions[bad])} is not eligible"
+                )
+        columns.actions = actions
+        columns.rewards = rewards
+        columns.propensities = propensities
+        columns.timestamps = (
+            np.asarray(timestamps, dtype=np.float64)
+            if timestamps is not None
+            else np.arange(n, dtype=np.float64)
+        )
+        if columns.timestamps.shape != (n,):
+            raise ValueError(f"timestamps must have shape ({n},)")
+        columns.action_space = action_space
+        columns.reward_range = reward_range
+        columns._observed_actions = None
+        columns._identity_error = None
+        return columns
+
+    def to_dataset(self) -> Dataset:
+        """Materialize per-row :class:`Interaction` objects.
+
+        The inverse bridge of :meth:`from_arrays`: batch-harvested
+        columns become an ordinary :class:`~repro.core.types.Dataset`
+        for the scalar estimators, JSONL export, or any per-row
+        consumer.  The columnar view stays authoritative — this copies.
+        """
+        interactions = [
+            Interaction(
+                context=self.contexts[t],
+                action=int(self.actions[t]),
+                reward=float(self.rewards[t]),
+                propensity=float(self.propensities[t]),
+                timestamp=float(self.timestamps[t]),
+            )
+            for t in range(self.n)
+        ]
+        return Dataset(
+            interactions,
+            action_space=self.action_space,
+            reward_range=self.reward_range,
+        )
+
+    # -- policy-independent diagnostic inputs --------------------------------
+
+    def observed_actions(self) -> np.ndarray:
+        """Sorted unique logged action ids, computed once per dataset.
+
+        The logged *support*: any candidate-policy mass outside this set
+        is invisible to importance-weighted estimators (see
+        :mod:`repro.core.diagnostics`).
+        """
+        if self._observed_actions is None:
+            self._observed_actions = np.unique(self.actions)
+        return self._observed_actions
+
+    def propensity_identity_error(self) -> float:
+        """Cached per-action A1 identity deviation of the *log* itself.
+
+        Depends only on the logged (action, propensity) pairs, so a
+        class search over hundreds of candidates pays for it once.
+        """
+        if self._identity_error is None:
+            from repro.core.diagnostics import propensity_identity_error
+
+            self._identity_error = propensity_identity_error(
+                self.actions, self.propensities
+            )
+        return self._identity_error
+
+    # -- logged-action lookups ----------------------------------------------
+
     def probability_of_logged(self, matrix: np.ndarray) -> np.ndarray:
         """Extract ``π(a_t | x_t)`` from a batch probability matrix."""
         return matrix[self._row_index, self.actions]
@@ -222,9 +493,6 @@ class DatasetColumns:
     def logged_probabilities(self, policy: "Policy") -> np.ndarray:
         """``π(a_t | x_t)`` for every row, via the policy's batch API."""
         return self.probability_of_logged(policy.probabilities_batch(self))
-
-    def __repr__(self) -> str:
-        return f"DatasetColumns(n={self.n}, k={self.n_actions})"
 
 
 class FixedEligibility:
@@ -238,6 +506,7 @@ class FixedEligibility:
         self.actions = tuple(int(a) for a in actions)
 
     def __call__(self, context: Context) -> tuple[int, ...]:
+        """Return the pinned eligible-action tuple (context ignored)."""
         return self.actions
 
 
@@ -295,7 +564,7 @@ def iter_chunk_columns(
         yield chunk.columns()
 
 
-def loop_probabilities(policy: "Policy", columns: DatasetColumns) -> np.ndarray:
+def loop_probabilities(policy: "Policy", columns: ContextColumns) -> np.ndarray:
     """Reference ``(N, K)`` probability matrix via per-row dispatch.
 
     The correct-for-anything fallback behind

@@ -6,14 +6,33 @@ own pre-configured scavenger, e.g.
 :func:`repro.loadbalance.harvest.access_log_scavenger`).
 :class:`HarvestPipeline` chains a scavenger with a propensity model and
 an off-policy estimator into the paper's three-step methodology.
+
+The module also hosts the **batch harvest engine** — the generation
+side of the paper's pitch that exploration data is cheap at scale.
+:func:`harvest_columns` drives any policy's
+:meth:`~repro.core.policies.Policy.act_batch` over a context stream in
+configurable batches and writes the sampled ``⟨x, a, r, p⟩`` tuples
+straight into a :class:`~repro.core.columns.DatasetColumns` view, so
+generated logs enter the vectorized estimators without a per-row
+object in between.  :func:`harvest_rows` is the scalar reference
+(legacy ``act()`` per row); :func:`harvest_dataset` picks between them.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
+import numpy as np
+
+from repro.core.columns import (
+    DatasetColumns,
+    DecisionBatch,
+    EligibleSpec,
+    is_per_row_eligibility,
+)
 from repro.core.estimators.base import EstimatorResult, OffPolicyEstimator
 from repro.core.estimators.ips import IPSEstimator
 from repro.core.learners.cb import PolicyClassOptimizer
@@ -29,6 +48,234 @@ from repro.core.validation import (
 )
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import get_tracer
+
+#: Default number of decisions sampled per ``act_batch`` call.
+DEFAULT_BATCH_SIZE = 8192
+
+#: ``reward_fn(indices, actions) -> rewards``: vectorized outcome lookup
+#: for the rows at ``indices`` (positions in the context stream) under
+#: the sampled ``actions``.  Called once per batch.
+RewardFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _resolve_eligibility(
+    contexts: Sequence[Context],
+    eligible: Optional[EligibleSpec],
+    action_space: Optional[ActionSpace],
+) -> tuple[EligibleSpec, bool, int]:
+    """Normalize harvest eligibility → ``(spec, per_row, n_actions)``."""
+    if eligible is None:
+        if action_space is None:
+            raise ValueError("harvest needs eligible actions or an action space")
+        if action_space.restricted:
+            eligible = [
+                tuple(action_space.actions(context)) for context in contexts
+            ]
+        else:
+            eligible = tuple(range(action_space.n_actions))
+    per_row = is_per_row_eligibility(eligible)
+    if action_space is not None:
+        n_actions = action_space.n_actions
+    elif per_row:
+        n_actions = max((max(row) for row in eligible), default=0) + 1
+    else:
+        n_actions = max(eligible, default=0) + 1
+    return eligible, per_row, int(n_actions)
+
+
+def harvest_columns(
+    policy: Policy,
+    contexts: Sequence[Context],
+    reward_fn: RewardFn,
+    rng: np.random.Generator,
+    *,
+    eligible: Optional[EligibleSpec] = None,
+    action_space: Optional[ActionSpace] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    reward_range: Optional[RewardRange] = None,
+    scenario: str = "generic",
+    timestamps: Optional[np.ndarray] = None,
+) -> DatasetColumns:
+    """Generate an exploration log in batches; return it columnar.
+
+    The harvest-side hot path: for each batch of up to ``batch_size``
+    contexts, one :meth:`~repro.core.policies.Policy.act_batch` call
+    samples actions and propensities, one ``reward_fn`` call computes
+    outcomes, and the results land in preallocated arrays — no per-row
+    ``Interaction`` objects anywhere.  The output
+    :class:`~repro.core.columns.DatasetColumns` feeds the vectorized
+    estimators directly (use ``.to_dataset()`` when per-row objects are
+    required).
+
+    Determinism contract: each batch consumes the generator exactly as
+    ``act_batch`` specifies (one uniform per row, in row order, for
+    randomizing policies), so **the produced log is bit-identical for
+    any** ``batch_size`` ≥ 1 given the same seeded generator — "per
+    row" is just ``batch_size=1`` through this same engine.  (The
+    legacy per-row reference :func:`harvest_rows` draws through
+    ``Generator.choice`` and is a different, equally valid stream.)
+
+    Instrumented with a ``harvest.batched`` span (per-batch
+    ``harvest.batch`` children), the ``harvest.rows_generated`` counter
+    (labelled by ``scenario``), and a ``harvest.batch_seconds`` latency
+    histogram.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    contexts = tuple(contexts)
+    n = len(contexts)
+    eligible, per_row, n_actions = _resolve_eligibility(
+        contexts, eligible, action_space
+    )
+    actions = np.empty(n, dtype=np.int64)
+    propensities = np.empty(n, dtype=np.float64)
+    rewards = np.empty(n, dtype=np.float64)
+    tracer = get_tracer()
+    metrics = get_metrics()
+    latency = metrics.histogram("harvest.batch_seconds", scenario=scenario)
+    with tracer.span(
+        "harvest.batched", scenario=scenario, batch_size=batch_size
+    ) as span:
+        n_batches = 0
+        for start in range(0, n, batch_size):
+            stop = min(n, start + batch_size)
+            began = time.perf_counter()
+            with tracer.span("harvest.batch", start=start, rows=stop - start):
+                batch = DecisionBatch(
+                    contexts[start:stop],
+                    eligible[start:stop] if per_row else eligible,
+                    n_actions=n_actions,
+                )
+                sampled, probs = policy.act_batch(batch, None, rng)
+                actions[start:stop] = sampled
+                propensities[start:stop] = probs
+                rewards[start:stop] = reward_fn(
+                    np.arange(start, stop), sampled
+                )
+            latency.observe(time.perf_counter() - began)
+            n_batches += 1
+        span.set(rows=n, batches=n_batches)
+    metrics.counter("harvest.rows_generated", scenario=scenario).inc(n)
+    return DatasetColumns.from_arrays(
+        contexts,
+        actions,
+        rewards,
+        propensities,
+        eligible=eligible,
+        n_actions=n_actions,
+        action_space=action_space,
+        reward_range=reward_range,
+        timestamps=timestamps,
+    )
+
+
+def harvest_rows(
+    policy: Policy,
+    contexts: Sequence[Context],
+    reward_fn: RewardFn,
+    rng: np.random.Generator,
+    *,
+    eligible: Optional[EligibleSpec] = None,
+    action_space: Optional[ActionSpace] = None,
+    reward_range: Optional[RewardRange] = None,
+    scenario: str = "generic",
+    timestamps: Optional[np.ndarray] = None,
+) -> Dataset:
+    """Scalar reference harvester: one legacy ``act()`` call per row.
+
+    Functionally equivalent to :func:`harvest_columns` but pays the
+    per-row costs the batch engine exists to amortize (``act``'s
+    ``Generator.choice``, per-row eligibility resolution, one
+    ``Interaction`` object per decision) — it is the throughput
+    baseline the benchmarks compare against, and the fallback for
+    policies whose statefulness resists batching.  Note the RNG stream
+    differs from the batch engine's (``Generator.choice`` vs one
+    uniform per row), so per-seed outputs match :func:`harvest_columns`
+    only distributionally.
+    """
+    contexts = tuple(contexts)
+    n = len(contexts)
+    eligible, per_row, _ = _resolve_eligibility(
+        contexts, eligible, action_space
+    )
+    shared = None if per_row else list(eligible)
+    interactions: list[Interaction] = []
+    with get_tracer().span("harvest.per_row", scenario=scenario, rows=n):
+        for index in range(n):
+            row_eligible = (
+                list(eligible[index]) if per_row else shared
+            )
+            action, propensity = policy.act(
+                contexts[index], row_eligible, rng
+            )
+            reward = float(
+                reward_fn(
+                    np.array([index]), np.array([action], dtype=np.int64)
+                )[0]
+            )
+            interactions.append(
+                Interaction(
+                    context=contexts[index],
+                    action=int(action),
+                    reward=reward,
+                    propensity=float(propensity),
+                    timestamp=float(
+                        timestamps[index] if timestamps is not None else index
+                    ),
+                )
+            )
+    get_metrics().counter("harvest.rows_generated", scenario=scenario).inc(n)
+    return Dataset(
+        interactions, action_space=action_space, reward_range=reward_range
+    )
+
+
+def harvest_dataset(
+    policy: Policy,
+    contexts: Sequence[Context],
+    reward_fn: RewardFn,
+    rng: np.random.Generator,
+    *,
+    eligible: Optional[EligibleSpec] = None,
+    action_space: Optional[ActionSpace] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    reward_range: Optional[RewardRange] = None,
+    scenario: str = "generic",
+    timestamps: Optional[np.ndarray] = None,
+) -> Dataset:
+    """Harvest an exploration :class:`~repro.core.types.Dataset`.
+
+    ``batch_size >= 1`` runs the batched engine
+    (:func:`harvest_columns`) and materializes the result;
+    ``batch_size=0`` selects the legacy per-row reference
+    (:func:`harvest_rows`) — a *different RNG stream*, kept for
+    baselines and for policies that cannot batch.
+    """
+    if batch_size == 0:
+        return harvest_rows(
+            policy,
+            contexts,
+            reward_fn,
+            rng,
+            eligible=eligible,
+            action_space=action_space,
+            reward_range=reward_range,
+            scenario=scenario,
+            timestamps=timestamps,
+        )
+    columns = harvest_columns(
+        policy,
+        contexts,
+        reward_fn,
+        rng,
+        eligible=eligible,
+        action_space=action_space,
+        batch_size=batch_size,
+        reward_range=reward_range,
+        scenario=scenario,
+        timestamps=timestamps,
+    )
+    return columns.to_dataset()
 
 
 @dataclass

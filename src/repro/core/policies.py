@@ -12,10 +12,16 @@ distribution.  Every policy here exposes:
   propensity)`` so the caller can log the exploration tuple.
 - :meth:`Policy.probabilities_batch`: the whole-log analogue of
   :meth:`~Policy.distribution` — an ``(N, K)`` probability matrix over
-  a :class:`~repro.core.columns.DatasetColumns` view, which is what
+  a :class:`~repro.core.columns.ContextColumns` view, which is what
   the vectorized estimators consume.  Built-in policies implement it
   with array code; the base class provides a correct per-row fallback
   so arbitrary user policies keep working.
+- :meth:`Policy.act_batch`: the whole-batch analogue of
+  :meth:`~Policy.act` — sample one action per row from the
+  ``probabilities_batch`` matrix with a single generator draw,
+  returning ``(actions, propensities)`` arrays.  This is the
+  harvest-side hot path: declared propensities come from the same
+  matrix the actions are sampled from, so they match exactly.
 
 The enumerable :class:`PolicyClass` models the paper's "class of
 policies Π defined by a tunable template" that offline optimization
@@ -30,12 +36,62 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.columns import loop_probabilities
+from repro.core.columns import as_decision_batch, loop_probabilities
 from repro.core.engine import warn_missing_batch
 from repro.core.types import Context
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
-    from repro.core.columns import DatasetColumns
+    from repro.core.columns import ContextColumns, DatasetColumns, EligibleSpec
+
+
+def sample_from_probabilities(
+    matrix: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample one action per row of an ``(N, K)`` probability matrix.
+
+    Inverse-CDF sampling with exactly **one uniform draw per row**, in
+    row order (``rng.random(N)``).  Because a `numpy Generator's`
+    ``random(n)`` is bit-identical to ``n`` sequential ``random()``
+    calls, sampling a batch of N rows consumes the same stream as
+    sampling two batches of N/2 — the foundation of the harvest
+    determinism contract (results are invariant to batch size; see
+    ``docs/harvesting.md``).
+
+    Each row's CDF is scaled by its own total, so rows need only be
+    *proportional* to a distribution; zero-probability actions are
+    never selected (a zero-width CDF step can't straddle the uniform).
+    Returns ``(actions, propensities)`` where ``propensities[t] ==
+    matrix[t, actions[t]]`` exactly — what the sampler declares is what
+    the estimator divides by.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    n, _ = matrix.shape
+    if n == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    if (matrix < 0.0).any():
+        raise ValueError("probabilities must be non-negative")
+    cdf = np.cumsum(matrix, axis=1)
+    totals = cdf[:, -1:]
+    if (totals <= 0.0).any():
+        bad = int(np.argmax((totals <= 0.0).ravel()))
+        raise ValueError(f"row {bad} has zero total probability")
+    # Smallest index whose CDF strictly exceeds u * total == number of
+    # CDF entries ≤ the target.  `<=` (not `<`) skips zero-probability
+    # prefixes whose CDF equals the target exactly.
+    draws = rng.random(n)
+    chosen = (cdf <= draws[:, None] * totals).sum(axis=1)
+    # Guard the u→1 rounding edge (u * total can round up to total):
+    # clamp to each row's last nonzero-probability column.
+    last_nonzero = matrix.shape[1] - 1 - np.argmax(
+        (matrix > 0.0)[:, ::-1], axis=1
+    )
+    chosen = np.minimum(chosen, last_nonzero)
+    return chosen, matrix[np.arange(n), chosen]
 
 
 class Policy(ABC):
@@ -86,6 +142,36 @@ class Policy(ABC):
         """
         warn_missing_batch(type(self))
         return loop_probabilities(self, columns)
+
+    def act_batch(
+        self,
+        contexts: "Sequence[Context] | ContextColumns",
+        eligible: "Optional[EligibleSpec]",
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample one action per context; return ``(actions, propensities)``.
+
+        The batch analogue of :meth:`act`, and the harvest-side hot
+        path: builds the ``(N, K)`` probability matrix once via
+        :meth:`probabilities_batch` (vectorized for every built-in) and
+        samples all rows with a single generator call.  ``contexts``
+        may be a prebuilt :class:`~repro.core.columns.ContextColumns`
+        (pass ``eligible=None``) so callers that already hold a batch
+        skip mask construction.
+
+        Determinism contract: this method consumes exactly **one
+        uniform per row, in row order** (or none at all, for overrides
+        like :class:`HashPolicy` that don't randomize) — never a
+        data-dependent amount.  Harvesting N rows therefore produces
+        bit-identical logs for any batch split of the same generator,
+        and declared propensities equal the matrix entries the actions
+        were sampled from.  Note this is a *different stream* than
+        repeated legacy :meth:`act` calls, which go through
+        ``Generator.choice``.
+        """
+        batch = as_decision_batch(contexts, eligible)
+        matrix = self.probabilities_batch(batch)
+        return sample_from_probabilities(matrix, rng)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name})"
@@ -333,10 +419,51 @@ class HashPolicy(Policy):
         # independent of the (key-free) context.
         return actions[index], 1.0 / len(actions)
 
+    def act_batch(
+        self,
+        contexts: "Sequence[Context] | ContextColumns",
+        eligible: "Optional[EligibleSpec]",
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Route every row by its hash key — consumes no randomness.
+
+        Matches scalar :meth:`act` exactly (same crc32 → index map,
+        same marginal-uniform propensity); the generator is accepted
+        for protocol uniformity but never drawn from, which trivially
+        satisfies the batch-split determinism contract.
+        """
+        batch = as_decision_batch(contexts, eligible)
+        counts = batch.eligible_counts.astype(np.int64)
+        hashes = np.fromiter(
+            (
+                zlib.crc32(self._key_of(context).encode("utf-8"))
+                for context in batch.contexts
+            ),
+            dtype=np.int64,
+            count=batch.n,
+        )
+        index = hashes % np.maximum(counts, 1)
+        if batch.uniform_eligibility and batch.n > 0:
+            lookup = np.asarray(batch.eligible_lists[0], dtype=np.int64)
+            actions = lookup[index]
+        else:
+            actions = np.fromiter(
+                (
+                    batch.eligible_lists[row][index[row]]
+                    for row in range(batch.n)
+                ),
+                dtype=np.int64,
+                count=batch.n,
+            )
+        return actions, 1.0 / batch.eligible_counts
+
 
 class MixturePolicy(Policy):
-    """A convex mixture of policies — e.g. a staged rollout that sends
-    90% of traffic through the incumbent and 10% through a candidate."""
+    """A convex mixture of policies.
+
+    Models e.g. a staged rollout that sends 90% of traffic through the
+    incumbent and 10% through a candidate.
+    """
 
     def __init__(
         self,

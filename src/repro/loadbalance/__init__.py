@@ -34,9 +34,13 @@ from repro.loadbalance.access_log import (
 )
 from repro.loadbalance.proxy import LoadBalancerSim, SimulationResult, fig5_servers
 from repro.loadbalance.harvest import (
+    DecisionSnapshots,
+    batch_exploration_columns,
+    batch_latency_law,
     build_lb_pipeline,
     dataset_from_access_log,
     exploration_dataset_from_entries,
+    synthetic_decision_snapshots,
 )
 from repro.loadbalance.frontdoor import (
     Cluster,
@@ -63,9 +67,13 @@ __all__ = [
     "LoadBalancerSim",
     "SimulationResult",
     "fig5_servers",
+    "DecisionSnapshots",
+    "batch_exploration_columns",
+    "batch_latency_law",
     "build_lb_pipeline",
     "dataset_from_access_log",
     "exploration_dataset_from_entries",
+    "synthetic_decision_snapshots",
     "Cluster",
     "FrontDoorSim",
     "HierarchicalResult",

@@ -6,13 +6,33 @@ snapshot the log line carries (connection counts + request features),
 the action is the chosen upstream, and the reward is the *negative-ish*
 request latency (we keep raw latency and minimize, per Table 1's CB
 reward "[-] request latency").
+
+For *generating* exploration data at scale the module also ships a
+batched path: :func:`synthetic_decision_snapshots` draws decision-time
+snapshots (connection counts + request features) without running the
+event-driven proxy, and :func:`batch_exploration_columns` routes them
+through any policy's :meth:`~repro.core.policies.Policy.act_batch`
+with the Fig. 5 latency law fully vectorized — the per-request
+feedback loop of :class:`~repro.loadbalance.proxy.LoadBalancerSim` is
+deliberately absent, which is exactly what makes the rows independent
+and batchable.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.harvest import HarvestPipeline, LogScavenger
+import numpy as np
+
+from repro.core.harvest import (
+    DEFAULT_BATCH_SIZE,
+    HarvestPipeline,
+    LogScavenger,
+    harvest_columns,
+)
+from repro.core.columns import DatasetColumns
+from repro.core.policies import Policy
 from repro.core.propensity import (
     DeclaredPropensityModel,
     EmpiricalPropensityModel,
@@ -20,8 +40,11 @@ from repro.core.propensity import (
 )
 from repro.core.types import ActionSpace, Context, Dataset, Interaction, RewardRange
 from repro.loadbalance.access_log import AccessLogEntry
+from repro.loadbalance.server import ServerConfig
+from repro.loadbalance.workload import DEFAULT_MIX, RequestType
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import get_tracer
+from repro.simsys.random_source import RandomSource
 
 #: Latency cap (seconds) for the declared reward range.
 LATENCY_CAP = 10.0
@@ -209,3 +232,155 @@ def train_cb_policy(
         maximize=False,
         name=name,
     )
+
+
+@dataclass
+class DecisionSnapshots:
+    """A batch of decision-time snapshots in both dict and array form.
+
+    ``contexts`` is what policies see (the same vocabulary the proxy
+    logs: ``conns_<i>``, ``req_<kind>``, ``req_weight``); the parallel
+    arrays are what the vectorized latency law consumes, so harvesting
+    never re-parses feature dicts.
+    """
+
+    contexts: list[Context]
+    connections: np.ndarray  #: ``(N, n_servers)`` open-connection counts.
+    kind_index: np.ndarray  #: ``(N,)`` index into :attr:`kinds`.
+    weights: np.ndarray  #: ``(N,)`` request weights.
+    kinds: list[str]  #: Distinct request-kind names, index order.
+
+    def __len__(self) -> int:
+        return len(self.contexts)
+
+
+def synthetic_decision_snapshots(
+    n: int,
+    n_servers: int,
+    seed: int = 0,
+    mix: Sequence[RequestType] = DEFAULT_MIX,
+    mean_connections: float = 4.0,
+) -> DecisionSnapshots:
+    """Draw ``n`` independent decision-time snapshots.
+
+    Connection counts are Poisson(``mean_connections``) per server and
+    request kinds/weights follow ``mix`` — the stationary marginals a
+    long uniform-random proxy run produces, without the event loop's
+    sequential dependence.  That independence is the point: rows can be
+    harvested in batches of any size with identical results.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n_servers <= 0:
+        raise ValueError("need at least one server")
+    randomness = RandomSource(seed, _name="lb-snapshots")
+    connections = randomness.child("connections").generator.poisson(
+        mean_connections, size=(n, n_servers)
+    ).astype(np.float64)
+    probabilities = np.array([t.probability for t in mix])
+    kind_index = randomness.child("types").generator.choice(
+        len(mix), size=n, p=probabilities / probabilities.sum()
+    )
+    weights = np.array([t.weight for t in mix])[kind_index]
+    kinds = [t.name for t in mix]
+    contexts: list[Context] = []
+    for row in range(n):
+        context: dict[str, float] = {
+            f"conns_{server}": connections[row, server]
+            for server in range(n_servers)
+        }
+        context[f"req_{kinds[kind_index[row]]}"] = 1.0
+        context["req_weight"] = float(weights[row])
+        contexts.append(context)
+    return DecisionSnapshots(
+        contexts=contexts,
+        connections=connections,
+        kind_index=kind_index,
+        weights=weights,
+        kinds=kinds,
+    )
+
+
+def batch_latency_law(
+    snapshots: DecisionSnapshots,
+    server_configs: Sequence[ServerConfig],
+) -> np.ndarray:
+    """``(N, n_servers)`` Fig. 5 latencies for every snapshot × server.
+
+    Vectorizes :meth:`~repro.loadbalance.server.BackendServer.
+    service_latency` over the snapshot arrays: ``weight × multiplier ×
+    (base + slope × conns)``, with per-kind multipliers gathered from a
+    ``(n_kinds, n_servers)`` table.
+    """
+    base = np.array([c.base_latency for c in server_configs])
+    slope = np.array([c.latency_per_connection for c in server_configs])
+    multipliers = np.array(
+        [
+            [config.multiplier_for(kind) for config in server_configs]
+            for kind in snapshots.kinds
+        ]
+    )
+    return (
+        snapshots.weights[:, None]
+        * multipliers[snapshots.kind_index]
+        * (base[None, :] + slope[None, :] * snapshots.connections)
+    )
+
+
+def batch_exploration_columns(
+    policy: Policy,
+    snapshots: DecisionSnapshots,
+    server_configs: Sequence[ServerConfig],
+    rng: np.random.Generator,
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    latency_noise: float = 0.01,
+    noise_seed: int = 0,
+    timeout: float = LATENCY_CAP,
+) -> DatasetColumns:
+    """Batched exploration harvest over decision snapshots, columnar.
+
+    The load-balance instance of the batch engine: the policy samples
+    upstreams via :meth:`~repro.core.policies.Policy.act_batch` (one
+    ``rng`` uniform per row) and observed latencies come from
+    :func:`batch_latency_law` plus Gaussian noise, clamped to
+    ``[0.001, timeout]`` exactly as the proxy does.  Noise lives on its
+    own stream (seeded by ``noise_seed``, drawn up front), mirroring
+    the proxy's separate ``latency-noise``/``policy-choices``
+    :class:`~repro.simsys.random_source.RandomSource` children — so the
+    produced log is bit-identical for any ``batch_size``.
+    """
+    if len(server_configs) == 0:
+        raise ValueError("need at least one server")
+    if latency_noise < 0:
+        raise ValueError("latency noise must be non-negative")
+    n = len(snapshots)
+    latency_matrix = batch_latency_law(snapshots, server_configs)
+    if latency_noise > 0:
+        noise = RandomSource(
+            noise_seed, _name="lb-harvest"
+        ).child("latency-noise").generator.normal(0.0, latency_noise, size=n)
+    else:
+        noise = np.zeros(n)
+
+    def observe(indices: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        latency = latency_matrix[indices, actions] + noise[indices]
+        return np.minimum(np.maximum(latency, 0.001), timeout)
+
+    n_servers = len(server_configs)
+    with get_tracer().span(
+        "harvest.loadbalance", n_servers=n_servers, batched=True
+    ) as span:
+        columns = harvest_columns(
+            policy,
+            snapshots.contexts,
+            observe,
+            rng,
+            action_space=lb_action_space(n_servers),
+            batch_size=batch_size,
+            reward_range=lb_reward_range(),
+            scenario="loadbalance",
+        )
+        span.set(rows=columns.n)
+    get_metrics().counter("harvest.rows", scenario="loadbalance").inc(columns.n)
+    return columns

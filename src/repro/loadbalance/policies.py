@@ -9,21 +9,22 @@ log evaluate all of them offline.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
-from repro.core.columns import loop_probabilities
+from repro.core.columns import as_decision_batch, loop_probabilities
 from repro.core.policies import (
     ConstantPolicy,
     Policy,
     UniformRandomPolicy,
     _point_mass,
+    sample_from_probabilities,
 )
 from repro.core.types import Context
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
-    from repro.core.columns import DatasetColumns
+    from repro.core.columns import ContextColumns, DatasetColumns, EligibleSpec
 
 
 def connection_count(context: Context, server: int) -> float:
@@ -134,6 +135,35 @@ def round_robin_policy(n_servers: int) -> Policy:
             state["next"] += 1
             return action, 1.0 / len(actions)
 
+        def act_batch(
+            self,
+            contexts: "Sequence[Context] | ContextColumns",
+            eligible: "Optional[EligibleSpec]",
+            rng: np.random.Generator,
+        ) -> tuple[np.ndarray, np.ndarray]:
+            """Continue the cycle across the batch — consumes no randomness.
+
+            The rotation counter persists across calls, so splitting a
+            harvest into batches of any size produces the identical
+            action sequence (the determinism contract for stateful,
+            non-randomizing policies).
+            """
+            batch = as_decision_batch(contexts, eligible)
+            if batch.uniform_eligibility and batch.n > 0:
+                lookup = np.asarray(batch.eligible_lists[0], dtype=np.int64)
+                offsets = (state["next"] + np.arange(batch.n)) % len(lookup)
+                actions_out = lookup[offsets]
+                state["next"] += batch.n
+            else:
+                actions_out = np.empty(batch.n, dtype=np.int64)
+                for row in range(batch.n):
+                    row_eligible = batch.eligible_lists[row]
+                    actions_out[row] = row_eligible[
+                        state["next"] % len(row_eligible)
+                    ]
+                    state["next"] += 1
+            return actions_out, 1.0 / batch.eligible_counts
+
     return _RoundRobin()
 
 
@@ -242,6 +272,45 @@ def window_randomized_weights_policy(
             probs = self.distribution(context, actions)
             index = int(rng.choice(len(actions), p=probs))
             return actions[index], float(probs[index])
+
+        def act_batch(
+            self,
+            contexts: "Sequence[Context] | ContextColumns",
+            eligible: "Optional[EligibleSpec]",
+            rng: np.random.Generator,
+        ) -> tuple[np.ndarray, np.ndarray]:
+            """Sample whole windows at once, carrying state across batches.
+
+            Walks the batch in window-aligned segments — drawing fresh
+            Dirichlet weights from the policy's *own* seeded generator
+            exactly when the scalar path would — then samples every row
+            with one uniform from the caller's generator.  Window
+            boundaries and weight draws therefore land on the same rows
+            for any batch split, preserving the determinism contract.
+            """
+            batch = as_decision_batch(contexts, eligible)
+            matrix = np.zeros((batch.n, batch.n_actions))
+            start = 0
+            while start < batch.n:
+                if state["remaining"] <= 0:
+                    weights = state["rng"].dirichlet(
+                        np.full(n_servers, concentration)
+                    )
+                    weights = np.maximum(weights, 1e-3)
+                    state["weights"] = weights / weights.sum()
+                    state["remaining"] = window
+                stop = min(batch.n, start + state["remaining"])
+                state["remaining"] -= stop - start
+                segment = np.where(
+                    batch.eligible_mask[start:stop],
+                    state["weights"][: batch.n_actions],
+                    0.0,
+                )
+                matrix[start:stop] = segment / segment.sum(
+                    axis=1, keepdims=True
+                )
+                start = stop
+            return sample_from_probabilities(matrix, rng)
 
     return _WindowRandomized()
 

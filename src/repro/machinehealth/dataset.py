@@ -27,6 +27,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core import harvest
+from repro.core.columns import DatasetColumns
 from repro.core.features import FeatureEncoder
 from repro.core.policies import Policy, UniformRandomPolicy
 from repro.core.types import ActionSpace, Dataset, Interaction, RewardRange
@@ -82,8 +84,11 @@ def build_full_feedback_dataset(
     seed: int = 0,
     model: Optional[DowntimeModel] = None,
 ) -> MachineHealthDataset:
-    """Generate a fleet, draw incidents, and log them under the
-    wait-10 default with full feedback attached."""
+    """Generate a fleet and a fully-logged incident dataset.
+
+    Draws ``n_events`` incidents and logs them under the wait-10
+    default with full feedback attached.
+    """
     randomness = RandomSource(seed, _name="machine-health")
     machines = generate_fleet(FleetConfig(n_machines=n_machines), randomness)
     events = generate_failures(
@@ -111,17 +116,90 @@ def build_full_feedback_dataset(
     return MachineHealthDataset(full=dataset, events=events, encoder=encoder)
 
 
+def simulate_exploration_columns(
+    full_dataset: Dataset,
+    rng: np.random.Generator,
+    logging_policy: Optional[Policy] = None,
+    batch_size: int = harvest.DEFAULT_BATCH_SIZE,
+) -> "DatasetColumns":
+    """Batched partial-feedback simulation, returned columnar.
+
+    The vectorized core of :func:`simulate_exploration`: the logging
+    policy samples all rows through
+    :meth:`~repro.core.policies.Policy.act_batch` in ``batch_size``
+    chunks, and the revealed rewards are gathered from the stacked
+    full-feedback profiles with one fancy-index per batch.  Output
+    feeds the vectorized estimators directly; results are invariant to
+    ``batch_size`` for a fixed generator (the harvest determinism
+    contract).
+    """
+    if len(full_dataset) == 0:
+        raise ValueError("empty dataset")
+    logging_policy = logging_policy or UniformRandomPolicy()
+    interactions = list(full_dataset)
+    for interaction in interactions:
+        if interaction.full_rewards is None:
+            raise ValueError("exploration simulation requires full feedback")
+    profiles = np.asarray(
+        [interaction.full_rewards for interaction in interactions],
+        dtype=np.float64,
+    )
+    contexts = [interaction.context for interaction in interactions]
+    timestamps = np.asarray(
+        [interaction.timestamp for interaction in interactions],
+        dtype=np.float64,
+    )
+    space = full_dataset.action_space
+
+    def reveal(indices: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        return profiles[indices, actions]
+
+    with get_tracer().span(
+        "harvest.machinehealth", policy=logging_policy.name
+    ) as span:
+        columns = harvest.harvest_columns(
+            logging_policy,
+            contexts,
+            reveal,
+            rng,
+            eligible=None if space is not None else tuple(
+                range(profiles.shape[1])
+            ),
+            action_space=space,
+            batch_size=batch_size,
+            reward_range=full_dataset.reward_range,
+            scenario="machinehealth",
+            timestamps=timestamps,
+        )
+        span.set(rows=columns.n)
+    get_metrics().counter("harvest.rows", scenario="machinehealth").inc(
+        columns.n
+    )
+    return columns
+
+
 def simulate_exploration(
     full_dataset: Dataset,
     rng: np.random.Generator,
     logging_policy: Optional[Policy] = None,
+    batch_size: int = harvest.DEFAULT_BATCH_SIZE,
 ) -> Dataset:
     """Simulate partial feedback from a full-feedback dataset.
 
     For every interaction, the logging policy (uniform random over the
     10 wait times unless overridden) chooses an action; only that
     action's reward is revealed, "hiding all others" (§4).
+
+    Decisions are sampled in batches through the policy's
+    :meth:`~repro.core.policies.Policy.act_batch` (see
+    :func:`simulate_exploration_columns`); pass ``batch_size=0`` for
+    the legacy per-row ``act()`` loop — note the two paths consume the
+    generator differently, so they match only distributionally.
     """
+    if batch_size != 0:
+        return simulate_exploration_columns(
+            full_dataset, rng, logging_policy, batch_size=batch_size
+        ).to_dataset()
     if len(full_dataset) == 0:
         raise ValueError("empty dataset")
     logging_policy = logging_policy or UniformRandomPolicy()
@@ -162,8 +240,11 @@ def simulate_exploration(
 
 
 def ground_truth_value(policy: Policy, full_dataset: Dataset) -> float:
-    """Exact average reward of ``policy`` — full feedback lets us just
-    look up the reward of whatever action the policy picks."""
+    """Exact average reward of ``policy`` on a full-feedback dataset.
+
+    Full feedback lets us just look up the reward of whatever action
+    the policy picks — no off-policy correction needed.
+    """
     if len(full_dataset) == 0:
         raise ValueError("empty dataset")
     space = full_dataset.action_space

@@ -55,8 +55,11 @@ def file_digest(path: str, algorithm: str = "sha256") -> str:
 
 
 def result_entry(policy_name: str, result) -> dict:
-    """One manifest row from an
-    :class:`~repro.core.estimators.base.EstimatorResult`."""
+    """Build one manifest result row from an estimator result.
+
+    Accepts any object with the
+    :class:`~repro.core.estimators.base.EstimatorResult` attributes.
+    """
     entry = {
         "policy": policy_name,
         "estimator": result.estimator,
@@ -144,18 +147,22 @@ class RunManifest:
     # -- IO ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
+        """The raw manifest payload (not a copy)."""
         return self.data
 
     def to_json(self, indent: int = 2) -> str:
+        """The payload serialized as JSON (non-JSON values via ``str``)."""
         return json.dumps(self.data, indent=indent, default=str)
 
     def save(self, path: str) -> None:
+        """Write the manifest to ``path`` as newline-terminated JSON."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
             handle.write("\n")
 
     @classmethod
     def load(cls, path: str) -> "RunManifest":
+        """Read a manifest back, checking the schema version."""
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
         if not isinstance(data, dict):
@@ -172,14 +179,17 @@ class RunManifest:
 
     @property
     def results(self) -> list[dict]:
+        """The per-(policy, estimator) result rows."""
         return list(self.data.get("results", ()))
 
     @property
     def spans(self) -> list[dict]:
+        """The captured span tree (empty when tracing was off)."""
         return list(self.data.get("spans", ()))
 
     @property
     def metrics(self) -> dict:
+        """The metrics snapshot (empty when metrics were off)."""
         return dict(self.data.get("metrics", {}))
 
     def __repr__(self) -> str:

@@ -61,6 +61,7 @@ class Counter:
         self.value += amount
 
     def snapshot(self) -> float:
+        """The current count."""
         return self.value
 
 
@@ -74,15 +75,19 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Raise the gauge by ``amount``."""
         self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Lower the gauge by ``amount``."""
         self.value -= amount
 
     def snapshot(self) -> float:
+        """The current value."""
         return self.value
 
 
@@ -131,6 +136,7 @@ class Histogram:
         return out
 
     def snapshot(self) -> dict:
+        """Count/sum/min/max plus the cumulative bucket dict."""
         return {
             "count": self.count,
             "sum": self.total,
@@ -182,9 +188,11 @@ class MetricsRegistry:
     # -- instrument accessors ------------------------------------------------
 
     def counter(self, name: str, **labels) -> Counter:
+        """Get or create the counter for ``(name, labels)``."""
         return self._get(name, Counter, labels)
 
     def gauge(self, name: str, **labels) -> Gauge:
+        """Get or create the gauge for ``(name, labels)``."""
         return self._get(name, Gauge, labels)
 
     def histogram(
@@ -193,6 +201,11 @@ class MetricsRegistry:
         buckets: Sequence[float] = DEFAULT_BUCKETS,
         **labels,
     ) -> Histogram:
+        """Get or create the histogram for ``(name, labels)``.
+
+        ``buckets`` only applies on first creation; later fetches of the
+        same series return the existing instrument unchanged.
+        """
         return self._get(name, Histogram, labels, buckets=buckets)
 
     def _get(self, name: str, factory, labels: dict, **kwargs) -> Instrument:
@@ -238,6 +251,7 @@ class MetricsRegistry:
         return out
 
     def to_json(self, indent: int = 2) -> str:
+        """The :meth:`snapshot` dict serialized as a JSON string."""
         return json.dumps(self.snapshot(), indent=indent)
 
     def to_prometheus(self) -> str:
@@ -321,27 +335,35 @@ class NullMetrics:
     enabled = False
 
     def counter(self, name: str, **labels) -> _NullInstrument:
+        """The shared no-op instrument (nothing is recorded)."""
         return _NULL_INSTRUMENT
 
     def gauge(self, name: str, **labels) -> _NullInstrument:
+        """The shared no-op instrument (nothing is recorded)."""
         return _NULL_INSTRUMENT
 
     def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels):
+        """The shared no-op instrument (nothing is recorded)."""
         return _NULL_INSTRUMENT
 
     def snapshot(self) -> dict:
+        """Always empty — nothing accumulates."""
         return {}
 
     def to_json(self, indent: int = 2) -> str:
+        """An empty JSON object."""
         return "{}"
 
     def to_prometheus(self) -> str:
+        """An empty exposition document."""
         return ""
 
     def value(self, name: str, **labels) -> Optional[float]:
+        """Always ``None`` — no series exist."""
         return None
 
     def total(self, name: str) -> float:
+        """Always ``0.0`` — no series exist."""
         return 0.0
 
     def __repr__(self) -> str:
@@ -370,8 +392,11 @@ def set_metrics(
 def use_metrics(
     registry: Optional[MetricsRegistry] = None,
 ) -> Iterator[Union[MetricsRegistry, NullMetrics]]:
-    """Scope a registry to a ``with`` block (fresh registry by default);
-    the previous registry is restored on exit."""
+    """Scope a metrics registry to a ``with`` block.
+
+    A fresh :class:`MetricsRegistry` is installed when ``registry`` is
+    omitted; the previous registry is restored on exit.
+    """
     global _metrics
     previous = _metrics
     _metrics = registry if registry is not None else MetricsRegistry()

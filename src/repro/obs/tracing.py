@@ -211,12 +211,15 @@ class NullTracer:
     enabled = False
 
     def span(self, name: str, **attributes) -> _NullSpan:
+        """The shared no-op span (nothing is timed)."""
         return _NULL_SPAN
 
     def attach(self, node) -> None:
+        """Discard ``node`` — there is no tree to graft onto."""
         pass
 
     def span_tree(self) -> list[dict]:
+        """Always empty — nothing was recorded."""
         return []
 
     def __repr__(self) -> str:
@@ -243,8 +246,11 @@ def set_tracer(tracer: Optional[Union[Tracer, NullTracer]]) -> None:
 def use_tracer(
     tracer: Optional[Tracer] = None,
 ) -> Iterator[Union[Tracer, NullTracer]]:
-    """Scope a tracer to a ``with`` block (fresh :class:`Tracer` by
-    default); the previous tracer is restored on exit."""
+    """Scope a tracer to a ``with`` block.
+
+    A fresh :class:`Tracer` is installed when ``tracer`` is omitted;
+    the previous tracer is restored on exit.
+    """
     global _tracer
     previous = _tracer
     _tracer = tracer if tracer is not None else Tracer()

@@ -1,0 +1,350 @@
+"""The batch sampling engine: act_batch and sample_from_probabilities.
+
+Three contracts under test:
+
+1. **Propensity honesty** — sampled actions come from the same matrix
+   the declared propensities are read from, so empirical frequencies
+   must match ``probabilities_batch`` and ``propensities[t]`` must
+   equal ``matrix[t, actions[t]]`` exactly.
+2. **Batch-split determinism** — one uniform per row in row order
+   means any batch split of the same generator yields the identical
+   log (per-row is just ``batch_size=1``).
+3. **Eligibility safety** — zero-probability (ineligible) actions are
+   never sampled, for any split of probability mass.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.columns import ContextColumns, DecisionBatch, as_decision_batch
+from repro.core.policies import (
+    ConstantPolicy,
+    EpsilonGreedyPolicy,
+    HashPolicy,
+    LinearThresholdPolicy,
+    MixturePolicy,
+    Policy,
+    SoftmaxPolicy,
+    UniformRandomPolicy,
+    sample_from_probabilities,
+)
+from repro.loadbalance.policies import (
+    least_loaded_policy,
+    power_of_two_policy,
+    round_robin_policy,
+    window_randomized_weights_policy,
+)
+
+
+def make_contexts(n, n_features=3, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(n, n_features))
+    return [
+        {f"conns_{j}": float(values[i, j]) for j in range(n_features)}
+        for i in range(n)
+    ]
+
+
+class TestSampleFromProbabilities:
+    def test_propensity_equals_matrix_entry(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((500, 4))
+        matrix /= matrix.sum(axis=1, keepdims=True)
+        actions, propensities = sample_from_probabilities(
+            matrix, np.random.default_rng(1)
+        )
+        assert (propensities == matrix[np.arange(500), actions]).all()
+
+    def test_zero_probability_never_sampled(self):
+        matrix = np.zeros((20_000, 5))
+        matrix[:, 1] = 0.3
+        matrix[:, 3] = 0.7
+        actions, _ = sample_from_probabilities(matrix, np.random.default_rng(2))
+        assert set(actions.tolist()) <= {1, 3}
+
+    def test_rows_need_only_be_proportional(self):
+        # Unnormalized rows: each row's CDF is scaled by its own total.
+        matrix = np.array([[2.0, 6.0], [1.0, 1.0]])
+        actions, propensities = sample_from_probabilities(
+            np.tile(matrix, (5000, 1)), np.random.default_rng(3)
+        )
+        even = actions[0::2]
+        assert abs((even == 1).mean() - 0.75) < 0.03
+
+    def test_point_mass_always_hits(self):
+        matrix = np.zeros((100, 3))
+        matrix[:, 2] = 1.0
+        actions, propensities = sample_from_probabilities(
+            matrix, np.random.default_rng(4)
+        )
+        assert (actions == 2).all()
+        assert (propensities == 1.0).all()
+
+    def test_empty_matrix(self):
+        actions, propensities = sample_from_probabilities(
+            np.zeros((0, 3)), np.random.default_rng(0)
+        )
+        assert actions.shape == (0,)
+        assert propensities.shape == (0,)
+
+    def test_consumes_exactly_one_uniform_per_row(self):
+        matrix = np.full((10, 2), 0.5)
+        rng_a = np.random.default_rng(7)
+        sample_from_probabilities(matrix, rng_a)
+        rng_b = np.random.default_rng(7)
+        rng_b.random(10)
+        # Both generators must now be at the same stream position.
+        assert rng_a.random() == rng_b.random()
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            sample_from_probabilities(
+                np.array([[0.5, -0.5]]), np.random.default_rng(0)
+            )
+
+    def test_rejects_zero_total_row(self):
+        with pytest.raises(ValueError, match="zero total"):
+            sample_from_probabilities(
+                np.zeros((3, 2)), np.random.default_rng(0)
+            )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            sample_from_probabilities(
+                np.array([0.5, 0.5]), np.random.default_rng(0)
+            )
+
+    @given(seed=st.integers(0, 2**16), k=st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_frequencies_match_probabilities(self, seed, k):
+        """Property: empirical action shares converge on the matrix row."""
+        rng = np.random.default_rng(seed)
+        row = rng.random(k) + 1e-3
+        row /= row.sum()
+        n = 20_000
+        actions, _ = sample_from_probabilities(
+            np.tile(row, (n, 1)), np.random.default_rng(seed + 1)
+        )
+        empirical = np.bincount(actions, minlength=k) / n
+        assert np.abs(empirical - row).max() < 0.02
+
+
+STOCHASTIC_POLICIES = [
+    UniformRandomPolicy(),
+    EpsilonGreedyPolicy(ConstantPolicy(1), 0.3),
+    SoftmaxPolicy(lambda c, a: c.get(f"conns_{a}", 0.0), temperature=0.7),
+    MixturePolicy(
+        [UniformRandomPolicy(), ConstantPolicy(0)], [0.4, 0.6]
+    ),
+    power_of_two_policy(),
+]
+
+
+class TestActBatch:
+    @pytest.mark.parametrize(
+        "policy", STOCHASTIC_POLICIES, ids=lambda p: p.name
+    )
+    def test_batch_split_invariance(self, policy):
+        """Same seed, any split → bit-identical actions/propensities."""
+        contexts = make_contexts(997)
+        eligible = (0, 1, 2)
+        whole_a, whole_p = policy.act_batch(
+            contexts, eligible, np.random.default_rng(42)
+        )
+        rng = np.random.default_rng(42)
+        parts = [
+            policy.act_batch(contexts[s:s + 89], eligible, rng)
+            for s in range(0, 997, 89)
+        ]
+        split_a = np.concatenate([a for a, _ in parts])
+        split_p = np.concatenate([p for _, p in parts])
+        assert (whole_a == split_a).all()
+        assert (whole_p == split_p).all()
+
+    @pytest.mark.parametrize(
+        "policy", STOCHASTIC_POLICIES, ids=lambda p: p.name
+    )
+    def test_propensities_match_probabilities_batch(self, policy):
+        contexts = make_contexts(400)
+        batch = DecisionBatch(contexts, (0, 1, 2))
+        actions, propensities = policy.act_batch(
+            batch, None, np.random.default_rng(5)
+        )
+        matrix = policy.probabilities_batch(batch)
+        assert (propensities == matrix[np.arange(400), actions]).all()
+        assert (propensities > 0).all()
+
+    def test_empirical_frequencies_match_matrix(self):
+        policy = EpsilonGreedyPolicy(ConstantPolicy(2), 0.4)
+        contexts = make_contexts(30_000, seed=1)
+        batch = DecisionBatch(contexts, (0, 1, 2))
+        actions, _ = policy.act_batch(batch, None, np.random.default_rng(6))
+        matrix = policy.probabilities_batch(batch)
+        empirical = np.bincount(actions, minlength=3) / len(contexts)
+        assert np.abs(empirical - matrix.mean(axis=0)).max() < 0.01
+
+    def test_deterministic_policy_point_mass(self):
+        policy = least_loaded_policy()
+        contexts = make_contexts(200, seed=2)
+        actions, propensities = policy.act_batch(
+            contexts, (0, 1, 2), np.random.default_rng(0)
+        )
+        scalar = [policy.action(c, [0, 1, 2]) for c in contexts]
+        assert (actions == scalar).all()
+        assert (propensities == 1.0).all()
+
+    def test_base_fallback_for_custom_policy(self):
+        """A policy with only distribution() still batches correctly."""
+
+        class Lopsided(Policy):
+            name = "lopsided"
+
+            def distribution(self, context, actions):
+                probs = np.full(len(actions), 0.1 / (len(actions) - 1))
+                probs[-1] = 0.9
+                return probs
+
+        actions, propensities = Lopsided().act_batch(
+            make_contexts(5000), (0, 1, 2), np.random.default_rng(8)
+        )
+        assert abs((actions == 2).mean() - 0.9) < 0.02
+        assert np.allclose(
+            propensities, np.where(actions == 2, 0.9, 0.05)
+        )
+
+    def test_per_row_eligibility(self):
+        contexts = make_contexts(100, seed=3)
+        eligible = [(0, 1) if i % 2 == 0 else (1, 2) for i in range(100)]
+        actions, propensities = UniformRandomPolicy().act_batch(
+            contexts, eligible, np.random.default_rng(9)
+        )
+        for i in range(100):
+            assert actions[i] in eligible[i]
+        assert (propensities == 0.5).all()
+
+    def test_prebuilt_batch_passthrough(self):
+        contexts = make_contexts(50)
+        batch = DecisionBatch(contexts, (0, 1))
+        assert as_decision_batch(batch) is batch
+        with pytest.raises(ValueError, match="eligible must be None"):
+            as_decision_batch(batch, (0, 1))
+        with pytest.raises(ValueError, match="required"):
+            as_decision_batch(contexts)
+
+    def test_hash_policy_matches_scalar_and_consumes_no_rng(self):
+        policy = HashPolicy(lambda c: f"{c['conns_0']:.6f}")
+        contexts = make_contexts(300, seed=4)
+        rng = np.random.default_rng(10)
+        actions, propensities = policy.act_batch(contexts, (0, 1, 2), rng)
+        scalar = [
+            policy.act(c, [0, 1, 2], np.random.default_rng(0))
+            for c in contexts
+        ]
+        assert (actions == [a for a, _ in scalar]).all()
+        assert (propensities == [p for _, p in scalar]).all()
+        # The generator was never touched.
+        assert rng.random() == np.random.default_rng(10).random()
+
+    def test_linear_threshold_batch_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        policy = LinearThresholdPolicy(
+            rng.normal(size=(3, 4)), ["conns_0", "conns_1", "conns_2"]
+        )
+        contexts = make_contexts(150, seed=5)
+        actions, _ = policy.act_batch(
+            contexts, (0, 1, 2), np.random.default_rng(0)
+        )
+        scalar = [policy.action(c, [0, 1, 2]) for c in contexts]
+        assert (actions == scalar).all()
+
+
+class TestStatefulOverrides:
+    def test_round_robin_cycles_across_batches(self):
+        policy = round_robin_policy(3)
+        contexts = make_contexts(10)
+        first, _ = policy.act_batch(contexts[:4], (0, 1, 2), np.random.default_rng(0))
+        second, _ = policy.act_batch(contexts[4:], (0, 1, 2), np.random.default_rng(0))
+        assert np.concatenate([first, second]).tolist() == [
+            0, 1, 2, 0, 1, 2, 0, 1, 2, 0
+        ]
+
+    def test_round_robin_batch_matches_scalar(self):
+        contexts = make_contexts(30)
+        batch_policy = round_robin_policy(3)
+        scalar_policy = round_robin_policy(3)
+        rng = np.random.default_rng(0)
+        batched, props = batch_policy.act_batch(contexts, (0, 1, 2), rng)
+        scalar = [
+            scalar_policy.act(c, [0, 1, 2], rng)[0] for c in contexts
+        ]
+        assert batched.tolist() == scalar
+        assert (props == 1 / 3).all()
+
+    def test_window_randomized_split_invariance(self):
+        contexts = make_contexts(500)
+        whole_policy = window_randomized_weights_policy(3, window=20, seed=5)
+        whole_a, whole_p = whole_policy.act_batch(
+            contexts, (0, 1, 2), np.random.default_rng(13)
+        )
+        split_policy = window_randomized_weights_policy(3, window=20, seed=5)
+        rng = np.random.default_rng(13)
+        parts = [
+            split_policy.act_batch(contexts[s:s + 33], (0, 1, 2), rng)
+            for s in range(0, 500, 33)
+        ]
+        assert (whole_a == np.concatenate([a for a, _ in parts])).all()
+        assert (whole_p == np.concatenate([p for _, p in parts])).all()
+
+    def test_window_randomized_windows_share_weights(self):
+        policy = window_randomized_weights_policy(3, window=25, seed=7)
+        _, propensities = policy.act_batch(
+            make_contexts(100), (0, 1, 2), np.random.default_rng(0)
+        )
+        # Within one window the propensity of a given action is one of
+        # at most 3 distinct drawn weights; across the 4 windows there
+        # are at most 12.
+        assert len(set(propensities.tolist())) <= 12
+
+
+class TestDecisionBatch:
+    def test_from_action_space_unrestricted(self):
+        from repro.core.types import ActionSpace
+
+        batch = DecisionBatch.from_action_space(
+            make_contexts(10), ActionSpace(4)
+        )
+        assert batch.n_actions == 4
+        assert batch.uniform_eligibility
+        assert batch.eligible_mask.all()
+
+    def test_from_action_space_restricted(self):
+        from repro.core.types import ActionSpace
+
+        space = ActionSpace(
+            3, eligibility=lambda c: [0, 1] if c["conns_0"] > 0 else [1, 2]
+        )
+        contexts = make_contexts(20, seed=6)
+        batch = DecisionBatch.from_action_space(contexts, space)
+        for i, context in enumerate(contexts):
+            assert list(batch.eligible_lists[i]) == space.actions(context)
+
+    def test_from_observed_actions(self):
+        batch = DecisionBatch.from_action_space(
+            make_contexts(5), None, observed=[3, 1, 1]
+        )
+        assert batch.eligible_lists[0] == (1, 3)
+        assert batch.n_actions == 4
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError, match="eligibility rows"):
+            DecisionBatch(make_contexts(3), [(0, 1)] * 2)
+
+    def test_rejects_empty_row(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DecisionBatch(make_contexts(2), [(0,), ()])
+
+    def test_is_context_columns(self):
+        batch = DecisionBatch(make_contexts(4), (0, 1))
+        assert isinstance(batch, ContextColumns)

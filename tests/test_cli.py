@@ -350,3 +350,92 @@ class TestAutoEstimator:
         assert code == 0
         assert "!" in captured.out  # unreliable marker in the table
         assert "UNRELIABLE" in captured.err
+
+
+class TestHarvestSubcommand:
+    def test_machinehealth_harvest_roundtrip(self, tmp_path, capsys):
+        out = str(tmp_path / "mh.jsonl")
+        code = main(
+            ["harvest", "machinehealth", out, "--rows", "200", "--seed", "3"]
+        )
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "harvested 200 rows" in stdout
+        assert "machinehealth" in stdout
+        # The harvested log feeds straight back into evaluate.
+        code = main(["evaluate", out, "--policy", "uniform"])
+        assert code == 0
+        assert "uniform-random" in capsys.readouterr().out
+
+    def test_loadbalance_harvest(self, tmp_path, capsys):
+        out = str(tmp_path / "lb.jsonl")
+        code = main(["harvest", "loadbalance", out, "--rows", "150"])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "harvested 150 rows" in stdout
+
+    def test_cache_harvest(self, tmp_path, capsys):
+        out = str(tmp_path / "cache.jsonl")
+        code = main(
+            ["harvest", "cache", out, "--rows", "3000", "--seed", "1"]
+        )
+        stdout = capsys.readouterr().out
+        assert code == 0
+        # Cache rows = evictions, fewer than requests but nonzero.
+        assert "harvested" in stdout
+        assert "cache" in stdout
+
+    def test_batch_size_invariance_through_cli(self, tmp_path, capsys):
+        small = str(tmp_path / "small.jsonl")
+        large = str(tmp_path / "large.jsonl")
+        base = ["harvest", "machinehealth", "--rows", "120", "--seed", "5"]
+        assert main(base[:2] + [small] + base[2:] + ["--batch-size", "1"]) == 0
+        assert main(base[:2] + [large] + base[2:] + ["--batch-size", "8192"]) == 0
+        capsys.readouterr()
+        with open(small) as f_small, open(large) as f_large:
+            assert f_small.read() == f_large.read()
+
+    def test_rejects_bad_rows(self, tmp_path, capsys):
+        code = main(
+            ["harvest", "machinehealth", str(tmp_path / "x.jsonl"),
+             "--rows", "0"]
+        )
+        assert code == 1
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_rejects_zero_batch_size(self, tmp_path, capsys):
+        code = main(
+            ["harvest", "machinehealth", str(tmp_path / "x.jsonl"),
+             "--batch-size", "0"]
+        )
+        assert code == 1
+        assert "batch-size" in capsys.readouterr().err
+
+    def test_rejects_unknown_policy(self, tmp_path, capsys):
+        code = main(
+            ["harvest", "machinehealth", str(tmp_path / "x.jsonl"),
+             "--rows", "50", "--policy", "nonsense:9"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_observability_flags(self, tmp_path, capsys):
+        out = str(tmp_path / "mh.jsonl")
+        metrics_out = tmp_path / "metrics.prom"
+        manifest_out = tmp_path / "manifest.json"
+        code = main(
+            ["harvest", "machinehealth", out, "--rows", "100",
+             "--trace", "--metrics-out", str(metrics_out),
+             "--manifest", str(manifest_out)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "top spans by wall time" in captured.err
+        exposition = metrics_out.read_text()
+        assert "repro_harvest_rows_generated_total" in exposition
+        assert "repro_harvest_batch_seconds" in exposition
+        import json
+
+        manifest = json.loads(manifest_out.read_text())
+        assert manifest["command"] == "harvest"
+        assert manifest["results"][0]["rows_generated"] == 100

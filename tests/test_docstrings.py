@@ -1,0 +1,126 @@
+"""Docstring lint for the public API surface.
+
+Stdlib-only enforcement of the pydocstyle rules that matter for this
+repo (the ruff ``D`` configuration in ``pyproject.toml`` mirrors them
+for editors and CI runners that have ruff installed):
+
+- every module under ``src/repro`` has a docstring whose first line is
+  a complete summary sentence (D100/D400-style);
+- every class and function exported via ``__all__`` of the public
+  packages (the list in ``tests/test_public_api.py``) is documented;
+- every public method/property those classes define is documented,
+  where a docstring on the overridden base-class method counts
+  (protocol implementations inherit their contract's doc);
+- multi-line docstrings separate the summary line from the body with a
+  blank line (D205-style).
+"""
+
+import ast
+import importlib
+import inspect
+import pathlib
+
+import pytest
+
+from tests.test_public_api import PACKAGES
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Characters a summary line may end with and still read as a sentence.
+SENTENCE_ENDINGS = (".", "?", "!", ":")
+
+
+def iter_source_modules():
+    """Yield every ``.py`` file under ``src/repro``."""
+    return sorted(SRC_ROOT.rglob("*.py"))
+
+
+def docstring_problems(doc, *, where):
+    """Return style problems with an existing docstring ``doc``."""
+    problems = []
+    lines = doc.strip().splitlines()
+    first = lines[0].strip()
+    if not first:
+        problems.append(f"{where}: docstring starts with a blank line")
+    elif not first.endswith(SENTENCE_ENDINGS):
+        problems.append(
+            f"{where}: summary line does not end a sentence: {first!r}"
+        )
+    if len(lines) > 1 and lines[1].strip():
+        problems.append(
+            f"{where}: missing blank line between summary and body"
+        )
+    return problems
+
+
+def public_objects(package_name):
+    """Exported classes/functions defined inside ``repro`` itself."""
+    package = importlib.import_module(package_name)
+    for name in package.__all__:
+        obj = getattr(package, name)
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if not getattr(obj, "__module__", "").startswith("repro"):
+            continue
+        yield f"{package_name}.{name}", obj
+
+
+def method_doc(cls, method_name):
+    """The docstring for ``cls.method_name``, searching the MRO.
+
+    Overrides without a docstring inherit the contract documented on
+    the base class — the same resolution ``inspect.getdoc`` applies.
+    """
+    for base in cls.__mro__:
+        member = vars(base).get(method_name)
+        if member is None:
+            continue
+        if isinstance(member, property):
+            member = member.fget
+        member = getattr(member, "__func__", member)
+        doc = getattr(member, "__doc__", None)
+        if doc and doc.strip():
+            return doc
+    return None
+
+
+@pytest.mark.parametrize(
+    "path", iter_source_modules(), ids=lambda p: str(p.relative_to(SRC_ROOT))
+)
+def test_module_docstring(path):
+    doc = ast.get_docstring(ast.parse(path.read_text(encoding="utf-8")))
+    assert doc is not None and doc.strip(), f"{path} has no module docstring"
+    assert not docstring_problems(doc, where=str(path))
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_exported_objects_documented(package_name):
+    problems = []
+    for qualname, obj in public_objects(package_name):
+        doc = inspect.getdoc(obj)
+        if not doc or not doc.strip():
+            problems.append(f"{qualname}: missing docstring")
+        else:
+            problems.extend(docstring_problems(doc, where=qualname))
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_exported_class_methods_documented(package_name):
+    problems = []
+    seen = set()
+    for qualname, obj in public_objects(package_name):
+        if not inspect.isclass(obj) or obj in seen:
+            continue
+        seen.add(obj)
+        for method_name, member in vars(obj).items():
+            if method_name.startswith("_"):
+                continue
+            is_callable = inspect.isfunction(member) or isinstance(
+                member, (classmethod, staticmethod, property)
+            )
+            if not is_callable:
+                continue
+            if method_doc(obj, method_name) is None:
+                problems.append(f"{qualname}.{method_name}: missing docstring")
+    assert not problems, "\n".join(problems)

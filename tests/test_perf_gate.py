@@ -7,13 +7,19 @@ import pytest
 from benchmarks.perf.gate import check_regressions, main
 
 
-def artifact(single=2.9, klass=90.0, chunked=4.0, boot=0.3, instr=1.0):
+def artifact(single=2.9, klass=90.0, chunked=4.0, boot=0.3, instr=1.0,
+             harvest=(25.0, 60.0, 13.0)):
     return {
         "single_policy_ips": {"speedup": single},
         "class_search": {"speedup": klass},
         "chunked": {"relative_throughput": chunked},
         "bootstrap": {"parallel_speedup": boot},
         "instrumentation": {"relative_throughput": instr},
+        "harvest": {
+            "machinehealth": {"speedup": harvest[0]},
+            "loadbalance": {"speedup": harvest[1]},
+            "cache": {"speedup": harvest[2]},
+        },
     }
 
 

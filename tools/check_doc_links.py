@@ -1,0 +1,108 @@
+"""Stdlib internal-link checker for the project's markdown.
+
+Scans the committed documentation (repo-root ``*.md`` plus ``docs/``)
+and verifies that every relative markdown link resolves to a real file
+— and, when the link carries a ``#fragment`` into a markdown file,
+that a heading with that GitHub-style anchor exists.  External links
+(``http(s)://``, ``mailto:``) are left alone: this tool guards the
+repository's internal consistency, offline and dependency-free, so
+both the test suite and CI can run it without mkdocs installed.
+
+Usage::
+
+    python tools/check_doc_links.py            # check the default set
+    python tools/check_doc_links.py FILE...    # check specific files
+
+Exit status 0 when every link resolves, 1 otherwise (one line per
+broken link).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline markdown links — ``[text](target)`` — excluding images.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: ATX headings, used to derive the anchors a fragment may point at.
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Fenced code blocks are stripped before link extraction.
+FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_files() -> list[str]:
+    """The committed markdown set: repo-root *.md and docs/*.md."""
+    files = []
+    for name in sorted(os.listdir(REPO_ROOT)):
+        if name.endswith(".md"):
+            files.append(os.path.join(REPO_ROOT, name))
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, punctuation out, dashes in."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as handle:
+        content = handle.read()
+    return {github_anchor(m.group(1)) for m in HEADING_RE.finditer(content)}
+
+
+def check_file(path: str) -> list[str]:
+    """Return one message per broken link in ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        content = FENCE_RE.sub("", handle.read())
+    problems = []
+    rel = os.path.relpath(path, REPO_ROOT)
+    for match in LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES) or target.startswith("<"):
+            continue
+        target, _, fragment = target.partition("#")
+        if not target:  # same-file anchor
+            if fragment and fragment not in anchors_of(path):
+                problems.append(f"{rel}: missing anchor #{fragment}")
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target)
+        )
+        if not os.path.exists(resolved):
+            problems.append(f"{rel}: broken link {target}")
+            continue
+        if fragment and resolved.endswith(".md"):
+            if fragment not in anchors_of(resolved):
+                problems.append(
+                    f"{rel}: {target} has no anchor #{fragment}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files = [os.path.abspath(p) for p in argv] or default_files()
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
