@@ -17,9 +17,19 @@ them drivers over the same reduction kernel
   the log through the kernel, keeping only O(chunk) rows plus O(1)
   sufficient statistics resident.  For in-memory datasets it bounds
   the *working set* (no whole-log ``(N, K)`` matrix is ever built);
-  :func:`evaluate_jsonl_chunked` extends it to logs that never fit in
-  memory at all, streaming JSONL through the validation layer and
-  optionally folding chunks in parallel worker processes.
+  chunks are zero-copy :class:`~repro.core.columns.ColumnsSlice` views
+  of the whole-log columns, so chunking costs slicing, not per-chunk
+  reconstruction.  :func:`evaluate_jsonl_chunked` extends it to logs
+  that never fit in memory at all, streaming JSONL through the
+  validation layer and optionally folding chunks in parallel worker
+  processes.
+- ``"shared"`` — the multi-process engine: the chunked fold plan
+  executed across the persistent worker pool (:mod:`repro.core.pool`),
+  with the columnar data living in one shared-memory segment
+  (:mod:`repro.core.shm`) that workers attach zero-copy.  Each task
+  payload is a compact descriptor plus slice bounds — no row data is
+  ever pickled.  Falls back to the serial chunked plan (bit-identical)
+  whenever the data cannot be shared or the pool breaks.
 
 The paths agree to floating-point reassociation (asserted by
 ``tests/core/test_batch_equivalence.py`` and
@@ -35,16 +45,22 @@ process-wide default plus a context manager for scoped switches.
 
 from __future__ import annotations
 
+import pickle
 import time
 import warnings
+from collections import deque
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+import numpy as np
+
+from repro.core import pool as worker_pool
+from repro.core.pool import BrokenProcessPool
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import get_tracer
 
 #: The recognized backend names.
-BACKENDS = ("scalar", "vectorized", "chunked")
+BACKENDS = ("scalar", "vectorized", "chunked", "shared")
 
 _default_backend = "vectorized"
 
@@ -182,6 +198,151 @@ reset_fallback_warnings = reset_backend_warnings
 
 
 # ---------------------------------------------------------------------------
+# in-memory chunked folding: slice views, optionally across the pool
+
+
+def fold_dataset_chunked(
+    reduction,
+    state,
+    dataset,
+    *,
+    chunk_size: Optional[int] = None,
+    workers: int = 1,
+):
+    """Fold a dataset through ``reduction`` in fixed-size chunk slices.
+
+    The driver behind the in-memory ``"chunked"`` and ``"shared"``
+    backends.  Chunks are zero-copy
+    :class:`~repro.core.columns.ColumnsSlice` views over the dataset's
+    cached whole-log columns (which the chunked plan builds anyway for
+    its reduction context), so no per-chunk reconstruction happens.
+    With ``workers > 1`` the slices fold across the persistent worker
+    pool against a shared-memory copy of the columns; any failure to
+    share (unpackable data, unpicklable reduction, a broken pool)
+    falls back to the serial plan, which is bit-identical because
+    ``merge`` is exactly how ``fold`` accumulates.
+    """
+    from repro.core.columns import iter_column_slices
+
+    chunk_size = chunk_size if chunk_size is not None else get_chunk_size()
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    columns = dataset.columns()
+    if workers > 1 and columns.n > chunk_size:
+        chunk_states = _fold_columns_parallel(
+            reduction, columns, chunk_size, workers
+        )
+        if chunk_states is not None:
+            for chunk_state in chunk_states:
+                state = reduction.merge(state, chunk_state)
+            return state
+    for chunk in iter_column_slices(columns, chunk_size):
+        state = reduction.fold(state, chunk)
+    return state
+
+
+def _fold_columns_parallel(reduction, columns, chunk_size, workers):
+    """Fold slices of a shared-memory block across the worker pool.
+
+    Returns the chunk states in chunk order, or ``None`` when the data
+    cannot be shared, the reduction is unpicklable, or the pool broke
+    mid-run — the caller then recomputes serially (bit-identical).
+    The columns' shared block is memoized on the columns object, so a
+    class search fanning many reductions over one log packs the
+    segment exactly once.
+    """
+    from repro.core import shm
+
+    if not shm.available():
+        return None
+    try:
+        block = columns.shared_block()
+    except shm.SharedMemoryUnsupported:
+        return None
+    try:
+        job_key, blob = worker_pool.new_job((block.descriptor, reduction))
+    except Exception as error:
+        warnings.warn(
+            "shared backend falling back to serial folding: work items "
+            f"are not picklable ({error})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return None
+    tracer = get_tracer()
+    metrics = get_metrics()
+    bounds = [
+        (start, min(start + chunk_size, columns.n))
+        for start in range(0, columns.n, chunk_size)
+    ]
+    try:
+        executor = worker_pool.get_pool(workers)
+        futures = [
+            executor.submit(
+                _fold_slice_worker,
+                (job_key, blob, start, stop, index, tracer.enabled),
+            )
+            for index, (start, stop) in enumerate(bounds)
+        ]
+        outcomes = [future.result() for future in futures]
+    except BrokenProcessPool:
+        worker_pool.reset_pool()
+        warnings.warn(
+            "worker pool died mid-fold; recomputing serially "
+            "(results are unaffected)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return None
+    fold_seconds = metrics.histogram("engine.chunk_fold_seconds")
+    fold_count = metrics.counter("engine.chunk_folds")
+    chunk_states = []
+    for chunk_state, seconds, span_dict in outcomes:
+        fold_seconds.observe(seconds)
+        fold_count.inc()
+        if span_dict is not None:
+            tracer.attach(span_dict)
+        chunk_states.append(chunk_state)
+    return chunk_states
+
+
+def _fold_slice_worker(payload):
+    """Fold one slice of a shared columnar block (worker process).
+
+    The job blob (descriptor + reduction) is unpickled once per worker
+    and the segment attached once per worker — every subsequent slice
+    of the same job reuses both, which is what makes pool reuse cheap.
+    Traced tasks open a fresh per-task
+    :class:`~repro.obs.tracing.Tracer` and ship the span home, so
+    spans survive pool reuse without leaking state between tasks.
+    """
+    job_key, blob, start, stop, index, traced = payload
+    from repro.core import shm
+    from repro.core.columns import ColumnsSlice
+
+    descriptor, reduction = worker_pool.job_payload(job_key, blob)
+    columns = shm.attach_columns(descriptor)
+    if start == 0 and stop == columns.n:
+        chunk = columns
+    else:
+        chunk = ColumnsSlice(columns, start, stop)
+    span_dict = None
+    clock = time.perf_counter()
+    if traced:
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
+        with tracer.span(
+            "evaluate.chunk", index=index, rows=stop - start, worker=True
+        ):
+            state = reduction.fold(reduction.init_state(), chunk)
+        span_dict = tracer.span_tree()[0]
+    else:
+        state = reduction.fold(reduction.init_state(), chunk)
+    return state, time.perf_counter() - clock, span_dict
+
+
+# ---------------------------------------------------------------------------
 # out-of-core evaluation: stream a JSONL log through the reduction kernel
 
 
@@ -242,6 +403,94 @@ def _fold_chunk_worker(payload):
             for reduction in reductions
         ]
     return states, time.perf_counter() - start, span_dict
+
+
+def _scan_context_keys(chunk, keys: set) -> bool:
+    """Collect context keys from a chunk; ``False`` if any value won't pack.
+
+    Feeds the discovery pass's shared-memory vocabulary: only exactly
+    numeric values (bools excluded — they'd lose their type through a
+    float64 cell) can live in the packed context matrix.
+    """
+    for interaction in chunk:
+        for key, value in interaction.context.items():
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float, np.integer, np.floating)
+            ):
+                return False
+            keys.add(key)
+    return True
+
+
+def _shared_space_eligibility(space) -> Optional[tuple]:
+    """The one eligible-action tuple all rows share under ``space``.
+
+    ``None`` when eligibility genuinely varies per context (a custom
+    restricted space) — those chunks fall back to pickled rows.  The
+    pinned spaces the JSONL driver builds for spaceless logs use
+    :class:`~repro.core.columns.FixedEligibility`, which shares one
+    tuple by construction.
+    """
+    if space is None:
+        return None
+    if not space.restricted:
+        return tuple(range(space.n_actions))
+    from repro.core.columns import FixedEligibility
+
+    eligibility = getattr(space, "_eligibility", None)
+    if isinstance(eligibility, FixedEligibility):
+        return eligibility.actions
+    return None
+
+
+def _fold_shm_chunk_worker(payload):
+    """Fold one shared-memory chunk into fresh states (worker process).
+
+    The chunk's rows live in a one-shot segment; the payload is just
+    ``(job_key, blob, descriptor, index, traced)``.  The job blob
+    (action space, reward range, reductions, context vocabulary) is
+    unpickled once per worker and reused for every chunk of the job.
+    The result is pickled *before* the mapping is detached so no state
+    can carry views into a closed segment, and returned as bytes (the
+    parent unpickles).
+    """
+    job_key, blob, descriptor, index, traced = payload
+    from repro.core import shm
+
+    _space, reward_range, reductions, vocab = worker_pool.job_payload(
+        job_key, blob
+    )
+    columns = shm.attach_columns(
+        descriptor, vocab=vocab, reward_range=reward_range, cache=False
+    )
+    try:
+        span_dict = None
+        clock = time.perf_counter()
+        if traced:
+            from repro.obs.tracing import Tracer
+
+            tracer = Tracer()
+            with tracer.span(
+                "evaluate.chunk", index=index, rows=columns.n, worker=True
+            ):
+                states = [
+                    reduction.fold(reduction.init_state(), columns)
+                    for reduction in reductions
+                ]
+            span_dict = tracer.span_tree()[0]
+        else:
+            states = [
+                reduction.fold(reduction.init_state(), columns)
+                for reduction in reductions
+            ]
+        result = pickle.dumps(
+            (states, time.perf_counter() - clock, span_dict)
+        )
+        states = None
+        return result
+    finally:
+        del columns
+        shm.detach(descriptor)
 
 
 class ChunkedEvaluation:
@@ -369,10 +618,7 @@ def _evaluate_jsonl_chunked(
     reward_range,
     collect_terms: bool,
 ) -> ChunkedEvaluation:
-    import pickle
-
-    import numpy as np
-
+    from repro.core import shm
     from repro.core.columns import pinned_action_space
     from repro.core.estimators.direct import RewardModelFolder
     from repro.core.estimators.reductions import (
@@ -418,6 +664,10 @@ def _evaluate_jsonl_chunked(
     observed: set = set()
     total_rows = 0
     folder = RewardModelFolder() if needs_shared_model else None
+    # Shared-memory viability is decided during discovery: collect the
+    # global context-key vocabulary and verify every value packs.
+    ctx_keys: set = set()
+    shm_ok = workers > 1 and shm.available()
     # Validation is deterministic and the fold pass re-validates every
     # record; this pass's quarantine stays out of the metrics mirror so
     # each defect is counted once per run.
@@ -443,6 +693,8 @@ def _evaluate_jsonl_chunked(
                 stats.fold(actions, propensities)
                 observed.update(int(a) for a in np.unique(actions))
                 total_rows += count
+                if shm_ok:
+                    shm_ok = _scan_context_keys(chunk, ctx_keys)
                 if folder is not None:
                     rewards = np.fromiter(
                         (i.reward for i in chunk), dtype=np.float64, count=count
@@ -477,9 +729,18 @@ def _evaluate_jsonl_chunked(
             reduction.collect_terms = collect_terms
             reductions.append(reduction)
 
+    # The one-time job serialization doubles as the picklability probe:
+    # the blob (space, reward range, reductions, context vocabulary)
+    # crosses the pickle machinery exactly once per run, and per-chunk
+    # payloads carry only a compact segment descriptor — never the
+    # reductions list, never the rows.
+    job_key = job_blob = None
+    vocab = tuple(sorted(ctx_keys))
     if workers > 1:
         try:
-            pickle.dumps((space, reward_range, reductions))
+            job_key, job_blob = worker_pool.new_job(
+                (space, reward_range, reductions, vocab)
+            )
         except Exception as error:  # pragma: no cover - env-specific
             warnings.warn(
                 "chunked evaluation falling back to serial folding: "
@@ -488,21 +749,41 @@ def _evaluate_jsonl_chunked(
                 stacklevel=2,
             )
             workers = 1
+    eligible_shared = _shared_space_eligibility(space)
+    use_shm = (
+        workers > 1
+        and shm_ok
+        and eligible_shared is not None
+        and len(vocab) <= shm.MAX_CONTEXT_KEYS
+    )
+    key_to_col = {key: col for col, key in enumerate(vocab)}
 
     # -- pass 2: fold ------------------------------------------------------
-    states = [reduction.init_state() for reduction in reductions]
-    n_chunks = 0
     fold_seconds = metrics.histogram("engine.chunk_fold_seconds")
     fold_count = metrics.counter("engine.chunk_folds")
-    with tracer.span(
-        "evaluate.fold", chunk_size=chunk_size, workers=workers
-    ) as fold_span:
+
+    def _merge(outcome, states) -> None:
+        if isinstance(outcome, bytes):
+            outcome = pickle.loads(outcome)
+        chunk_states, seconds, span_dict = outcome
+        fold_seconds.observe(seconds)
+        fold_count.inc()
+        if span_dict is not None:
+            tracer.attach(span_dict)
+        for index, reduction in enumerate(reductions):
+            states[index] = reduction.merge(
+                states[index], chunk_states[index]
+            )
+
+    def _fold_pass(parallel: bool):
+        states = [reduction.init_state() for reduction in reductions]
+        n_chunks = 0
         with open(path, "r", encoding="utf-8") as handle:
             stream = ValidatedInteractionStream(
                 handle, mode=mode, validator=validator, source_name=path
             )
             chunks = _iter_interaction_chunks(stream, chunk_size)
-            if workers == 1:
+            if not parallel:
                 for chunk in chunks:
                     start = time.perf_counter()
                     with tracer.span(
@@ -519,40 +800,88 @@ def _evaluate_jsonl_chunked(
                     fold_seconds.observe(time.perf_counter() - start)
                     fold_count.inc()
                     n_chunks += 1
-            else:
-                from collections import deque
-                from concurrent.futures import ProcessPoolExecutor
+                return states, n_chunks, stream.quarantine
 
-                def _merge(outcome) -> None:
-                    chunk_states, seconds, span_dict = outcome
-                    fold_seconds.observe(seconds)
-                    fold_count.inc()
-                    if span_dict is not None:
-                        tracer.attach(span_dict)
-                    for index, reduction in enumerate(reductions):
-                        states[index] = reduction.merge(
-                            states[index], chunk_states[index]
-                        )
+            # Parallel: ship each chunk as a one-shot shared segment
+            # (a few-hundred-byte payload) when the data packs, or as
+            # pickled rows otherwise.  Bound in-flight chunks so peak
+            # memory — including live segments — stays O(workers ×
+            # chunk) even when folding lags the file read; segments
+            # are unlinked as soon as their chunk merges, and in
+            # ``finally`` on any failure.
+            traced = tracer.enabled
+            executor = worker_pool.get_pool(workers)
+            in_flight: deque = deque()
 
-                # Bound in-flight chunks so peak memory stays O(workers ×
-                # chunk) even when folding lags the file read.
-                traced = tracer.enabled
-                in_flight: deque = deque()
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    for chunk in chunks:
-                        in_flight.append(
-                            pool.submit(
+            def _drain_one() -> None:
+                future, block = in_flight.popleft()
+                try:
+                    outcome = future.result()
+                finally:
+                    if block is not None:
+                        block.release()
+                _merge(outcome, states)
+
+            try:
+                for chunk in chunks:
+                    block = None
+                    if use_shm:
+                        try:
+                            block = shm.pack_interactions(
+                                chunk, key_to_col, eligible_shared,
+                                space.n_actions,
+                            )
+                        except shm.SharedMemoryUnsupported:
+                            block = None
+                    try:
+                        if block is not None:
+                            future = executor.submit(
+                                _fold_shm_chunk_worker,
+                                (job_key, job_blob, block.descriptor,
+                                 n_chunks, traced),
+                            )
+                        else:
+                            future = executor.submit(
                                 _fold_chunk_worker,
                                 (chunk, space, reward_range, reductions,
                                  n_chunks, traced),
                             )
-                        )
-                        n_chunks += 1
-                        if len(in_flight) >= 2 * workers:
-                            _merge(in_flight.popleft().result())
-                    while in_flight:
-                        _merge(in_flight.popleft().result())
-            quarantine = stream.quarantine
+                    except BaseException:
+                        # submit itself fails on an already-broken pool;
+                        # the block is not in ``in_flight`` yet, so the
+                        # outer finally would miss it.
+                        if block is not None:
+                            block.release()
+                        raise
+                    in_flight.append((future, block))
+                    n_chunks += 1
+                    if len(in_flight) >= 2 * workers:
+                        _drain_one()
+                while in_flight:
+                    _drain_one()
+            finally:
+                for _future, block in in_flight:
+                    if block is not None:
+                        block.release()
+            return states, n_chunks, stream.quarantine
+
+    with tracer.span(
+        "evaluate.fold", chunk_size=chunk_size, workers=workers
+    ) as fold_span:
+        if workers > 1:
+            try:
+                states, n_chunks, quarantine = _fold_pass(parallel=True)
+            except BrokenProcessPool:
+                worker_pool.reset_pool()
+                warnings.warn(
+                    "chunked fold worker pool died; refolding serially "
+                    "(results are unaffected)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                states, n_chunks, quarantine = _fold_pass(parallel=False)
+        else:
+            states, n_chunks, quarantine = _fold_pass(parallel=False)
         fold_span.set(chunks=n_chunks)
     metrics.counter("engine.rows_ingested", backend="chunked").inc(total_rows)
 

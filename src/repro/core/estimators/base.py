@@ -78,10 +78,12 @@ class OffPolicyEstimator(ABC):
     ``"vectorized"`` evaluates through the columnar
     :class:`~repro.core.columns.DatasetColumns` view shared on the
     dataset, ``"scalar"`` walks the log row by row, ``"chunked"``
-    folds fixed-size chunks through the reduction kernel
-    (:mod:`repro.core.estimators.reductions`), and ``None`` (the
-    default) follows the process-wide default backend.  All paths
-    compute the same estimate up to floating-point reassociation.
+    folds fixed-size chunk slices through the reduction kernel
+    (:mod:`repro.core.estimators.reductions`), ``"shared"`` folds the
+    same slices in parallel against a shared-memory copy of the
+    columns (:mod:`repro.core.shm`), and ``None`` (the default)
+    follows the process-wide default backend.  All paths compute the
+    same estimate bit-for-bit.
     """
 
     name: str = "estimator"
@@ -114,8 +116,11 @@ class OffPolicyEstimator(ABC):
         (e.g. trajectory estimators) override this method wholesale.
         """
         self._require_data(dataset)
-        from repro.core.columns import iter_chunk_columns
-        from repro.core.engine import get_chunk_size
+        from repro.core.engine import (
+            fold_dataset_chunked,
+            get_chunk_size,
+            get_workers,
+        )
         from repro.core.estimators.reductions import (
             LogSummary,
             ReductionContext,
@@ -134,11 +139,14 @@ class OffPolicyEstimator(ABC):
             state = reduction.init_state()
             if backend == "scalar":
                 state = reduction.fold_scalar(state, dataset)
-            elif backend == "chunked":
-                for chunk_columns in iter_chunk_columns(
-                    dataset, get_chunk_size()
-                ):
-                    state = reduction.fold(state, chunk_columns)
+            elif backend in ("chunked", "shared"):
+                state = fold_dataset_chunked(
+                    reduction,
+                    state,
+                    dataset,
+                    chunk_size=get_chunk_size(),
+                    workers=get_workers() if backend == "shared" else 1,
+                )
             else:
                 state = reduction.fold(state, dataset.columns())
             return reduction.finalize(

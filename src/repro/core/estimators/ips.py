@@ -19,10 +19,12 @@ All three estimators execute through the reduction kernel
 (see :mod:`repro.core.engine`): the vectorized path folds one
 whole-log chunk computed from a single
 :meth:`~repro.core.policies.Policy.probabilities_batch` call, the
-scalar path folds the per-row reference loop's output, and the chunked
-path folds fixed-size chunks in O(chunk) memory.  Every derived
-quantity (terms, match counts, clipping statistics, diagnostics
-accumulators) comes from a *single* weight pass per chunk.
+scalar path folds the per-row reference loop's output, the chunked
+path folds fixed-size zero-copy slices of the cached columns, and the
+shared path folds the same slices in parallel workers attached to a
+shared-memory copy of the columns.  Every derived quantity (terms,
+match counts, clipping statistics, diagnostics accumulators) comes
+from a *single* weight pass per chunk.
 """
 
 from __future__ import annotations
@@ -51,21 +53,27 @@ class IPSEstimator(OffPolicyEstimator):
         return IPSReduction(policy, context, name=self.name)
 
     def match_weights(self, policy: Policy, dataset: Dataset) -> np.ndarray:
-        """Per-interaction importance ratios ``π(a_t|x_t)/p_t``."""
+        """Per-interaction importance ratios ``π(a_t|x_t)/p_t``.
+
+        On the vectorized and shared backends the whole-log weight
+        vector is memoized on the dataset's columns
+        (:meth:`~repro.core.columns.DatasetColumns.ips_weights`), so a
+        bootstrap fanning hundreds of replicates over one (policy, log)
+        pair computes it exactly once.
+        """
         self._require_data(dataset)
         backend = self.resolved_backend()
-        if backend == "vectorized":
-            columns = dataset.columns()
-            return columns.logged_probabilities(policy) / columns.propensities
+        if backend in ("vectorized", "shared"):
+            return dataset.columns().ips_weights(policy)
         if backend == "chunked":
-            from repro.core.columns import iter_chunk_columns
+            from repro.core.columns import iter_column_slices
             from repro.core.engine import get_chunk_size
 
             return np.concatenate(
                 [
                     chunk.logged_probabilities(policy) / chunk.propensities
-                    for chunk in iter_chunk_columns(
-                        dataset, get_chunk_size()
+                    for chunk in iter_column_slices(
+                        dataset.columns(), get_chunk_size()
                     )
                 ]
             )
