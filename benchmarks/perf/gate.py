@@ -43,6 +43,19 @@ GATED_METRICS = (
     ("harvest cache speedup", ("harvest", "cache", "speedup")),
 )
 
+#: (human label, path, floor) gated against an *absolute* floor rather
+#: than a baseline: same-box ratios whose acceptable minimum is a spec,
+#: not a measurement.  The ledger's overhead budget is ≤10% on the
+#: batched harvest hot path, so relative throughput must stay ≥ 0.9
+#: regardless of what any baseline happened to record.
+ABSOLUTE_FLOORS = (
+    (
+        "ledger relative throughput",
+        ("ledger", "relative_throughput"),
+        0.9,
+    ),
+)
+
 DEFAULT_BASELINE = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_ope.smoke_baseline.json"
 )
@@ -81,6 +94,16 @@ def check_regressions(
                 f"{label}: {actual:.2f}x is more than {tolerance:.0%} below "
                 f"the baseline {expected:.2f}x (floor {floor:.2f}x)"
             )
+    for label, path, floor in ABSOLUTE_FLOORS:
+        try:
+            actual = _lookup(current, path)
+        except KeyError:
+            continue  # artifact predates the metric: nothing to gate
+        if actual < floor:
+            failures.append(
+                f"{label}: {actual:.2f}x is below the absolute floor "
+                f"{floor:.2f}x"
+            )
     return failures
 
 
@@ -115,6 +138,12 @@ def main(argv=None) -> int:
         except KeyError:
             continue
         print(f"{label}: {now:.2f}x (baseline {then:.2f}x)")
+    for label, path, floor in ABSOLUTE_FLOORS:
+        try:
+            now = _lookup(current, path)
+        except KeyError:
+            continue
+        print(f"{label}: {now:.2f}x (absolute floor {floor:.2f}x)")
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -549,6 +549,102 @@ class TestHarvestThroughput:
         )
 
 
+class TestLedgerOverhead:
+    """Audit-ledger cost on the batched harvest hot path.
+
+    The decision ledger promises O(1) per batch while sampling —
+    ``extend_batch`` stores array references and the SHA-256 chain
+    seals lazily at serialization time — so a ledgered harvest
+    (HKDF-derived ``StreamRNG`` + ledger attached) must hold at least
+    90% of plain-generator throughput.  ``relative_throughput`` is
+    gated with an **absolute floor** of 0.9 in ``gate.py`` (full mode
+    asserts it here too); the deferred seal is timed separately and
+    reported per row (informational — paid once, at rest).
+
+    Because the floor is absolute, this measurement needs more care
+    than the baseline-relative ratios: plain and ledgered rounds are
+    *interleaved* (so clock-frequency drift hits both sides equally)
+    and the smoke row count stays large enough (20k rows) that the
+    per-shard derivation cost is measured, not setup jitter.
+    """
+
+    def test_bench_ledger_overhead(self, benchmark):
+        from repro.audit.ledger import DecisionLedger
+        from repro.audit.streams import StreamKey, StreamRegistry
+        from repro.core.harvest import harvest_columns
+        from repro.core.policies import UniformRandomPolicy
+
+        n = max(N_HARVEST, 20_000)
+        rounds = max(ROUNDS, 9)
+        contexts = [
+            {"x": float(v)}
+            for v in np.random.default_rng(5).normal(size=n)
+        ]
+        eligible = tuple(range(N_ACTIONS))
+        reward = lambda indices, actions: np.zeros(len(indices))  # noqa: E731
+        policy = UniformRandomPolicy()
+
+        def plain():
+            harvest_columns(
+                policy, contexts, reward, np.random.default_rng(0),
+                eligible=eligible, batch_size=8_192,
+            )
+
+        ledgers: list[DecisionLedger] = []
+
+        def ledgered():
+            # StreamRNG is forward-only and the chain grows, so each
+            # round gets a fresh derivation + ledger (setup is O(1)).
+            registry = StreamRegistry(0)
+            stream = registry.stream(
+                "bench", "harvest", "decisions", shard_size=8_192
+            )
+            ledger = DecisionLedger(
+                StreamKey("bench", "harvest", "decisions"),
+                shard_size=8_192,
+            )
+            harvest_columns(
+                policy, contexts, reward, stream,
+                eligible=eligible, batch_size=8_192, ledger=ledger,
+            )
+            ledgers.append(ledger)
+
+        plain()  # warm caches on both paths before any timed round
+        benchmark.pedantic(ledgered, rounds=1, iterations=1, warmup_rounds=0)
+
+        plain_durations: list[float] = []
+        ledgered_durations: list[float] = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            plain()
+            plain_durations.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            ledgered()
+            ledgered_durations.append(time.perf_counter() - start)
+        plain_seconds = min(plain_durations)
+        ledgered_seconds = min(ledgered_durations)
+
+        start = time.perf_counter()
+        head = ledgers[-1].head
+        seal_seconds = time.perf_counter() - start
+        assert len(head) == 64
+
+        relative = plain_seconds / ledgered_seconds
+        RESULTS["ledger"] = {
+            "n": n,
+            "plain_seconds": plain_seconds,
+            "ledgered_seconds": ledgered_seconds,
+            "relative_throughput": relative,
+            "seal_seconds": seal_seconds,
+            "seal_us_per_row": seal_seconds / n * 1e6,
+        }
+        if not SMOKE:
+            assert relative >= 0.9, (
+                f"ledgered harvest at {relative:.2f}x plain throughput "
+                "breaches the 10% overhead budget"
+            )
+
+
 class TestThroughputArtifact:
     """Derive speedups, write ``BENCH_ope.json``, enforce the gate."""
 
@@ -565,6 +661,7 @@ class TestThroughputArtifact:
             "harvest_machinehealth",
             "harvest_loadbalance",
             "harvest_cache",
+            "ledger",
         }, "benchmark tests must run before the artifact test (file order)"
         single_speedup = (
             RESULTS["single_vectorized"]["interactions_per_sec"]
@@ -617,6 +714,7 @@ class TestThroughputArtifact:
                 "loadbalance": RESULTS["harvest_loadbalance"],
                 "cache": RESULTS["harvest_cache"],
             },
+            "ledger": RESULTS["ledger"],
         }
         with open(ARTIFACT_PATH, "w", encoding="utf-8") as f:
             json.dump(artifact, f, indent=2)
@@ -684,6 +782,14 @@ class TestThroughputArtifact:
                     f"{RESULTS[f'harvest_{scenario}']['speedup']:.1f}x",
                 ]
                 for scenario in ("machinehealth", "loadbalance", "cache")
+            ]
+            + [
+                [
+                    "ledgered harvest (vs plain)",
+                    f"{RESULTS['ledger']['plain_seconds']:.3f}s",
+                    f"{RESULTS['ledger']['ledgered_seconds']:.3f}s",
+                    f"{RESULTS['ledger']['relative_throughput']:.2f}x",
+                ],
             ],
         )
         if not SMOKE:

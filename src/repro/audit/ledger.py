@@ -1,0 +1,648 @@
+"""The hash-chained decision ledger: tamper-evident exploration logs.
+
+Off-policy evaluation trusts a log's every row: a flipped action, a
+rescaled propensity, a dropped segment — all silently bias the
+estimate while remaining perfectly *valid-looking* data, invisible to
+value-level validation.  The ledger closes that gap.  Every harvested
+decision event carries a chained record::
+
+    hash_i = SHA256(prev=hash_{i-1} | stream | ordinal_i |
+                    context_sha_i | action_i | propensity_i)
+
+so that
+
+- **tampering** with any field (context, action, propensity, or the
+  ledger metadata itself) breaks that record's hash binding;
+- **deletion, insertion, or reordering** breaks the ``prev`` linkage
+  of the surrounding records — verification localizes the damage to a
+  segment instead of merely failing;
+- **truncation** is caught by comparing the final head against the
+  head recorded in the run manifest
+  (:meth:`repro.obs.manifest.RunManifest.build`'s ``ledger`` section);
+- together with :mod:`repro.audit.streams`, any shard of the log
+  regenerates bit-identically in isolation (fork equivalence): derive
+  the stream at the shard's start ordinal, replay the rows, and anchor
+  the chain at the shard's recorded ``prev``.
+
+Hot-path cost discipline: hashing a record costs ~1 µs, which is the
+*entire* per-row budget of the batched harvest engine.
+:meth:`DecisionLedger.extend_batch` therefore only keeps references to
+the batch arrays (O(1) per batch) and the chain is **sealed lazily** —
+computed when the entries, the head, or the annotated dataset are
+first needed, i.e. at serialization time, before the log ever leaves
+the process.  The at-rest artifact is always covered; the sampling
+loop pays nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.audit.streams import StreamKey
+
+__all__ = [
+    "GENESIS",
+    "LEDGER_SCHEMA_VERSION",
+    "ChainFollower",
+    "ChainIssue",
+    "ChainVerification",
+    "DecisionLedger",
+    "LedgerEntry",
+    "context_digest",
+    "entry_hash",
+    "rechain",
+    "verify_jsonl",
+    "verify_records",
+]
+
+#: Bump when the ledger record layout changes incompatibly.
+LEDGER_SCHEMA_VERSION = 1
+
+#: The chain anchor before any record: 64 hex zeros.
+GENESIS = "0" * 64
+
+#: Validation reason code for ledger rejections (mirrored into
+#: :mod:`repro.core.validation`'s reason vocabulary).
+LEDGER = "ledger"
+
+_PACK_DOUBLE = struct.Struct("<d").pack
+
+
+def context_digest(context: Mapping) -> str:
+    """128-bit hex digest of a context, canonical across round trips.
+
+    Features are folded in sorted key order with length-prefixed keys
+    and exact little-endian float64 values, so the digest is invariant
+    under dict ordering and JSON serialization (which round-trips
+    float64 exactly) but changes for any altered feature name or value.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(context):
+        raw = str(key).encode("utf-8")
+        digest.update(len(raw).to_bytes(4, "big"))
+        digest.update(raw)
+        digest.update(_PACK_DOUBLE(float(context[key])))
+    return digest.hexdigest()[:32]
+
+
+def entry_hash(
+    prev: str,
+    stream: str,
+    ordinal: int,
+    context_sha: str,
+    action: int,
+    propensity: float,
+) -> str:
+    """The chained hash of one decision event.
+
+    The message is an unambiguous ``|``-joined canonical form (stream
+    names exclude ``|`` by construction, floats use ``float.hex()``
+    for bit-exactness), prefixed by the previous record's hash — so
+    every hash commits to the entire log prefix.
+    """
+    message = "|".join(
+        (
+            prev,
+            stream,
+            str(int(ordinal)),
+            context_sha,
+            str(int(action)),
+            float(propensity).hex(),
+        )
+    )
+    return hashlib.sha256(message.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One sealed ledger record for one harvested decision."""
+
+    stream: str
+    ordinal: int
+    prev: str
+    context_sha: str
+    action: int
+    propensity: float
+    hash: str
+
+    def to_metadata(self) -> dict:
+        """The dict embedded at ``interaction.metadata["ledger"]``."""
+        return {
+            "v": LEDGER_SCHEMA_VERSION,
+            "stream": self.stream,
+            "ordinal": self.ordinal,
+            "prev": self.prev,
+            "context_sha": self.context_sha,
+            "hash": self.hash,
+        }
+
+
+class DecisionLedger:
+    """Build the hash chain over a stream of harvested decisions.
+
+    ``stream`` names the decision stream (a
+    :class:`~repro.audit.streams.StreamKey` or its ``name`` form);
+    ``shard_size`` records the derivation shard of the paired
+    :class:`~repro.audit.streams.StreamRNG` so verification tooling can
+    re-derive shards; ``genesis`` anchors the chain (override it with a
+    predecessor's head to extend a log, or with a shard's recorded
+    ``prev`` to rebuild that shard in isolation); ``start_ordinal``
+    offsets the entry ordinals for the same shard-rebuild case, so an
+    isolated rebuild reproduces the full log's records bit-identically.
+
+    Two append paths share one chain:
+
+    - :meth:`append` — seal one decision immediately (per-row /
+      online use);
+    - :meth:`extend_batch` — O(1) per batch: stash references to the
+      batch's contexts/actions/propensities and defer hashing until
+      the chain is observed (:attr:`head`, :meth:`entries`,
+      :meth:`annotate`).  This is what the batched harvest engine
+      calls, keeping ledger overhead off the sampling hot path.
+    """
+
+    def __init__(
+        self,
+        stream: Union[StreamKey, str],
+        *,
+        shard_size: Optional[int] = None,
+        genesis: str = GENESIS,
+        start_ordinal: int = 0,
+        master_fingerprint: Optional[str] = None,
+    ) -> None:
+        if start_ordinal < 0:
+            raise ValueError(f"start_ordinal must be >= 0, got {start_ordinal}")
+        self.stream = stream.name if isinstance(stream, StreamKey) else str(stream)
+        self.genesis = str(genesis)
+        self.start_ordinal = int(start_ordinal)
+        self.shard_size = shard_size
+        self.master_fingerprint = master_fingerprint
+        self._head = self.genesis
+        self._entries: list[LedgerEntry] = []
+        self._pending: list[tuple[Sequence[Mapping], np.ndarray, np.ndarray]] = []
+        self._pending_rows = 0
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, context: Mapping, action: int, propensity: float) -> LedgerEntry:
+        """Seal one decision onto the chain and return its entry."""
+        self._drain()
+        return self._seal_one(context, int(action), float(propensity))
+
+    def extend_batch(
+        self,
+        contexts: Sequence[Mapping],
+        actions: np.ndarray,
+        propensities: np.ndarray,
+    ) -> None:
+        """Queue one harvested batch; hashing is deferred until sealed.
+
+        The arrays are kept by reference — callers hand over slices the
+        harvest engine has finished writing (each output position is
+        written exactly once, so the views are stable).
+        """
+        n = len(contexts)
+        if len(actions) != n or len(propensities) != n:
+            raise ValueError(
+                f"batch length mismatch: {n} contexts, {len(actions)} "
+                f"actions, {len(propensities)} propensities"
+            )
+        if n:
+            self._pending.append((contexts, actions, propensities))
+            self._pending_rows += n
+
+    def _seal_one(
+        self, context: Mapping, action: int, propensity: float
+    ) -> LedgerEntry:
+        ordinal = self.start_ordinal + len(self._entries)
+        context_sha = context_digest(context)
+        digest = entry_hash(
+            self._head, self.stream, ordinal, context_sha, action, propensity
+        )
+        entry = LedgerEntry(
+            stream=self.stream,
+            ordinal=ordinal,
+            prev=self._head,
+            context_sha=context_sha,
+            action=action,
+            propensity=propensity,
+            hash=digest,
+        )
+        self._entries.append(entry)
+        self._head = digest
+        return entry
+
+    def _drain(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        self._pending_rows = 0
+        for contexts, actions, propensities in pending:
+            for row in range(len(contexts)):
+                self._seal_one(
+                    contexts[row], int(actions[row]), float(propensities[row])
+                )
+
+    # -- observation ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries) + self._pending_rows
+
+    @property
+    def n(self) -> int:
+        """Decisions recorded so far (sealed + pending)."""
+        return len(self)
+
+    @property
+    def head(self) -> str:
+        """The chain head — seals any pending batches first."""
+        self._drain()
+        return self._head
+
+    def entries(self) -> list[LedgerEntry]:
+        """All sealed entries, in ordinal order (seals pending batches)."""
+        self._drain()
+        return list(self._entries)
+
+    def annotate(self, interactions: Iterable) -> None:
+        """Attach each entry to the matching interaction's metadata.
+
+        ``interactions`` must align one-to-one with the ledger (same
+        count, same order) — exactly what a harvest that fed both
+        produces.  Mutates ``interaction.metadata["ledger"]`` in place.
+        """
+        entries = self.entries()
+        interactions = list(interactions)
+        if len(interactions) != len(entries):
+            raise ValueError(
+                f"ledger has {len(entries)} entries for "
+                f"{len(interactions)} interactions"
+            )
+        for interaction, entry in zip(interactions, entries):
+            interaction.metadata["ledger"] = entry.to_metadata()
+
+    def manifest_entry(self) -> dict:
+        """Manifest section proving this ledger's provenance."""
+        out = {
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "stream": self.stream,
+            "n": len(self),
+            "genesis": self.genesis,
+            "head": self.head,
+        }
+        if self.shard_size is not None:
+            out["shard_size"] = self.shard_size
+        if self.master_fingerprint is not None:
+            out["master_fingerprint"] = self.master_fingerprint
+        return out
+
+    def __repr__(self) -> str:
+        return f"DecisionLedger(stream={self.stream!r}, n={len(self)})"
+
+
+def rechain(
+    interactions: Iterable,
+    stream: Union[StreamKey, str, None] = None,
+    **ledger_kwargs,
+) -> DecisionLedger:
+    """Rebuild a fresh chain over surviving interactions (the repair).
+
+    After quarantine drops corrupted records the old chain necessarily
+    shows gaps at every removal; ``rechain`` seals a new chain over
+    what survived (re-annotating each interaction's ledger metadata)
+    so the repaired log verifies clean end to end.  ``stream`` defaults
+    to the stream named by the first interaction's existing metadata.
+    """
+    interactions = list(interactions)
+    if stream is None:
+        for interaction in interactions:
+            meta = interaction.metadata.get("ledger") if interaction.metadata else None
+            if meta and meta.get("stream"):
+                stream = meta["stream"]
+                break
+        else:
+            raise ValueError("no ledger metadata to take the stream name from")
+    ledger = DecisionLedger(stream, **ledger_kwargs)
+    for interaction in interactions:
+        ledger.append(
+            interaction.context, interaction.action, interaction.propensity
+        )
+    ledger.annotate(interactions)
+    return ledger
+
+
+# -- verification ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChainIssue:
+    """One verification defect, localized to a record."""
+
+    line: int  #: 1-based line/record number in the source.
+    reason: str  #: ``"ledger"`` (binding broken) or ``"ledger-gap"``.
+    detail: str
+
+    def __str__(self) -> str:
+        return f"line {self.line}: {self.reason}: {self.detail}"
+
+
+@dataclass
+class ChainVerification:
+    """The outcome of walking a log's chain end to end.
+
+    ``segments`` are the maximal runs of internally-consistent,
+    correctly-linked records — corruption *localizes*: the first bad
+    record is named, and an intact suffix shows up as its own verified
+    segment rather than poisoning everything after the break.
+    """
+
+    n: int  #: Records examined (blank lines excluded).
+    n_ledgered: int  #: Records carrying ledger metadata.
+    head: Optional[str]  #: Final stored head (None when nothing ledgered).
+    issues: list[ChainIssue] = field(default_factory=list)
+    gaps: list[ChainIssue] = field(default_factory=list)
+    segments: list[dict] = field(default_factory=list)
+    expected_head: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff the chain is unbroken and matches ``expected_head``."""
+        if self.issues or self.gaps:
+            return False
+        if self.expected_head is not None and self.head != self.expected_head:
+            return False
+        return self.n_ledgered > 0
+
+    @property
+    def first_bad(self) -> Optional[int]:
+        """1-based line of the first defect (binding break or gap)."""
+        lines = [issue.line for issue in self.issues + self.gaps]
+        return min(lines) if lines else None
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the final head differs from the expected head."""
+        return (
+            self.expected_head is not None and self.head != self.expected_head
+        )
+
+    def report(self) -> dict:
+        """JSON-serializable summary."""
+        return {
+            "ok": self.ok,
+            "n": self.n,
+            "n_ledgered": self.n_ledgered,
+            "head": self.head,
+            "expected_head": self.expected_head,
+            "truncated": self.truncated,
+            "first_bad": self.first_bad,
+            "issues": [str(issue) for issue in self.issues],
+            "gaps": [str(issue) for issue in self.gaps],
+            "segments": list(self.segments),
+        }
+
+    def summary_text(self) -> str:
+        """Human-readable verification report for terminals."""
+        status = "OK" if self.ok else "BROKEN"
+        lines = [
+            f"ledger: {status} — {self.n_ledgered}/{self.n} record(s) "
+            f"chained, {len(self.segments)} verified segment(s)"
+        ]
+        if self.head is not None:
+            lines.append(f"  head {self.head}")
+        if self.truncated:
+            lines.append(
+                f"  TRUNCATED/MODIFIED: expected head {self.expected_head}"
+            )
+        for issue in self.issues[:5]:
+            lines.append(f"  corrupt  {issue}")
+        for gap in self.gaps[:5]:
+            lines.append(f"  gap      {gap}")
+        for segment in self.segments:
+            lines.append(
+                f"  segment  lines {segment['start_line']}–"
+                f"{segment['stop_line']} ({segment['n']} records) verified"
+            )
+        return "\n".join(lines)
+
+
+class ChainFollower:
+    """Stateful verifier: feed parsed records in file order.
+
+    Separation of duties mirrors
+    :class:`repro.core.validation.RecordValidator`: :meth:`check` is
+    pure (returns the record's binding defects), :meth:`observe`
+    advances the chain head.  The head always advances to the record's
+    *stored* hash — chain verification judges log integrity as
+    written, independently of whether value-level validation accepts
+    the record — so a quarantined-but-authentic record does not open a
+    spurious gap at its successor.
+
+    ``strict_links`` makes linkage breaks (gaps) show up as issues
+    from :meth:`check` (strict loading); otherwise gaps are tolerated
+    and only tallied (quarantine/repair loading, where a gap is the
+    expected shadow of an already-rejected predecessor).
+    """
+
+    REQUIRED_FIELDS = ("stream", "ordinal", "prev", "context_sha", "hash")
+
+    def __init__(self, genesis: str = GENESIS, strict_links: bool = False) -> None:
+        self.genesis = genesis
+        self.strict_links = strict_links
+        self.head: str = genesis
+        self.engaged = False  #: Set once the first ledgered record is seen.
+        self.n_ledgered = 0
+        self.n_gaps = 0
+
+    @staticmethod
+    def metadata_of(record: Mapping) -> Optional[Mapping]:
+        """The record's ledger metadata block, if any."""
+        metadata = record.get("metadata")
+        if not isinstance(metadata, Mapping):
+            return None
+        ledger = metadata.get("ledger")
+        return ledger if isinstance(ledger, Mapping) else None
+
+    def check(self, record: Mapping) -> list[Tuple[str, str]]:
+        """Binding defects of one record (empty = authentic).
+
+        Verifies (1) the ledger metadata is complete, (2) the recorded
+        context digest matches the record's context, and (3) the
+        recorded hash recomputes from the record's own fields — so any
+        tampering with context, action, propensity, or the metadata
+        itself is caught.  Linkage to the previous record is reported
+        only under ``strict_links``; otherwise gaps are :meth:`observe`
+        bookkeeping.
+        """
+        meta = self.metadata_of(record)
+        if meta is None:
+            if self.engaged:
+                return [(LEDGER, "record carries no ledger metadata mid-chain")]
+            return []
+        missing = [f for f in self.REQUIRED_FIELDS if f not in meta]
+        if missing:
+            return [(LEDGER, f"ledger metadata missing field(s) {missing}")]
+        issues: list[Tuple[str, str]] = []
+        context = record.get("context")
+        if isinstance(context, Mapping):
+            try:
+                recomputed_sha = context_digest(context)
+            except (TypeError, ValueError):
+                recomputed_sha = None
+            if recomputed_sha != meta["context_sha"]:
+                issues.append(
+                    (LEDGER, "context digest mismatch (context tampered)")
+                )
+        try:
+            recomputed = entry_hash(
+                str(meta["prev"]),
+                str(meta["stream"]),
+                int(meta["ordinal"]),
+                str(meta["context_sha"]),
+                int(record["action"]),
+                float(record["propensity"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            return issues + [(LEDGER, f"record hash not recomputable: {error}")]
+        if recomputed != meta["hash"]:
+            issues.append(
+                (
+                    LEDGER,
+                    f"record hash mismatch at ordinal {meta['ordinal']} "
+                    "(action/propensity/metadata tampered)",
+                )
+            )
+        if self.strict_links and meta["prev"] != self.head:
+            issues.append(
+                (
+                    LEDGER,
+                    f"chain break at ordinal {meta['ordinal']}: prev "
+                    f"{str(meta['prev'])[:12]}… does not match head "
+                    f"{self.head[:12]}…",
+                )
+            )
+        return issues
+
+    def observe(self, record: Mapping) -> bool:
+        """Advance the head past ``record``; True if it opened a gap."""
+        meta = self.metadata_of(record)
+        if meta is None or "hash" not in meta:
+            return False
+        self.engaged = True
+        self.n_ledgered += 1
+        gap = meta.get("prev") != self.head and self.n_ledgered > 1
+        if gap:
+            self.n_gaps += 1
+        self.head = str(meta["hash"])
+        return gap
+
+
+def verify_records(
+    records: Iterable[Tuple[int, Mapping]],
+    expected_head: Optional[str] = None,
+    genesis: str = GENESIS,
+) -> ChainVerification:
+    """Walk ``(line_number, record)`` pairs and verify the full chain.
+
+    The driver behind :func:`verify_jsonl` — also usable over parsed
+    in-memory records.  Builds the verified-segment map: a segment
+    closes at every binding failure or linkage gap, and a new one opens
+    at the next record whose own binding verifies (anchored at its
+    stored ``prev``), which is exactly how an intact suffix re-verifies
+    after the corrupted stretch is repaired or excised.
+    """
+    follower = ChainFollower(genesis=genesis)
+    result = ChainVerification(
+        n=0, n_ledgered=0, head=None, expected_head=expected_head
+    )
+    segment_start: Optional[int] = None
+    segment_n = 0
+    last_line = 0
+
+    def close_segment(stop_line: int) -> None:
+        nonlocal segment_start, segment_n
+        if segment_start is not None and segment_n > 0:
+            result.segments.append(
+                {
+                    "start_line": segment_start,
+                    "stop_line": stop_line,
+                    "n": segment_n,
+                    "head": follower.head,
+                }
+            )
+        segment_start = None
+        segment_n = 0
+
+    for line_number, record in records:
+        result.n += 1
+        last_line = line_number
+        issues = follower.check(record)
+        meta = follower.metadata_of(record)
+        if meta is None and not issues:
+            continue
+        gap = follower.observe(record) if meta is not None else False
+        if meta is not None:
+            result.n_ledgered += 1
+        binding_broken = bool(issues)
+        if binding_broken:
+            for reason, detail in issues:
+                result.issues.append(ChainIssue(line_number, reason, detail))
+            close_segment(line_number - 1)
+            continue
+        if gap:
+            result.gaps.append(
+                ChainIssue(
+                    line_number,
+                    "ledger-gap",
+                    f"prev does not match the previous record's hash "
+                    f"(ordinal {meta['ordinal']})",
+                )
+            )
+            close_segment(line_number - 1)
+        if segment_start is None:
+            segment_start = line_number
+        segment_n += 1
+    close_segment(last_line)
+    result.head = follower.head if follower.engaged else None
+    result.n_ledgered = follower.n_ledgered
+    return result
+
+
+def _jsonl_records(path: str) -> Iterator[Tuple[int, Mapping]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            raw = line.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                # Unparseable bytes cannot carry a verifiable chain link;
+                # surface them as a binding failure at this line.
+                yield line_number, {"metadata": {"ledger": {}}}
+                continue
+            if isinstance(record, Mapping):
+                yield line_number, record
+
+
+def verify_jsonl(
+    path: str,
+    expected_head: Optional[str] = None,
+    genesis: str = GENESIS,
+) -> ChainVerification:
+    """Verify the ledger chain of a JSONL exploration log.
+
+    Walks the file once in O(line) memory.  ``expected_head`` (e.g.
+    from the harvest manifest's ``ledger.head``) additionally proves
+    the log was not truncated or extended.  Unparseable lines count as
+    binding failures at their line number.
+    """
+    return verify_records(
+        _jsonl_records(path), expected_head=expected_head, genesis=genesis
+    )

@@ -1,0 +1,212 @@
+"""Static analysis against *ambient* randomness in ``src/repro``.
+
+Ambient RNG — the module-level ``random.random()`` / ``np.random.*``
+state, or an argless ``np.random.default_rng()`` — is randomness with
+no provenance: it cannot be tied to a master seed, a stream key, or a
+ledger ordinal, so any decision it influences is unauditable and any
+log it touches loses fork equivalence.  This module walks Python ASTs
+and reports every such call site, and a tier-1 test
+(``tests/audit/test_rng_lint.py``) fails the build on findings outside
+an explicit allowlist.
+
+What is flagged:
+
+- calls through the ``random`` module's ambient state
+  (``random.random()``, ``random.randint(...)``, ``random.seed`` …);
+- calls through NumPy's legacy global state (``np.random.rand()``,
+  ``numpy.random.shuffle`` …);
+- ``default_rng()`` / ``np.random.default_rng()`` with *no seed
+  argument* (an argless construction is OS-entropy seeded — fine for
+  a CLI default, poison inside library code);
+- bare ``seed(...)`` / ambient calls via ``from random import ...`` or
+  ``from numpy.random import ...`` aliases (import tracking).
+
+What is not flagged: ``random.Random(x)`` / ``default_rng(seed)``
+instances (explicitly seeded, traceable), ``np.random.Generator`` /
+``SeedSequence`` type references, and attribute access without a call.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+__all__ = ["LintFinding", "scan_source", "scan_file", "scan_package"]
+
+#: ``random``-module functions that consume or mutate the ambient state.
+#: (Classes like ``random.Random`` and ``random.SystemRandom`` are fine.)
+_RANDOM_AMBIENT = frozenset(
+    {
+        "betavariate", "binomialvariate", "choice", "choices",
+        "expovariate", "gammavariate", "gauss", "getrandbits",
+        "getstate", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "setstate", "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` attributes that are safe to reference: explicit
+#: constructors and types, not the legacy global state.
+_NP_RANDOM_SAFE = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM",
+     "Philox", "SFC64", "MT19937", "RandomState", "default_rng"}
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One ambient-RNG call site."""
+
+    path: str  #: Source path (or the label given to :func:`scan_source`).
+    line: int  #: 1-based line number.
+    col: int  #: 0-based column offset.
+    call: str  #: The offending call as written, e.g. ``np.random.rand``.
+    reason: str  #: Why it is ambient.
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.call} — {self.reason}"
+
+
+class _AmbientRNGVisitor(ast.NodeVisitor):
+    """Track RNG-relevant imports, then flag ambient call sites."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[LintFinding] = []
+        # Local alias -> canonical module ("random" / "numpy.random" / "numpy").
+        self.module_aliases: dict[str, str] = {}
+        # Local name -> ("random"|"numpy.random", original function name)
+        # for `from random import shuffle as mix`-style imports.
+        self.from_imports: dict[str, tuple[str, str]] = {}
+
+    # -- import tracking -----------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in ("random", "numpy", "numpy.random"):
+                local = alias.asname or alias.name.split(".")[0]
+                canonical = "numpy" if alias.name == "numpy.random" else alias.name
+                if alias.asname and alias.name == "numpy.random":
+                    canonical = "numpy.random"
+                self.module_aliases[local] = canonical
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                self.from_imports[alias.asname or alias.name] = (
+                    "random", alias.name
+                )
+        elif node.module in ("numpy.random", "numpy.random.mtrand"):
+            for alias in node.names:
+                self.from_imports[alias.asname or alias.name] = (
+                    "numpy.random", alias.name
+                )
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.module_aliases[alias.asname or "random"] = "numpy.random"
+        self.generic_visit(node)
+
+    # -- call-site resolution ------------------------------------------------
+
+    def _resolve(self, func: ast.expr) -> Optional[tuple[str, str, str]]:
+        """Resolve a call target to ``(module, attr, as_written)``.
+
+        ``module`` is ``"random"`` or ``"numpy.random"``; returns None
+        for calls that cannot reach either module's ambient state.
+        """
+        if isinstance(func, ast.Name):
+            origin = self.from_imports.get(func.id)
+            if origin is not None:
+                return origin[0], origin[1], func.id
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        value = func.value
+        # random.<attr>(...) or nprand.<attr>(...)
+        if isinstance(value, ast.Name):
+            module = self.module_aliases.get(value.id)
+            if module == "random":
+                return "random", attr, f"{value.id}.{attr}"
+            if module == "numpy.random":
+                return "numpy.random", attr, f"{value.id}.{attr}"
+            return None
+        # np.random.<attr>(...)
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and self.module_aliases.get(value.value.id) == "numpy"
+        ):
+            return "numpy.random", attr, f"{value.value.id}.random.{attr}"
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._resolve(node.func)
+        if resolved is not None:
+            module, attr, written = resolved
+            if module == "random" and attr in _RANDOM_AMBIENT:
+                self.findings.append(
+                    LintFinding(
+                        self.path, node.lineno, node.col_offset, written,
+                        "call through the random module's ambient global state",
+                    )
+                )
+            elif module == "numpy.random":
+                if attr == "default_rng" and not node.args and not node.keywords:
+                    self.findings.append(
+                        LintFinding(
+                            self.path, node.lineno, node.col_offset, written,
+                            "argless default_rng() is OS-entropy seeded — "
+                            "pass a seed or derive via repro.audit.streams",
+                        )
+                    )
+                elif attr not in _NP_RANDOM_SAFE:
+                    self.findings.append(
+                        LintFinding(
+                            self.path, node.lineno, node.col_offset, written,
+                            "call through numpy's legacy ambient global state",
+                        )
+                    )
+        self.generic_visit(node)
+
+
+def scan_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Scan Python source text for ambient-RNG call sites."""
+    tree = ast.parse(source, filename=path)
+    visitor = _AmbientRNGVisitor(path)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def scan_file(path: Union[str, Path]) -> list[LintFinding]:
+    """Scan one Python file for ambient-RNG call sites."""
+    path = Path(path)
+    return scan_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def scan_package(
+    root: Union[str, Path],
+    allowlist: Sequence[str] = (),
+) -> list[LintFinding]:
+    """Scan every ``*.py`` under ``root``, skipping allowlisted files.
+
+    ``allowlist`` entries are path suffixes relative to ``root`` (POSIX
+    separators), e.g. ``"simsys/legacy.py"``.  Findings are returned
+    sorted by path and position; an empty list means the package draws
+    no untraceable randomness.
+    """
+    root = Path(root)
+    findings: list[LintFinding] = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        if any(relative == entry or relative.endswith("/" + entry)
+               for entry in allowlist):
+            continue
+        findings.extend(scan_file(path))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col))

@@ -16,11 +16,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.audit.ledger import DecisionLedger
 from repro.cache.eviction import candidate_features
 from repro.cache.keyspace_log import KeyspaceEvent, parse_keyspace_line
 from repro.core.columns import DatasetColumns
 from repro.core.features import Featurizer
-from repro.core.harvest import DEFAULT_BATCH_SIZE, harvest_columns
+from repro.core.harvest import DEFAULT_BATCH_SIZE, HarvestRNG, harvest_columns
 from repro.core.learners.cb import PerActionFeaturesLearner
 from repro.core.policies import Policy, UniformRandomPolicy
 from repro.core.propensity import DeclaredPropensityModel
@@ -121,10 +122,11 @@ def candidate_reward_matrix(
 def resample_eviction_columns(
     lines_or_events,
     policy: Policy,
-    rng: np.random.Generator,
+    rng: HarvestRNG,
     sample_size: int = 5,
     reward_cap: float = DEFAULT_REWARD_CAP,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    ledger: Optional[DecisionLedger] = None,
 ) -> DatasetColumns:
     """Replay logged eviction points under ``policy``, in batches.
 
@@ -178,6 +180,7 @@ def resample_eviction_columns(
             reward_range=RewardRange(0.0, reward_cap, maximize=True),
             scenario="cache",
             timestamps=timestamps,
+            ledger=ledger,
         )
         span.set(rows=columns.n, events=len(events))
     get_metrics().counter("harvest.rows", scenario="cache").inc(columns.n)

@@ -23,10 +23,12 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.audit.ledger import DecisionLedger
+from repro.audit.streams import StreamRNG
 from repro.core.columns import (
     DatasetColumns,
     DecisionBatch,
@@ -56,6 +58,27 @@ DEFAULT_BATCH_SIZE = 8192
 #: for the rows at ``indices`` (positions in the context stream) under
 #: the sampled ``actions``.  Called once per batch.
 RewardFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+#: Harvest randomness: a plain seeded generator, or an audit-grade
+#: sharded stream (:class:`repro.audit.streams.StreamRNG`) whose draws
+#: re-derive per shard for fork equivalence.
+HarvestRNG = Union[np.random.Generator, StreamRNG]
+
+
+def _batch_segments(
+    rng: HarvestRNG, start: int, stop: int
+) -> Iterator[Tuple[int, int, np.random.Generator]]:
+    """Split batch rows ``[start, stop)`` into generator segments.
+
+    A plain generator is one segment; a :class:`StreamRNG` splits at
+    shard boundaries so the derivation grid stays independent of the
+    batch grid — the key to keeping the any-batch-size determinism
+    contract while every shard remains re-derivable in isolation.
+    """
+    if isinstance(rng, StreamRNG):
+        yield from rng.segments(start, stop)
+    else:
+        yield start, stop, rng
 
 
 def _resolve_eligibility(
@@ -87,7 +110,7 @@ def harvest_columns(
     policy: Policy,
     contexts: Sequence[Context],
     reward_fn: RewardFn,
-    rng: np.random.Generator,
+    rng: HarvestRNG,
     *,
     eligible: Optional[EligibleSpec] = None,
     action_space: Optional[ActionSpace] = None,
@@ -95,6 +118,7 @@ def harvest_columns(
     reward_range: Optional[RewardRange] = None,
     scenario: str = "generic",
     timestamps: Optional[np.ndarray] = None,
+    ledger: Optional[DecisionLedger] = None,
 ) -> DatasetColumns:
     """Generate an exploration log in batches; return it columnar.
 
@@ -114,6 +138,17 @@ def harvest_columns(
     row" is just ``batch_size=1`` through this same engine.  (The
     legacy per-row reference :func:`harvest_rows` draws through
     ``Generator.choice`` and is a different, equally valid stream.)
+
+    Audit hooks: ``rng`` may be a
+    :class:`~repro.audit.streams.StreamRNG`, in which case each batch
+    is internally split at shard boundaries — the derivation grid is
+    independent of the batch grid, so the contract above still holds
+    *and* any shard of the log regenerates bit-identically in
+    isolation (fork equivalence).  ``ledger`` chains every sampled
+    ``(context, action, propensity)`` into a
+    :class:`~repro.audit.ledger.DecisionLedger`; the per-batch cost is
+    O(1) bookkeeping (hashing is deferred to seal time), keeping the
+    hot path within the benchmark gate.
 
     Instrumented with a ``harvest.batched`` span (per-batch
     ``harvest.batch`` children), the ``harvest.rows_generated`` counter
@@ -141,17 +176,26 @@ def harvest_columns(
             stop = min(n, start + batch_size)
             began = time.perf_counter()
             with tracer.span("harvest.batch", start=start, rows=stop - start):
-                batch = DecisionBatch(
-                    contexts[start:stop],
-                    eligible[start:stop] if per_row else eligible,
-                    n_actions=n_actions,
-                )
-                sampled, probs = policy.act_batch(batch, None, rng)
-                actions[start:stop] = sampled
-                propensities[start:stop] = probs
+                for seg_start, seg_stop, generator in _batch_segments(
+                    rng, start, stop
+                ):
+                    batch = DecisionBatch(
+                        contexts[seg_start:seg_stop],
+                        eligible[seg_start:seg_stop] if per_row else eligible,
+                        n_actions=n_actions,
+                    )
+                    sampled, probs = policy.act_batch(batch, None, generator)
+                    actions[seg_start:seg_stop] = sampled
+                    propensities[seg_start:seg_stop] = probs
                 rewards[start:stop] = reward_fn(
-                    np.arange(start, stop), sampled
+                    np.arange(start, stop), actions[start:stop]
                 )
+                if ledger is not None:
+                    ledger.extend_batch(
+                        contexts[start:stop],
+                        actions[start:stop],
+                        propensities[start:stop],
+                    )
             latency.observe(time.perf_counter() - began)
             n_batches += 1
         span.set(rows=n, batches=n_batches)
@@ -173,13 +217,14 @@ def harvest_rows(
     policy: Policy,
     contexts: Sequence[Context],
     reward_fn: RewardFn,
-    rng: np.random.Generator,
+    rng: HarvestRNG,
     *,
     eligible: Optional[EligibleSpec] = None,
     action_space: Optional[ActionSpace] = None,
     reward_range: Optional[RewardRange] = None,
     scenario: str = "generic",
     timestamps: Optional[np.ndarray] = None,
+    ledger: Optional[DecisionLedger] = None,
 ) -> Dataset:
     """Scalar reference harvester: one legacy ``act()`` call per row.
 
@@ -205,14 +250,21 @@ def harvest_rows(
             row_eligible = (
                 list(eligible[index]) if per_row else shared
             )
+            row_rng = (
+                rng.generator_for_row(index)
+                if isinstance(rng, StreamRNG)
+                else rng
+            )
             action, propensity = policy.act(
-                contexts[index], row_eligible, rng
+                contexts[index], row_eligible, row_rng
             )
             reward = float(
                 reward_fn(
                     np.array([index]), np.array([action], dtype=np.int64)
                 )[0]
             )
+            if ledger is not None:
+                ledger.append(contexts[index], int(action), float(propensity))
             interactions.append(
                 Interaction(
                     context=contexts[index],
@@ -234,7 +286,7 @@ def harvest_dataset(
     policy: Policy,
     contexts: Sequence[Context],
     reward_fn: RewardFn,
-    rng: np.random.Generator,
+    rng: HarvestRNG,
     *,
     eligible: Optional[EligibleSpec] = None,
     action_space: Optional[ActionSpace] = None,
@@ -242,6 +294,7 @@ def harvest_dataset(
     reward_range: Optional[RewardRange] = None,
     scenario: str = "generic",
     timestamps: Optional[np.ndarray] = None,
+    ledger: Optional[DecisionLedger] = None,
 ) -> Dataset:
     """Harvest an exploration :class:`~repro.core.types.Dataset`.
 
@@ -249,7 +302,9 @@ def harvest_dataset(
     (:func:`harvest_columns`) and materializes the result;
     ``batch_size=0`` selects the legacy per-row reference
     (:func:`harvest_rows`) — a *different RNG stream*, kept for
-    baselines and for policies that cannot batch.
+    baselines and for policies that cannot batch.  A ``ledger``
+    (and/or a :class:`~repro.audit.streams.StreamRNG` as ``rng``)
+    flows through to whichever engine runs.
     """
     if batch_size == 0:
         return harvest_rows(
@@ -262,6 +317,7 @@ def harvest_dataset(
             reward_range=reward_range,
             scenario=scenario,
             timestamps=timestamps,
+            ledger=ledger,
         )
     columns = harvest_columns(
         policy,
@@ -274,6 +330,7 @@ def harvest_dataset(
         reward_range=reward_range,
         scenario=scenario,
         timestamps=timestamps,
+        ledger=ledger,
     )
     return columns.to_dataset()
 

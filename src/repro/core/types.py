@@ -353,6 +353,7 @@ class Dataset:
         reward_range: Optional[RewardRange] = None,
         mode: str = "strict",
         validator=None,
+        verify_ledger: str = "auto",
     ) -> "Dataset":
         """Inverse of :meth:`save_jsonl`, with a validated data boundary.
 
@@ -369,6 +370,19 @@ class Dataset:
         :class:`Interaction` constructor's own checks), matching the
         historical contract; the non-strict modes also check action
         eligibility and the declared reward range.
+
+        ``verify_ledger`` controls chain verification of ledgered logs
+        (see :mod:`repro.audit.ledger`): ``"auto"`` (default) checks
+        every record carrying ledger metadata and routes broken hash
+        bindings through ``mode`` under the ``"ledger"`` reason — plain
+        un-ledgered logs load exactly as before; ``"require"``
+        additionally fails if the log carries no ledger at all;
+        ``"off"`` skips chain checking.  In strict mode linkage gaps
+        (missing records) are also hard failures; in
+        quarantine/repair they are tolerated, since dropping a
+        quarantined record necessarily leaves a gap — run
+        :func:`repro.audit.ledger.rechain` over the survivors to
+        restore a clean chain.
         """
         from repro.core.validation import (
             Quarantine,
@@ -378,6 +392,16 @@ class Dataset:
         )
 
         check_mode(mode)
+        if verify_ledger not in ("auto", "require", "off"):
+            raise ValueError(
+                f"unknown verify_ledger {verify_ledger!r}; "
+                "expected 'auto', 'require', or 'off'"
+            )
+        chain = None
+        if verify_ledger != "off":
+            from repro.audit.ledger import ChainFollower
+
+            chain = ChainFollower(strict_links=(mode == "strict"))
         if validator is None:
             validator = (
                 RecordValidator()
@@ -395,7 +419,13 @@ class Dataset:
                     validator=validator,
                     quarantine=quarantine,
                     source_name=path,
+                    chain=chain,
                 )
+            )
+        if verify_ledger == "require" and (chain is None or not chain.engaged):
+            raise ValueError(
+                f"{path}: verify_ledger='require' but the log carries no "
+                "ledger metadata"
             )
         dataset = cls(interactions, action_space, reward_range)
         dataset.quarantine = quarantine

@@ -52,8 +52,11 @@ PROPENSITY = "propensity"
 ACTION = "action"
 REWARD = "reward"
 TIMESTAMP = "timestamp"
+#: Ledger-chain rejections (hash binding broken, tampered content);
+#: same code as :data:`repro.audit.ledger.LEDGER`.
+LEDGER = "ledger"
 
-REASONS = (UNPARSEABLE, SCHEMA, PROPENSITY, ACTION, REWARD, TIMESTAMP)
+REASONS = (UNPARSEABLE, SCHEMA, PROPENSITY, ACTION, REWARD, TIMESTAMP, LEDGER)
 
 #: The recognized processing modes.
 MODES = ("strict", "quarantine", "repair")
@@ -428,6 +431,7 @@ def validated_interactions(
     validator: Optional[RecordValidator] = None,
     quarantine: Optional[Quarantine] = None,
     source_name: str = "<stream>",
+    chain=None,
 ) -> Iterator[Interaction]:
     """Validate a stream of JSONL lines (or parsed dicts) into Interactions.
 
@@ -437,6 +441,15 @@ def validated_interactions(
     ``source_name`` and the 1-based line number; otherwise defects land
     in ``quarantine`` (pass one in to read the report afterwards).
     Blank lines are skipped without counting as rejections.
+
+    ``chain`` (a :class:`repro.audit.ledger.ChainFollower`) adds
+    tamper-evidence on top of the value rules: each record's ledger
+    hash binding is checked *before* any repair mutates it, broken
+    bindings are rejected under the :data:`LEDGER` reason (never
+    repaired — a record that fails its own hash has no trustworthy
+    content to fix), and the chain head advances over the log as
+    written so a single bad record localizes instead of poisoning its
+    suffix.
     """
     check_mode(mode)
     validator = validator or RecordValidator()
@@ -460,6 +473,24 @@ def validated_interactions(
                 continue
         else:
             record = item
+        chain_issues: list[tuple[str, str]] = []
+        if chain is not None and isinstance(record, Mapping):
+            # Check the binding on the ORIGINAL record (repair must not
+            # resurrect a tampered one), then advance the head over the
+            # log as written, accepted or not.
+            chain_issues = list(chain.check(record))
+            chain.observe(record)
+        if chain_issues:
+            reason, detail = chain_issues[0]
+            if mode == "strict":
+                raise ValueError(
+                    f"{source_name}: line {line_number}: {reason}: {detail}"
+                )
+            quarantine.add(
+                line_number, reason,
+                "; ".join(d for _, d in chain_issues), raw,
+            )
+            continue
         issues = validator.check(record)
         if issues and mode == "repair" and isinstance(record, Mapping):
             record, issues, applied = validator.repair(record, issues)

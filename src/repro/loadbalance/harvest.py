@@ -25,9 +25,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.audit.ledger import DecisionLedger
 from repro.core.harvest import (
     DEFAULT_BATCH_SIZE,
     HarvestPipeline,
+    HarvestRNG,
     LogScavenger,
     harvest_columns,
 )
@@ -331,12 +333,13 @@ def batch_exploration_columns(
     policy: Policy,
     snapshots: DecisionSnapshots,
     server_configs: Sequence[ServerConfig],
-    rng: np.random.Generator,
+    rng: HarvestRNG,
     *,
     batch_size: int = DEFAULT_BATCH_SIZE,
     latency_noise: float = 0.01,
     noise_seed: int = 0,
     timeout: float = LATENCY_CAP,
+    ledger: Optional[DecisionLedger] = None,
 ) -> DatasetColumns:
     """Batched exploration harvest over decision snapshots, columnar.
 
@@ -380,6 +383,7 @@ def batch_exploration_columns(
             batch_size=batch_size,
             reward_range=lb_reward_range(),
             scenario="loadbalance",
+            ledger=ledger,
         )
         span.set(rows=columns.n)
     get_metrics().counter("harvest.rows", scenario="loadbalance").inc(columns.n)

@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.audit.ledger import DecisionLedger
 from repro.core import harvest
 from repro.core.columns import DatasetColumns
 from repro.core.features import FeatureEncoder
@@ -118,9 +119,10 @@ def build_full_feedback_dataset(
 
 def simulate_exploration_columns(
     full_dataset: Dataset,
-    rng: np.random.Generator,
+    rng: "harvest.HarvestRNG",
     logging_policy: Optional[Policy] = None,
     batch_size: int = harvest.DEFAULT_BATCH_SIZE,
+    ledger: Optional["DecisionLedger"] = None,
 ) -> "DatasetColumns":
     """Batched partial-feedback simulation, returned columnar.
 
@@ -131,7 +133,10 @@ def simulate_exploration_columns(
     full-feedback profiles with one fancy-index per batch.  Output
     feeds the vectorized estimators directly; results are invariant to
     ``batch_size`` for a fixed generator (the harvest determinism
-    contract).
+    contract).  Audit hooks (a sharded
+    :class:`~repro.audit.streams.StreamRNG` as ``rng`` and/or a
+    :class:`~repro.audit.ledger.DecisionLedger`) pass straight through
+    to the engine.
     """
     if len(full_dataset) == 0:
         raise ValueError("empty dataset")
@@ -170,6 +175,7 @@ def simulate_exploration_columns(
             reward_range=full_dataset.reward_range,
             scenario="machinehealth",
             timestamps=timestamps,
+            ledger=ledger,
         )
         span.set(rows=columns.n)
     get_metrics().counter("harvest.rows", scenario="machinehealth").inc(

@@ -13,7 +13,11 @@ captures one ``evaluate``/``compare`` run end to end:
   the reliability verdict;
 - **metrics** — the run's :class:`~repro.obs.metrics.MetricsRegistry`
   snapshot (quarantine counts, downgrades, fold latencies, …);
-- **spans** — the run's :class:`~repro.obs.tracing.Tracer` tree.
+- **spans** — the run's :class:`~repro.obs.tracing.Tracer` tree;
+- **ledger** / **streams** (harvest runs) — the decision chain's head
+  hash and the RNG stream-derivation log (:mod:`repro.audit`), so the
+  produced log's integrity and randomness provenance are provable
+  end to end.
 
 ``python -m repro evaluate … --manifest run_manifest.json`` writes
 one; ``python -m repro report run_manifest.json`` renders it back as a
@@ -99,14 +103,24 @@ class RunManifest:
         metrics=None,
         tracer=None,
         quarantine=None,
+        ledger=None,
+        streams=None,
         extra: Optional[Mapping] = None,
     ) -> "RunManifest":
         """Assemble a manifest from a finished run's artifacts.
 
         ``metrics``/``tracer`` accept the run's registry and tracer
         (their snapshots are embedded); ``quarantine`` a
-        :class:`~repro.core.validation.Quarantine`.  All are optional —
-        an un-instrumented run still gets input digest, config,
+        :class:`~repro.core.validation.Quarantine`.  ``ledger`` (a
+        :class:`~repro.audit.ledger.DecisionLedger`) embeds the decision
+        chain's head hash — the truncation-proof anchor that
+        ``python -m repro verify-ledger --manifest`` checks logs
+        against; ``streams`` (a
+        :class:`~repro.audit.streams.StreamRegistry`) embeds the
+        derivation log (master-seed fingerprint plus every stream key
+        consumed), proving which randomness the run drew without
+        revealing the seed itself.  All are optional — an
+        un-instrumented run still gets input digest, config,
         environment, and results.
         """
         import repro
@@ -136,6 +150,10 @@ class RunManifest:
                 data["input"] = {"path": input_path}
         if quarantine is not None:
             data["quarantine"] = quarantine.report()
+        if ledger is not None:
+            data["ledger"] = ledger.manifest_entry()
+        if streams is not None:
+            data["streams"] = streams.manifest_entry()
         if metrics is not None:
             data["metrics"] = metrics.snapshot()
         if tracer is not None:

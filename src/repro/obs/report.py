@@ -200,4 +200,34 @@ def manifest_summary_text(
             "quarantine\n" + text_table(["reason", "count"], rows)
         )
 
+    ledger = data.get("ledger")
+    if ledger:
+        lines = [
+            "ledger",
+            f"  stream {ledger.get('stream')}  n {ledger.get('n')}",
+            f"  head {ledger.get('head')}",
+        ]
+        if ledger.get("master_fingerprint"):
+            lines.append(
+                f"  master fingerprint {ledger['master_fingerprint']}"
+            )
+        sections.append("\n".join(lines))
+
+    streams = data.get("streams")
+    if streams:
+        lines = [
+            "rng streams",
+            f"  master fingerprint {streams.get('master_fingerprint')} "
+            f"(protocol {streams.get('protocol')})",
+        ]
+        for derivation in streams.get("derivations", [])[:8]:
+            lines.append(
+                f"  {derivation.get('key')}  seed "
+                f"{derivation.get('seed_fingerprint')}"
+            )
+        remaining = len(streams.get("derivations", [])) - 8
+        if remaining > 0:
+            lines.append(f"  … {remaining} more derivation(s)")
+        sections.append("\n".join(lines))
+
     return "\n\n".join(sections)

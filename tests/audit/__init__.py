@@ -1,0 +1,1 @@
+"""Tests for the audit layer: RNG streams, decision ledger, RNG lint."""

@@ -1,0 +1,168 @@
+"""CLI surface of the audit layer: harvest --ledger and verify-ledger."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.manifest import RunManifest
+
+
+def harvest(tmp_path, capsys, extra=(), rows=300):
+    log = tmp_path / "log.jsonl"
+    manifest = tmp_path / "manifest.json"
+    code = main(
+        [
+            "harvest", "loadbalance", str(log),
+            "--rows", str(rows),
+            "--seed", "7",
+            "--ledger",
+            "--shard-size", "128",
+            "--manifest", str(manifest),
+        ]
+        + list(extra)
+    )
+    out = capsys.readouterr().out
+    return code, log, manifest, out
+
+
+class TestHarvestLedger:
+    def test_prints_head_and_writes_manifest(self, tmp_path, capsys):
+        code, log, manifest_path, out = harvest(tmp_path, capsys)
+        assert code == 0
+        assert "ledger: stream loadbalance/harvest/decisions" in out
+        data = RunManifest.load(str(manifest_path)).to_dict()
+        assert data["ledger"]["n"] == 300
+        assert data["ledger"]["shard_size"] == 128
+        assert len(data["ledger"]["head"]) == 64
+        assert data["streams"]["master_fingerprint"]
+        derivation_keys = [
+            d["key"] for d in data["streams"]["derivations"]
+        ]
+        # 300 rows over shard 128 → shards at ordinals 0, 128, 256.
+        assert derivation_keys == [
+            "loadbalance/harvest/decisions#0",
+            "loadbalance/harvest/decisions#128",
+            "loadbalance/harvest/decisions#256",
+        ]
+
+    def test_every_record_carries_ledger_metadata(self, tmp_path, capsys):
+        _, log, _, _ = harvest(tmp_path, capsys)
+        with open(log) as handle:
+            for line in handle:
+                assert "ledger" in json.loads(line)["metadata"]
+
+    def test_without_ledger_flag_log_is_plain(self, tmp_path, capsys):
+        log = tmp_path / "plain.jsonl"
+        code = main(
+            ["harvest", "loadbalance", str(log), "--rows", "50", "--seed", "7"]
+        )
+        capsys.readouterr()
+        assert code == 0
+        with open(log) as handle:
+            first = json.loads(handle.readline())
+        assert "ledger" not in (first.get("metadata") or {})
+
+
+class TestVerifyLedger:
+    def test_clean_log_verifies_against_manifest(self, tmp_path, capsys):
+        _, log, manifest, _ = harvest(tmp_path, capsys)
+        code = main(["verify-ledger", str(log), "--manifest", str(manifest)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ledger: OK" in out
+        assert "300/300 record(s) chained" in out
+
+    def test_expect_head_flag(self, tmp_path, capsys):
+        _, log, manifest, _ = harvest(tmp_path, capsys)
+        head = RunManifest.load(str(manifest)).to_dict()["ledger"]["head"]
+        assert main(["verify-ledger", str(log), "--expect-head", head]) == 0
+        capsys.readouterr()
+        assert main(["verify-ledger", str(log), "--expect-head", "f" * 64]) == 1
+        out = capsys.readouterr().out
+        assert "TRUNCATED/MODIFIED" in out
+
+    def test_tamper_is_localized_with_exit_one(self, tmp_path, capsys):
+        _, log, manifest, _ = harvest(tmp_path, capsys)
+        lines = log.read_text().splitlines()
+        record = json.loads(lines[149])
+        record["action"] = 1 - record["action"]
+        lines[149] = json.dumps(record)
+        log.write_text("\n".join(lines) + "\n")
+        code = main(
+            ["verify-ledger", str(log), "--manifest", str(manifest), "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["ok"] is False
+        assert report["first_bad"] == 150
+        spans = [
+            (s["start_line"], s["stop_line"]) for s in report["segments"]
+        ]
+        assert (1, 149) in spans
+        assert (151, 300) in spans
+
+    def test_truncation_detected(self, tmp_path, capsys):
+        _, log, manifest, _ = harvest(tmp_path, capsys)
+        lines = log.read_text().splitlines()[:200]
+        log.write_text("\n".join(lines) + "\n")
+        code = main(["verify-ledger", str(log), "--manifest", str(manifest)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "TRUNCATED/MODIFIED" in out
+
+    def test_plain_log_fails_verification(self, tmp_path, capsys):
+        log = tmp_path / "plain.jsonl"
+        code = main(
+            ["harvest", "loadbalance", str(log), "--rows", "50", "--seed", "7"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["verify-ledger", str(log)]) == 1
+        assert "0/50 record(s) chained" in capsys.readouterr().out
+
+    def test_manifest_without_ledger_section_errors(self, tmp_path, capsys):
+        log = tmp_path / "plain.jsonl"
+        manifest = tmp_path / "plain_manifest.json"
+        code = main(
+            ["harvest", "loadbalance", str(log), "--rows", "50", "--seed", "7",
+             "--manifest", str(manifest)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["verify-ledger", str(log), "--manifest", str(manifest)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "records no ledger head" in captured.err
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        code = main(["verify-ledger", str(tmp_path / "absent.jsonl")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "cannot read" in captured.err
+
+
+class TestLedgeredLogDownstream:
+    def test_evaluate_consumes_ledgered_log(self, tmp_path, capsys):
+        _, log, _, _ = harvest(tmp_path, capsys)
+        code = main(["evaluate", str(log), "--policy", "constant:0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "constant[0]" in out
+
+    def test_report_shows_ledger_and_streams(self, tmp_path, capsys):
+        _, _, manifest, _ = harvest(tmp_path, capsys)
+        code = main(["report", str(manifest)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ledger" in out
+        assert "rng streams" in out
+        assert "master fingerprint" in out
+
+    def test_same_seed_reproduces_head(self, tmp_path, capsys):
+        _, _, manifest_a, _ = harvest(tmp_path, capsys)
+        (tmp_path / "log.jsonl").unlink()
+        _, _, manifest_b, _ = harvest(tmp_path, capsys)
+        head_a = RunManifest.load(str(manifest_a)).to_dict()["ledger"]["head"]
+        head_b = RunManifest.load(str(manifest_b)).to_dict()["ledger"]["head"]
+        assert head_a == head_b

@@ -1,0 +1,153 @@
+"""Ambient-RNG lint: no hidden global randomness in src/repro.
+
+The last test is the tier-1 gate: the shipped package must scan
+clean.  Any new ambient RNG call either gets a derived stream or an
+explicit allowlist entry reviewed here.
+"""
+
+import os
+
+from repro.audit.lint import scan_file, scan_package, scan_source
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+PACKAGE_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+# Paths (relative to src/repro, POSIX separators) where ambient RNG is
+# accepted.  Keep empty unless a reviewed exception exists.
+AMBIENT_RNG_ALLOWLIST = ()
+
+
+def calls(source):
+    return [(f.call, f.line) for f in scan_source(source, "<test>")]
+
+
+class TestFlagged:
+    def test_random_module_calls(self):
+        source = (
+            "import random\n"
+            "x = random.random()\n"
+            "random.seed(0)\n"
+            "random.shuffle([1, 2])\n"
+        )
+        assert calls(source) == [
+            ("random.random", 2),
+            ("random.seed", 3),
+            ("random.shuffle", 4),
+        ]
+
+    def test_random_import_alias(self):
+        source = "import random as rnd\nx = rnd.randint(0, 3)\n"
+        assert calls(source) == [("rnd.randint", 2)]
+
+    def test_from_import(self):
+        source = "from random import choice\nx = choice([1, 2])\n"
+        assert calls(source) == [("choice", 2)]
+
+    def test_from_import_alias(self):
+        source = "from random import random as r\nx = r()\n"
+        assert calls(source) == [("r", 2)]
+
+    def test_np_random_module_calls(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)\n"
+            "np.random.seed(7)\n"
+        )
+        assert calls(source) == [
+            ("np.random.rand", 2),
+            ("np.random.seed", 3),
+        ]
+
+    def test_np_random_submodule_import(self):
+        source = "import numpy.random as npr\nx = npr.normal()\n"
+        assert calls(source) == [("npr.normal", 2)]
+
+    def test_argless_default_rng(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        findings = scan_source(source, "<test>")
+        assert len(findings) == 1
+        assert "default_rng" in findings[0].call
+        assert "seed" in findings[0].reason
+
+    def test_argless_default_rng_from_import(self):
+        source = (
+            "from numpy.random import default_rng\n"
+            "rng = default_rng()\n"
+        )
+        assert len(scan_source(source, "<test>")) == 1
+
+
+class TestAllowed:
+    def test_seeded_default_rng(self):
+        source = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert scan_source(source, "<test>") == []
+
+    def test_generator_methods(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+            "x = rng.random(5)\n"
+            "y = rng.integers(0, 10)\n"
+        )
+        assert scan_source(source, "<test>") == []
+
+    def test_random_class_instances(self):
+        source = "import random\nr = random.Random(7)\nx = r.random()\n"
+        assert scan_source(source, "<test>") == []
+
+    def test_np_random_constructors(self):
+        source = (
+            "import numpy as np\n"
+            "g = np.random.Generator(np.random.PCG64(3))\n"
+            "s = np.random.SeedSequence(1)\n"
+        )
+        assert scan_source(source, "<test>") == []
+
+    def test_unrelated_names(self):
+        source = "def random():\n    return 4\nx = random()\n"
+        assert scan_source(source, "<test>") == []
+
+    def test_local_attribute_named_random(self):
+        source = "x = obj.random()\n"
+        assert scan_source(source, "<test>") == []
+
+
+class TestScanning:
+    def test_scan_file(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("import random\nx = random.random()\n")
+        findings = scan_file(str(path))
+        assert len(findings) == 1
+        assert findings[0].path == str(path)
+
+    def test_scan_package_recurses_and_sorts(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text(
+            "import random\nrandom.seed(1)\n"
+        )
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        findings = scan_package(str(tmp_path))
+        assert [os.path.basename(f.path) for f in findings] == ["a.py"]
+
+    def test_scan_package_allowlist(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "legacy.py").write_text(
+            "import random\nrandom.seed(1)\n"
+        )
+        assert scan_package(str(tmp_path)) != []
+        assert scan_package(
+            str(tmp_path), allowlist=("sub/legacy.py",)
+        ) == []
+
+
+class TestTier1Gate:
+    def test_repro_package_has_no_ambient_rng(self):
+        findings = scan_package(
+            PACKAGE_ROOT, allowlist=AMBIENT_RNG_ALLOWLIST
+        )
+        details = "\n".join(
+            f"{f.path}:{f.line}: {f.call} — {f.reason}" for f in findings
+        )
+        assert findings == [], f"ambient RNG in src/repro:\n{details}"

@@ -1,0 +1,211 @@
+"""HKDF stream derivation: correctness, injectivity, shard semantics."""
+
+import numpy as np
+import pytest
+
+from repro.audit.streams import (
+    DEFAULT_SHARD_SIZE,
+    StreamKey,
+    StreamRegistry,
+    StreamRNG,
+    derive_child_seed,
+    derive_generator,
+    derive_key_bytes,
+    derive_seed,
+    encode_segments,
+    hkdf_sha256,
+)
+
+
+class TestHKDF:
+    def test_rfc5869_case_1(self):
+        # RFC 5869 A.1: basic SHA-256 test vector.
+        okm = hkdf_sha256(
+            bytes.fromhex("0b" * 22),
+            info=bytes.fromhex("f0f1f2f3f4f5f6f7f8f9"),
+            salt=bytes.fromhex("000102030405060708090a0b0c"),
+            length=42,
+        )
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case_3_empty_salt_and_info(self):
+        # RFC 5869 A.3: zero-length salt and info.
+        okm = hkdf_sha256(bytes.fromhex("0b" * 22), info=b"", length=42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_length_is_respected(self):
+        for length in (1, 16, 32, 64, 255 * 32):
+            assert len(hkdf_sha256(b"k", info=b"i", length=length)) == length
+
+    def test_length_cap(self):
+        with pytest.raises(ValueError):
+            hkdf_sha256(b"k", info=b"i", length=255 * 32 + 1)
+
+
+class TestEncodeSegments:
+    def test_injective_on_boundaries(self):
+        # The classic concatenation ambiguity length prefixes exist for.
+        assert encode_segments(("a.b",)) != encode_segments(("a", "b"))
+        assert encode_segments(("ab", "c")) != encode_segments(("a", "bc"))
+
+    def test_deterministic(self):
+        assert encode_segments(("x", "y")) == encode_segments(("x", "y"))
+
+
+class TestStreamKey:
+    def test_canonical_round_trip(self):
+        key = StreamKey("loadbalance", "harvest", "decisions", 8192)
+        assert key.canonical() == "loadbalance/harvest/decisions#8192"
+        assert StreamKey.parse(key.canonical()) == key
+
+    def test_name_excludes_ordinal(self):
+        key = StreamKey("s", "c", "st", 42)
+        assert key.name == "s/c/st"
+
+    def test_with_ordinal(self):
+        key = StreamKey("s", "c", "st")
+        assert key.with_ordinal(100).ordinal == 100
+        assert key.ordinal == 0
+
+    def test_rejects_bad_segments(self):
+        with pytest.raises(ValueError):
+            StreamKey("bad/segment", "c", "st")
+        with pytest.raises(ValueError):
+            StreamKey("", "c", "st")
+        with pytest.raises(ValueError):
+            StreamKey("s", "c", "st", -1)
+
+    def test_info_differs_by_every_field(self):
+        base = StreamKey("s", "c", "st", 0)
+        variants = [
+            StreamKey("s2", "c", "st", 0),
+            StreamKey("s", "c2", "st", 0),
+            StreamKey("s", "c", "st2", 0),
+            StreamKey("s", "c", "st", 1),
+        ]
+        infos = {key.info() for key in [base] + variants}
+        assert len(infos) == 5
+
+
+class TestDerivation:
+    def test_deterministic(self):
+        key = StreamKey("s", "c", "st", 0)
+        assert derive_seed(123, key) == derive_seed(123, key)
+        assert derive_key_bytes(1, key) != derive_key_bytes(2, key)
+
+    def test_generators_reproduce(self):
+        key = StreamKey("s", "c", "st", 0)
+        a = derive_generator(9, key).random(16)
+        b = derive_generator(9, key).random(16)
+        assert np.array_equal(a, b)
+
+    def test_distinct_keys_distinct_streams(self):
+        a = derive_generator(9, StreamKey("s", "c", "one")).random(8)
+        b = derive_generator(9, StreamKey("s", "c", "two")).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_negative_and_large_master_seeds(self):
+        key = StreamKey("s", "c", "st")
+        for seed in (-1, 0, 2**127, 2**200):
+            assert isinstance(derive_seed(seed, key), int)
+
+    def test_child_seed_is_63_bit(self):
+        for name in ("a", "b", "nested.child", "plumless"):
+            seed = derive_child_seed(12345, name)
+            assert 0 <= seed < 2**63
+
+
+class TestStreamRegistry:
+    def test_derivation_log_records_each_key_once(self):
+        registry = StreamRegistry(5)
+        key = StreamKey("s", "c", "st")
+        registry.generator(key)
+        registry.generator(key)
+        registry.generator(key.with_ordinal(8192))
+        log = registry.derivations()
+        assert [entry["key"] for entry in log] == [
+            "s/c/st#0",
+            "s/c/st#8192",
+        ]
+
+    def test_manifest_entry_hides_master_seed(self):
+        registry = StreamRegistry(1234567)
+        entry = registry.manifest_entry()
+        assert "1234567" not in str(entry)
+        assert len(entry["master_fingerprint"]) == 16
+
+    def test_same_seed_same_fingerprint(self):
+        assert (
+            StreamRegistry(7).master_fingerprint
+            == StreamRegistry(7).master_fingerprint
+        )
+        assert (
+            StreamRegistry(7).master_fingerprint
+            != StreamRegistry(8).master_fingerprint
+        )
+
+
+class TestStreamRNG:
+    def test_default_shard_size(self):
+        rng = StreamRegistry(0).stream("s", "c", "st")
+        assert rng.shard_size == DEFAULT_SHARD_SIZE
+
+    def test_rejects_unaligned_start(self):
+        registry = StreamRegistry(0)
+        with pytest.raises(ValueError):
+            StreamRNG(registry, StreamKey("s", "c", "st"),
+                      shard_size=8, start_ordinal=3)
+
+    def test_rejects_nonpositive_shard(self):
+        registry = StreamRegistry(0)
+        with pytest.raises(ValueError):
+            StreamRNG(registry, StreamKey("s", "c", "st"), shard_size=0)
+
+    def test_rows_must_move_forward(self):
+        rng = StreamRegistry(0).stream("s", "c", "st", shard_size=4)
+        rng.generator_for_row(9)
+        with pytest.raises(ValueError):
+            rng.generator_for_row(3)
+
+    def test_segments_split_at_shard_boundaries(self):
+        rng = StreamRegistry(0).stream("s", "c", "st", shard_size=10)
+        spans = [(a, b) for a, b, _ in rng.segments(5, 27)]
+        assert spans == [(5, 10), (10, 20), (20, 27)]
+
+    def test_segments_with_start_ordinal(self):
+        rng = StreamRegistry(0).stream(
+            "s", "c", "st", shard_size=10, start_ordinal=20
+        )
+        # Local rows [0, 15) are ordinals [20, 35): split at ordinal 30.
+        spans = [(a, b) for a, b, _ in rng.segments(0, 15)]
+        assert spans == [(0, 10), (10, 15)]
+
+    def test_shard_isolation_bit_identical(self):
+        # Draws for rows [S, 2S) equal the draws of a fresh stream
+        # started at ordinal S — the fork-equivalence primitive.
+        S = 8
+        full = StreamRegistry(3).stream("s", "c", "st", shard_size=S)
+        draws = np.array(
+            [full.generator_for_row(row).random() for row in range(3 * S)]
+        )
+        shard = StreamRegistry(3).stream(
+            "s", "c", "st", shard_size=S, start_ordinal=S
+        )
+        redone = np.array(
+            [shard.generator_for_row(row).random() for row in range(S)]
+        )
+        assert np.array_equal(redone, draws[S: 2 * S])
+
+    def test_manifest_entry(self):
+        rng = StreamRegistry(0).stream("s", "c", "st", shard_size=16)
+        entry = rng.manifest_entry()
+        assert entry["key"] == "s/c/st"
+        assert entry["shard_size"] == 16

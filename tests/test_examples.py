@@ -29,3 +29,17 @@ class TestBatchHarvestExample:
         assert "0 quarantined" in out
         assert "manifest schema v" in out
         assert out.rstrip().endswith("done.")
+
+
+class TestVerifyLedgerExample:
+    def test_runs_end_to_end(self):
+        result = run_example("verify_ledger.py")
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        assert "harvested 300 rows" in out
+        assert "clean log verifies: OK" in out
+        assert "first bad line 150" in out
+        assert "2 intact segment(s)" in out
+        assert "rechained 299 survivors (quarantined 1): OK" in out
+        assert "middle shard re-derived in isolation: bit-identical" in out
+        assert out.rstrip().endswith("done.")

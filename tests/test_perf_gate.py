@@ -8,7 +8,7 @@ from benchmarks.perf.gate import check_regressions, main
 
 
 def artifact(single=2.9, klass=90.0, chunked=4.0, shared=0.4, boot=0.5,
-             instr=1.0, harvest=(25.0, 60.0, 13.0)):
+             instr=1.0, harvest=(25.0, 60.0, 13.0), ledger=0.95):
     return {
         "single_policy_ips": {"speedup": single},
         "class_search": {"speedup": klass},
@@ -21,6 +21,7 @@ def artifact(single=2.9, klass=90.0, chunked=4.0, shared=0.4, boot=0.5,
             "loadbalance": {"speedup": harvest[1]},
             "cache": {"speedup": harvest[2]},
         },
+        "ledger": {"relative_throughput": ledger},
     }
 
 
@@ -58,6 +59,32 @@ class TestCheckRegressions:
     def test_bad_tolerance_rejected(self):
         with pytest.raises(ValueError, match="tolerance"):
             check_regressions(artifact(), artifact(), tolerance=1.5)
+
+
+class TestAbsoluteFloors:
+    def test_ledger_at_floor_passes(self):
+        assert check_regressions(artifact(ledger=0.9), artifact()) == []
+
+    def test_ledger_below_floor_fails(self):
+        failures = check_regressions(artifact(ledger=0.85), artifact())
+        assert len(failures) == 1
+        assert "ledger" in failures[0]
+        assert "absolute floor" in failures[0]
+
+    def test_floor_ignores_baseline_value(self):
+        # A generous baseline cannot loosen an absolute floor: 0.85 fails
+        # even though it is within 30% of a 1.0 baseline.
+        failures = check_regressions(
+            artifact(ledger=0.85), artifact(ledger=1.0), tolerance=0.30
+        )
+        assert len(failures) == 1
+
+    def test_old_artifact_without_ledger_is_skipped(self):
+        current = artifact()
+        del current["ledger"]
+        baseline = artifact()
+        del baseline["ledger"]
+        assert check_regressions(current, baseline) == []
 
 
 class TestGateCli:

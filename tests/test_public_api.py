@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.machinehealth",
     "repro.chaos",
     "repro.obs",
+    "repro.audit",
 ]
 
 
