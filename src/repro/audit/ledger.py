@@ -369,13 +369,16 @@ class ChainVerification:
     gaps: list[ChainIssue] = field(default_factory=list)
     segments: list[dict] = field(default_factory=list)
     expected_head: Optional[str] = None
+    expected_n: Optional[int] = None
 
     @property
     def ok(self) -> bool:
-        """True iff the chain is unbroken and matches ``expected_head``."""
+        """True iff the chain is unbroken and matches the expectations."""
         if self.issues or self.gaps:
             return False
         if self.expected_head is not None and self.head != self.expected_head:
+            return False
+        if self.count_mismatch:
             return False
         return self.n_ledgered > 0
 
@@ -392,12 +395,19 @@ class ChainVerification:
             self.expected_head is not None and self.head != self.expected_head
         )
 
+    @property
+    def count_mismatch(self) -> bool:
+        """Whether fewer/more records are chained than the manifest says."""
+        return self.expected_n is not None and self.n_ledgered != self.expected_n
+
     def report(self) -> dict:
         """JSON-serializable summary."""
         return {
             "ok": self.ok,
             "n": self.n,
             "n_ledgered": self.n_ledgered,
+            "expected_n": self.expected_n,
+            "count_mismatch": self.count_mismatch,
             "head": self.head,
             "expected_head": self.expected_head,
             "truncated": self.truncated,
@@ -419,6 +429,11 @@ class ChainVerification:
         if self.truncated:
             lines.append(
                 f"  TRUNCATED/MODIFIED: expected head {self.expected_head}"
+            )
+        if self.count_mismatch:
+            lines.append(
+                f"  COUNT MISMATCH: manifest records {self.expected_n} "
+                f"ledgered decision(s), log carries {self.n_ledgered}"
             )
         for issue in self.issues[:5]:
             lines.append(f"  corrupt  {issue}")
@@ -490,7 +505,14 @@ class ChainFollower:
             return [(LEDGER, f"ledger metadata missing field(s) {missing}")]
         issues: list[Tuple[str, str]] = []
         context = record.get("context")
-        if isinstance(context, Mapping):
+        if not isinstance(context, Mapping):
+            # The ledger committed to a context digest; a record whose
+            # context is gone (or no longer a mapping) cannot honour
+            # that commitment — deleting the field is tampering too.
+            issues.append(
+                (LEDGER, "ledgered record's context is missing or not a mapping")
+            )
+        else:
             try:
                 recomputed_sha = context_digest(context)
             except (TypeError, ValueError):
@@ -530,13 +552,20 @@ class ChainFollower:
         return issues
 
     def observe(self, record: Mapping) -> bool:
-        """Advance the head past ``record``; True if it opened a gap."""
+        """Advance the head past ``record``; True if it opened a gap.
+
+        The head starts at ``genesis``, so the *first* ledgered record
+        opens a gap too when its ``prev`` is not the genesis anchor —
+        that is how deleting a log's leading records (front truncation)
+        is detected.  To verify a shard in isolation, anchor the
+        follower at the shard's recorded ``prev`` via ``genesis``.
+        """
         meta = self.metadata_of(record)
         if meta is None or "hash" not in meta:
             return False
         self.engaged = True
         self.n_ledgered += 1
-        gap = meta.get("prev") != self.head and self.n_ledgered > 1
+        gap = meta.get("prev") != self.head
         if gap:
             self.n_gaps += 1
         self.head = str(meta["hash"])
@@ -547,6 +576,7 @@ def verify_records(
     records: Iterable[Tuple[int, Mapping]],
     expected_head: Optional[str] = None,
     genesis: str = GENESIS,
+    expected_n: Optional[int] = None,
 ) -> ChainVerification:
     """Walk ``(line_number, record)`` pairs and verify the full chain.
 
@@ -556,10 +586,22 @@ def verify_records(
     at the next record whose own binding verifies (anchored at its
     stored ``prev``), which is exactly how an intact suffix re-verifies
     after the corrupted stretch is repaired or excised.
+
+    The chain is anchored at ``genesis``: a first ledgered record whose
+    ``prev`` differs opens a gap, so deleting a log's leading records
+    (front truncation) fails verification just like any interior
+    deletion.  Pass a shard's recorded ``prev`` as ``genesis`` to
+    verify that shard in isolation.  ``expected_n`` (e.g. the
+    manifest's ``ledger.n``) additionally pins the ledgered record
+    count.
     """
     follower = ChainFollower(genesis=genesis)
     result = ChainVerification(
-        n=0, n_ledgered=0, head=None, expected_head=expected_head
+        n=0,
+        n_ledgered=0,
+        head=None,
+        expected_head=expected_head,
+        expected_n=expected_n,
     )
     segment_start: Optional[int] = None
     segment_n = 0
@@ -596,13 +638,15 @@ def verify_records(
             close_segment(line_number - 1)
             continue
         if gap:
+            detail = (
+                f"prev does not match the genesis anchor — leading "
+                f"record(s) deleted? (ordinal {meta['ordinal']})"
+                if follower.n_ledgered == 1
+                else f"prev does not match the previous record's hash "
+                f"(ordinal {meta['ordinal']})"
+            )
             result.gaps.append(
-                ChainIssue(
-                    line_number,
-                    "ledger-gap",
-                    f"prev does not match the previous record's hash "
-                    f"(ordinal {meta['ordinal']})",
-                )
+                ChainIssue(line_number, "ledger-gap", detail)
             )
             close_segment(line_number - 1)
         if segment_start is None:
@@ -635,14 +679,19 @@ def verify_jsonl(
     path: str,
     expected_head: Optional[str] = None,
     genesis: str = GENESIS,
+    expected_n: Optional[int] = None,
 ) -> ChainVerification:
     """Verify the ledger chain of a JSONL exploration log.
 
     Walks the file once in O(line) memory.  ``expected_head`` (e.g.
     from the harvest manifest's ``ledger.head``) additionally proves
-    the log was not truncated or extended.  Unparseable lines count as
-    binding failures at their line number.
+    the log was not truncated or extended, and ``expected_n`` (the
+    manifest's ``ledger.n``) pins the ledgered record count.
+    Unparseable lines count as binding failures at their line number.
     """
     return verify_records(
-        _jsonl_records(path), expected_head=expected_head, genesis=genesis
+        _jsonl_records(path),
+        expected_head=expected_head,
+        genesis=genesis,
+        expected_n=expected_n,
     )

@@ -217,10 +217,13 @@ def derive_child_seed(parent_seed: int, name: str) -> int:
     HKDF over the parent seed with the (length-prefixed) child name as
     info — the drop-in replacement for the CRC32 mix, collision-
     resistant across sibling and nested names.  63 bits keeps the
-    legacy integer-seed API intact.
+    legacy integer-seed API intact.  The parent seed is reduced to 128
+    bits exactly like :func:`master_key_bytes` (two's-complement
+    compatible, so negative seeds keep their original encoding), which
+    accepts arbitrarily large ints just as the legacy CRC32 mix did.
     """
     material = hkdf_sha256(
-        int(parent_seed).to_bytes(16, "big", signed=True),
+        master_key_bytes(parent_seed),
         info=encode_segments((PROTOCOL, "random-source", name)),
         salt=b"repro.simsys.random_source",
         length=8,

@@ -111,6 +111,23 @@ class TestVerifyLedger:
         assert code == 1
         assert "TRUNCATED/MODIFIED" in out
 
+    def test_front_truncation_detected(self, tmp_path, capsys):
+        # Dropping the leading lines leaves the head intact; the genesis
+        # anchor and the manifest's recorded n must both flag it.
+        _, log, manifest, _ = harvest(tmp_path, capsys)
+        lines = log.read_text().splitlines()[50:]
+        log.write_text("\n".join(lines) + "\n")
+        code = main(
+            ["verify-ledger", str(log), "--manifest", str(manifest), "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["ok"] is False
+        assert report["truncated"] is False  # head itself still matches
+        assert report["count_mismatch"] is True
+        assert report["expected_n"] == 300 and report["n_ledgered"] == 250
+        assert report["gaps"] and "line 1:" in report["gaps"][0]
+
     def test_plain_log_fails_verification(self, tmp_path, capsys):
         log = tmp_path / "plain.jsonl"
         code = main(

@@ -238,6 +238,64 @@ class TestVerification:
         result = verify_records(records)
         assert not result.ok
 
+    def test_front_truncation_detected(self):
+        # Deleting the leading records leaves the head intact, so only
+        # the genesis anchor can catch it: the first surviving record's
+        # prev no longer matches genesis and must open a gap.
+        ledger, contexts = build_ledger(10)
+        records = records_of(ledger, contexts)[3:]
+        result = verify_records(records, expected_head=ledger.head)
+        assert not result.ok
+        assert not result.truncated  # the head still matches...
+        assert not result.issues  # ...and every survivor is authentic
+        assert len(result.gaps) == 1
+        assert result.gaps[0].line == 4
+        assert "genesis" in result.gaps[0].detail
+
+    def test_shard_verifies_in_isolation_with_genesis_anchor(self):
+        # The same suffix is legitimate when explicitly anchored at the
+        # shard's recorded prev — that is the fork-equivalence hook.
+        ledger, contexts = build_ledger(10)
+        entries = ledger.entries()
+        records = records_of(ledger, contexts)[3:]
+        result = verify_records(
+            records, expected_head=ledger.head, genesis=entries[2].hash
+        )
+        assert result.ok
+        assert result.n_ledgered == 7
+
+    def test_missing_context_detected(self):
+        ledger, contexts = build_ledger(6)
+        records = records_of(ledger, contexts)
+        del records[2][1]["context"]
+        result = verify_records(records)
+        assert not result.ok
+        assert result.first_bad == 3
+        assert any("context" in issue.detail for issue in result.issues)
+
+    def test_non_mapping_context_detected(self):
+        ledger, contexts = build_ledger(6)
+        records = records_of(ledger, contexts)
+        records[2][1]["context"] = "not-a-mapping"
+        result = verify_records(records)
+        assert not result.ok
+        assert result.first_bad == 3
+
+    def test_expected_n_pins_record_count(self):
+        ledger, contexts = build_ledger(10)
+        records = records_of(ledger, contexts)
+        ok = verify_records(
+            records, expected_head=ledger.head, expected_n=10
+        )
+        assert ok.ok and not ok.count_mismatch
+        bad = verify_records(
+            records, expected_head=ledger.head, expected_n=12
+        )
+        assert not bad.ok
+        assert bad.count_mismatch
+        assert bad.report()["count_mismatch"] is True
+        assert "COUNT MISMATCH" in bad.summary_text()
+
     def test_truncation_via_expected_head(self):
         ledger, contexts = build_ledger(10)
         records = records_of(ledger, contexts)[:7]
@@ -292,6 +350,13 @@ class TestChainFollower:
         follower.observe(records[0])
         assert follower.check(records[2]) == []
         assert follower.observe(records[2]) is True  # gap tallied
+        assert follower.n_gaps == 1
+
+    def test_first_record_must_anchor_at_genesis(self):
+        ledger, contexts = build_ledger(3)
+        records = [record for _, record in records_of(ledger, contexts)]
+        follower = ChainFollower()
+        assert follower.observe(records[1]) is True  # front-truncated
         assert follower.n_gaps == 1
 
     def test_missing_metadata_mid_chain_flagged(self):

@@ -122,6 +122,39 @@ class TestDerivation:
             seed = derive_child_seed(12345, name)
             assert 0 <= seed < 2**63
 
+    def test_child_seed_accepts_any_parent_int(self):
+        # The legacy CRC32 mix accepted arbitrarily large (and negative)
+        # parents; the HKDF path must too (it reduces to 128 bits like
+        # master_key_bytes instead of a range-limited signed encoding).
+        for parent in (-1, 0, 2**127, 2**200, -(2**130)):
+            seed = derive_child_seed(parent, "x")
+            assert 0 <= seed < 2**63
+        # Aliasing is exactly mod 2**128 — nothing finer.
+        assert derive_child_seed(-5, "x") == derive_child_seed(
+            -5 + (1 << 128), "x"
+        )
+
+    def test_child_seed_reduction_matches_signed_encoding(self):
+        # Two's-complement compatibility: every parent the old signed
+        # 16-byte encoding accepted derives the identical child seed.
+        from repro.audit.streams import PROTOCOL
+
+        for parent in (-5, 12345, -(2**126), 2**126):
+            material = hkdf_sha256(
+                int(parent).to_bytes(16, "big", signed=True),
+                info=encode_segments((PROTOCOL, "random-source", "x")),
+                salt=b"repro.simsys.random_source",
+                length=8,
+            )
+            expected = int.from_bytes(material, "big") % (1 << 63)
+            assert derive_child_seed(parent, "x") == expected
+
+    def test_random_source_child_with_huge_seed(self):
+        from repro.simsys.random_source import RandomSource
+
+        child = RandomSource(2**200).child("arrivals")
+        assert 0 <= child.seed < 2**63
+
 
 class TestStreamRegistry:
     def test_derivation_log_records_each_key_once(self):
