@@ -15,6 +15,11 @@ it.  This package is the provenance layer:
   context digest, action, propensity)``, so corrupted, reordered, or
   truncated log segments are detected — and localized — by chain
   verification.
+- :mod:`repro.audit.shards` — shard planning and splice verification
+  for distributed harvests: partition ``(rows, shard_size)`` into
+  stream-keyed shard specs, splice worker-sealed shard payloads into
+  one serial-equivalent chain, and verify sharded manifests shard by
+  shard.
 - :mod:`repro.audit.lint` — static analysis that finds *ambient* RNG
   (module-level ``random.*`` / ``np.random.*`` calls, argless
   ``default_rng()``) so no hot path can draw randomness that escapes
@@ -47,7 +52,18 @@ from repro.audit.lint import (
     scan_package,
     scan_source,
 )
+from repro.audit.shards import (
+    ShardPlan,
+    ShardSpec,
+    ShardedVerification,
+    SpliceError,
+    chain_digests,
+    splice_payloads,
+    verify_sharded_jsonl,
+    verify_sharded_records,
+)
 from repro.audit.streams import (
+    ShardedNormal,
     StreamKey,
     StreamRegistry,
     StreamRNG,
@@ -59,6 +75,7 @@ from repro.audit.streams import (
 
 __all__ = [
     # streams
+    "ShardedNormal",
     "StreamKey",
     "StreamRegistry",
     "StreamRNG",
@@ -66,6 +83,15 @@ __all__ = [
     "derive_key_bytes",
     "derive_seed",
     "hkdf_sha256",
+    # shards
+    "ShardPlan",
+    "ShardSpec",
+    "ShardedVerification",
+    "SpliceError",
+    "chain_digests",
+    "splice_payloads",
+    "verify_sharded_jsonl",
+    "verify_sharded_records",
     # ledger
     "GENESIS",
     "LEDGER_SCHEMA_VERSION",

@@ -217,11 +217,73 @@ class DecisionLedger:
             self._pending.append((contexts, actions, propensities))
             self._pending_rows += n
 
-    def _seal_one(
-        self, context: Mapping, action: int, propensity: float
+    def extend_digests(
+        self,
+        context_shas: Sequence[str],
+        actions: Sequence[int],
+        propensities: Sequence[float],
+    ) -> None:
+        """Seal decisions whose context digests are already computed.
+
+        The splice path of a sharded harvest: workers digest their
+        shard's contexts (the expensive half of sealing) and ship the
+        digests home, and the coordinator re-chains them here against
+        the true predecessor head — every entry hash still commits to
+        the full log prefix, but no context is hashed twice.  Seals
+        immediately (there is nothing left to defer).
+        """
+        n = len(context_shas)
+        if len(actions) != n or len(propensities) != n:
+            raise ValueError(
+                f"batch length mismatch: {n} digests, {len(actions)} "
+                f"actions, {len(propensities)} propensities"
+            )
+        self._drain()
+        for row in range(n):
+            self._seal_digest(
+                str(context_shas[row]), int(actions[row]), float(propensities[row])
+            )
+
+    def adopt_entries(self, entries: Sequence["LedgerEntry"]) -> None:
+        """Append entries already sealed against this ledger's head.
+
+        The trusted half of the sharded splice: an in-process shard
+        harvested in ordinal order is anchored at the true predecessor
+        head, so its sealed entries are *exactly* the entries this
+        ledger would seal — adopting them skips the second chain-hash
+        pass that :meth:`extend_digests` pays for untrusted payloads.
+        The anchor, ordinal, and stream of the first entry are checked;
+        the interior linkage is the producing ledger's own invariant.
+        Never call this with entries that crossed a process boundary —
+        re-chain those from their digests instead.
+        """
+        entries = list(entries)
+        if not entries:
+            return
+        self._drain()
+        first = entries[0]
+        if first.prev != self._head:
+            raise ValueError(
+                f"cannot adopt entries anchored at {first.prev[:12]}…: "
+                f"the chain head is {self._head[:12]}…"
+            )
+        if first.ordinal != self.start_ordinal + len(self._entries):
+            raise ValueError(
+                f"cannot adopt entries starting at ordinal {first.ordinal}: "
+                f"expected {self.start_ordinal + len(self._entries)}"
+            )
+        if first.stream != self.stream:
+            raise ValueError(
+                f"cannot adopt entries of stream {first.stream!r} into "
+                f"{self.stream!r}"
+            )
+        self._entries.extend(entries)
+        self._head = entries[-1].hash
+
+    def _seal_digest(
+        self, context_sha: str, action: int, propensity: float
     ) -> LedgerEntry:
         ordinal = self.start_ordinal + len(self._entries)
-        context_sha = context_digest(context)
         digest = entry_hash(
             self._head, self.stream, ordinal, context_sha, action, propensity
         )
@@ -237,6 +299,11 @@ class DecisionLedger:
         self._entries.append(entry)
         self._head = digest
         return entry
+
+    def _seal_one(
+        self, context: Mapping, action: int, propensity: float
+    ) -> LedgerEntry:
+        return self._seal_digest(context_digest(context), action, propensity)
 
     def _drain(self) -> None:
         if not self._pending:

@@ -1,0 +1,424 @@
+"""Shard planning and splice verification for distributed harvests.
+
+The distributed harvest story rests on two PR-7 primitives: any shard
+of a stream re-derives in isolation from ``(master seed, stream key,
+start ordinal)`` (:class:`repro.audit.streams.StreamRNG`), and a
+ledger shard anchored at its predecessor's head reproduces the full
+log's hashes (:class:`repro.audit.ledger.DecisionLedger` with
+``genesis``/``start_ordinal``).  This module supplies the remaining
+bookkeeping:
+
+- :class:`ShardPlan` partitions ``(rows, shard_size)`` into
+  stream-keyed :class:`ShardSpec` entries — each spec *is* the full
+  worker bootstrap descriptor (together with the master fingerprint
+  and stream key), no RNG state needs to travel;
+- :func:`chain_digests` re-chains a shard's worker-computed digests,
+  which doubles as the payload-integrity check (a worker's
+  genesis-anchored provisional head must recompute from the shipped
+  columns) and as the splice primitive;
+- :func:`splice_payloads` seals ordered shard payloads into ONE
+  ledger whose entries and head are bit-identical to a serial
+  harvest, recording the per-shard ``prev``/``head`` boundary hashes
+  (the shard map published in the run manifest);
+- :func:`verify_sharded_jsonl` walks a sharded log the way
+  ``repro verify-ledger --manifest`` needs to: each shard verified in
+  isolation against its recorded ``prev``/``head``/``n`` (so
+  ``count_mismatch`` pins to a shard), then the splice anchoring,
+  then the whole chain end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.audit.ledger import (
+    GENESIS,
+    ChainVerification,
+    DecisionLedger,
+    entry_hash,
+    verify_records,
+)
+from repro.audit.ledger import _jsonl_records
+from repro.audit.streams import StreamKey
+
+__all__ = [
+    "ShardPlan",
+    "ShardSpec",
+    "ShardedVerification",
+    "SpliceError",
+    "chain_digests",
+    "splice_payloads",
+    "verify_sharded_jsonl",
+    "verify_sharded_records",
+]
+
+
+class SpliceError(ValueError):
+    """A shard payload set cannot be spliced into one coherent chain."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a harvest: rows ``[start, stop)`` of the plan.
+
+    ``start`` is simultaneously the ledger ordinal of the shard's
+    first decision and the stream-derivation ordinal a worker anchors
+    its :class:`~repro.audit.streams.StreamRNG` at — the whole worker
+    bootstrap is ``(master fingerprint, stream key, start, n rows)``.
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def n(self) -> int:
+        """Rows in this shard."""
+        return self.stop - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (manifest shard-map skeleton)."""
+        return {"index": self.index, "start": self.start, "n": self.n}
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Partition of ``n_rows`` harvest rows into aligned shards.
+
+    Shard ``k`` covers rows ``[k·S, min(n, (k+1)·S))`` — the same grid
+    :class:`~repro.audit.streams.StreamRNG` derives generators on, so
+    every shard's stream is derivable at exactly its own start ordinal
+    and a parallel harvest touches no derivation outside its shards.
+    """
+
+    n_rows: int
+    shard_size: int
+    shards: Tuple[ShardSpec, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 0:
+            raise ValueError(f"n_rows must be >= 0, got {self.n_rows}")
+        if self.shard_size <= 0:
+            raise ValueError(f"shard_size must be positive, got {self.shard_size}")
+        specs = tuple(
+            ShardSpec(
+                index=index,
+                start=start,
+                stop=min(self.n_rows, start + self.shard_size),
+            )
+            for index, start in enumerate(range(0, self.n_rows, self.shard_size))
+        )
+        object.__setattr__(self, "shards", specs)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[ShardSpec]:
+        return iter(self.shards)
+
+    def __getitem__(self, index: int) -> ShardSpec:
+        return self.shards[index]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description of the partition."""
+        return {
+            "n_rows": self.n_rows,
+            "shard_size": self.shard_size,
+            "n_shards": len(self.shards),
+        }
+
+
+def chain_digests(
+    stream: Union[StreamKey, str],
+    context_shas: Sequence[str],
+    actions: Sequence[int],
+    propensities: Sequence[float],
+    genesis: str = GENESIS,
+    start_ordinal: int = 0,
+) -> str:
+    """The chain head over pre-digested decisions, without a ledger.
+
+    Exactly the hashes :class:`~repro.audit.ledger.DecisionLedger`
+    would seal — used to validate a shard payload in transit: a worker
+    returns its provisional (genesis-anchored) head, and the
+    coordinator recomputes it from the shipped columns; any flipped
+    action, rescaled propensity, or swapped digest changes the head.
+    """
+    name = stream.name if isinstance(stream, StreamKey) else str(stream)
+    n = len(context_shas)
+    if len(actions) != n or len(propensities) != n:
+        raise ValueError(
+            f"length mismatch: {n} digests, {len(actions)} actions, "
+            f"{len(propensities)} propensities"
+        )
+    head = str(genesis)
+    for row in range(n):
+        head = entry_hash(
+            head,
+            name,
+            start_ordinal + row,
+            str(context_shas[row]),
+            int(actions[row]),
+            float(propensities[row]),
+        )
+    return head
+
+
+def splice_payloads(
+    stream: Union[StreamKey, str],
+    payloads: Sequence[Mapping],
+    *,
+    shard_size: Optional[int] = None,
+    master_fingerprint: Optional[str] = None,
+    genesis: str = GENESIS,
+) -> Tuple[DecisionLedger, list]:
+    """Seal ordered shard payloads into one serial-equivalent ledger.
+
+    Each payload carries ``start``, ``context_shas``, ``actions``,
+    ``propensities`` (and optionally ``retries``) for one shard; they
+    must arrive sorted by ``start`` and contiguous from row 0.  The
+    splice re-chains every entry against the true predecessor head
+    (workers sealed against a provisional genesis anchor — only the
+    ``prev`` linkage changes, the digests are reused), so the result
+    is bit-identical to a serially-harvested ledger.  A payload that
+    still carries its sealed ``entries`` AND whose ``genesis`` already
+    equals the true predecessor head — an in-process shard harvested
+    in ordinal order, never a shipped one (workers strip entries) — is
+    adopted outright: its chain is the final chain, nothing to redo.
+    Returns the ledger plus the shard map: per shard ``{index, start,
+    n, prev, head, retries}`` — the boundary hashes that let
+    ``verify-ledger`` check each shard in isolation later.
+    """
+    ledger = DecisionLedger(
+        stream,
+        shard_size=shard_size,
+        genesis=genesis,
+        master_fingerprint=master_fingerprint,
+    )
+    shard_map: list[dict] = []
+    expected_start = 0
+    for index, payload in enumerate(payloads):
+        start = int(payload["start"])
+        if start != expected_start:
+            raise SpliceError(
+                f"shard {index} starts at row {start}, expected "
+                f"{expected_start} — payloads must be contiguous from row 0"
+            )
+        context_shas = payload["context_shas"]
+        prev = ledger.head
+        entries = payload.get("entries")
+        if entries is not None and payload.get("genesis") == prev:
+            ledger.adopt_entries(entries)
+        else:
+            ledger.extend_digests(
+                context_shas, payload["actions"], payload["propensities"]
+            )
+        shard_map.append(
+            {
+                "index": index,
+                "start": start,
+                "n": len(context_shas),
+                "prev": prev,
+                "head": ledger.head,
+                "retries": int(payload.get("retries", 0)),
+            }
+        )
+        expected_start = start + len(context_shas)
+    return ledger, shard_map
+
+
+@dataclass
+class ShardedVerification:
+    """Outcome of verifying a sharded log: per shard, splice, overall.
+
+    ``shards`` pairs each manifest shard-map entry with the
+    :class:`~repro.audit.ledger.ChainVerification` of exactly that
+    shard's records, anchored at the shard's recorded ``prev`` and
+    pinned to its recorded ``head`` and ``n`` — a missing or extra
+    record therefore shows up as that shard's ``count_mismatch``, not
+    as a diffuse whole-log failure.  ``splice_issues`` cover the
+    shard-map geometry itself (anchoring, contiguity, head linkage);
+    ``overall`` is the plain end-to-end walk of the full chain.
+    """
+
+    overall: ChainVerification
+    shards: list = field(default_factory=list)
+    splice_issues: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every shard, the splice, and the full chain verify."""
+        return (
+            self.overall.ok
+            and not self.splice_issues
+            and all(entry["verification"].ok for entry in self.shards)
+        )
+
+    def report(self) -> dict:
+        """JSON-serializable summary (nests per-shard reports)."""
+        return {
+            "ok": self.ok,
+            "overall": self.overall.report(),
+            "splice_issues": list(self.splice_issues),
+            "shards": [
+                {
+                    "index": entry["index"],
+                    "start": entry["start"],
+                    "n": entry["n"],
+                    "prev": entry["prev"],
+                    "head": entry["head"],
+                    "ok": entry["verification"].ok,
+                    "count_mismatch": entry["verification"].count_mismatch,
+                    "report": entry["verification"].report(),
+                }
+                for entry in self.shards
+            ],
+        }
+
+    def summary_text(self) -> str:
+        """Human-readable verification report for terminals."""
+        status = "OK" if self.ok else "BROKEN"
+        lines = [
+            f"sharded ledger: {status} — {len(self.shards)} shard(s)",
+        ]
+        for entry in self.shards:
+            verification = entry["verification"]
+            shard_status = "OK" if verification.ok else "BROKEN"
+            detail = ""
+            if verification.count_mismatch:
+                detail = (
+                    f" (count mismatch: expected {verification.expected_n}, "
+                    f"got {verification.n_ledgered})"
+                )
+            elif not verification.ok and verification.first_bad is not None:
+                detail = f" (first bad line {verification.first_bad})"
+            lines.append(
+                f"  shard {entry['index']} rows [{entry['start']}, "
+                f"{entry['start'] + entry['n']}): {shard_status}{detail}"
+            )
+        for issue in self.splice_issues:
+            lines.append(f"  splice   {issue}")
+        lines.append("overall " + self.overall.summary_text())
+        return "\n".join(lines)
+
+
+def _splice_geometry_issues(
+    shards: Sequence[Mapping], genesis: str, expected_head: Optional[str]
+) -> list:
+    issues: list[str] = []
+    expected_start = 0
+    prev_head = str(genesis)
+    for position, shard in enumerate(shards):
+        index = shard.get("index", position)
+        start = int(shard["start"])
+        if start != expected_start:
+            issues.append(
+                f"shard {index} starts at row {start}, expected {expected_start}"
+            )
+        if str(shard["prev"]) != prev_head:
+            issues.append(
+                f"shard {index} prev {str(shard['prev'])[:12]}… does not "
+                f"match the preceding head {prev_head[:12]}…"
+            )
+        prev_head = str(shard["head"])
+        expected_start = start + int(shard["n"])
+    if expected_head is not None and shards and prev_head != str(expected_head):
+        issues.append(
+            f"final shard head {prev_head[:12]}… does not match the "
+            f"recorded spliced head {str(expected_head)[:12]}…"
+        )
+    return issues
+
+
+def verify_sharded_records(
+    records: Iterable[Tuple[int, Mapping]],
+    shards: Sequence[Mapping],
+    expected_head: Optional[str] = None,
+    expected_n: Optional[int] = None,
+    genesis: str = GENESIS,
+) -> ShardedVerification:
+    """Verify a sharded log: shard map entries, splice, full chain.
+
+    ``shards`` is the manifest's shard map (``{index, start, n, prev,
+    head}`` per shard, as written by :func:`splice_payloads`).
+    Records are routed to shards by their ledgered ordinal, each shard
+    is verified in isolation (anchored at its recorded ``prev``,
+    pinned to its ``head`` and ``n`` so ``count_mismatch`` localizes),
+    the shard-map geometry is checked (anchoring at ``genesis``,
+    contiguity, head-to-prev linkage, final head vs the spliced
+    head), and the whole chain is walked end to end.
+
+    Materializes the record list (O(file) memory) — the per-shard
+    pass needs routed groups; sharded logs verified here are run
+    artifacts, not out-of-core datasets.
+    """
+    from repro.audit.ledger import ChainFollower
+
+    records = list(records)
+    ordered = sorted(shards, key=lambda shard: int(shard["start"]))
+    overall = verify_records(
+        iter(records),
+        expected_head=expected_head,
+        genesis=genesis,
+        expected_n=expected_n,
+    )
+    splice_issues = _splice_geometry_issues(ordered, genesis, expected_head)
+
+    grouped: dict[int, list] = {position: [] for position in range(len(ordered))}
+    starts = [int(shard["start"]) for shard in ordered]
+    stops = [int(shard["start"]) + int(shard["n"]) for shard in ordered]
+    for line_number, record in records:
+        meta = ChainFollower.metadata_of(record)
+        if meta is None or "ordinal" not in meta:
+            continue
+        try:
+            ordinal = int(meta["ordinal"])
+        except (TypeError, ValueError):
+            continue
+        for position, (start, stop) in enumerate(zip(starts, stops)):
+            if start <= ordinal < stop:
+                grouped[position].append((line_number, record))
+                break
+        else:
+            splice_issues.append(
+                f"line {line_number}: ledgered ordinal {ordinal} falls "
+                f"outside every manifest shard"
+            )
+
+    result = ShardedVerification(overall=overall, splice_issues=splice_issues)
+    for position, shard in enumerate(ordered):
+        verification = verify_records(
+            iter(grouped[position]),
+            expected_head=str(shard["head"]),
+            genesis=str(shard["prev"]),
+            expected_n=int(shard["n"]),
+        )
+        result.shards.append(
+            {
+                "index": int(shard.get("index", position)),
+                "start": int(shard["start"]),
+                "n": int(shard["n"]),
+                "prev": str(shard["prev"]),
+                "head": str(shard["head"]),
+                "verification": verification,
+            }
+        )
+    return result
+
+
+def verify_sharded_jsonl(
+    path: str,
+    shards: Sequence[Mapping],
+    expected_head: Optional[str] = None,
+    expected_n: Optional[int] = None,
+    genesis: str = GENESIS,
+) -> ShardedVerification:
+    """:func:`verify_sharded_records` over a JSONL exploration log."""
+    return verify_sharded_records(
+        _jsonl_records(path),
+        shards,
+        expected_head=expected_head,
+        expected_n=expected_n,
+        genesis=genesis,
+    )

@@ -42,6 +42,7 @@ import numpy as np
 __all__ = [
     "DEFAULT_SHARD_SIZE",
     "PROTOCOL",
+    "ShardedNormal",
     "StreamKey",
     "StreamRegistry",
     "StreamRNG",
@@ -299,6 +300,22 @@ class StreamRegistry:
         """The derivation log (one entry per distinct stream key)."""
         return [dict(entry) for entry in self._derivations]
 
+    def absorb(self, derivations: Iterable[dict]) -> None:
+        """Merge derivation-log entries reported by another registry.
+
+        Distributed harvest workers derive streams in their own
+        registries (same master seed); the coordinator absorbs their
+        logs so the run manifest still lists every stream the run
+        consumed.  Entries already recorded here are skipped, so
+        absorbing overlapping worker logs is idempotent.
+        """
+        for entry in derivations:
+            canonical = entry.get("key")
+            if not canonical or canonical in self._seen:
+                continue
+            self._seen.add(canonical)
+            self._derivations.append(dict(entry))
+
     def manifest_entry(self) -> dict:
         """Manifest section: master fingerprint + derivation log."""
         return {
@@ -408,4 +425,82 @@ class StreamRNG:
         return (
             f"StreamRNG(key={self.key.name!r}, shard_size={self.shard_size}, "
             f"start_ordinal={self.start_ordinal})"
+        )
+
+
+class ShardedNormal:
+    """Random-access Gaussian noise keyed by global row, derived per shard.
+
+    :class:`StreamRNG` is forward-only — the right shape for decision
+    sampling, which consumes draws strictly in row order.  Auxiliary
+    noise (e.g. the loadbalance latency jitter) needs the opposite
+    access pattern: *value of row i*, addressable from any shard
+    without replaying a prefix.  ``ShardedNormal`` gives each global
+    row a fixed value: shard ``k`` (rows ``[k·S, (k+1)·S)``) is one
+    ``normal(loc, scale, size=S)`` draw from the generator derived at
+    ordinal ``k·S``, memoized on first touch.  Row values therefore
+    depend only on ``(master seed, stream key, shard_size)`` — not on
+    batch grid, access order, or which process asks — so a serial
+    harvest and any sharded re-derivation see bit-identical noise,
+    and a worker touching rows ``[k·S, (k+1)·S)`` derives exactly its
+    own shard.
+    """
+
+    def __init__(
+        self,
+        registry: StreamRegistry,
+        key: StreamKey,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        loc: float = 0.0,
+        scale: float = 1.0,
+    ) -> None:
+        if shard_size <= 0:
+            raise ValueError(f"shard_size must be positive, got {shard_size}")
+        if scale < 0:
+            raise ValueError(f"scale must be non-negative, got {scale}")
+        self.registry = registry
+        self.key = key.with_ordinal(0)
+        self.shard_size = int(shard_size)
+        self.loc = float(loc)
+        self.scale = float(scale)
+        self._shards: dict[int, np.ndarray] = {}
+
+    def _shard_values(self, shard: int) -> np.ndarray:
+        cached = self._shards.get(shard)
+        if cached is None:
+            generator = self.registry.generator(
+                self.key.with_ordinal(shard * self.shard_size)
+            )
+            cached = generator.normal(self.loc, self.scale, size=self.shard_size)
+            self._shards[shard] = cached
+        return cached
+
+    def values(self, rows) -> np.ndarray:
+        """The noise values of ``rows`` (global row indices, any order)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and int(rows.min()) < 0:
+            raise ValueError("row indices must be non-negative")
+        out = np.empty(rows.shape, dtype=np.float64)
+        shards = rows // self.shard_size
+        for shard in np.unique(shards):
+            mask = shards == shard
+            out[mask] = self._shard_values(int(shard))[
+                rows[mask] - int(shard) * self.shard_size
+            ]
+        return out
+
+    def manifest_entry(self) -> dict:
+        """Manifest section describing this noise stream's derivation."""
+        return {
+            "key": self.key.name,
+            "shard_size": self.shard_size,
+            "loc": self.loc,
+            "scale": self.scale,
+            "master_fingerprint": self.registry.master_fingerprint,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedNormal(key={self.key.name!r}, shard_size={self.shard_size}, "
+            f"loc={self.loc}, scale={self.scale})"
         )

@@ -119,6 +119,52 @@ def candidate_reward_matrix(
     return evictions, rewards
 
 
+def _coerce_events(lines_or_events) -> list[KeyspaceEvent]:
+    """Parse raw log lines into events; pass parsed events through."""
+    events: list[KeyspaceEvent] = []
+    for item in lines_or_events:
+        if isinstance(item, str):
+            parsed = parse_keyspace_line(item)
+            if parsed is not None:
+                events.append(parsed)
+        else:
+            events.append(item)
+    return events
+
+
+def eviction_decision_points(
+    lines_or_events,
+    sample_size: int = 5,
+    reward_cap: float = DEFAULT_REWARD_CAP,
+) -> tuple[list[Context], list, np.ndarray, np.ndarray]:
+    """Precompute the harvestable decision points of a keyspace log.
+
+    Returns ``(contexts, eligible, timestamps, rewards)`` — one row
+    per EVICT event: the candidate-feature context, the per-row
+    eligible slots, the event time, and the ``(N, sample_size)``
+    look-ahead reward matrix of :func:`candidate_reward_matrix`.
+    This is the whole deterministic prepare step of an eviction
+    harvest, shared by :func:`resample_eviction_columns` and the
+    shard-input builder (:func:`exploration_shard_inputs`) — the
+    decision points depend only on the log, never on the harvesting
+    policy or RNG.
+    """
+    events = _coerce_events(lines_or_events)
+    evictions, rewards = candidate_reward_matrix(events, sample_size, reward_cap)
+    if not evictions:
+        raise ValueError("no EVICT events to resample")
+    contexts = [
+        _context_from_candidates(event.candidates[:sample_size])
+        for event in evictions
+    ]
+    eligible = [
+        tuple(range(min(len(event.candidates), sample_size))) or (0,)
+        for event in evictions
+    ]
+    timestamps = np.array([event.time for event in evictions])
+    return contexts, eligible, timestamps, rewards
+
+
 def resample_eviction_columns(
     lines_or_events,
     policy: Policy,
@@ -132,39 +178,22 @@ def resample_eviction_columns(
 
     The cache instance of the batch harvest engine: every EVICT event
     in the keyspace log becomes a decision point whose candidate
-    features form the context; ``policy`` re-decides all of them
-    through :meth:`~repro.core.policies.Policy.act_batch`, and the
-    revealed reward is the chosen candidate's look-ahead
-    time-to-next-access from :func:`candidate_reward_matrix`.
-    Eligibility is per-row (only the slots actually sampled at that
-    decision).  Output is columnar and bit-identical for any
-    ``batch_size`` under a fixed generator.
+    features form the context (see :func:`eviction_decision_points`);
+    ``policy`` re-decides all of them through
+    :meth:`~repro.core.policies.Policy.act_batch`, and the revealed
+    reward is the chosen candidate's look-ahead time-to-next-access
+    from :func:`candidate_reward_matrix`.  Eligibility is per-row
+    (only the slots actually sampled at that decision).  Output is
+    columnar and bit-identical for any ``batch_size`` under a fixed
+    generator.
     """
-    events: list[KeyspaceEvent] = []
-    for item in lines_or_events:
-        if isinstance(item, str):
-            parsed = parse_keyspace_line(item)
-            if parsed is not None:
-                events.append(parsed)
-        else:
-            events.append(item)
+    events = _coerce_events(lines_or_events)
     with get_tracer().span(
         "harvest.cache", sample_size=sample_size, batched=True
     ) as span:
-        evictions, rewards = candidate_reward_matrix(
+        contexts, eligible, timestamps, rewards = eviction_decision_points(
             events, sample_size, reward_cap
         )
-        if not evictions:
-            raise ValueError("no EVICT events to resample")
-        contexts = [
-            _context_from_candidates(event.candidates[:sample_size])
-            for event in evictions
-        ]
-        eligible = [
-            tuple(range(min(len(event.candidates), sample_size))) or (0,)
-            for event in evictions
-        ]
-        timestamps = np.array([event.time for event in evictions])
 
         def reveal(indices: np.ndarray, actions: np.ndarray) -> np.ndarray:
             return rewards[indices, actions]
@@ -185,6 +214,58 @@ def resample_eviction_columns(
         span.set(rows=columns.n, events=len(events))
     get_metrics().counter("harvest.rows", scenario="cache").inc(columns.n)
     return columns
+
+
+def exploration_shard_inputs(job, registry):
+    """Shard-input builder for coordinated cache harvests.
+
+    See :data:`repro.core.coordinator.SCENARIO_BUILDERS`.  Recognized
+    ``job.config`` keys: ``seed`` (workload + sim + logging policy),
+    ``capacity``, ``n_big``, ``n_small``, ``sample_size``,
+    ``reward_cap``.  The keyspace log is regenerated by replaying the
+    big-small workload through :class:`~repro.cache.sim.CacheSim` —
+    deterministic in the config, so every worker rebuilds identical
+    decision points.  Note ``job.rows`` counts workload *requests*;
+    the harvested row count is the number of EVICT events the sim
+    produces (the coordinator plans shards over the latter).
+    """
+    from repro.cache.eviction import random_eviction_policy
+    from repro.cache.sim import CacheSim
+    from repro.cache.workload import BigSmallWorkload
+    from repro.core.coordinator import HarvestInputs
+    from repro.simsys.random_source import RandomSource
+
+    config = job.config
+    seed = int(config.get("seed", 0))
+    sample_size = int(config.get("sample_size", 5))
+    reward_cap = float(config.get("reward_cap", DEFAULT_REWARD_CAP))
+    workload = BigSmallWorkload(
+        n_big=int(config.get("n_big", 20)),
+        n_small=int(config.get("n_small", 200)),
+        randomness=RandomSource(seed, _name="harvest-wl"),
+    )
+    sim = CacheSim(
+        int(config.get("capacity", 150)),
+        random_eviction_policy(),
+        sample_size=sample_size,
+        seed=seed,
+    )
+    result = sim.run(workload.requests(job.rows), keep_log=True)
+    contexts, eligible, timestamps, rewards = eviction_decision_points(
+        result.log_lines, sample_size, reward_cap
+    )
+
+    def reveal(indices: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        return rewards[indices, actions]
+
+    return HarvestInputs(
+        contexts=tuple(contexts),
+        reward_fn=reveal,
+        eligible=tuple(eligible),
+        action_space=eviction_action_space(sample_size),
+        reward_range=RewardRange(0.0, reward_cap, maximize=True),
+        timestamps=timestamps,
+    )
 
 
 def eviction_action_space(sample_size: int) -> ActionSpace:

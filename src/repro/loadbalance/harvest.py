@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.audit.ledger import DecisionLedger
+from repro.audit.streams import ShardedNormal, StreamKey, StreamRegistry
 from repro.core.harvest import (
     DEFAULT_BATCH_SIZE,
     HarvestPipeline,
@@ -329,6 +330,26 @@ def batch_latency_law(
     )
 
 
+def latency_noise_stream(
+    registry: StreamRegistry,
+    shard_size: int,
+    scale: float,
+) -> ShardedNormal:
+    """The sharded latency-noise stream of an audited loadbalance harvest.
+
+    Noise values are addressed by *global row*, derived per
+    ``shard_size`` rows from the registry's master seed — so a shard
+    harvested in isolation (or on another machine) reads exactly the
+    noise a serial run would, with no up-front whole-run draw.
+    """
+    return ShardedNormal(
+        registry,
+        StreamKey("loadbalance", "harvest", "latency-noise"),
+        shard_size=shard_size,
+        scale=scale,
+    )
+
+
 def batch_exploration_columns(
     policy: Policy,
     snapshots: DecisionSnapshots,
@@ -338,6 +359,8 @@ def batch_exploration_columns(
     batch_size: int = DEFAULT_BATCH_SIZE,
     latency_noise: float = 0.01,
     noise_seed: int = 0,
+    noise: Optional[ShardedNormal] = None,
+    noise_start: int = 0,
     timeout: float = LATENCY_CAP,
     ledger: Optional[DecisionLedger] = None,
 ) -> DatasetColumns:
@@ -347,28 +370,51 @@ def batch_exploration_columns(
     upstreams via :meth:`~repro.core.policies.Policy.act_batch` (one
     ``rng`` uniform per row) and observed latencies come from
     :func:`batch_latency_law` plus Gaussian noise, clamped to
-    ``[0.001, timeout]`` exactly as the proxy does.  Noise lives on its
-    own stream (seeded by ``noise_seed``, drawn up front), mirroring
-    the proxy's separate ``latency-noise``/``policy-choices``
-    :class:`~repro.simsys.random_source.RandomSource` children — so the
-    produced log is bit-identical for any ``batch_size``.
+    ``[0.001, timeout]`` exactly as the proxy does — so the produced
+    log is bit-identical for any ``batch_size``.
+
+    Two noise schemes:
+
+    - ``noise=`` (a :class:`~repro.audit.streams.ShardedNormal`, see
+      :func:`latency_noise_stream`): shard-derived, addressed by global
+      row ``noise_start + i`` — the audited scheme, fork-equivalent
+      under sharding.  Harvesting rows ``[k·S, (k+1)·S)`` of a run in
+      isolation means passing the sliced snapshots with
+      ``noise_start=k·S`` and the *same* noise stream parameters.
+      ``latency_noise``/``noise_seed`` are ignored when set.
+    - legacy ``latency_noise``/``noise_seed``: one up-front
+      whole-run ``normal(size=n)`` draw on a
+      :class:`~repro.simsys.random_source.RandomSource` child,
+      indexed by local row — batch-size independent but *not*
+      re-derivable per shard, kept for unaudited harvests.
     """
     if len(server_configs) == 0:
         raise ValueError("need at least one server")
     if latency_noise < 0:
         raise ValueError("latency noise must be non-negative")
+    if noise_start < 0:
+        raise ValueError("noise_start must be non-negative")
     n = len(snapshots)
     latency_matrix = batch_latency_law(snapshots, server_configs)
-    if latency_noise > 0:
-        noise = RandomSource(
-            noise_seed, _name="lb-harvest"
-        ).child("latency-noise").generator.normal(0.0, latency_noise, size=n)
-    else:
-        noise = np.zeros(n)
+    if noise is not None:
 
-    def observe(indices: np.ndarray, actions: np.ndarray) -> np.ndarray:
-        latency = latency_matrix[indices, actions] + noise[indices]
-        return np.minimum(np.maximum(latency, 0.001), timeout)
+        def observe(indices: np.ndarray, actions: np.ndarray) -> np.ndarray:
+            latency = latency_matrix[indices, actions] + noise.values(
+                indices + noise_start
+            )
+            return np.minimum(np.maximum(latency, 0.001), timeout)
+
+    else:
+        if latency_noise > 0:
+            flat_noise = RandomSource(
+                noise_seed, _name="lb-harvest"
+            ).child("latency-noise").generator.normal(0.0, latency_noise, size=n)
+        else:
+            flat_noise = np.zeros(n)
+
+        def observe(indices: np.ndarray, actions: np.ndarray) -> np.ndarray:
+            latency = latency_matrix[indices, actions] + flat_noise[indices]
+            return np.minimum(np.maximum(latency, 0.001), timeout)
 
     n_servers = len(server_configs)
     with get_tracer().span(
@@ -388,3 +434,60 @@ def batch_exploration_columns(
         span.set(rows=columns.n)
     get_metrics().counter("harvest.rows", scenario="loadbalance").inc(columns.n)
     return columns
+
+
+def exploration_shard_inputs(job, registry: StreamRegistry):
+    """Shard-input builder for coordinated loadbalance harvests.
+
+    See :data:`repro.core.coordinator.SCENARIO_BUILDERS`.  Recognized
+    ``job.config`` keys: ``seed`` (snapshot draw), ``n_servers``,
+    ``mean_connections``, ``servers`` (explicit
+    :class:`~repro.loadbalance.server.ServerConfig` list; defaults to
+    the Fig. 5 pair), ``latency_noise`` (scale; 0 disables), and
+    ``timeout``.  Latency noise rides the sharded
+    ``loadbalance/harvest/latency-noise`` stream
+    (:func:`latency_noise_stream`) keyed by global row, so a worker
+    harvesting rows ``[k·S, (k+1)·S)`` derives exactly its own noise
+    shards — no up-front whole-run draw, bit-identical to serial.
+    """
+    from repro.core.coordinator import HarvestInputs
+    from repro.loadbalance.proxy import fig5_servers
+
+    config = job.config
+    seed = int(config.get("seed", 0))
+    servers = config.get("servers")
+    if servers is None:
+        servers = fig5_servers()
+    n_servers = int(config.get("n_servers", len(servers)))
+    if n_servers != len(servers):
+        raise ValueError(
+            f"config names {n_servers} servers but supplies {len(servers)} "
+            f"server configs"
+        )
+    snapshots = synthetic_decision_snapshots(
+        job.rows,
+        n_servers,
+        seed=seed,
+        mean_connections=float(config.get("mean_connections", 4.0)),
+    )
+    latency_matrix = batch_latency_law(snapshots, servers)
+    scale = float(config.get("latency_noise", 0.01))
+    timeout = float(config.get("timeout", LATENCY_CAP))
+    noise = (
+        latency_noise_stream(registry, job.shard_size, scale)
+        if scale > 0
+        else None
+    )
+
+    def reward_fn(indices: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        latency = latency_matrix[indices, actions]
+        if noise is not None:
+            latency = latency + noise.values(indices)
+        return np.minimum(np.maximum(latency, 0.001), timeout)
+
+    return HarvestInputs(
+        contexts=snapshots.contexts,
+        reward_fn=reward_fn,
+        action_space=lb_action_space(n_servers),
+        reward_range=lb_reward_range(),
+    )

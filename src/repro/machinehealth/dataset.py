@@ -184,6 +184,48 @@ def simulate_exploration_columns(
     return columns
 
 
+def exploration_shard_inputs(job, registry):
+    """Shard-input builder for coordinated machine-health harvests.
+
+    See :data:`repro.core.coordinator.SCENARIO_BUILDERS`.  Recognized
+    ``job.config`` keys: ``seed`` (fleet + failure draw), ``n_machines``.
+    The full-feedback dataset is deterministic in ``(rows, seed,
+    n_machines)`` — exactly the
+    :class:`~repro.core.coordinator.HarvestInputs` determinism contract
+    — so every worker rebuilds identical contexts and reward profiles
+    from the config alone.
+    """
+    from repro.core.coordinator import HarvestInputs
+
+    config = job.config
+    full = build_full_feedback_dataset(
+        n_events=job.rows,
+        n_machines=int(config.get("n_machines", 1000)),
+        seed=int(config.get("seed", 0)),
+    ).full
+    interactions = list(full)
+    profiles = np.asarray(
+        [interaction.full_rewards for interaction in interactions],
+        dtype=np.float64,
+    )
+    contexts = tuple(interaction.context for interaction in interactions)
+    timestamps = np.asarray(
+        [interaction.timestamp for interaction in interactions],
+        dtype=np.float64,
+    )
+
+    def reveal(indices: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        return profiles[indices, actions]
+
+    return HarvestInputs(
+        contexts=contexts,
+        reward_fn=reveal,
+        action_space=full.action_space,
+        reward_range=full.reward_range,
+        timestamps=timestamps,
+    )
+
+
 def simulate_exploration(
     full_dataset: Dataset,
     rng: np.random.Generator,

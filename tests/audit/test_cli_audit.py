@@ -31,6 +31,7 @@ class TestHarvestLedger:
         code, log, manifest_path, out = harvest(tmp_path, capsys)
         assert code == 0
         assert "ledger: stream loadbalance/harvest/decisions" in out
+        assert "sharded: 3 shard(s) x 128 rows" in out
         data = RunManifest.load(str(manifest_path)).to_dict()
         assert data["ledger"]["n"] == 300
         assert data["ledger"]["shard_size"] == 128
@@ -39,12 +40,65 @@ class TestHarvestLedger:
         derivation_keys = [
             d["key"] for d in data["streams"]["derivations"]
         ]
-        # 300 rows over shard 128 → shards at ordinals 0, 128, 256.
+        # 300 rows over shard 128 → shards at ordinals 0, 128, 256 —
+        # each deriving its decision stream AND its latency-noise shard.
         assert derivation_keys == [
             "loadbalance/harvest/decisions#0",
+            "loadbalance/harvest/latency-noise#0",
             "loadbalance/harvest/decisions#128",
+            "loadbalance/harvest/latency-noise#128",
             "loadbalance/harvest/decisions#256",
+            "loadbalance/harvest/latency-noise#256",
         ]
+
+    def test_manifest_records_shard_map(self, tmp_path, capsys):
+        _, _, manifest_path, _ = harvest(tmp_path, capsys)
+        ledger = RunManifest.load(str(manifest_path)).to_dict()["ledger"]
+        assert ledger["workers"] == 1
+        assert ledger["plan"] == {
+            "n_rows": 300, "shard_size": 128, "n_shards": 3,
+        }
+        shards = ledger["shards"]
+        assert [s["start"] for s in shards] == [0, 128, 256]
+        assert [s["n"] for s in shards] == [128, 128, 44]
+        assert shards[0]["prev"] == "0" * 64
+        assert shards[-1]["head"] == ledger["head"]
+        # Boundary hashes link: each shard's prev is its predecessor's head.
+        assert shards[1]["prev"] == shards[0]["head"]
+        assert shards[2]["prev"] == shards[1]["head"]
+
+    def test_workers_flag_is_bit_identical(self, tmp_path, capsys):
+        _, log_serial, manifest_serial, _ = harvest(tmp_path, capsys)
+        serial_bytes = log_serial.read_bytes()
+        log_serial.unlink()
+        _, log_parallel, manifest_parallel, out = harvest(
+            tmp_path, capsys, extra=["--workers", "2"]
+        )
+        assert "2 worker(s)" in out
+        assert log_parallel.read_bytes() == serial_bytes
+        heads = [
+            RunManifest.load(str(m)).to_dict()["ledger"]["head"]
+            for m in (manifest_serial, manifest_parallel)
+        ]
+        assert heads[0] == heads[1]
+
+    def test_workers_without_ledger_errors(self, tmp_path, capsys):
+        code = main(
+            ["harvest", "loadbalance", str(tmp_path / "x.jsonl"),
+             "--rows", "50", "--workers", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--workers requires --ledger" in captured.err
+
+    def test_workers_must_be_positive(self, tmp_path, capsys):
+        code = main(
+            ["harvest", "loadbalance", str(tmp_path / "x.jsonl"),
+             "--rows", "50", "--ledger", "--workers", "0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--workers must be >= 1" in captured.err
 
     def test_every_record_carries_ledger_metadata(self, tmp_path, capsys):
         _, log, _, _ = harvest(tmp_path, capsys)
@@ -70,7 +124,8 @@ class TestVerifyLedger:
         code = main(["verify-ledger", str(log), "--manifest", str(manifest)])
         out = capsys.readouterr().out
         assert code == 0
-        assert "ledger: OK" in out
+        assert "sharded ledger: OK — 3 shard(s)" in out
+        assert "shard 1 rows [128, 256): OK" in out
         assert "300/300 record(s) chained" in out
 
     def test_expect_head_flag(self, tmp_path, capsys):
@@ -95,12 +150,15 @@ class TestVerifyLedger:
         report = json.loads(capsys.readouterr().out)
         assert code == 1
         assert report["ok"] is False
-        assert report["first_bad"] == 150
+        assert report["overall"]["first_bad"] == 150
         spans = [
-            (s["start_line"], s["stop_line"]) for s in report["segments"]
+            (s["start_line"], s["stop_line"])
+            for s in report["overall"]["segments"]
         ]
         assert (1, 149) in spans
         assert (151, 300) in spans
+        # The sharded report pins the tamper to shard 1 (rows 128–256).
+        assert [s["ok"] for s in report["shards"]] == [True, False, True]
 
     def test_truncation_detected(self, tmp_path, capsys):
         _, log, manifest, _ = harvest(tmp_path, capsys)
@@ -123,10 +181,15 @@ class TestVerifyLedger:
         report = json.loads(capsys.readouterr().out)
         assert code == 1
         assert report["ok"] is False
-        assert report["truncated"] is False  # head itself still matches
-        assert report["count_mismatch"] is True
-        assert report["expected_n"] == 300 and report["n_ledgered"] == 250
-        assert report["gaps"] and "line 1:" in report["gaps"][0]
+        overall = report["overall"]
+        assert overall["truncated"] is False  # head itself still matches
+        assert overall["count_mismatch"] is True
+        assert overall["expected_n"] == 300 and overall["n_ledgered"] == 250
+        assert overall["gaps"] and "line 1:" in overall["gaps"][0]
+        # The missing prefix is shard 0's problem and nobody else's.
+        assert [s["count_mismatch"] for s in report["shards"]] == [
+            True, False, False,
+        ]
 
     def test_plain_log_fails_verification(self, tmp_path, capsys):
         log = tmp_path / "plain.jsonl"

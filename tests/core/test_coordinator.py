@@ -1,0 +1,293 @@
+"""The harvest coordinator: plans, payload validation, retries, splicing."""
+
+import numpy as np
+import pytest
+
+from repro.audit.ledger import DecisionLedger
+from repro.audit.streams import StreamRegistry, StreamRNG
+from repro.core import pool as worker_pool
+from repro.core.coordinator import (
+    HarvestCoordinator,
+    HarvestInputs,
+    HarvestJob,
+    ShardPayloadError,
+    build_inputs,
+    synthetic_shard_inputs,
+)
+from repro.core.harvest import harvest_columns
+from repro.core.policies import UniformRandomPolicy
+from repro.core.types import ActionSpace
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Isolate each test from pools poisoned by earlier tests."""
+    worker_pool.reset_pool()
+    yield
+    worker_pool.reset_pool()
+
+
+def synthetic_job(rows=200, shard_size=32, **overrides):
+    defaults = dict(
+        scenario="synthetic",
+        rows=rows,
+        master_seed=41,
+        policy=UniformRandomPolicy(),
+        shard_size=shard_size,
+        batch_size=17,
+    )
+    defaults.update(overrides)
+    return HarvestJob(**defaults)
+
+
+def serial_reference(job):
+    """The monolithic harvest the coordinator must reproduce exactly."""
+    registry = StreamRegistry(job.master_seed)
+    inputs = build_inputs(job, registry)
+    key = job.stream_key()
+    rng = StreamRNG(registry, key, shard_size=job.shard_size)
+    ledger = DecisionLedger(
+        key,
+        shard_size=job.shard_size,
+        master_fingerprint=registry.master_fingerprint,
+    )
+    columns = harvest_columns(
+        job.policy,
+        inputs.contexts,
+        inputs.reward_fn,
+        rng,
+        eligible=inputs.eligible,
+        action_space=inputs.action_space,
+        batch_size=job.batch_size,
+        reward_range=inputs.reward_range,
+        scenario=job.scenario,
+        timestamps=inputs.timestamps,
+        ledger=ledger,
+    )
+    return columns, ledger
+
+
+def assert_matches_serial(result, reference_columns, reference_ledger):
+    assert result.columns.n == reference_columns.n
+    np.testing.assert_array_equal(result.columns.actions, reference_columns.actions)
+    np.testing.assert_array_equal(result.columns.rewards, reference_columns.rewards)
+    np.testing.assert_array_equal(
+        result.columns.propensities, reference_columns.propensities
+    )
+    assert result.head == reference_ledger.head
+    assert result.ledger.entries() == reference_ledger.entries()
+
+
+class TestJob:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            synthetic_job(rows=-1)
+        with pytest.raises(ValueError):
+            synthetic_job(shard_size=0)
+
+    def test_stream_key_names_the_scenario(self):
+        assert synthetic_job().stream_key().name == "synthetic/harvest/decisions"
+
+    def test_unknown_scenario_rejected(self):
+        job = synthetic_job(scenario="nope")
+        with pytest.raises(ValueError, match="no shard-input builder"):
+            build_inputs(job, StreamRegistry(0))
+
+
+class TestInputs:
+    def test_synthetic_inputs_are_deterministic(self):
+        job = synthetic_job(rows=50)
+        one = synthetic_shard_inputs(job, StreamRegistry(0))
+        two = synthetic_shard_inputs(job, StreamRegistry(0))
+        assert one.contexts == two.contexts
+        assert one.n == 50
+
+    def test_eligible_slice_per_row_vs_shared(self):
+        shared = HarvestInputs(
+            contexts=({"x": 1.0},) * 4,
+            reward_fn=lambda i, a: i,
+            eligible=(0, 1),
+        )
+        assert shared.eligible_slice(1, 3) == (0, 1)
+        per_row = HarvestInputs(
+            contexts=({"x": 1.0},) * 4,
+            reward_fn=lambda i, a: i,
+            eligible=((0,), (0, 1), (1,), (0, 1, 2)),
+        )
+        assert per_row.eligible_slice(1, 3) == ((0, 1), (1,))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_to_serial(self, workers):
+        job = synthetic_job()
+        reference_columns, reference_ledger = serial_reference(job)
+        result = HarvestCoordinator(job, workers=workers).run()
+        assert_matches_serial(result, reference_columns, reference_ledger)
+        assert result.retries == 0
+        assert len(result.plan) == 7  # 200 rows / 32
+
+    def test_single_shard_short_circuits_the_pool(self):
+        job = synthetic_job(rows=20, shard_size=64)
+        reference_columns, reference_ledger = serial_reference(job)
+        result = HarvestCoordinator(job, workers=4).run()
+        assert_matches_serial(result, reference_columns, reference_ledger)
+        assert len(result.plan) == 1
+
+    def test_derivations_cover_every_shard(self):
+        job = synthetic_job()
+        result = HarvestCoordinator(job, workers=2).run()
+        keys = sorted(d["key"] for d in result.registry.derivations())
+        assert keys == sorted(
+            f"synthetic/harvest/decisions#{s.start}" for s in result.plan
+        )
+
+    def test_empty_harvest(self):
+        job = synthetic_job(rows=0)
+        result = HarvestCoordinator(job, workers=1).run()
+        assert result.columns.n == 0
+        assert result.head == result.ledger.genesis
+
+
+class TestPayloadValidation:
+    def payload_for(self, job, spec_index=0):
+        coordinator = HarvestCoordinator(job, workers=1)
+        result = coordinator.run()
+        return coordinator, result
+
+    def test_corrupt_action_detected(self):
+        job = synthetic_job(rows=40, shard_size=40)
+        registry = StreamRegistry(job.master_seed)
+        inputs = build_inputs(job, registry)
+        from repro.core.coordinator import _harvest_shard_impl
+        from repro.audit.shards import ShardPlan
+
+        spec = ShardPlan(inputs.n, job.shard_size)[0]
+        payload = _harvest_shard_impl(job, inputs, registry, spec)
+        coordinator = HarvestCoordinator(job, workers=1)
+        coordinator._validate_payload(spec, payload)  # clean passes
+        tampered = dict(payload)
+        tampered["actions"] = np.array(payload["actions"], copy=True)
+        tampered["actions"][3] = (tampered["actions"][3] + 1) % 4
+        with pytest.raises(ShardPayloadError, match="integrity"):
+            coordinator._validate_payload(spec, tampered)
+
+    def test_wrong_coverage_detected(self):
+        job = synthetic_job(rows=40, shard_size=40)
+        registry = StreamRegistry(job.master_seed)
+        inputs = build_inputs(job, registry)
+        from repro.core.coordinator import _harvest_shard_impl
+        from repro.audit.shards import ShardPlan, ShardSpec
+
+        spec = ShardPlan(inputs.n, job.shard_size)[0]
+        payload = _harvest_shard_impl(job, inputs, registry, spec)
+        coordinator = HarvestCoordinator(job, workers=1)
+        other = ShardSpec(index=1, start=8, stop=48)
+        with pytest.raises(ShardPayloadError, match="covers rows"):
+            coordinator._validate_payload(other, payload)
+
+
+class CorruptingCoordinator(HarvestCoordinator):
+    """Corrupts the first delivery of one shard's payload."""
+
+    def __init__(self, *args, corrupt_index=1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.corrupt_index = corrupt_index
+        self.corrupted = 0
+
+    def _receive(self, spec, payload):
+        if spec.index == self.corrupt_index and self.corrupted == 0:
+            self.corrupted += 1
+            payload = dict(payload)
+            payload["actions"] = np.array(payload["actions"], copy=True)
+            payload["actions"][0] = (payload["actions"][0] + 1) % 4
+        return payload
+
+
+class TestRetries:
+    def test_corrupted_payload_is_rederived_shard_precisely(self):
+        job = synthetic_job()
+        reference_columns, reference_ledger = serial_reference(job)
+        coordinator = CorruptingCoordinator(job, workers=2, corrupt_index=1)
+        with pytest.warns(RuntimeWarning, match="re-deriving shard 1"):
+            result = coordinator.run()
+        assert coordinator.corrupted == 1
+        assert coordinator.attempts[1] == 1
+        assert all(
+            count == 0 for index, count in coordinator.attempts.items() if index != 1
+        )
+        assert result.retries == 1
+        assert_matches_serial(result, reference_columns, reference_ledger)
+        # The shard map records which shard needed the retry.
+        assert [m["retries"] for m in result.shard_map] == [0, 1, 0, 0, 0, 0, 0]
+
+    def test_persistent_corruption_falls_back_to_local_harvest(self):
+        job = synthetic_job(rows=96, shard_size=32)
+        reference_columns, reference_ledger = serial_reference(job)
+
+        class AlwaysCorrupt(CorruptingCoordinator):
+            def _receive(self, spec, payload):
+                if spec.index == self.corrupt_index:
+                    self.corrupted += 1
+                    payload = dict(payload)
+                    payload["actions"] = np.array(payload["actions"], copy=True)
+                    payload["actions"][0] = (payload["actions"][0] + 1) % 4
+                return payload
+
+        coordinator = AlwaysCorrupt(
+            job, workers=2, max_retries=1, corrupt_index=2
+        )
+        with pytest.warns(RuntimeWarning, match="re-deriving shard 2"):
+            result = coordinator.run()
+        # initial + one retry both corrupted, then the local fallback.
+        assert coordinator.attempts[2] == 2
+        assert_matches_serial(result, reference_columns, reference_ledger)
+
+
+class TestUnpicklableJob:
+    def test_falls_back_in_process(self):
+        class LocalPolicy(UniformRandomPolicy):
+            pass
+
+        policy = LocalPolicy()
+        policy.hostage = lambda: None  # lambdas don't pickle
+        job = synthetic_job(policy=policy)
+        reference_columns, reference_ledger = serial_reference(job)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            result = HarvestCoordinator(job, workers=2).run()
+        assert_matches_serial(result, reference_columns, reference_ledger)
+
+
+class TestManifestEntry:
+    def test_records_plan_and_shard_map(self):
+        job = synthetic_job()
+        result = HarvestCoordinator(job, workers=2).run()
+        entry = result.manifest_entry()
+        assert entry["head"] == result.head
+        assert entry["n"] == 200
+        assert entry["workers"] == 2
+        assert entry["plan"]["n_shards"] == 7
+        assert len(entry["shards"]) == 7
+        assert entry["shards"][0]["prev"] == result.ledger.genesis
+        assert entry["shards"][-1]["head"] == result.head
+
+    def test_ledger_delegation(self):
+        job = synthetic_job(rows=40, shard_size=40)
+        result = HarvestCoordinator(job).run()
+        assert result.stream == "synthetic/harvest/decisions"
+        assert len(result.entries()) == 40
+
+
+class TestCoordinatorValidation:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            HarvestCoordinator(synthetic_job(), workers=0)
+        with pytest.raises(ValueError):
+            HarvestCoordinator(synthetic_job(), max_retries=-1)
+
+    def test_prebuilt_inputs_are_used(self):
+        job = synthetic_job(rows=30, shard_size=8)
+        inputs = synthetic_shard_inputs(job, StreamRegistry(0))
+        reference_columns, reference_ledger = serial_reference(job)
+        result = HarvestCoordinator(job, workers=1, inputs=inputs).run()
+        assert_matches_serial(result, reference_columns, reference_ledger)

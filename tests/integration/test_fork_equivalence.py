@@ -188,6 +188,69 @@ class TestLoadBalanceForkEquivalence:
         assert_shard_matches(full, shard, S, 2 * S)
         assert_ledger_shard_matches(full_ledger, shard_ledger, S, 2 * S)
 
+    def test_middle_shard_with_latency_noise(self):
+        # The satellite claim of the sharded-harvest refactor: latency
+        # noise now rides a ShardedNormal stream addressed by global
+        # row, so the *rewards* of a middle shard — not just its
+        # ledgered decision fields — re-derive in isolation from
+        # (master seed, key, start ordinal).
+        from repro.loadbalance.harvest import latency_noise_stream
+
+        snapshots = synthetic_decision_snapshots(3 * S, n_servers=2, seed=3)
+        servers = fig5_servers()
+        policy = weighted_random_policy([0.7, 0.3])
+        stream, key = streams_for("loadbalance")
+        full_registry = StreamRegistry(MASTER_SEED)
+        full_ledger = DecisionLedger(key, shard_size=S)
+        full = batch_exploration_columns(
+            policy, snapshots, servers, stream,
+            batch_size=50,
+            noise=latency_noise_stream(full_registry, S, scale=0.01),
+            ledger=full_ledger,
+        )
+        shard_stream, _ = streams_for("loadbalance", start_ordinal=S)
+        shard_registry = StreamRegistry(MASTER_SEED)
+        shard_ledger = shard_ledger_from(full_ledger, key, S)
+        shard = batch_exploration_columns(
+            policy, self.slice_snapshots(snapshots, S, 2 * S), servers,
+            shard_stream,
+            batch_size=50,
+            noise=latency_noise_stream(shard_registry, S, scale=0.01),
+            noise_start=S,
+            ledger=shard_ledger,
+        )
+        assert_shard_matches(full, shard, S, 2 * S)
+        assert_ledger_shard_matches(full_ledger, shard_ledger, S, 2 * S)
+        # The isolated shard derived exactly its own noise shard.
+        noise_keys = [
+            d["key"] for d in shard_registry.derivations()
+            if "latency-noise" in d["key"]
+        ]
+        assert noise_keys == [f"loadbalance/harvest/latency-noise#{S}"]
+
+    def test_noise_scheme_batch_grid_independent(self):
+        # Same stream parameters, wildly different batch grids — the
+        # noise is addressed by row, never by draw order.
+        snapshots = synthetic_decision_snapshots(2 * S, n_servers=2, seed=3)
+        servers = fig5_servers()
+        from repro.loadbalance.harvest import latency_noise_stream
+
+        outputs = []
+        for batch_size in (7, 2 * S):
+            stream, _ = streams_for("loadbalance")
+            outputs.append(
+                batch_exploration_columns(
+                    weighted_random_policy([0.6, 0.4]),
+                    snapshots, servers, stream,
+                    batch_size=batch_size,
+                    noise=latency_noise_stream(
+                        StreamRegistry(MASTER_SEED), S, scale=0.01
+                    ),
+                )
+            )
+        assert (outputs[0].rewards == outputs[1].rewards).all()
+        assert (outputs[0].actions == outputs[1].actions).all()
+
 
 class TestCacheForkEquivalence:
     SHARD = 32  # eviction counts are workload-dependent; smaller shards

@@ -1,0 +1,123 @@
+"""Sharded harvest ≡ serial harvest, per scenario and worker count.
+
+The tentpole invariant of the distributed-harvest refactor: for every
+scenario and any number of workers, the coordinator's rows AND its
+spliced ledger head are bit-identical to a monolithic serial harvest
+of the same job — shard boundaries, process boundaries, and retries
+must all be invisible in the output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audit.ledger import DecisionLedger
+from repro.audit.streams import StreamRegistry, StreamRNG
+from repro.core import pool as worker_pool
+from repro.core.coordinator import HarvestCoordinator, HarvestJob, build_inputs
+from repro.core.harvest import harvest_columns
+from repro.core.policies import UniformRandomPolicy
+
+JOBS = {
+    "machinehealth": dict(
+        rows=300, shard_size=64, config={"seed": 3, "n_machines": 120}
+    ),
+    "loadbalance": dict(
+        rows=300, shard_size=64, config={"seed": 4, "latency_noise": 0.01}
+    ),
+    "cache": dict(rows=2500, shard_size=64, config={"seed": 5}),
+}
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_pool():
+    worker_pool.reset_pool()
+    yield
+    worker_pool.reset_pool()
+
+
+def job_for(scenario):
+    spec = JOBS[scenario]
+    return HarvestJob(
+        scenario=scenario,
+        rows=spec["rows"],
+        master_seed=2017,
+        policy=UniformRandomPolicy(),
+        shard_size=spec["shard_size"],
+        batch_size=50,
+        config=spec["config"],
+    )
+
+
+@pytest.fixture(scope="module", params=sorted(JOBS))
+def scenario_reference(request):
+    """(job, serial columns, serial ledger) — computed once per scenario."""
+    job = job_for(request.param)
+    registry = StreamRegistry(job.master_seed)
+    inputs = build_inputs(job, registry)
+    key = job.stream_key()
+    rng = StreamRNG(registry, key, shard_size=job.shard_size)
+    ledger = DecisionLedger(
+        key,
+        shard_size=job.shard_size,
+        master_fingerprint=registry.master_fingerprint,
+    )
+    columns = harvest_columns(
+        job.policy,
+        inputs.contexts,
+        inputs.reward_fn,
+        rng,
+        eligible=inputs.eligible,
+        action_space=inputs.action_space,
+        batch_size=job.batch_size,
+        reward_range=inputs.reward_range,
+        scenario=job.scenario,
+        timestamps=inputs.timestamps,
+        ledger=ledger,
+    )
+    return job, columns, ledger
+
+
+class TestShardedEqualsSerial:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_rows_and_head_bit_identical(self, scenario_reference, workers):
+        job, reference, reference_ledger = scenario_reference
+        result = HarvestCoordinator(job, workers=workers).run()
+        assert result.columns.n == reference.n
+        np.testing.assert_array_equal(result.columns.actions, reference.actions)
+        np.testing.assert_array_equal(result.columns.rewards, reference.rewards)
+        np.testing.assert_array_equal(
+            result.columns.propensities, reference.propensities
+        )
+        assert result.head == reference_ledger.head
+        assert result.ledger.entries() == reference_ledger.entries()
+        assert result.plan.shard_size == job.shard_size
+
+    def test_shard_map_matches_serial_boundary_hashes(self, scenario_reference):
+        job, _, reference_ledger = scenario_reference
+        result = HarvestCoordinator(job, workers=2).run()
+        entries = reference_ledger.entries()
+        for shard in result.shard_map:
+            start, n = shard["start"], shard["n"]
+            expected_prev = (
+                entries[start - 1].hash if start else reference_ledger.genesis
+            )
+            assert shard["prev"] == expected_prev
+            assert shard["head"] == entries[start + n - 1].hash
+
+    def test_dataset_round_trip_verifies(self, scenario_reference, tmp_path):
+        from repro.audit.shards import verify_sharded_jsonl
+
+        job, _, _ = scenario_reference
+        result = HarvestCoordinator(job, workers=2).run()
+        dataset = result.columns.to_dataset()
+        result.annotate(dataset)
+        path = tmp_path / "sharded.jsonl"
+        dataset.save_jsonl(str(path))
+        entry = result.manifest_entry()
+        verification = verify_sharded_jsonl(
+            str(path),
+            entry["shards"],
+            expected_head=entry["head"],
+            expected_n=entry["n"],
+        )
+        assert verification.ok

@@ -43,3 +43,16 @@ class TestVerifyLedgerExample:
         assert "rechained 299 survivors (quarantined 1): OK" in out
         assert "middle shard re-derived in isolation: bit-identical" in out
         assert out.rstrip().endswith("done.")
+
+
+class TestDistributedHarvestExample:
+    def test_runs_end_to_end(self):
+        result = run_example("distributed_harvest.py")
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        assert "harvested 600 rows in 5 shard(s) of 128" in out
+        assert "workers=1 vs workers=2: bit-identical" in out
+        assert "shard 0 rows [0, 128) prev 00000000" in out
+        assert "per-shard verification: OK — 5 shard(s)" in out
+        assert "shard 1 re-derived in isolation: bit-identical" in out
+        assert out.rstrip().endswith("done.")
