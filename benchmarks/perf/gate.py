@@ -14,15 +14,38 @@ Usage::
         --tolerance 0.30
 
 Exit status 0 when every metric is within tolerance, 1 otherwise.
-Pure stdlib so CI can call it without the benchmark plugins installed.
+Pure stdlib so CI can call it without the benchmark plugins installed
+(the cross-run history module it shares with the package is itself
+stdlib-only and loaded by file path, skipping the package import).
+
+Beyond the single-run tolerance check, every gated run is appended to
+``benchmarks/history/runs.jsonl`` (git SHA + timestamp + cpu_count)
+and the gate warns — without failing — when a gated metric has
+decreased strictly monotonically over the last three runs on the same
+``cpu_count``: a slow drift no one-shot tolerance can see.  Disable
+with ``--no-history``.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import os
 import sys
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def _load_history_module():
+    """Load ``repro.obs.history`` standalone (it is stdlib-only)."""
+    path = os.path.join(_REPO_ROOT, "src", "repro", "obs", "history.py")
+    spec = importlib.util.spec_from_file_location("_repro_obs_history", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 #: (human label, path into the artifact dict) for each gated ratio.
 GATED_METRICS = (
@@ -62,7 +85,26 @@ ABSOLUTE_FLOORS = (
         ("sharded", "relative_throughput"),
         0.9,
     ),
+    # The watchtower carries the same ≤10% budget: streaming health
+    # monitors fold every batch's propensities on the harvest hot
+    # path, and that fold may not cost more than 10% of the
+    # unmonitored loop.
+    (
+        "monitor overhead relative throughput",
+        ("obs", "monitor_overhead", "relative_throughput"),
+        0.9,
+    ),
 )
+
+#: Metrics watched by the cross-run trend check: the gated ratios plus
+#: the absolute-floor ratios, as dotted keys into the flattened
+#: history records (see ``repro.obs.history.bench_record``).
+TREND_METRICS = tuple(
+    ".".join(path) for _, path in GATED_METRICS
+) + tuple(".".join(path) for _, path, _ in ABSOLUTE_FLOORS)
+
+#: Consecutive strictly-decreasing runs that trigger a trend warning.
+TREND_RUNS = 3
 
 DEFAULT_BASELINE = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_ope.smoke_baseline.json"
@@ -115,6 +157,43 @@ def check_regressions(
     return failures
 
 
+def check_trends(current: dict, history_dir: str) -> list[dict]:
+    """Append this run to the history and warn on monotone drifts.
+
+    Trend warnings go to stderr but never fail the gate: three
+    strictly-decreasing runs of a gated ratio on the same ``cpu_count``
+    is a drift worth a human look, not (yet) a regression the
+    tolerance gate would catch.  History trouble (unwritable dir,
+    missing git) degrades to a note — the gate's pass/fail must not
+    depend on the history being available.
+    """
+    try:
+        history_module = _load_history_module()
+        history = history_module.RunHistory(history_dir)
+        record = history.append(
+            history_module.bench_record(current, cwd=_REPO_ROOT)
+        )
+        drifts = history_module.monotone_regressions(
+            history,
+            TREND_METRICS,
+            k=TREND_RUNS,
+            cpu_count=record.get("cpu_count"),
+        )
+    except Exception as error:  # noqa: BLE001 - advisory path only
+        print(f"history: skipped ({error})", file=sys.stderr)
+        return []
+    for drift in drifts:
+        values = " -> ".join(f"{v:.2f}" for v in drift["values"])
+        print(
+            f"TREND WARNING: {drift['metric']} has decreased over the "
+            f"last {TREND_RUNS} runs on cpu_count="
+            f"{drift['cpu_count']}: {values} "
+            f"({drift['drop']:.0%} total)",
+            file=sys.stderr,
+        )
+    return drifts
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate BENCH_ope.json speedups against a baseline."
@@ -131,6 +210,17 @@ def main(argv=None) -> int:
         default=0.30,
         help="allowed fractional drop below baseline (default 0.30)",
     )
+    parser.add_argument(
+        "--history-dir",
+        default=os.path.join(_REPO_ROOT, "benchmarks", "history"),
+        help="where the cross-run runs.jsonl accumulates "
+        "(default benchmarks/history/)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the history append and the cross-run trend check",
+    )
     args = parser.parse_args(argv)
 
     with open(args.artifact, "r", encoding="utf-8") as f:
@@ -139,6 +229,8 @@ def main(argv=None) -> int:
         baseline = json.load(f)
 
     failures = check_regressions(current, baseline, tolerance=args.tolerance)
+    if not args.no_history:
+        check_trends(current, args.history_dir)
     for label, path in GATED_METRICS:
         try:
             now = _lookup(current, path)

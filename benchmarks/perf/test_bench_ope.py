@@ -404,6 +404,70 @@ class TestInstrumentationOverhead:
             )
 
 
+class TestMonitorOverhead:
+    """Streaming health monitors on vs off over the batched harvest.
+
+    The watchtower promises ≤10% cost on the harvest hot path: with a
+    :class:`~repro.obs.monitors.MonitorSuite` installed, every batch's
+    propensities additionally feed the windowed-ESS / floor / tail
+    folds (vectorized, O(batch)).  Rounds are *interleaved* (plain,
+    monitored, plain, …) so thermal and cache drift hits both arms
+    equally, and min-of-rounds is compared.  Monitors read the stream
+    but never touch the RNG, so the sampled actions and propensities
+    are asserted bit-identical with the suite on or off.
+    """
+
+    def test_bench_monitor_overhead(self):
+        from repro.machinehealth.dataset import (
+            build_full_feedback_dataset,
+            simulate_exploration_columns,
+        )
+        from repro.obs.monitors import MonitorSuite, use_monitors
+
+        full = build_full_feedback_dataset(n_events=N_HARVEST, seed=33)
+
+        def plain():
+            return simulate_exploration_columns(
+                full.full, np.random.default_rng(0)
+            )
+
+        def monitored():
+            with use_metrics(), use_monitors(MonitorSuite()):
+                return simulate_exploration_columns(
+                    full.full, np.random.default_rng(0)
+                )
+
+        # Warmup both arms; monitors must not perturb the stream.
+        base, watched = plain(), monitored()
+        np.testing.assert_array_equal(base.actions, watched.actions)
+        np.testing.assert_array_equal(
+            base.propensities, watched.propensities
+        )
+        plain_durations: list[float] = []
+        monitored_durations: list[float] = []
+        for _ in range(max(ROUNDS, 2)):
+            start = time.perf_counter()
+            plain()
+            plain_durations.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            monitored()
+            monitored_durations.append(time.perf_counter() - start)
+        plain_seconds = min(plain_durations)
+        monitored_seconds = min(monitored_durations)
+        relative = plain_seconds / monitored_seconds
+        RESULTS["obs_monitor"] = {
+            "n": N_HARVEST,
+            "plain_seconds": plain_seconds,
+            "monitored_seconds": monitored_seconds,
+            "relative_throughput": relative,
+        }
+        if not SMOKE:
+            assert relative >= 0.9, (
+                f"monitor overhead {(1 - relative):.1%} exceeds the 10% "
+                "acceptance bound"
+            )
+
+
 class TestHarvestThroughput:
     """Batched ``act_batch`` harvesting vs per-row, per scenario.
 
@@ -774,6 +838,7 @@ class TestThroughputArtifact:
             "single_shared",
             "bootstrap",
             "instrumentation",
+            "obs_monitor",
             "harvest_machinehealth",
             "harvest_loadbalance",
             "harvest_cache",
@@ -826,6 +891,7 @@ class TestThroughputArtifact:
             },
             "bootstrap": RESULTS["bootstrap"],
             "instrumentation": RESULTS["instrumentation"],
+            "obs": {"monitor_overhead": RESULTS["obs_monitor"]},
             "harvest": {
                 "machinehealth": RESULTS["harvest_machinehealth"],
                 "loadbalance": RESULTS["harvest_loadbalance"],
@@ -890,6 +956,12 @@ class TestThroughputArtifact:
                     f"{RESULTS['instrumentation']['plain_seconds']:.3f}s",
                     f"{RESULTS['instrumentation']['instrumented_seconds']:.3f}s",
                     f"{RESULTS['instrumentation']['relative_throughput']:.2f}x",
+                ],
+                [
+                    "monitored harvest (vs plain)",
+                    f"{RESULTS['obs_monitor']['plain_seconds']:.3f}s",
+                    f"{RESULTS['obs_monitor']['monitored_seconds']:.3f}s",
+                    f"{RESULTS['obs_monitor']['relative_throughput']:.2f}x",
                 ],
             ]
             + [

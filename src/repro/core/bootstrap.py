@@ -43,6 +43,7 @@ from repro.core.policies import Policy
 from repro.core.pool import BrokenProcessPool
 from repro.core.types import Dataset
 from repro.obs.metrics import get_metrics
+from repro.obs.profiler import get_profiler
 from repro.obs.tracing import get_tracer
 
 #: Replicates per shard.  Small enough that n_boot=1000 splits across a
@@ -75,28 +76,44 @@ def _ratio_shard(payload) -> np.ndarray:
 
 
 def _traced_shard(item):
-    """Run one shard in a worker, timing it (and tracing when asked).
+    """Run one shard in a worker, timing it (and tracing/profiling when asked).
 
     The payload's last three entries are always ``(count, seed,
     shard)``, so the span can be labeled without knowing which shard
-    function is running.  Returns ``(replicates, seconds, span_dict)``.
+    function is running.  Returns ``(replicates, seconds, span_dict,
+    profile_dict)`` — the latter two ``None`` unless tracing/profiling
+    was requested (profiles graft home like span trees do).
     """
-    shard_fn, payload, traced = item
-    start = time.perf_counter()
-    if traced:
-        from repro.obs.tracing import Tracer
+    shard_fn, payload, traced, profiled = item
+    profiler = None
+    if profiled:
+        from repro.obs.profiler import SpanProfiler
 
-        tracer = Tracer()
-        with tracer.span(
-            "bootstrap.shard",
-            shard=payload[-1],
-            replicates=payload[-3],
-            worker=True,
-        ):
+        profiler = SpanProfiler()
+        profiler.start()
+    start = time.perf_counter()
+    try:
+        if traced:
+            from repro.obs.tracing import Tracer, use_tracer
+
+            tracer = Tracer()
+            with use_tracer(tracer):
+                with tracer.span(
+                    "bootstrap.shard",
+                    shard=payload[-1],
+                    replicates=payload[-3],
+                    worker=True,
+                ):
+                    replicates = shard_fn(payload)
+            span_dict = tracer.span_tree()[0]
+        else:
             replicates = shard_fn(payload)
-        return replicates, time.perf_counter() - start, tracer.span_tree()[0]
-    replicates = shard_fn(payload)
-    return replicates, time.perf_counter() - start, None
+            span_dict = None
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    profile_dict = profiler.to_dict() if profiler is not None else None
+    return replicates, time.perf_counter() - start, span_dict, profile_dict
 
 
 #: Array names per shard kind; order matches the shard function's
@@ -111,22 +128,25 @@ def _shm_shard_worker(payload):
     """Run one shard against shared term vectors (worker process).
 
     The payload carries only ``(job_key, blob, count, seed, shard,
-    traced)`` — the term vectors live in one shared segment described
-    by the job blob, attached once per worker and reused by every
-    shard of every bootstrap call that shares the block.  Delegates to
-    :func:`_traced_shard` so timing and spans match the legacy path.
+    traced, profiled)`` — the term vectors live in one shared segment
+    described by the job blob, attached once per worker and reused by
+    every shard of every bootstrap call that shares the block.
+    Delegates to :func:`_traced_shard` so timing, spans, and profiles
+    match the legacy path.
     """
-    job_key, blob, count, seed, shard, traced = payload
+    job_key, blob, count, seed, shard, traced, profiled = payload
     from repro.core import shm
 
     kind, descriptor = worker_pool.job_payload(job_key, blob)
     views = shm.attach_arrays(descriptor)
     shard_fn = _mean_shard if kind == ("terms",) else _ratio_shard
     args = tuple(views[name] for name in kind) + (count, seed, shard)
-    return _traced_shard((shard_fn, args, traced))
+    return _traced_shard((shard_fn, args, traced, profiled))
 
 
-def _parallel_shard_outcomes(shard_fn, static_args, payloads, workers, traced):
+def _parallel_shard_outcomes(
+    shard_fn, static_args, payloads, workers, traced, profiled
+):
     """Fan the shards across the persistent pool; ``None`` on failure.
 
     Shares the static term vectors through one shared-memory segment
@@ -148,7 +168,10 @@ def _parallel_shard_outcomes(shard_fn, static_args, payloads, workers, traced):
             )
             job_key, blob = worker_pool.new_job((kind, block.descriptor))
             items = [
-                (_shm_shard_worker, (job_key, blob) + tail + (traced,))
+                (
+                    _shm_shard_worker,
+                    (job_key, blob) + tail + (traced, profiled),
+                )
                 for tail in payloads
             ]
         except Exception:
@@ -158,7 +181,7 @@ def _parallel_shard_outcomes(shard_fn, static_args, payloads, workers, traced):
             items = None
     if items is None:
         items = [
-            (_traced_shard, (shard_fn, static_args + tail, traced))
+            (_traced_shard, (shard_fn, static_args + tail, traced, profiled))
             for tail in payloads
         ]
     try:
@@ -210,7 +233,12 @@ def _sharded_replicates(
         outcomes = None
         if workers > 1 and len(payloads) > 1:
             outcomes = _parallel_shard_outcomes(
-                shard_fn, static_args, payloads, workers, tracer.enabled
+                shard_fn,
+                static_args,
+                payloads,
+                workers,
+                tracer.enabled,
+                get_profiler().enabled,
             )
         if outcomes is None:
             outcomes = []
@@ -220,16 +248,21 @@ def _sharded_replicates(
                 with tracer.span(
                     "bootstrap.shard", shard=shard, replicates=count
                 ):
+                    # The ambient profiler (if any) samples this path
+                    # directly; only pool shards ship profiles home.
                     replicates = shard_fn(static_args + tail)
                 outcomes.append(
-                    (replicates, time.perf_counter() - start, None)
+                    (replicates, time.perf_counter() - start, None, None)
                 )
+        profiler = get_profiler()
         shards = []
-        for replicates, seconds, span_dict in outcomes:
+        for replicates, seconds, span_dict, profile_dict in outcomes:
             shard_seconds.observe(seconds)
             shard_count.inc()
             if span_dict is not None:
                 tracer.attach(span_dict)
+            if profile_dict is not None:
+                profiler.absorb(profile_dict)
             shards.append(replicates)
     metrics.counter("bootstrap.replicates").inc(n_boot)
     return np.concatenate(shards)

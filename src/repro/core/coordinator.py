@@ -63,6 +63,8 @@ from repro.core.harvest import DEFAULT_BATCH_SIZE, RewardFn, harvest_columns
 from repro.core.pool import BrokenProcessPool
 from repro.core.types import ActionSpace, RewardRange
 from repro.obs.metrics import get_metrics
+from repro.obs.monitors import MonitorSuite, get_monitors, use_monitors
+from repro.obs.profiler import SpanProfiler, get_profiler
 from repro.obs.tracing import Tracer, get_tracer, use_tracer
 
 __all__ = [
@@ -313,28 +315,51 @@ def _shard_worker(payload: tuple) -> dict:
     job_payload`) and the scenario inputs are rebuilt once per worker
     (:func:`_worker_inputs`); each subsequent shard of the same job
     pays only the harvest itself.  Traced tasks open a fresh
-    :class:`~repro.obs.tracing.Tracer` and ship the span dict home —
-    nothing accumulates in worker globals between tasks.
+    :class:`~repro.obs.tracing.Tracer` and ship the span dict home;
+    monitored tasks likewise run under a fresh
+    :class:`~repro.obs.monitors.MonitorSuite` (states shipped home for
+    the coordinator to merge), and profiled tasks under a fresh
+    :class:`~repro.obs.profiler.SpanProfiler` (flame tables shipped
+    home) — nothing accumulates in worker globals between tasks.
     """
-    job_key, blob, index, start, stop, traced = payload
+    job_key, blob, index, start, stop, traced, monitored, profiled = payload
     job: HarvestJob = worker_pool.job_payload(job_key, blob)
     inputs, registry = _worker_inputs(job_key, job)
     spec = ShardSpec(index=index, start=start, stop=stop)
+    suite = MonitorSuite() if monitored else None
+    profiler = SpanProfiler() if profiled else None
     clock = time.perf_counter()
-    if traced:
-        tracer = Tracer()
-        with use_tracer(tracer):
-            with tracer.span(
-                "harvest.shard",
-                index=index,
-                start=start,
-                rows=stop - start,
-                worker=True,
-            ):
-                result = _harvest_shard_impl(job, inputs, registry, spec)
-        result["span"] = tracer.span_tree()[0]
-    else:
-        result = _harvest_shard_impl(job, inputs, registry, spec)
+
+    def harvest() -> dict:
+        if suite is not None:
+            with use_monitors(suite):
+                return _harvest_shard_impl(job, inputs, registry, spec)
+        return _harvest_shard_impl(job, inputs, registry, spec)
+
+    if profiler is not None:
+        profiler.start()
+    try:
+        if traced:
+            tracer = Tracer()
+            with use_tracer(tracer):
+                with tracer.span(
+                    "harvest.shard",
+                    index=index,
+                    start=start,
+                    rows=stop - start,
+                    worker=True,
+                ):
+                    result = harvest()
+            result["span"] = tracer.span_tree()[0]
+        else:
+            result = harvest()
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    if suite is not None:
+        result["monitor_states"] = suite.states()
+    if profiler is not None:
+        result["profile"] = profiler.to_dict()
     result["seconds"] = time.perf_counter() - clock
     # Sealed entries never leave the worker: the coordinator must
     # re-chain remote payloads from the shipped digests anyway (the
@@ -484,6 +509,7 @@ class HarvestCoordinator:
         """Bookkeeping for an accepted shard payload."""
         if payload.get("span") is not None:
             tracer.attach(payload["span"])
+        monitors = get_monitors()
         if remote:
             # Pool-path rows are generated in workers whose metrics are
             # no-ops; count them here so serial and sharded runs report
@@ -491,6 +517,11 @@ class HarvestCoordinator:
             metrics.counter(
                 "harvest.rows_generated", scenario=self.job.scenario
             ).inc(int(payload["n"]))
+            # Worker-side monitor states and flame tables merge here,
+            # exactly like the span dict above.
+            monitors.absorb(payload.get("monitor_states"))
+            get_profiler().absorb(payload.get("profile"))
+        monitors.observe_shards(completed=1)
         metrics.counter(
             "harvest.shards_completed", scenario=self.job.scenario
         ).inc()
@@ -573,6 +604,8 @@ class HarvestCoordinator:
                             spec.start,
                             spec.stop,
                             tracer.enabled,
+                            get_monitors().enabled,
+                            get_profiler().enabled,
                         ),
                     ),
                 )
@@ -618,12 +651,15 @@ class HarvestCoordinator:
                     stacklevel=3,
                 )
             pending = []
+            monitors = get_monitors()
             for spec in failed:
                 self.attempts[spec.index] += 1
                 metrics.counter(
                     "harvest.shards_retried", scenario=job.scenario
                 ).inc()
+                monitors.observe_shards(retried=1)
                 if self.attempts[spec.index] > self.max_retries:
+                    monitors.observe_shards(fallback=1)
                     payload = self._harvest_local(spec, inputs, registry, tracer)
                     payloads[spec.index] = self._accept(
                         spec, payload, tracer, metrics

@@ -40,6 +40,7 @@ from typing import Optional
 import numpy as np
 
 from repro.obs.metrics import get_metrics
+from repro.obs.monitors import get_monitors
 
 VERDICT_OK = "OK"
 VERDICT_WARN = "WARN"
@@ -354,10 +355,17 @@ def diagnose_from_stats(
     else:
         verdict = VERDICT_OK
     # Every verdict — scalar, vectorized, or chunked — passes through
-    # here, so this one counter is the authoritative per-run tally.
+    # here, so this one counter is the authoritative per-run tally,
+    # and the same sufficient statistics feed the streaming monitors
+    # (ESS window + weight tail fire on the evaluation side too).
     get_metrics().counter(
         "estimator.verdicts", verdict=verdict, profile=profile
     ).inc()
+    monitors = get_monitors()
+    if monitors.enabled and weights is not None and n:
+        monitors.observe_weight_stats(
+            n, weights.total, weights.total_sq, weights.maximum
+        )
     return ReliabilityDiagnostics(
         n=n,
         effective_sample_size=ess,

@@ -57,6 +57,7 @@ import numpy as np
 from repro.core import pool as worker_pool
 from repro.core.pool import BrokenProcessPool
 from repro.obs.metrics import get_metrics
+from repro.obs.monitors import get_monitors
 from repro.obs.tracing import get_tracer
 
 #: The recognized backend names.
@@ -775,6 +776,21 @@ def _evaluate_jsonl_chunked(
                 states[index], chunk_states[index]
             )
 
+    monitors = get_monitors()
+
+    def _observe_chunk(chunk) -> None:
+        # One monitor feed per *chunk*, not per reduction — the fold
+        # below runs every (policy x estimator) reduction over the same
+        # rows, and double-feeding would inflate the ESS windows.
+        if monitors.enabled and chunk:
+            monitors.observe_propensities(
+                np.fromiter(
+                    (interaction.propensity for interaction in chunk),
+                    dtype=np.float64,
+                    count=len(chunk),
+                )
+            )
+
     def _fold_pass(parallel: bool):
         states = [reduction.init_state() for reduction in reductions]
         n_chunks = 0
@@ -793,6 +809,10 @@ def _evaluate_jsonl_chunked(
                             chunk, action_space=space,
                             reward_range=reward_range,
                         ).columns()
+                        if monitors.enabled:
+                            monitors.observe_propensities(
+                                columns.propensities
+                            )
                         for index, reduction in enumerate(reductions):
                             states[index] = reduction.fold(
                                 states[index], columns
@@ -824,6 +844,7 @@ def _evaluate_jsonl_chunked(
 
             try:
                 for chunk in chunks:
+                    _observe_chunk(chunk)
                     block = None
                     if use_shm:
                         try:

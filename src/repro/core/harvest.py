@@ -49,6 +49,7 @@ from repro.core.validation import (
     check_values,
 )
 from repro.obs.metrics import get_metrics
+from repro.obs.monitors import get_monitors
 from repro.obs.tracing import get_tracer
 
 #: Default number of decisions sampled per ``act_batch`` call.
@@ -153,7 +154,11 @@ def harvest_columns(
     Instrumented with a ``harvest.batched`` span (per-batch
     ``harvest.batch`` children), the ``harvest.rows_generated`` counter
     (labelled by ``scenario``), and a ``harvest.batch_seconds`` latency
-    histogram.
+    histogram.  When a monitor suite is installed
+    (:func:`repro.obs.monitors.use_monitors`) each batch's
+    propensities also feed the streaming health monitors — windowed
+    ESS, propensity floor, and weight tails fire mid-harvest instead
+    of in the post-hoc report.
     """
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -167,6 +172,7 @@ def harvest_columns(
     rewards = np.empty(n, dtype=np.float64)
     tracer = get_tracer()
     metrics = get_metrics()
+    monitors = get_monitors()
     latency = metrics.histogram("harvest.batch_seconds", scenario=scenario)
     with tracer.span(
         "harvest.batched", scenario=scenario, batch_size=batch_size
@@ -196,6 +202,8 @@ def harvest_columns(
                         actions[start:stop],
                         propensities[start:stop],
                     )
+            if monitors.enabled:
+                monitors.observe_propensities(propensities[start:stop])
             latency.observe(time.perf_counter() - began)
             n_batches += 1
         span.set(rows=n, batches=n_batches)

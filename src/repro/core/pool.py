@@ -22,7 +22,15 @@ lazily created executor for the whole process:
 Per-task observability survives pool reuse because workers open a
 *fresh* :class:`~repro.obs.tracing.Tracer` per traced task and ship
 the span dict home with the result — nothing accumulates in worker
-globals between tasks.
+globals between tasks.  The watchtower layer rides the same contract:
+monitored tasks run under a fresh
+:class:`~repro.obs.monitors.MonitorSuite` and ship their mergeable
+states home, profiled tasks under a fresh
+:class:`~repro.obs.profiler.SpanProfiler` and ship their flame
+tables; the parent absorbs both exactly where it grafts spans.  Pool
+churn is itself telemetry: ``pool.created`` / ``pool.resets``
+counters feed the dashboard, and coordinator-level retries feed the
+``retry_storm`` monitor.
 """
 
 from __future__ import annotations

@@ -44,6 +44,7 @@ from repro.core.types import (
     RewardRange,
 )
 from repro.obs.metrics import get_metrics
+from repro.obs.monitors import NULL_MONITORS, get_monitors
 
 #: Rejection reason codes, used as quarantine bucket keys.
 UNPARSEABLE = "unparseable"
@@ -96,10 +97,13 @@ class Quarantine:
 
     Every rejection and repair is also mirrored to the active metrics
     registry (:mod:`repro.obs.metrics`) as ``validation.rejected`` /
-    ``validation.repaired`` counters labeled by reason — a no-op until
-    a run installs a registry.  ``record_metrics=False`` opts a
-    quarantine out of the mirror; the chunked engine uses it for its
-    discovery pass so a two-pass run does not double-count.
+    ``validation.repaired`` counters labeled by reason, and every
+    rejection to the active monitor suite
+    (:mod:`repro.obs.monitors` — the quarantine-rate and
+    ledger-break-rate monitors) — both no-ops until a run installs
+    them.  ``record_metrics=False`` opts a quarantine out of the
+    mirrors; the chunked engine uses it for its discovery pass so a
+    two-pass run does not double-count.
     """
 
     def __init__(self, max_kept: int = 1000, record_metrics: bool = True) -> None:
@@ -118,6 +122,7 @@ class Quarantine:
         self.counts[reason] += 1
         if self.record_metrics:
             get_metrics().counter("validation.rejected", reason=reason).inc()
+            get_monitors().observe_rejected(reason)
         if len(self.rejected) < self.max_kept:
             self.rejected.append(
                 RejectedRecord(line_number, reason, detail, raw[:200])
@@ -455,6 +460,8 @@ def validated_interactions(
     validator = validator or RecordValidator()
     validator.reset()
     quarantine = quarantine if quarantine is not None else Quarantine()
+    monitors = get_monitors() if quarantine.record_metrics else NULL_MONITORS
+    accepted = 0
     for line_number, item in enumerate(source, start=1):
         raw = ""
         if isinstance(item, str):
@@ -518,4 +525,13 @@ def validated_interactions(
             quarantine.add(line_number, SCHEMA, str(error), raw)
             continue
         validator.observe(record)  # type: ignore[arg-type]
+        if monitors.enabled:
+            # Batched so quarantine-rate denominators cost one fold per
+            # 1024 accepted rows, not one per row.
+            accepted += 1
+            if accepted >= 1024:
+                monitors.observe_rows(accepted)
+                accepted = 0
         yield interaction
+    if accepted:
+        monitors.observe_rows(accepted)

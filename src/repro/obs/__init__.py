@@ -7,18 +7,43 @@ validation → estimator folds → bootstrap → reporting:
   merge (``with get_tracer().span("evaluate.chunk", rows=n): ...``);
 - :mod:`repro.obs.metrics` — counters/gauges/histograms with
   Prometheus-text and JSON exporters;
+- :mod:`repro.obs.monitors` — streaming health monitors (windowed
+  ESS, propensity floor, weight tails, quarantine/ledger-break rates,
+  shard retry storms) emitting OK/WARN/CRITICAL
+  :class:`~repro.obs.monitors.HealthEvent` records while the run is
+  in flight;
+- :mod:`repro.obs.profiler` — a stdlib signal-sampling profiler that
+  attributes self-time to the active span, merged across the worker
+  pool like span trees;
 - :mod:`repro.obs.manifest` — provenance manifests
   (``run_manifest.json``) binding input digest, config, metrics,
-  span tree, and results into one reproducible record;
+  span tree, health verdicts, and results into one reproducible
+  record;
+- :mod:`repro.obs.history` — append-only cross-run ``runs.jsonl``
+  store keyed by git SHA + ``cpu_count``, with the monotone-trend
+  check the perf gate runs;
+- :mod:`repro.obs.dashboard` — a self-contained static HTML dashboard
+  rendered from any manifest + history pair (the ``python -m repro
+  dashboard`` subcommand);
 - :mod:`repro.obs.report` — render a saved manifest back into tables
   (the ``python -m repro report`` subcommand).
 
-Both the tracer and the registry default to shared no-op
-implementations, so the instrumented hot paths cost nothing until a
-run opts in (:func:`use_tracer` / :func:`use_metrics`, or the CLI's
-``--trace`` / ``--metrics-out`` / ``--manifest`` flags).
+The tracer, registry, monitor suite, and profiler all default to
+shared no-op implementations, so the instrumented hot paths cost
+nothing until a run opts in (:func:`use_tracer` / :func:`use_metrics`
+/ :func:`use_monitors` / :func:`use_profiler`, or the CLI's
+``--trace`` / ``--metrics-out`` / ``--manifest`` / ``--monitors`` /
+``--profile`` flags).
 """
 
+from repro.obs.dashboard import render_dashboard
+from repro.obs.history import (
+    RunHistory,
+    bench_record,
+    git_sha,
+    manifest_record,
+    monotone_regressions,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
@@ -35,6 +60,28 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
     use_metrics,
+)
+from repro.obs.monitors import (
+    LEVEL_CRITICAL,
+    LEVEL_OK,
+    LEVEL_WARN,
+    NULL_MONITORS,
+    HealthEvent,
+    HealthMonitor,
+    MonitorSuite,
+    NullMonitors,
+    default_monitors,
+    get_monitors,
+    set_monitors,
+    use_monitors,
+)
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    SpanProfiler,
+    get_profiler,
+    set_profiler,
+    use_profiler,
 )
 from repro.obs.report import (
     aggregate_spans,
@@ -72,11 +119,39 @@ __all__ = [
     "get_metrics",
     "set_metrics",
     "use_metrics",
+    # monitors
+    "LEVEL_OK",
+    "LEVEL_WARN",
+    "LEVEL_CRITICAL",
+    "HealthEvent",
+    "HealthMonitor",
+    "MonitorSuite",
+    "NullMonitors",
+    "NULL_MONITORS",
+    "default_monitors",
+    "get_monitors",
+    "set_monitors",
+    "use_monitors",
+    # profiler
+    "SpanProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "get_profiler",
+    "set_profiler",
+    "use_profiler",
     # manifest
     "MANIFEST_SCHEMA_VERSION",
     "RunManifest",
     "file_digest",
     "result_entry",
+    # history
+    "RunHistory",
+    "git_sha",
+    "bench_record",
+    "manifest_record",
+    "monotone_regressions",
+    # dashboard
+    "render_dashboard",
     # report
     "flatten_spans",
     "aggregate_spans",

@@ -105,6 +105,8 @@ class RunManifest:
         quarantine=None,
         ledger=None,
         streams=None,
+        monitors=None,
+        profiler=None,
         extra: Optional[Mapping] = None,
     ) -> "RunManifest":
         """Assemble a manifest from a finished run's artifacts.
@@ -119,7 +121,11 @@ class RunManifest:
         :class:`~repro.audit.streams.StreamRegistry`) embeds the
         derivation log (master-seed fingerprint plus every stream key
         consumed), proving which randomness the run drew without
-        revealing the seed itself.  All are optional — an
+        revealing the seed itself.  ``monitors`` (a
+        :class:`~repro.obs.monitors.MonitorSuite`) embeds the streaming
+        health verdicts as the ``health`` section; ``profiler`` (a
+        :class:`~repro.obs.profiler.SpanProfiler`) embeds the per-span
+        flame tables as ``profile``.  All are optional — an
         un-instrumented run still gets input digest, config,
         environment, and results.
         """
@@ -158,6 +164,14 @@ class RunManifest:
             data["metrics"] = metrics.snapshot()
         if tracer is not None:
             data["spans"] = tracer.span_tree()
+        if monitors is not None:
+            health = monitors.snapshot()
+            if health:
+                data["health"] = health
+        if profiler is not None:
+            profile = profiler.to_dict()
+            if profile:
+                data["profile"] = profile
         if extra:
             data.update(dict(extra))
         return cls(data)

@@ -19,11 +19,19 @@ instrument — no dict lookups, no accumulation.  Install a real
 registry per run with :func:`use_metrics` (the CLI's
 ``--metrics-out`` / ``--manifest`` flags do) and counts become
 per-run, not per-process.
+
+**Thread-safe when on.**  Get-or-create races in the registry and
+read-modify-write races in the instruments both lose updates under
+free threading (and even under the GIL, ``+=`` is three bytecodes),
+so the registry guards series creation and every instrument guards
+its mutators with a lock.  Exports take the registry lock too, so a
+snapshot taken mid-run is internally consistent.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence, Union
 
@@ -48,17 +56,19 @@ DEFAULT_BUCKETS = (
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "counter"
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> float:
         """The current count."""
@@ -68,23 +78,27 @@ class Counter:
 class Gauge:
     """A value that goes up and down (last write wins)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "gauge"
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Overwrite the gauge with ``value``."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Raise the gauge by ``amount``."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         """Lower the gauge by ``amount``."""
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def snapshot(self) -> float:
         """The current value."""
@@ -99,7 +113,9 @@ class Histogram:
     ride along so averages are recoverable.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "bounds", "bucket_counts", "count", "total", "min", "max", "_lock",
+    )
     kind = "histogram"
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
@@ -114,18 +130,20 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                break
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    break
 
     def cumulative_counts(self) -> list[int]:
         """Per-bound cumulative counts (the Prometheus ``le`` series)."""
@@ -164,10 +182,26 @@ def prometheus_name(name: str) -> str:
     return f"repro_{sanitized}"
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash first (so the other escapes aren't double-escaped), then
+    double quote and line feed — the three characters the format
+    reserves inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _format_labels(label_key: tuple) -> str:
     if not label_key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in label_key)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in label_key
+    )
     return "{" + inner + "}"
 
 
@@ -184,6 +218,10 @@ class MetricsRegistry:
     def __init__(self) -> None:
         #: name -> (kind, {label_key -> instrument})
         self._metrics: dict[str, tuple[str, dict[tuple, Instrument]]] = {}
+        #: Guards get-or-create and exports; instruments carry their
+        #: own locks for mutation, so the hot inc/observe path only
+        #: touches this lock on first sight of a series.
+        self._lock = threading.Lock()
 
     # -- instrument accessors ------------------------------------------------
 
@@ -210,20 +248,21 @@ class MetricsRegistry:
 
     def _get(self, name: str, factory, labels: dict, **kwargs) -> Instrument:
         kind = factory.kind
-        entry = self._metrics.get(name)
-        if entry is None:
-            entry = (kind, {})
-            self._metrics[name] = entry
-        elif entry[0] != kind:
-            raise ValueError(
-                f"metric {name!r} is a {entry[0]}, not a {kind}"
-            )
-        key = _label_key(labels)
-        instrument = entry[1].get(key)
-        if instrument is None:
-            instrument = factory(**kwargs)
-            entry[1][key] = instrument
-        return instrument
+        with self._lock:
+            entry = self._metrics.get(name)
+            if entry is None:
+                entry = (kind, {})
+                self._metrics[name] = entry
+            elif entry[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {entry[0]}, not a {kind}"
+                )
+            key = _label_key(labels)
+            instrument = entry[1].get(key)
+            if instrument is None:
+                instrument = factory(**kwargs)
+                entry[1][key] = instrument
+            return instrument
 
     # -- export --------------------------------------------------------------
 
@@ -235,19 +274,20 @@ class MetricsRegistry:
         manifests.
         """
         out: dict = {}
-        for name in sorted(self._metrics):
-            kind, series = self._metrics[name]
-            out[name] = {
-                "kind": kind,
-                "series": [
-                    {
-                        "labels": dict(key),
-                        ("histogram" if kind == "histogram" else "value"):
-                            instrument.snapshot(),
-                    }
-                    for key, instrument in sorted(series.items())
-                ],
-            }
+        with self._lock:
+            for name in sorted(self._metrics):
+                kind, series = self._metrics[name]
+                out[name] = {
+                    "kind": kind,
+                    "series": [
+                        {
+                            "labels": dict(key),
+                            ("histogram" if kind == "histogram"
+                             else "value"): instrument.snapshot(),
+                        }
+                        for key, instrument in sorted(series.items())
+                    ],
+                }
         return out
 
     def to_json(self, indent: int = 2) -> str:
@@ -257,8 +297,13 @@ class MetricsRegistry:
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
         lines: list[str] = []
-        for name in sorted(self._metrics):
-            kind, series = self._metrics[name]
+        with self._lock:
+            snapshot = {
+                name: (kind, dict(series))
+                for name, (kind, series) in self._metrics.items()
+            }
+        for name in sorted(snapshot):
+            kind, series = snapshot[name]
             metric = prometheus_name(name)
             if kind == "counter":
                 metric += "_total"
@@ -286,23 +331,25 @@ class MetricsRegistry:
 
     def value(self, name: str, **labels) -> Optional[float]:
         """Current value of a counter/gauge series, or ``None``."""
-        entry = self._metrics.get(name)
-        if entry is None:
-            return None
-        instrument = entry[1].get(_label_key(labels))
+        with self._lock:
+            entry = self._metrics.get(name)
+            if entry is None:
+                return None
+            instrument = entry[1].get(_label_key(labels))
         if instrument is None or isinstance(instrument, Histogram):
             return None
         return instrument.snapshot()
 
     def total(self, name: str) -> float:
         """Sum of a counter's value across every label combination."""
-        entry = self._metrics.get(name)
-        if entry is None:
-            return 0.0
-        kind, series = entry
+        with self._lock:
+            entry = self._metrics.get(name)
+            if entry is None:
+                return 0.0
+            kind, series = entry[0], list(entry[1].values())
         if kind == "histogram":
-            return float(sum(i.count for i in series.values()))
-        return float(sum(i.snapshot() for i in series.values()))
+            return float(sum(i.count for i in series))
+        return float(sum(i.snapshot() for i in series))
 
     def __repr__(self) -> str:
         return f"MetricsRegistry(metrics={len(self._metrics)})"

@@ -167,6 +167,15 @@ class Tracer:
         """Every finished root span as a JSON-serializable tree."""
         return [span.to_dict() for span in self.roots]
 
+    def active_span_name(self) -> Optional[str]:
+        """Name of the innermost open span, or ``None`` outside any.
+
+        Safe to call from a signal handler: it is a single list read,
+        and the sampling profiler uses it to attribute self-time.
+        """
+        stack = self._stack
+        return stack[-1].name if stack else None
+
     # -- stack bookkeeping (driven by Span.__enter__/__exit__) ---------------
 
     def _push(self, span: Span) -> None:
@@ -221,6 +230,10 @@ class NullTracer:
     def span_tree(self) -> list[dict]:
         """Always empty — nothing was recorded."""
         return []
+
+    def active_span_name(self) -> Optional[str]:
+        """Always ``None`` — no spans are tracked."""
+        return None
 
     def __repr__(self) -> str:
         return "NullTracer()"

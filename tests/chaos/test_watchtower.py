@@ -1,0 +1,212 @@
+"""Watchtower chaos: monitors and profiler under worker death and
+corrupted logs.
+
+Two resilience contracts ride on top of the sharded-harvest chaos
+suite: (1) a SIGKILLed worker must not cost any telemetry — the
+surviving shards' monitor states and flame tables still merge home,
+the retry registers in the retry-storm monitor, and the harvest stays
+bit-identical; (2) a seeded :class:`LogCorruptor` run must drive at
+least one monitor to CRITICAL, and that verdict must land in all
+three export surfaces — the run manifest, the Prometheus dump, and
+the rendered dashboard.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.chaos.corruption import LogCorruptor
+from repro.core import pool as worker_pool
+from repro.core.coordinator import HarvestCoordinator
+from repro.core.policies import UniformRandomPolicy
+from repro.obs.metrics import use_metrics
+from repro.obs.monitors import MonitorSuite, use_monitors
+from repro.obs.profiler import SpanProfiler, use_profiler
+from repro.obs.tracing import Tracer, use_tracer
+from tests.chaos.test_sharded_harvest import (
+    KillOncePolicy,
+    assert_same_harvest,
+    job_for,
+)
+from tests.conftest import make_uniform_dataset
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    worker_pool.reset_pool()
+    yield
+    worker_pool.reset_pool()
+
+
+class TestKilledWorkerKeepsTelemetry:
+    def test_monitor_states_survive_sigkill_and_retry_registers(
+        self, tmp_path
+    ):
+        reference = HarvestCoordinator(
+            job_for(UniformRandomPolicy()), workers=1
+        ).run()
+        policy = KillOncePolicy(str(tmp_path / "killed.flag"))
+        suite = MonitorSuite()
+        profiler = SpanProfiler()
+        tracer = Tracer()
+        with use_metrics() as metrics, use_tracer(tracer), \
+                use_monitors(suite), use_profiler(profiler, arm=False):
+            coordinator = HarvestCoordinator(job_for(policy), workers=2)
+            with pytest.warns(RuntimeWarning, match="worker pool died"):
+                result = coordinator.run()
+
+        # The kill cost nothing: the harvest is still bit-identical.
+        assert result.retries >= 1
+        assert_same_harvest(result, reference)
+
+        # Worker-side monitor states were shipped home and absorbed:
+        # every one of the 200 rows' propensities reached the parent
+        # suite, even though one worker died mid-shard.
+        states = suite.states()
+        assert states["ess"]["n"] == 200
+        assert states["propensity_floor"]["n"] == 200
+
+        # The retry storm monitor saw the death (retried >= 1) and the
+        # re-derivations (every shard still completed exactly once).
+        shard_state = states["retry_storm"]
+        assert shard_state["retried"] >= 1
+        assert shard_state["completed"] == 200 // 32 + 1
+        assert metrics.total("harvest.shards_retried") >= 1
+
+        # Flame tables from dead workers are simply absent — absorb
+        # tolerates the loss and the merged profile stays well-formed.
+        profile = profiler.to_dict()
+        assert profile["samples"] >= 0
+        assert isinstance(profile["spans"], dict)
+
+        # Worker span trees grafted home alongside the states.
+        tree = tracer.span_tree()
+        names = []
+
+        def walk(spans):
+            for span in spans:
+                names.append(span["name"])
+                walk(span.get("children", ()))
+
+        walk(tree)
+        assert "harvest.sharded" in names
+        assert names.count("harvest.shard") == 200 // 32 + 1
+
+    def test_health_snapshot_after_crash_is_consistent(self, tmp_path):
+        policy = KillOncePolicy(str(tmp_path / "killed.flag"))
+        suite = MonitorSuite()
+        with use_monitors(suite):
+            with pytest.warns(RuntimeWarning, match="worker pool died"):
+                HarvestCoordinator(job_for(policy), workers=2).run()
+        snapshot = suite.snapshot()
+        # A pool death re-queues every pending shard, so most of the
+        # run is retried — exactly the storm this monitor exists to
+        # flag.  (WARN vs CRITICAL depends on how many shards had
+        # already completed when the pool died.)
+        storm = snapshot["monitors"]["retry_storm"]
+        assert storm["level"] in ("WARN", "CRITICAL")
+        assert storm["value"] >= 0.25
+        assert snapshot["overall"] == storm["level"]
+        assert any(
+            event["monitor"] == "retry_storm"
+            for event in snapshot["events"]
+        )
+
+
+class TestCorruptedLogGoesCritical:
+    """ISSUE 9 acceptance: seeded corruption must surface as a
+    CRITICAL verdict in the manifest, the Prometheus dump, and the
+    dashboard."""
+
+    @pytest.fixture()
+    def corrupted_log(self, tmp_path):
+        clean = tmp_path / "clean.jsonl"
+        make_uniform_dataset(800, seed=11).save_jsonl(str(clean))
+        corrupted = tmp_path / "corrupted.jsonl"
+        counts = LogCorruptor(
+            rate=0.3,
+            kinds=("zero_propensity", "garble_propensity"),
+            seed=5,
+        ).corrupt_file(str(clean), str(corrupted))
+        assert sum(counts.values()) > 50  # the seed really corrupted
+        return str(corrupted)
+
+    @pytest.fixture()
+    def verdict_artifacts(self, corrupted_log, tmp_path, capsys):
+        from repro.__main__ import main
+
+        manifest_path = tmp_path / "run_manifest.json"
+        prom_path = tmp_path / "metrics.prom"
+        html_path = tmp_path / "dashboard.html"
+        code = main(
+            [
+                "evaluate", corrupted_log,
+                "--mode", "quarantine",
+                "--policy", "constant:1",
+                "--estimator", "ips",
+                "--monitors",
+                "--manifest", str(manifest_path),
+                "--metrics-out", str(prom_path),
+            ]
+        )
+        assert code == 0
+        assert main(
+            ["dashboard", str(manifest_path), "-o", str(html_path)]
+        ) == 0
+        capsys.readouterr()
+        return manifest_path, prom_path, html_path
+
+    def test_critical_in_manifest(self, verdict_artifacts):
+        manifest_path, _, _ = verdict_artifacts
+        health = json.loads(manifest_path.read_text())["health"]
+        assert health["overall"] == "CRITICAL"
+        critical = [
+            name
+            for name, entry in health["monitors"].items()
+            if entry["level"] == "CRITICAL"
+        ]
+        assert "quarantine_rate" in critical  # ~30% of rows rejected
+        assert any(
+            event["level"] == "CRITICAL" for event in health["events"]
+        )
+
+    def test_critical_in_prometheus_dump(self, verdict_artifacts):
+        _, prom_path, _ = verdict_artifacts
+        text = prom_path.read_text()
+        critical_gauges = re.findall(
+            r'repro_health_level\{monitor="([^"]+)"\} 2(?:\.0)?$',
+            text,
+            flags=re.MULTILINE,
+        )
+        assert "quarantine_rate" in critical_gauges
+        assert "repro_health_events_total" in text
+
+    def test_critical_in_dashboard(self, verdict_artifacts):
+        _, _, html_path = verdict_artifacts
+        html = html_path.read_text()
+        assert "CRITICAL" in html
+        assert "quarantine_rate" in html
+        assert "<script" not in html.lower()  # verdict page stays static
+
+    def test_same_log_clean_run_is_healthy(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        clean = tmp_path / "clean.jsonl"
+        make_uniform_dataset(800, seed=11).save_jsonl(str(clean))
+        manifest_path = tmp_path / "clean_manifest.json"
+        code = main(
+            [
+                "evaluate", str(clean),
+                "--mode", "quarantine",
+                "--policy", "constant:1",
+                "--estimator", "ips",
+                "--monitors",
+                "--manifest", str(manifest_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        health = json.loads(manifest_path.read_text())["health"]
+        assert health["overall"] == "OK"
+        assert health["events"] == []

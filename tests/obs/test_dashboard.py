@@ -1,0 +1,184 @@
+"""Unit tests for the static HTML dashboard renderer."""
+
+import re
+from html.parser import HTMLParser
+
+from repro.obs.dashboard import render_dashboard
+
+
+class StrictParser(HTMLParser):
+    """Fails the test if tags don't nest (void elements excepted)."""
+
+    VOID = {"br", "hr", "img", "input", "link", "meta"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        assert self.stack and self.stack[-1] == tag, (
+            f"misnested </{tag}>, open stack {self.stack[-5:]}"
+        )
+        self.stack.pop()
+
+
+def parse(html):
+    parser = StrictParser()
+    parser.feed(html)
+    parser.close()
+    assert parser.stack == [], f"unclosed tags: {parser.stack}"
+
+
+def manifest(**overrides):
+    base = {
+        "command": "evaluate",
+        "created_unix": 1754600000.0,
+        "environment": {"repro_version": "0.9", "python": "3.12.1"},
+        "input": {"path": "log.jsonl", "rows": 1000},
+        "results": [
+            {
+                "policy": "uniform",
+                "estimator": "ips",
+                "value": 0.51,
+                "ci_low": 0.48,
+                "ci_high": 0.54,
+                "verdict": "PASS",
+            }
+        ],
+        "health": {
+            "overall": "CRITICAL",
+            "monitors": {
+                "ess": {"level": "CRITICAL", "value": 0.001},
+                "weight_tail": {"level": "OK", "value": 2.0},
+            },
+            "events": [
+                {
+                    "monitor": "ess",
+                    "level": "CRITICAL",
+                    "value": 0.001,
+                    "threshold": 0.005,
+                    "message": "worst ESS window collapsed",
+                    "rows": 4096,
+                }
+            ],
+        },
+        "spans": [
+            {
+                "name": "evaluate",
+                "wall_s": 2.0,
+                "cpu_s": 1.5,
+                "children": [{"name": "bootstrap", "wall_s": 1.0}],
+            }
+        ],
+        "profile": {
+            "interval_s": 0.005,
+            "samples": 10,
+            "spans": {"evaluate": {"engine.py:run:10": 10}},
+        },
+        "metrics": {
+            "rows.processed": {
+                "kind": "counter",
+                "series": [{"labels": {}, "value": 1000.0}],
+            },
+            "health.level": {
+                "kind": "gauge",
+                "series": [{"labels": {"monitor": "ess"}, "value": 2.0}],
+            },
+        },
+        "quarantine": {"accepted": 990, "rejected": 10},
+    }
+    base.update(overrides)
+    return base
+
+
+def history_records():
+    records = []
+    for i, value in enumerate((3.0, 2.9, 2.8)):
+        records.append(
+            {
+                "kind": "bench",
+                "metrics": {"single_policy_ips.speedup": value},
+                "cpu_count": 1,
+                "timestamp": 1000.0 + i,
+                "git_sha": f"abc{i}",
+            }
+        )
+    records.append(
+        {
+            "kind": "manifest",
+            "command": "evaluate",
+            "results": {"uniform/ips": 0.5},
+            "health": {"overall": "OK", "levels": {}},
+            "wall_s": 2.0,
+            "cpu_count": 1,
+            "timestamp": 1003.0,
+            "git_sha": "abc3",
+        }
+    )
+    return records
+
+
+class TestRendering:
+    def test_valid_well_nested_html(self):
+        parse(render_dashboard(manifest(), history=history_records()))
+
+    def test_self_contained_no_scripts_no_external_assets(self):
+        html = render_dashboard(manifest(), history=history_records())
+        lowered = html.lower()
+        assert "<script" not in lowered
+        assert "http://" not in lowered
+        assert "https://" not in lowered
+        assert 'src="' not in lowered.replace('src="data:', "")
+
+    def test_health_verdicts_rendered(self):
+        html = render_dashboard(manifest())
+        assert "CRITICAL" in html
+        assert "ess" in html
+        assert "worst ESS window collapsed" in html
+
+    def test_results_spans_profile_metrics_present(self):
+        html = render_dashboard(manifest())
+        assert "uniform" in html and "ips" in html
+        assert "bootstrap" in html
+        assert "engine.py:run:10" in html
+        assert "rows.processed" in html
+
+    def test_history_renders_sparkline(self):
+        html = render_dashboard(manifest(), history=history_records())
+        assert "<svg" in html
+        assert "single_policy_ips.speedup" in html
+
+    def test_minimal_manifest_renders(self):
+        html = render_dashboard({"command": "harvest"})
+        parse(html)
+        assert "harvest" in html
+
+    def test_custom_title_used(self):
+        html = render_dashboard(manifest(), title="nightly #42")
+        assert "nightly #42" in html
+
+    def test_hostile_strings_escaped(self):
+        hostile = '<script>alert(1)</script>"& <img src=x>'
+        m = manifest(
+            command=hostile,
+            results=[
+                {"policy": hostile, "estimator": "ips", "value": 0.5}
+            ],
+        )
+        m["health"]["events"][0]["message"] = hostile
+        m["input"] = {"path": hostile, "rows": 1}
+        html = render_dashboard(m, title=hostile)
+        assert "<script" not in html.lower()
+        assert "<img" not in html.lower()
+        assert "&lt;script&gt;" in html
+        parse(html)
+
+    def test_no_health_section_without_monitors(self):
+        m = manifest()
+        del m["health"]
+        html = render_dashboard(m)
+        assert not re.search(r"<h2>[^<]*[Hh]ealth", html)

@@ -1,0 +1,191 @@
+"""Unit tests for the append-only cross-run telemetry history."""
+
+import json
+import os
+
+from repro.obs.history import (
+    HISTORY_FILE,
+    RunHistory,
+    bench_record,
+    git_sha,
+    manifest_record,
+    monotone_regressions,
+)
+
+
+def bench(metrics, cpu_count=1, timestamp=0.0):
+    return {
+        "kind": "bench",
+        "metrics": metrics,
+        "cpu_count": cpu_count,
+        "timestamp": timestamp,
+    }
+
+
+class TestRunHistory:
+    def test_directory_path_appends_runs_jsonl(self, tmp_path):
+        history = RunHistory(str(tmp_path))
+        assert history.path == str(tmp_path / HISTORY_FILE)
+
+    def test_jsonl_path_used_verbatim(self, tmp_path):
+        target = str(tmp_path / "custom.jsonl")
+        assert RunHistory(target).path == target
+
+    def test_append_stamps_and_persists(self, tmp_path):
+        history = RunHistory(str(tmp_path / "deep" / "nested"))
+        stamped = history.append({"kind": "bench", "metrics": {"x": 1.0}})
+        assert {"timestamp", "git_sha", "cpu_count"} <= set(stamped)
+        assert stamped["cpu_count"] == (os.cpu_count() or 1)
+        (line,) = open(history.path, encoding="utf-8").read().splitlines()
+        assert json.loads(line) == stamped
+
+    def test_append_preserves_explicit_stamps(self, tmp_path):
+        history = RunHistory(str(tmp_path))
+        stamped = history.append(bench({"x": 1.0}, cpu_count=64, timestamp=5.0))
+        assert stamped["cpu_count"] == 64
+        assert stamped["timestamp"] == 5.0
+
+    def test_records_in_append_order(self, tmp_path):
+        history = RunHistory(str(tmp_path))
+        for value in (1.0, 2.0, 3.0):
+            history.append(bench({"x": value}))
+        values = [r["metrics"]["x"] for r in history.records()]
+        assert values == [1.0, 2.0, 3.0]
+
+    def test_records_filters_by_kind(self, tmp_path):
+        history = RunHistory(str(tmp_path))
+        history.append(bench({"x": 1.0}))
+        history.append({"kind": "manifest", "results": {}})
+        assert len(history.records(kind="bench")) == 1
+        assert len(history.records(kind="manifest")) == 1
+        assert len(history.records()) == 2
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert RunHistory(str(tmp_path / "nowhere")).records() == []
+
+    def test_corrupt_lines_skipped_not_fatal(self, tmp_path):
+        history = RunHistory(str(tmp_path))
+        history.append(bench({"x": 1.0}))
+        with open(history.path, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+            handle.write("\n")
+            handle.write('"a bare string, not a record"\n')
+        history.append(bench({"x": 2.0}))
+        values = [r["metrics"]["x"] for r in history.records(kind="bench")]
+        assert values == [1.0, 2.0]
+
+    def test_series_orders_and_filters_cpu_count(self, tmp_path):
+        history = RunHistory(str(tmp_path))
+        history.append(bench({"m": 3.0}, cpu_count=1, timestamp=1.0))
+        history.append(bench({"m": 9.0}, cpu_count=8, timestamp=2.0))
+        history.append(bench({"m": 2.0}, cpu_count=1, timestamp=3.0))
+        history.append(bench({"other": 1.0}, cpu_count=1, timestamp=4.0))
+        assert history.series("m", cpu_count=1) == [(1.0, 3.0), (3.0, 2.0)]
+        assert history.series("m", cpu_count=8) == [(2.0, 9.0)]
+        assert len(history.series("m")) == 3  # no filter: everything
+
+
+class TestBenchRecord:
+    def test_flattens_numeric_leaves_to_dotted_keys(self):
+        artifact = {
+            "single_policy_ips": {"speedup": 2.9},
+            "harvest": {"cache": {"speedup": 13.0}},
+        }
+        record = bench_record(artifact)
+        assert record["kind"] == "bench"
+        assert record["metrics"]["single_policy_ips.speedup"] == 2.9
+        assert record["metrics"]["harvest.cache.speedup"] == 13.0
+
+    def test_skips_bools_and_non_numeric_leaves(self):
+        record = bench_record(
+            {"a": {"flag": True, "name": "x", "n": 5, "ratio": 0.5}}
+        )
+        assert record["metrics"] == {"a.n": 5.0, "a.ratio": 0.5}
+
+    def test_record_is_stamped(self):
+        record = bench_record({})
+        assert {"timestamp", "git_sha", "cpu_count"} <= set(record)
+
+
+class TestManifestRecord:
+    def test_summarizes_results_health_and_wall(self):
+        manifest = {
+            "command": "evaluate",
+            "results": [
+                {"policy": "uniform", "estimator": "ips", "value": 0.5},
+                {"policy": "greedy", "estimator": "snips", "value": None},
+            ],
+            "health": {
+                "overall": "WARN",
+                "monitors": {"ess": {"level": "WARN", "value": 0.01}},
+            },
+            "spans": [{"wall_s": 1.5}, {"wall_s": 0.5}],
+        }
+        record = manifest_record(manifest)
+        assert record["kind"] == "manifest"
+        assert record["command"] == "evaluate"
+        assert record["results"] == {"uniform/ips": 0.5}  # None dropped
+        assert record["health"] == {
+            "overall": "WARN", "levels": {"ess": "WARN"},
+        }
+        assert record["wall_s"] == 2.0
+
+    def test_bare_manifest_degrades_gracefully(self):
+        record = manifest_record({})
+        assert record["results"] == {}
+        assert record["health"] == {"overall": None, "levels": {}}
+        assert record["wall_s"] is None
+
+
+class TestMonotoneRegressions:
+    def fill(self, tmp_path, values, metric="m", cpu_count=1):
+        history = RunHistory(str(tmp_path))
+        for i, value in enumerate(values):
+            history.append(
+                bench({metric: value}, cpu_count=cpu_count, timestamp=float(i))
+            )
+        return history
+
+    def test_strictly_decreasing_tail_flagged(self, tmp_path):
+        history = self.fill(tmp_path, [5.0, 3.0, 2.9, 2.8])
+        (drift,) = monotone_regressions(history, ["m"], k=3, cpu_count=1)
+        assert drift["metric"] == "m"
+        assert drift["values"] == [3.0, 2.9, 2.8]
+        assert drift["cpu_count"] == 1
+        assert 0 < drift["drop"] < 1
+
+    def test_non_monotone_tail_not_flagged(self, tmp_path):
+        history = self.fill(tmp_path, [3.0, 2.8, 2.9])
+        assert monotone_regressions(history, ["m"], k=3, cpu_count=1) == []
+
+    def test_flat_values_not_flagged(self, tmp_path):
+        history = self.fill(tmp_path, [3.0, 3.0, 3.0])
+        assert monotone_regressions(history, ["m"], k=3, cpu_count=1) == []
+
+    def test_too_few_points_not_flagged(self, tmp_path):
+        history = self.fill(tmp_path, [3.0, 2.0])
+        assert monotone_regressions(history, ["m"], k=3, cpu_count=1) == []
+
+    def test_other_cpu_count_runs_ignored(self, tmp_path):
+        # Two decreasing single-core points plus a decreasing 8-core
+        # point in between: no cpu_count has three decreasing runs.
+        history = RunHistory(str(tmp_path))
+        history.append(bench({"m": 3.0}, cpu_count=1, timestamp=1.0))
+        history.append(bench({"m": 2.5}, cpu_count=8, timestamp=2.0))
+        history.append(bench({"m": 2.0}, cpu_count=1, timestamp=3.0))
+        assert monotone_regressions(history, ["m"], k=3, cpu_count=1) == []
+
+    def test_unknown_metric_ignored(self, tmp_path):
+        history = self.fill(tmp_path, [3.0, 2.0, 1.0])
+        assert monotone_regressions(history, ["ghost"], k=3, cpu_count=1) == []
+
+
+class TestGitSha:
+    def test_inside_this_repo_returns_hex_sha(self):
+        sha = git_sha(cwd=os.path.dirname(os.path.abspath(__file__)))
+        assert sha == "unknown" or (
+            len(sha) == 40 and all(c in "0123456789abcdef" for c in sha)
+        )
+
+    def test_outside_a_checkout_returns_unknown(self, tmp_path):
+        assert git_sha(cwd=str(tmp_path)) == "unknown"

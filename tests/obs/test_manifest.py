@@ -1,5 +1,6 @@
 """Provenance manifests: build, save/load, digest, report rendering."""
 
+import hashlib
 import json
 
 import pytest
@@ -71,6 +72,24 @@ class TestFileDigest:
         b.write_text("different")
         assert file_digest(str(a)) != file_digest(str(b))
 
+    def test_empty_file_digest_is_sha256_of_nothing(self, tmp_path):
+        # The streaming loop must handle a zero-iteration read and
+        # still produce the canonical empty-input SHA-256.
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        assert file_digest(str(empty)) == hashlib.sha256(b"").hexdigest()
+        assert file_digest(str(empty)) == (
+            "e3b0c44298fc1c149afbf4c8996fb924"
+            "27ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_streaming_matches_whole_file_hash(self, tmp_path):
+        # Larger than one read() chunk, so the loop iterates.
+        blob = b"x" * (1 << 20) + b"tail"
+        path = tmp_path / "big.bin"
+        path.write_bytes(blob)
+        assert file_digest(str(path)) == hashlib.sha256(blob).hexdigest()
+
 
 class TestResultEntry:
     def test_plain_entry(self):
@@ -132,6 +151,52 @@ class TestRunManifest:
         path.write_text("[1, 2]")
         with pytest.raises(ValueError, match="must be an object"):
             RunManifest.load(str(path))
+
+
+class TestWatchtowerSections:
+    def test_health_section_from_monitor_suite(self, tmp_path):
+        from repro.obs.monitors import MonitorSuite
+
+        suite = MonitorSuite()
+        suite.observe_propensities([0.5, 1e-7])  # CRITICAL floor graze
+        data = _manifest(tmp_path, monitors=suite).to_dict()
+        health = data["health"]
+        assert health["overall"] == "CRITICAL"
+        assert health["monitors"]["propensity_floor"]["level"] == "CRITICAL"
+        assert any(
+            event["monitor"] == "propensity_floor"
+            for event in health["events"]
+        )
+
+    def test_profile_section_from_profiler(self, tmp_path):
+        from repro.obs.profiler import SpanProfiler
+
+        profiler = SpanProfiler(interval=0.01)
+        profiler.sample(span="evaluate")
+        data = _manifest(tmp_path, profiler=profiler).to_dict()
+        profile = data["profile"]
+        assert profile["samples"] == 1
+        assert profile["spans"]["evaluate"] == {"<manual>": 1}
+
+    def test_sections_absent_when_not_instrumented(self, tmp_path):
+        data = _manifest(tmp_path).to_dict()
+        assert "health" not in data
+        assert "profile" not in data
+
+    def test_sections_survive_save_load(self, tmp_path):
+        from repro.obs.monitors import MonitorSuite
+        from repro.obs.profiler import SpanProfiler
+
+        suite = MonitorSuite()
+        suite.observe_propensities([0.5, 0.25])
+        profiler = SpanProfiler()
+        profiler.sample(span="evaluate")
+        manifest = _manifest(tmp_path, monitors=suite, profiler=profiler)
+        path = tmp_path / "m.json"
+        manifest.save(str(path))
+        loaded = RunManifest.load(str(path)).to_dict()
+        assert loaded["health"]["overall"] == "OK"
+        assert loaded["profile"]["samples"] == 1
 
 
 class TestReportHelpers:

@@ -1,6 +1,7 @@
-"""Metrics registry: instruments, labels, exporters, scoping."""
+"""Metrics registry: instruments, labels, exporters, scoping, threads."""
 
 import json
+import threading
 
 import pytest
 
@@ -9,6 +10,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    _escape_label_value,
     get_metrics,
     prometheus_name,
     use_metrics,
@@ -103,6 +105,145 @@ class TestExport:
         registry = MetricsRegistry()
         assert registry.to_prometheus() == ""
         assert registry.snapshot() == {}
+
+
+class TestLabelEscaping:
+    """Prometheus exposition-format escaping of label values."""
+
+    def test_backslash_escaped_first(self):
+        assert _escape_label_value(r"C:\logs") == r"C:\\logs"
+
+    def test_quote_escaped(self):
+        assert _escape_label_value('say "hi"') == r"say \"hi\""
+
+    def test_newline_escaped(self):
+        assert _escape_label_value("a\nb") == r"a\nb"
+
+    def test_combined_hostile_value(self):
+        hostile = 'path\\to\n"file"'
+        assert _escape_label_value(hostile) == r'path\\to\n\"file\"'
+
+    def test_escaping_round_trips(self):
+        # Unescaping per the exposition-format rules must recover the
+        # original value exactly — the property scrapers depend on.
+        def unescape(text):
+            out, i = [], 0
+            while i < len(text):
+                if text[i] == "\\" and i + 1 < len(text):
+                    out.append(
+                        {"\\": "\\", '"': '"', "n": "\n"}[text[i + 1]]
+                    )
+                    i += 2
+                else:
+                    out.append(text[i])
+                    i += 1
+            return "".join(out)
+
+        for value in (
+            "plain",
+            'quo"te',
+            "back\\slash",
+            "new\nline",
+            '\\"mix\n\\ed"\\',
+            "\\n",  # literal backslash-n must not become a newline
+        ):
+            assert unescape(_escape_label_value(value)) == value
+
+    def test_hostile_labels_in_exposition_output(self):
+        registry = MetricsRegistry()
+        registry.counter("files", path='C:\\logs\n"x"').inc()
+        text = registry.to_prometheus()
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("repro_files")
+        )
+        assert r'path="C:\\logs\n\"x\""' in line
+        assert "\n" not in line  # the raw newline never leaks into a line
+
+
+class TestThreadSafety:
+    """Concurrent mutation must lose no updates (ISSUE 9 satellite)."""
+
+    N_THREADS = 8
+    N_OPS = 10_000
+
+    def hammer(self, target):
+        threads = [
+            threading.Thread(target=target) for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(self.N_OPS):
+                registry.counter("hits").inc()
+
+        self.hammer(work)
+        assert registry.value("hits") == self.N_THREADS * self.N_OPS
+
+    def test_gauge_inc_dec_balance_out(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+
+        def work():
+            for _ in range(self.N_OPS):
+                gauge.inc(2.0)
+                gauge.dec(1.0)
+
+        self.hammer(work)
+        assert registry.value("depth") == self.N_THREADS * self.N_OPS
+
+    def test_histogram_counts_are_exact(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for i in range(self.N_OPS):
+                registry.histogram("lat", buckets=(0.5,)).observe(
+                    (i % 10) / 10.0
+                )
+
+        self.hammer(work)
+        snap = registry.snapshot()["lat"]["series"][0]["histogram"]
+        assert snap["count"] == self.N_THREADS * self.N_OPS
+        # values cycle 0.0..0.9: 6 of every 10 are <= 0.5
+        assert snap["buckets"]["0.5"] == self.N_THREADS * self.N_OPS * 6 // 10
+
+    def test_concurrent_series_creation_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def work():
+            barrier.wait()
+            seen.append(registry.counter("race", worker="w"))
+
+        self.hammer(work)
+        assert len(set(map(id, seen))) == 1
+
+    def test_export_during_mutation_does_not_crash(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                registry.counter("spin", shard=str(i % 4)).inc()
+                i += 1
+
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        try:
+            for _ in range(200):
+                registry.to_prometheus()
+                registry.snapshot()
+        finally:
+            stop.set()
+            mutator.join()
+        assert registry.total("spin") > 0
 
 
 class TestNullMetrics:
