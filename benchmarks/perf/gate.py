@@ -94,6 +94,15 @@ ABSOLUTE_FLOORS = (
         ("obs", "monitor_overhead", "relative_throughput"),
         0.9,
     ),
+    # The online policy server's acceptance target (ISSUE 10): the
+    # in-process serving loop — asyncio batcher included — must answer
+    # at least 50k decisions/sec.  Absolute, not baseline-relative:
+    # the number IS the requirement.
+    (
+        "serve decisions/sec",
+        ("serve", "decisions_per_sec"),
+        50_000.0,
+    ),
 )
 
 #: Metrics watched by the cross-run trend check: the gated ratios plus
@@ -109,6 +118,11 @@ TREND_RUNS = 3
 DEFAULT_BASELINE = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_ope.smoke_baseline.json"
 )
+
+
+def _fmt(value: float) -> str:
+    """Ratios print as ``0.93x``; rate floors (≥1000) as plain counts."""
+    return f"{value:,.0f}" if value >= 1000 else f"{value:.2f}x"
 
 
 def _lookup(artifact: dict, path: tuple) -> float:
@@ -151,8 +165,8 @@ def check_regressions(
             continue  # artifact predates the metric: nothing to gate
         if actual < floor:
             failures.append(
-                f"{label}: {actual:.2f}x is below the absolute floor "
-                f"{floor:.2f}x"
+                f"{label}: {_fmt(actual)} is below the absolute floor "
+                f"{_fmt(floor)}"
             )
     return failures
 
@@ -243,7 +257,7 @@ def main(argv=None) -> int:
             now = _lookup(current, path)
         except KeyError:
             continue
-        print(f"{label}: {now:.2f}x (absolute floor {floor:.2f}x)")
+        print(f"{label}: {_fmt(now)} (absolute floor {_fmt(floor)})")
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -1,0 +1,123 @@
+"""Close the loop: serve decisions, shadow a candidate, promote by OPE.
+
+The serving handbook (docs/serving.md) walkthrough, runnable end to
+end in-process:
+
+1. boot a :class:`~repro.serve.server.PolicyServer` for the synthetic
+   scenario with a uniform incumbent and a decision log;
+2. drive ~1k ``act`` requests over real loopback TCP while a greedy
+   candidate **shadows** the traffic (its would-have-done decisions
+   are scored on a parallel audit stream — clients never see them);
+3. flush the log and run the **OPE promotion gate**: the doubly-robust
+   estimator evaluates candidate vs incumbent over the service's own
+   hash-chained log, in a subprocess, while serving continues;
+4. the gate passes, the candidate **hot-swaps** in atomically, and the
+   next decisions are attributed to the new policy version;
+5. verify the decision log's ledger chain and re-read it with the
+   offline toolchain — serving produced an evaluation-grade
+   exploration log as a side effect.
+
+Run:  python examples/online_serving.py
+"""
+
+import asyncio
+import json
+import tempfile
+from pathlib import Path
+
+from repro.audit import verify_jsonl
+from repro.core.policies import ConstantPolicy, UniformRandomPolicy
+from repro.core.types import Dataset
+from repro.serve import DecisionService, GateConfig, PolicyServer
+
+#: On the 8-row synthetic context pool, constant action 2 earns a mean
+#: reward of 0.600 vs the uniform incumbent's 0.512 — a gap the gate's
+#: doubly-robust estimate resolves from ~1k logged decisions.
+POOL_ROWS = 8
+GOOD_ACTION = 2
+REQUESTS = 64
+ASK = 16  # decisions per act request → ~1k decisions total
+
+
+async def call(reader, writer, **request):
+    """One JSON-lines round trip on an open client connection."""
+    writer.write(json.dumps(request).encode() + b"\n")
+    await writer.drain()
+    response = json.loads(await reader.readline())
+    if not response.get("ok"):
+        raise RuntimeError(f"{request['op']} failed: {response.get('error')}")
+    return response
+
+
+async def serve_and_promote(log_path: str) -> dict:
+    service = DecisionService(
+        "synthetic",
+        UniformRandomPolicy(),
+        pool_rows=POOL_ROWS,
+        seed=2017,
+        log_path=log_path,
+        config={"n_actions": 4},
+    )
+    service.register_candidate("greedy", ConstantPolicy(GOOD_ACTION))
+    server = PolicyServer(service, gate_config=GateConfig(min_rows=256))
+    host, port = await server.start()
+    print(f"serving synthetic on {host}:{port}")
+
+    reader, writer = await asyncio.open_connection(host, port)
+
+    # -- shadow the candidate while real traffic flows --------------------
+    await call(reader, writer, op="shadow", name="greedy")
+    first = await call(reader, writer, op="act", n=ASK)
+    version_before = first["policy_version"]
+    for _ in range(REQUESTS - 1):
+        await call(reader, writer, op="act", n=ASK)
+    shadow = (await call(reader, writer, op="stats"))["stats"]["shadows"][0]
+    print(
+        f"served {REQUESTS * ASK} decisions under v{version_before} "
+        f"({first['policy_name']})"
+    )
+    print(
+        f"shadowed greedy on {shadow['n']} decisions: "
+        f"agreement {shadow['agreement_rate']:.0%}"
+    )
+
+    # -- gate offline, hot-swap on a pass ---------------------------------
+    promote = await call(reader, writer, op="promote", name="greedy")
+    decision = promote["decision"]
+    verdict = "promoted" if decision["promote"] else "refused"
+    print(
+        f"gate {verdict} greedy: DR {decision['candidate_value']:.3f} vs "
+        f"incumbent {decision['incumbent_value']:.3f} "
+        f"({decision['verdict']}, n={decision['n']})"
+    )
+
+    after = await call(reader, writer, op="act", n=ASK)
+    print(
+        f"post-swap decisions come from v{after['policy_version']} "
+        f"({after['policy_name']})"
+    )
+    flushed = (await call(reader, writer, op="flush"))["flush"]
+
+    writer.close()
+    await writer.wait_closed()
+    await server.stop()
+    return {"decision": decision, "after": after, "flush": flushed}
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-serve-"))
+    log_path = str(workdir / "decisions.jsonl")
+    outcome = asyncio.run(serve_and_promote(log_path))
+    assert outcome["decision"]["promote"], "the gate should promote greedy"
+    assert outcome["after"]["policy_name"] == "greedy"
+
+    # -- the serve log is an offline-grade exploration log ----------------
+    report = verify_jsonl(log_path, expected_head=outcome["flush"]["head"])
+    print(f"ledger chain verifies: {'OK' if report.ok else 'BROKEN'}")
+    dataset = Dataset.load_jsonl(log_path, verify_ledger="require")
+    print(f"offline toolchain re-reads {len(dataset)} logged decisions")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

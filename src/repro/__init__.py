@@ -16,6 +16,13 @@ package is organized as:
   scenario with full-feedback logs (Figs. 3–4).
 - :mod:`repro.chaos` — fault injection for exploration-coverage
   experiments (§5).
+- :mod:`repro.audit` — HKDF-derived RNG streams and the hash-chained,
+  verifiable decision ledger (ADR-0001/0002).
+- :mod:`repro.obs` — tracing, metrics, manifests, streaming health
+  monitors, and the run-history dashboard.
+- :mod:`repro.serve` — the online policy server closing the
+  harvest → evaluate → deploy loop (ADR-0003): live decisions,
+  shadow/canary candidates, OPE-gated hot swaps.
 """
 
 __version__ = "1.0.0"

@@ -54,6 +54,7 @@ __all__ = [
     "ChainVerification",
     "DecisionLedger",
     "LedgerEntry",
+    "StreamingLedgerWriter",
     "context_digest",
     "entry_hash",
     "rechain",
@@ -371,6 +372,85 @@ class DecisionLedger:
 
     def __repr__(self) -> str:
         return f"DecisionLedger(stream={self.stream!r}, n={len(self)})"
+
+
+class StreamingLedgerWriter:
+    """Incrementally persist a growing ledgered decision stream as JSONL.
+
+    The batch pipeline seals its whole chain once, at serialization
+    time.  A *long-running* producer (the online decision service of
+    :mod:`repro.serve`) instead flushes periodically: each
+    :meth:`flush` seals exactly the decisions recorded since the last
+    flush, stamps each record's ``metadata["ledger"]`` from its sealed
+    entry, and appends the records to ``path`` in the exact byte
+    format of :meth:`repro.core.types.Dataset.save_jsonl` — so the
+    at-rest log is always a verifiable chain prefix, and
+    ``Dataset.load_jsonl(path, verify_ledger="require")`` ingests it
+    unchanged at any point in the service's lifetime.
+
+    The caller owns the pairing discipline: the records passed to
+    :meth:`flush` must align one-to-one, in order, with the ledger
+    decisions recorded since the previous flush (the service guarantees
+    this by feeding both from the same decide loop).
+    """
+
+    def __init__(self, ledger: DecisionLedger, path: str) -> None:
+        self.ledger = ledger
+        self.path = str(path)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._written = 0
+
+    @property
+    def written(self) -> int:
+        """Records persisted to :attr:`path` so far."""
+        return self._written
+
+    def flush(self, records: Sequence[Mapping]) -> list[LedgerEntry]:
+        """Seal, stamp, and append ``records``; return their entries.
+
+        ``records`` are plain :meth:`Interaction.to_dict
+        <repro.core.types.Interaction.to_dict>` dicts (without ledger
+        metadata — it is stamped here).  Raises ``ValueError`` if the
+        count does not match the unsealed tail of the ledger, which
+        would mean the caller's record buffer and the ledger have
+        diverged — better to fail loudly than to persist a misaligned
+        chain.
+        """
+        entries = self.ledger.entries()
+        fresh = entries[self._written :]
+        if len(records) != len(fresh):
+            raise ValueError(
+                f"flush got {len(records)} records for {len(fresh)} "
+                "unwritten ledger entries"
+            )
+        lines = []
+        for record, entry in zip(records, fresh):
+            record = dict(record)
+            metadata = dict(record.get("metadata", {}))
+            metadata["ledger"] = entry.to_metadata()
+            record["metadata"] = metadata
+            lines.append(json.dumps(record) + "\n")
+        self._file.writelines(lines)
+        self._file.flush()
+        self._written += len(fresh)
+        return list(fresh)
+
+    def close(self) -> None:
+        """Close the underlying file handle (flush first)."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "StreamingLedgerWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingLedgerWriter(path={self.path!r}, "
+            f"written={self._written})"
+        )
 
 
 def rechain(

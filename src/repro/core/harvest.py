@@ -66,7 +66,7 @@ RewardFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 HarvestRNG = Union[np.random.Generator, StreamRNG]
 
 
-def _batch_segments(
+def batch_segments(
     rng: HarvestRNG, start: int, stop: int
 ) -> Iterator[Tuple[int, int, np.random.Generator]]:
     """Split batch rows ``[start, stop)`` into generator segments.
@@ -182,7 +182,7 @@ def harvest_columns(
             stop = min(n, start + batch_size)
             began = time.perf_counter()
             with tracer.span("harvest.batch", start=start, rows=stop - start):
-                for seg_start, seg_stop, generator in _batch_segments(
+                for seg_start, seg_stop, generator in batch_segments(
                     rng, start, stop
                 ):
                     batch = DecisionBatch(

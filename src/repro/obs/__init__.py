@@ -72,6 +72,7 @@ from repro.obs.monitors import (
     NullMonitors,
     default_monitors,
     get_monitors,
+    serving_monitors,
     set_monitors,
     use_monitors,
 )
@@ -129,6 +130,7 @@ __all__ = [
     "NullMonitors",
     "NULL_MONITORS",
     "default_monitors",
+    "serving_monitors",
     "get_monitors",
     "set_monitors",
     "use_monitors",

@@ -47,10 +47,13 @@ __all__ = [
     "QuarantineRateMonitor",
     "LedgerBreakMonitor",
     "RetryStormMonitor",
+    "ServeLatencyMonitor",
+    "ServeErrorMonitor",
     "MonitorSuite",
     "NullMonitors",
     "NULL_MONITORS",
     "default_monitors",
+    "serving_monitors",
     "get_monitors",
     "set_monitors",
     "use_monitors",
@@ -163,6 +166,13 @@ class HealthMonitor:
         self, state: dict, completed: int, retried: int, fallback: int
     ) -> bool:
         """Fold shard completion/retry/fallback counts."""
+        return False
+
+    def fold_serve(
+        self, state: dict, served: int, errors: int, dropped: int,
+        latency_sum: float, latency_max: float,
+    ) -> bool:
+        """Fold one serving observation (decide-call aggregates)."""
         return False
 
 
@@ -569,6 +579,123 @@ class RetryStormMonitor(HealthMonitor):
         )
 
 
+class ServeLatencyMonitor(HealthMonitor):
+    """Decide-call latency for the online policy server.
+
+    Folds per-call ``(sum, max)`` aggregates from the serving hot path
+    (:meth:`repro.serve.service.DecisionService.decide`) and alarms on
+    the mean per-decision latency — the quantity the ≥50k decisions/sec
+    throughput target bounds (20 µs/decision).  Thresholds default far
+    above that so only a genuinely degraded server (GC storms, swap
+    thrash, runaway policy) trips it.
+    """
+
+    name = "serve.latency"
+
+    def __init__(
+        self, warn_seconds: float = 1e-3, critical_seconds: float = 1e-2
+    ) -> None:
+        self.warn_seconds = float(warn_seconds)
+        self.critical_seconds = float(critical_seconds)
+
+    def init_state(self) -> dict:
+        return {"served": 0, "latency_sum": 0.0, "latency_max": 0.0}
+
+    def fold_serve(
+        self, state: dict, served: int, errors: int, dropped: int,
+        latency_sum: float, latency_max: float,
+    ) -> bool:
+        if served <= 0:
+            return False
+        state["served"] += int(served)
+        state["latency_sum"] += float(latency_sum)
+        state["latency_max"] = max(state["latency_max"], float(latency_max))
+        return True
+
+    def merge(self, state: dict, other: dict) -> dict:
+        return {
+            "served": state["served"] + other["served"],
+            "latency_sum": state["latency_sum"] + other["latency_sum"],
+            "latency_max": max(state["latency_max"], other["latency_max"]),
+        }
+
+    def evaluate(self, state: dict) -> tuple:
+        if state["served"] <= 0:
+            return LEVEL_OK, None, self.warn_seconds, "no decisions served"
+        mean = state["latency_sum"] / state["served"]
+        detail = (
+            f"mean {mean * 1e6:.1f} µs/decision over {state['served']} "
+            f"(max call {state['latency_max'] * 1e3:.2f} ms)"
+        )
+        if mean >= self.critical_seconds:
+            return LEVEL_CRITICAL, mean, self.critical_seconds, detail
+        if mean >= self.warn_seconds:
+            return LEVEL_WARN, mean, self.warn_seconds, detail
+        return LEVEL_OK, mean, self.warn_seconds, detail
+
+
+class ServeErrorMonitor(HealthMonitor):
+    """Errors and dropped requests at the serving boundary.
+
+    A single *dropped* request — an ask that got no decision slice —
+    is CRITICAL outright: the batcher's zero-drop guarantee is a
+    correctness invariant, not a service level.  Errors (malformed
+    requests, failed ops) alarm on their ratio to decisions served.
+    """
+
+    name = "serve.errors"
+
+    def __init__(
+        self, warn_ratio: float = 0.01, critical_ratio: float = 0.1
+    ) -> None:
+        self.warn_ratio = float(warn_ratio)
+        self.critical_ratio = float(critical_ratio)
+
+    def init_state(self) -> dict:
+        return {"served": 0, "errors": 0, "dropped": 0}
+
+    def fold_serve(
+        self, state: dict, served: int, errors: int, dropped: int,
+        latency_sum: float, latency_max: float,
+    ) -> bool:
+        state["served"] += int(served)
+        state["errors"] += int(errors)
+        state["dropped"] += int(dropped)
+        return bool(served or errors or dropped)
+
+    def merge(self, state: dict, other: dict) -> dict:
+        return {
+            "served": state["served"] + other["served"],
+            "errors": state["errors"] + other["errors"],
+            "dropped": state["dropped"] + other["dropped"],
+        }
+
+    def evaluate(self, state: dict) -> tuple:
+        ratio = state["errors"] / max(state["served"], 1)
+        if state["dropped"] > 0:
+            return (
+                LEVEL_CRITICAL, float(state["dropped"]), 0.0,
+                f"{state['dropped']} requests dropped "
+                "(zero-drop invariant violated)",
+            )
+        if ratio >= self.critical_ratio:
+            return (
+                LEVEL_CRITICAL, ratio, self.critical_ratio,
+                f"error ratio {ratio:.3f} >= {self.critical_ratio:g} "
+                f"({state['errors']} errors / {state['served']} served)",
+            )
+        if ratio >= self.warn_ratio:
+            return (
+                LEVEL_WARN, ratio, self.warn_ratio,
+                f"error ratio {ratio:.3f} >= {self.warn_ratio:g} "
+                f"({state['errors']} errors / {state['served']} served)",
+            )
+        return (
+            LEVEL_OK, ratio, self.warn_ratio,
+            f"{state['errors']} errors / {state['served']} served",
+        )
+
+
 def default_monitors() -> list[HealthMonitor]:
     """The standard watchtower: one of each monitor, stock thresholds."""
     return [
@@ -579,6 +706,11 @@ def default_monitors() -> list[HealthMonitor]:
         LedgerBreakMonitor(),
         RetryStormMonitor(),
     ]
+
+
+def serving_monitors() -> list[HealthMonitor]:
+    """The online server's watchtower: the defaults plus ``serve.*``."""
+    return default_monitors() + [ServeLatencyMonitor(), ServeErrorMonitor()]
 
 
 class MonitorSuite:
@@ -681,6 +813,22 @@ class MonitorSuite:
         for monitor in self.monitors:
             if monitor.fold_shards(
                 self._states[monitor.name], completed, retried, fallback
+            ):
+                self._reevaluate(monitor)
+
+    def observe_serve(
+        self,
+        served: int = 0,
+        errors: int = 0,
+        dropped: int = 0,
+        latency_sum: float = 0.0,
+        latency_max: float = 0.0,
+    ) -> None:
+        """Fold one serving observation (online decision service)."""
+        for monitor in self.monitors:
+            if monitor.fold_serve(
+                self._states[monitor.name], served, errors, dropped,
+                latency_sum, latency_max,
             ):
                 self._reevaluate(monitor)
 
@@ -796,6 +944,16 @@ class NullMonitors:
 
     def observe_shards(
         self, completed: int = 0, retried: int = 0, fallback: int = 0
+    ) -> None:
+        """No-op (monitoring is off)."""
+
+    def observe_serve(
+        self,
+        served: int = 0,
+        errors: int = 0,
+        dropped: int = 0,
+        latency_sum: float = 0.0,
+        latency_max: float = 0.0,
     ) -> None:
         """No-op (monitoring is off)."""
 

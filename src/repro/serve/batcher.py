@@ -1,0 +1,140 @@
+"""Request coalescing: many small ``act()`` asks, one vectorized decide.
+
+The decision core (:class:`repro.serve.service.DecisionService`) is
+fast *per batch* — one ``act_batch`` call samples thousands of rows —
+but a network server receives asks of 1–64 decisions.  The batcher
+closes that gap with the classic single-flusher pattern: asks land in
+a FIFO with a future each, and one flusher coroutine repeatedly drains
+the queue into a single :meth:`~repro.serve.service.DecisionService.decide`
+call, then carves the resulting
+:class:`~repro.serve.service.DecisionSlice` back to the waiting
+futures with zero-copy views.
+
+Two properties the chaos suite pins fall out of this shape:
+
+- **Zero drops across hot-swaps.**  Every queued ask is answered by
+  exactly one decide slice; a swap (a plain method call on the service,
+  executed between flusher iterations on the same event loop) can land
+  before or after any given flush but never *inside* one, so each
+  response carries one coherent policy version.
+- **FIFO ordinal assignment.**  Asks map to contiguous ledger
+  ordinals in arrival order — the response a client gets names exactly
+  the ledger rows its decisions occupy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Optional
+
+from repro.serve.service import DecisionService, DecisionSlice
+
+__all__ = ["RequestBatcher"]
+
+#: Default cap on decisions coalesced into one decide call.
+DEFAULT_MAX_BATCH = 8192
+
+
+class RequestBatcher:
+    """Coalesce concurrent asks into single-service decide calls.
+
+    Single-loop discipline: all methods must be called from the event
+    loop the batcher was started on.  ``max_batch`` bounds how many
+    decisions one flush may coalesce (one oversized ask is still
+    served whole — the cap shapes batching, it does not reject).
+    """
+
+    def __init__(
+        self, service: DecisionService, max_batch: int = DEFAULT_MAX_BATCH
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self._queue: deque = deque()
+        self._wakeup = asyncio.Event()
+        self._flusher: Optional[asyncio.Task] = None
+        #: Asks answered (futures resolved with a slice).
+        self.answered = 0
+        #: Asks that errored (futures got the decide exception).
+        self.errored = 0
+
+    async def start(self) -> None:
+        """Spawn the flusher task (idempotent)."""
+        if self._flusher is None:
+            self._flusher = asyncio.get_running_loop().create_task(
+                self._run()
+            )
+
+    async def stop(self) -> None:
+        """Cancel the flusher after draining every queued ask."""
+        if self._flusher is None:
+            return
+        while self._queue:
+            await asyncio.sleep(0)
+        self._flusher.cancel()
+        try:
+            await self._flusher
+        except asyncio.CancelledError:
+            pass
+        self._flusher = None
+
+    async def ask(self, n: int) -> DecisionSlice:
+        """Request ``n`` decisions; resolves with a contiguous slice."""
+        if n <= 0:
+            raise ValueError(f"ask needs a positive count, got {n}")
+        if self._flusher is None:
+            raise RuntimeError("batcher is not started")
+        future = asyncio.get_running_loop().create_future()
+        self._queue.append((int(n), future))
+        self._wakeup.set()
+        return await future
+
+    async def _run(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            while self._queue:
+                self._flush_once()
+                # Yield so swap/flush ops interleave between batches
+                # even under a saturating ask stream.
+                await asyncio.sleep(0)
+
+    def _flush_once(self) -> None:
+        """Drain up to ``max_batch`` decisions into one decide call."""
+        batch: list = []
+        total = 0
+        while self._queue and (total < self.max_batch or not batch):
+            n, future = self._queue[0]
+            if future.cancelled():
+                self._queue.popleft()
+                continue
+            if batch and total + n > self.max_batch:
+                break
+            self._queue.popleft()
+            batch.append((n, future))
+            total += n
+        if not batch:
+            return
+        try:
+            decisions = self.service.decide(total)
+        except Exception as error:  # noqa: BLE001 - fail the asks, not the loop
+            self.service.errors += len(batch)
+            self.errored += len(batch)
+            for _, future in batch:
+                if not future.cancelled():
+                    future.set_exception(error)
+            return
+        offset = 0
+        for n, future in batch:
+            if not future.cancelled():
+                future.set_result(decisions.view(offset, offset + n))
+                self.answered += 1
+            offset += n
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestBatcher(queued={len(self._queue)}, "
+            f"answered={self.answered}, max_batch={self.max_batch})"
+        )

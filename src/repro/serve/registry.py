@@ -1,0 +1,154 @@
+"""Versioned policy registry for the online decision service.
+
+The registry is the single source of truth for *which policy answers
+requests right now*.  Every policy that ever serves (or shadows) gets a
+monotonically increasing **version number**, so each logged decision
+can record exactly which policy produced it — the property the
+swap-under-load chaos suite pins: a response's propensity must match
+the policy version its ledger entry was sealed under.
+
+Lifecycle: the constructor installs version 1 as the **incumbent**;
+:meth:`register` adds named **candidates** (served nowhere until
+promoted); :meth:`promote` atomically makes a candidate the incumbent
+(a single attribute assignment — no lock, no window where requests see
+a half-installed policy); :meth:`install` supports the canary case
+where a synthetic mixture policy serves temporarily without going
+through candidate registration.  Promotions are recorded in
+:attr:`history` for the manifest's ``serving`` section.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.policies import Policy
+
+__all__ = ["PolicyVersion", "PolicyRegistry"]
+
+#: Candidate names become stream-key segments (``serve/shadow-<name>``)
+#: and manifest keys, so they share the key grammar of
+#: :class:`repro.audit.streams.StreamKey`.
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+@dataclass(frozen=True)
+class PolicyVersion:
+    """One immutable (version, name, policy) record.
+
+    ``version`` is unique within a registry and never reused — even a
+    re-promotion of an old candidate mints a fresh version, so a
+    version number in a decision log pins one specific installation.
+    """
+
+    version: int
+    name: str
+    policy: Policy
+
+    def summary(self) -> dict:
+        """JSON-able identity (no policy object) for logs/manifests."""
+        return {"version": self.version, "name": self.name}
+
+
+class PolicyRegistry:
+    """Tracks the incumbent, the candidates, and every promotion.
+
+    All mutation happens in plain Python attribute assignments on the
+    caller's thread (the service runs single-threaded on the asyncio
+    loop), so a reader either sees the old incumbent or the new one —
+    never a mixture.  That single-assignment swap is the entire
+    hot-swap mechanism; see ``docs/adr-0003-online-serving.md``.
+    """
+
+    def __init__(self, policy: Policy, name: str = "incumbent") -> None:
+        self._check_name(name)
+        self._next_version = 1
+        self._incumbent = self._mint(name, policy)
+        self._candidates: dict[str, PolicyVersion] = {}
+        #: Promotion/installation events, oldest first; each entry is a
+        #: JSON-able dict (``version``, ``name``, ``reason``).
+        self.history: list[dict] = [
+            {**self._incumbent.summary(), "reason": "boot"}
+        ]
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"policy name {name!r} must match {_NAME_RE.pattern} "
+                "(it becomes a stream-key segment)"
+            )
+
+    def _mint(self, name: str, policy: Policy) -> PolicyVersion:
+        version = PolicyVersion(self._next_version, name, policy)
+        self._next_version += 1
+        return version
+
+    @property
+    def incumbent(self) -> PolicyVersion:
+        """The policy version currently answering requests."""
+        return self._incumbent
+
+    def register(self, name: str, policy: Policy) -> PolicyVersion:
+        """Add (or replace) a named candidate; serves nothing yet."""
+        self._check_name(name)
+        if name == self._incumbent.name:
+            raise ValueError(
+                f"candidate name {name!r} collides with the incumbent"
+            )
+        version = self._mint(name, policy)
+        self._candidates[name] = version
+        return version
+
+    def unregister(self, name: str) -> None:
+        """Drop a candidate (no-op if unknown)."""
+        self._candidates.pop(name, None)
+
+    def candidate(self, name: str) -> PolicyVersion:
+        """Look up a registered candidate by name."""
+        try:
+            return self._candidates[name]
+        except KeyError:
+            raise KeyError(
+                f"no candidate {name!r} (registered: "
+                f"{sorted(self._candidates)})"
+            ) from None
+
+    def candidates(self) -> dict[str, PolicyVersion]:
+        """Snapshot of the registered candidates by name."""
+        return dict(self._candidates)
+
+    def promote(self, name: str, reason: str = "gate") -> PolicyVersion:
+        """Atomically make candidate ``name`` the incumbent.
+
+        The candidate is re-minted under a fresh version (promotion is
+        an installation event, not a rename) and removed from the
+        candidate set.  The swap itself is one attribute assignment.
+        """
+        candidate = self.candidate(name)
+        promoted = self._mint(candidate.name, candidate.policy)
+        self._incumbent = promoted  # the atomic hot-swap
+        del self._candidates[name]
+        self.history.append({**promoted.summary(), "reason": reason})
+        return promoted
+
+    def install(
+        self, name: str, policy: Policy, reason: str = "install"
+    ) -> PolicyVersion:
+        """Install ``policy`` as the incumbent directly (canary path).
+
+        Used for synthetic serving policies that never sat in the
+        candidate set — e.g. the canary's propensity-tracked mixture.
+        """
+        self._check_name(name)
+        installed = self._mint(name, policy)
+        self._incumbent = installed  # the atomic hot-swap
+        self.history.append({**installed.summary(), "reason": reason})
+        return installed
+
+    def __repr__(self) -> str:
+        return (
+            f"PolicyRegistry(incumbent=v{self._incumbent.version}:"
+            f"{self._incumbent.name}, candidates={sorted(self._candidates)})"
+        )

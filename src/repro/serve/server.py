@@ -1,0 +1,265 @@
+"""The asyncio policy server: JSON-lines decisions over TCP.
+
+One :class:`PolicyServer` wraps one
+:class:`~repro.serve.service.DecisionService` behind a newline-delimited
+JSON protocol.  Each connection sends one request object per line and
+receives one response line; ``act`` asks flow through the
+:class:`~repro.serve.batcher.RequestBatcher` so concurrent clients
+coalesce into vectorized decide calls.  Everything runs on one event
+loop — the single-writer discipline the hot-swap atomicity argument
+rests on (``docs/adr-0003-online-serving.md``).
+
+Protocol (request → response, both single JSON lines)::
+
+    {"op": "act", "n": 8}            → {"ok": true, "decisions": [...]}
+    {"op": "stats"}                  → {"ok": true, "stats": {...}}
+    {"op": "register", "name": ..., "policy": "eps:0:0.1"}
+    {"op": "shadow", "name": ...}    → start shadowing a candidate
+    {"op": "shadow-stop", "name": ...}
+    {"op": "canary", "name": ..., "fraction": 0.1}
+    {"op": "canary-stop"}
+    {"op": "promote", "name": ...}   → OPE gate, then swap iff it passes
+    {"op": "swap", "name": ...}      → forced swap (no gate)
+    {"op": "flush"}                  → seal + append the decision log
+    {"op": "ping"} / {"op": "shutdown"}
+
+Failures come back as ``{"ok": false, "error": ...}`` on the same
+line; a malformed request never takes the connection (or the server)
+down.  The ``promote`` handler launches the gate subprocess and polls
+it with short sleeps, so *other* connections keep being served at
+full speed while the offline evaluation runs — the gate can be
+SIGKILLed and the handler still resolves with a refusal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Callable, Optional
+
+from repro.core.policies import Policy
+from repro.obs.metrics import get_metrics
+from repro.serve.batcher import DEFAULT_MAX_BATCH, RequestBatcher
+from repro.serve.gate import GateConfig
+from repro.serve.service import DecisionService
+
+__all__ = ["PolicyServer"]
+
+#: How often the promote handler polls the gate subprocess, seconds.
+GATE_POLL_SECONDS = 0.02
+
+
+class PolicyServer:
+    """Serve a :class:`DecisionService` over newline-delimited JSON/TCP.
+
+    ``policy_factory`` (a ``spec str → Policy`` callable, e.g. the
+    CLI's ``parse_policy``) enables the ``register`` op; without it,
+    candidates must be registered on the service directly before
+    :meth:`start`.  ``eval_every`` > 0 runs the auto-gate loop: every
+    that many seconds, one registered candidate is gated and promoted
+    if it passes — the closed harvest → evaluate → deploy loop with no
+    operator in it.
+    """
+
+    def __init__(
+        self,
+        service: DecisionService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        policy_factory: Optional[Callable[[str], Policy]] = None,
+        gate_config: GateConfig = GateConfig(),
+        eval_every: float = 0.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.batcher = RequestBatcher(service, max_batch=max_batch)
+        self.policy_factory = policy_factory
+        self.gate_config = gate_config
+        self.eval_every = float(eval_every)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._auto_gate: Optional[asyncio.Task] = None
+        self._shutdown = asyncio.Event()
+        self._gate_lock = asyncio.Lock()
+        self._metrics = get_metrics()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, start the batcher (+ auto-gate), return ``(host, port)``."""
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.eval_every > 0:
+            self._auto_gate = asyncio.get_running_loop().create_task(
+                self._auto_gate_loop()
+            )
+        return self.host, self.port
+
+    async def wait_closed(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`stop`) lands."""
+        await self._shutdown.wait()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the batcher, release the service."""
+        self._shutdown.set()
+        if self._auto_gate is not None:
+            self._auto_gate.cancel()
+            try:
+                await self._auto_gate
+            except asyncio.CancelledError:
+                pass
+            self._auto_gate = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+        self.service.close()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                if response.get("op") == "shutdown":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        began = time.perf_counter()
+        op = "invalid"
+        try:
+            request = json.loads(line)
+            op = str(request.get("op", "invalid"))
+            handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+            if handler is None:
+                raise ValueError(f"unknown op {op!r}")
+            response = await handler(request)
+            response.setdefault("ok", True)
+            response.setdefault("op", op)
+            return response
+        except Exception as error:  # noqa: BLE001 - protocol boundary
+            self.service.errors += 1
+            return {"ok": False, "op": op, "error": str(error)}
+        finally:
+            self._metrics.histogram(
+                "serve.request_seconds", op=op
+            ).observe(time.perf_counter() - began)
+
+    # -- ops ------------------------------------------------------------------
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {"served": self.service.served}
+
+    async def _op_act(self, request: dict) -> dict:
+        n = int(request.get("n", 1))
+        decisions = await self.batcher.ask(n)
+        return {
+            "decisions": decisions.to_dicts(),
+            "policy_version": decisions.version,
+            "policy_name": decisions.policy_name,
+        }
+
+    async def _op_stats(self, request: dict) -> dict:
+        return {"stats": self.service.stats()}
+
+    async def _op_register(self, request: dict) -> dict:
+        if self.policy_factory is None:
+            raise RuntimeError(
+                "server has no policy factory; register candidates on "
+                "the service before starting"
+            )
+        name = str(request["name"])
+        version = self.service.register_candidate(
+            name, self.policy_factory(str(request["policy"]))
+        )
+        return {"candidate": version.summary()}
+
+    async def _op_shadow(self, request: dict) -> dict:
+        report = self.service.start_shadow(str(request["name"]))
+        return {"shadow": report.summary()}
+
+    async def _op_shadow_stop(self, request: dict) -> dict:
+        return {"shadow": self.service.stop_shadow(str(request["name"]))}
+
+    async def _op_canary(self, request: dict) -> dict:
+        installed = self.service.start_canary(
+            str(request["name"]), float(request.get("fraction", 0.1))
+        )
+        return {"canary": installed.summary()}
+
+    async def _op_canary_stop(self, request: dict) -> dict:
+        return {"canary": self.service.stop_canary()}
+
+    async def _op_promote(self, request: dict) -> dict:
+        decision = await self.run_gate(str(request["name"]))
+        return {"decision": decision.to_dict()}
+
+    async def _op_swap(self, request: dict) -> dict:
+        promoted = self.service.policies.promote(
+            str(request["name"]), reason="forced"
+        )
+        return {"incumbent": promoted.summary()}
+
+    async def _op_flush(self, request: dict) -> dict:
+        return {"flush": self.service.flush()}
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        self._shutdown.set()
+        return {"served": self.service.served}
+
+    # -- gating ---------------------------------------------------------------
+
+    async def run_gate(self, name: str):
+        """Gate ``name`` offline; hot-swap on a pass; serving never stops.
+
+        Serialized by a lock (the service allows one gate at a time);
+        the poll loop yields between checks, so act traffic on other
+        connections proceeds while the subprocess evaluates.
+        """
+        async with self._gate_lock:
+            self.service.start_gate(name, self.gate_config)
+            while True:
+                decision = self.service.poll_gate()
+                if decision is not None:
+                    return decision
+                await asyncio.sleep(GATE_POLL_SECONDS)
+
+    async def _auto_gate_loop(self) -> None:
+        """Periodically gate one registered candidate (closed loop)."""
+        while not self._shutdown.is_set():
+            await asyncio.sleep(self.eval_every)
+            candidates = sorted(self.service.policies.candidates())
+            if not candidates:
+                continue
+            try:
+                await self.run_gate(candidates[0])
+            except Exception:  # noqa: BLE001 - the loop must survive
+                self.service.errors += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"PolicyServer({self.host}:{self.port}, "
+            f"service={self.service!r})"
+        )

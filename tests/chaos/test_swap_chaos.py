@@ -1,0 +1,222 @@
+"""Serving chaos: hot-swaps mid-burst, attribution, and a murdered gate.
+
+Three invariants the online serving loop must hold under hostile
+timing (ISSUE 10 acceptance criteria):
+
+1. **Zero drops across hot-swaps.**  A policy swap landing in the
+   middle of a saturating burst of concurrent asks loses nothing —
+   every ask is answered exactly once, with contiguous non-overlapping
+   ledger ordinals and one coherent policy version per response.
+2. **Attribution.**  The propensity a client sees in its response is
+   the propensity recorded in the hash-chained log at the same
+   ordinal, and it matches the policy version the response names.
+3. **Gate isolation.**  SIGKILLing the evaluation subprocess
+   mid-gate never blocks serving; the promote request resolves to a
+   ``promote=False`` decision naming the exit code.
+"""
+
+import asyncio
+import json
+import os
+import signal
+
+import numpy as np
+
+from repro.core.policies import ConstantPolicy, UniformRandomPolicy
+from repro.core.types import Dataset
+from repro.serve import DecisionService, GateConfig, PolicyServer, RequestBatcher
+
+
+def make_service(tmp_path=None, **kwargs):
+    defaults = dict(
+        pool_rows=64, seed=7, shard_size=128, config={"n_actions": 4}
+    )
+    defaults.update(kwargs)
+    if tmp_path is not None:
+        defaults.setdefault("log_path", str(tmp_path / "serve.jsonl"))
+    return DecisionService("synthetic", UniformRandomPolicy(), **defaults)
+
+
+class TestHotSwapMidBurst:
+    def test_swap_mid_burst_drops_nothing(self):
+        """200 concurrent asks, one mid-burst swap, zero drops."""
+
+        async def scenario():
+            service = make_service()
+            service.register_candidate("greedy", ConstantPolicy(1))
+            batcher = RequestBatcher(service, max_batch=32)
+            await batcher.start()
+
+            async def swap_midway():
+                # Land the swap while the burst is in full flight.
+                while service.served < 300:
+                    await asyncio.sleep(0)
+                service.policies.promote("greedy", reason="forced")
+
+            swapper = asyncio.get_running_loop().create_task(swap_midway())
+            responses = await asyncio.gather(
+                *(batcher.ask(5) for _ in range(200))
+            )
+            await swapper
+            await batcher.stop()
+            return service, batcher, responses
+
+        service, batcher, responses = asyncio.run(scenario())
+        # Every ask answered exactly once, nothing dropped or errored.
+        assert len(responses) == 200
+        assert batcher.answered == 200
+        assert batcher.errored == 0
+        assert service.dropped == 0
+        assert service.served == 1000
+        ordinals = np.concatenate([r.ordinals for r in responses])
+        assert sorted(ordinals.tolist()) == list(range(1000))
+        # Each response carries one coherent version; the swap is a
+        # clean boundary — v1 before, the promoted version after.
+        versions = sorted({r.version for r in responses})
+        assert len(versions) == 2
+        v1_max = max(
+            int(r.ordinals.max()) for r in responses if r.version == versions[0]
+        )
+        v2_min = min(
+            int(r.ordinals.min()) for r in responses if r.version == versions[1]
+        )
+        assert v1_max < v2_min
+        # After the swap every decision is the constant policy's.
+        for response in responses:
+            if response.version == versions[1]:
+                assert np.all(response.actions == 1)
+                assert np.all(response.propensities == 1.0)
+
+    def test_repeated_swaps_keep_the_ledger_contiguous(self):
+        """Ten swaps under load: the chain never skips an ordinal."""
+
+        async def scenario():
+            service = make_service()
+            batcher = RequestBatcher(service, max_batch=16)
+            await batcher.start()
+
+            async def churn():
+                for round_ in range(10):
+                    name = f"cand-{round_}"
+                    service.register_candidate(
+                        name, ConstantPolicy(round_ % 4)
+                    )
+                    service.policies.promote(name, reason="forced")
+                    await asyncio.sleep(0)
+
+            churner = asyncio.get_running_loop().create_task(churn())
+            responses = await asyncio.gather(
+                *(batcher.ask(3) for _ in range(100))
+            )
+            await churner
+            await batcher.stop()
+            return service, responses
+
+        service, responses = asyncio.run(scenario())
+        ordinals = np.concatenate([r.ordinals for r in responses])
+        assert sorted(ordinals.tolist()) == list(range(300))
+        assert len(service.ledger) == 300
+
+
+class TestAttributionUnderSwap:
+    def test_response_propensity_matches_the_ledger_row(self, tmp_path):
+        """What the client saw is what the chain recorded, per version.
+
+        Uniform v1 logs propensity 0.25; the promoted constant logs
+        1.0.  Every response row must agree with the log record at its
+        ordinal, and the version named by the response must predict
+        the propensity exactly.
+        """
+
+        async def scenario():
+            service = make_service(tmp_path)
+            service.register_candidate("greedy", ConstantPolicy(1))
+            batcher = RequestBatcher(service, max_batch=32)
+            await batcher.start()
+
+            async def swap_midway():
+                while service.served < 120:
+                    await asyncio.sleep(0)
+                service.policies.promote("greedy", reason="forced")
+
+            swapper = asyncio.get_running_loop().create_task(swap_midway())
+            responses = await asyncio.gather(
+                *(batcher.ask(4) for _ in range(80))
+            )
+            await swapper
+            await batcher.stop()
+            service.flush()
+            service.close()
+            return service, responses
+
+        service, responses = asyncio.run(scenario())
+        dataset = Dataset.load_jsonl(service.log_path, verify_ledger="require")
+        logged = {int(row.timestamp): row for row in dataset}
+        versions = sorted({r.version for r in responses})
+        by_version = {versions[0]: 0.25, versions[1]: 1.0}
+        for response in responses:
+            expected = by_version[response.version]
+            for i, ordinal in enumerate(response.ordinals):
+                row = logged[int(ordinal)]
+                assert row.propensity == response.propensities[i] == expected
+                assert row.action == response.actions[i]
+
+
+class TestGateUnderFire:
+    def test_sigkilled_gate_never_blocks_serving(self, tmp_path):
+        """Kill the evaluation subprocess; serving and refusal go on."""
+
+        async def scenario():
+            service = make_service(
+                tmp_path, pool_rows=512, shard_size=512
+            )
+            service.register_candidate("greedy", ConstantPolicy(1))
+            server = PolicyServer(
+                service, gate_config=GateConfig(min_rows=64)
+            )
+            await server.start()
+
+            async def connect():
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+
+                async def call(**request):
+                    writer.write(json.dumps(request).encode() + b"\n")
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+
+                return call, writer
+
+            # Separate connections: the promote handler occupies its
+            # connection until the gate resolves, and the point is
+            # that *other* connections keep being served meanwhile.
+            gate_call, gate_writer = await connect()
+            serve_call, serve_writer = await connect()
+            await serve_call(op="act", n=256)
+            promote_task = asyncio.get_running_loop().create_task(
+                gate_call(op="promote", name="greedy")
+            )
+            while service.gate is None:
+                await asyncio.sleep(0)
+            os.kill(service.gate.pid, signal.SIGKILL)
+            # Serving continues while the murdered gate resolves.
+            act = await serve_call(op="act", n=16)
+            promote = await promote_task
+            stats = await serve_call(op="stats")
+            gate_writer.close()
+            serve_writer.close()
+            await server.stop()
+            return act, promote, stats
+
+        act, promote, stats = asyncio.run(scenario())
+        assert act["ok"] and len(act["decisions"]) == 16
+        decision = promote["decision"]
+        assert decision["promote"] is False
+        assert any(
+            "died without reporting" in reason
+            for reason in decision["reasons"]
+        )
+        # The refusal is on the audit record and the incumbent stands.
+        assert stats["stats"]["incumbent"]["name"] == "incumbent"
+        assert stats["stats"]["gates_decided"] == [decision]

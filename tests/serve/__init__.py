@@ -1,0 +1,1 @@
+"""Tests for the online policy server: registry, gate, service, batcher."""

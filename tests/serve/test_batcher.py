@@ -1,0 +1,166 @@
+"""Tests for the request batcher: coalescing, carving, zero drops."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.policies import UniformRandomPolicy
+from repro.serve import DecisionService, RequestBatcher
+
+
+def make_service(**kwargs):
+    defaults = dict(
+        pool_rows=256, seed=11, shard_size=128, config={"n_actions": 4}
+    )
+    defaults.update(kwargs)
+    return DecisionService("synthetic", UniformRandomPolicy(), **defaults)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsk:
+    def test_single_ask_round_trips(self):
+        async def scenario():
+            service = make_service()
+            batcher = RequestBatcher(service)
+            await batcher.start()
+            decisions = await batcher.ask(8)
+            await batcher.stop()
+            return decisions, batcher
+
+        decisions, batcher = run(scenario())
+        assert decisions.n == 8
+        assert list(decisions.ordinals) == list(range(8))
+        assert batcher.answered == 1
+
+    def test_concurrent_asks_coalesce_into_one_decide(self):
+        async def scenario():
+            service = make_service()
+            batcher = RequestBatcher(service)
+            await batcher.start()
+            results = await asyncio.gather(
+                *(batcher.ask(4) for _ in range(25))
+            )
+            await batcher.stop()
+            return service, results
+
+        service, results = run(scenario())
+        assert service.served == 100
+        # FIFO carving: ordinals are contiguous and non-overlapping.
+        ordinals = np.concatenate([r.ordinals for r in results])
+        assert sorted(ordinals.tolist()) == list(range(100))
+        assert all(r.n == 4 for r in results)
+
+    def test_coalesced_asks_match_direct_decide(self):
+        async def scenario():
+            service = make_service()
+            batcher = RequestBatcher(service)
+            await batcher.start()
+            results = await asyncio.gather(
+                *(batcher.ask(k) for k in (3, 17, 1, 29))
+            )
+            await batcher.stop()
+            return results
+
+        results = run(scenario())
+        batched = np.concatenate([r.actions for r in results])
+        direct = make_service().decide(50).actions
+        assert np.array_equal(batched, direct)
+
+    def test_ask_validates_and_requires_start(self):
+        async def unstarted():
+            batcher = RequestBatcher(make_service())
+            await batcher.ask(1)
+
+        async def bad_count():
+            batcher = RequestBatcher(make_service())
+            await batcher.start()
+            try:
+                await batcher.ask(0)
+            finally:
+                await batcher.stop()
+
+        with pytest.raises(RuntimeError, match="not started"):
+            run(unstarted())
+        with pytest.raises(ValueError, match="positive"):
+            run(bad_count())
+
+    def test_max_batch_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            RequestBatcher(make_service(), max_batch=0)
+
+
+class TestBatchShaping:
+    def test_max_batch_splits_but_serves_everything(self):
+        async def scenario():
+            service = make_service()
+            batcher = RequestBatcher(service, max_batch=16)
+            await batcher.start()
+            results = await asyncio.gather(
+                *(batcher.ask(10) for _ in range(8))
+            )
+            await batcher.stop()
+            return service, results
+
+        service, results = run(scenario())
+        assert service.served == 80
+        assert sum(r.n for r in results) == 80
+
+    def test_oversized_ask_served_whole(self):
+        async def scenario():
+            service = make_service()
+            batcher = RequestBatcher(service, max_batch=4)
+            await batcher.start()
+            decisions = await batcher.ask(64)
+            await batcher.stop()
+            return decisions
+
+        decisions = run(scenario())
+        assert decisions.n == 64
+        assert list(decisions.ordinals) == list(range(64))
+
+
+class TestFailure:
+    def test_decide_error_fails_the_asks_not_the_loop(self):
+        async def scenario():
+            service = make_service()
+            batcher = RequestBatcher(service)
+            await batcher.start()
+
+            def explode(k):
+                raise RuntimeError("reward backend down")
+
+            original, service.decide = service.decide, explode
+            with pytest.raises(RuntimeError, match="backend down"):
+                await batcher.ask(8)
+            service.decide = original
+            # The flusher survives and serves the next ask.
+            decisions = await batcher.ask(8)
+            await batcher.stop()
+            return service, batcher, decisions
+
+        service, batcher, decisions = run(scenario())
+        assert decisions.n == 8
+        assert batcher.errored == 1
+        assert batcher.answered == 1
+        assert service.errors == 1
+
+    def test_stop_drains_queued_asks(self):
+        async def scenario():
+            service = make_service()
+            batcher = RequestBatcher(service)
+            await batcher.start()
+            asks = [
+                asyncio.get_running_loop().create_task(batcher.ask(5))
+                for _ in range(10)
+            ]
+            await asyncio.sleep(0)  # let every ask reach the queue
+            await batcher.stop()
+            return service, await asyncio.gather(*asks)
+
+        service, results = run(scenario())
+        assert service.served == 50
+        assert sum(r.n for r in results) == 50

@@ -1,0 +1,94 @@
+"""Unit tests for the versioned policy registry."""
+
+import pytest
+
+from repro.core.policies import ConstantPolicy, UniformRandomPolicy
+from repro.serve.registry import PolicyRegistry
+
+
+class TestBoot:
+    def test_boot_incumbent_is_version_one(self):
+        registry = PolicyRegistry(UniformRandomPolicy())
+        assert registry.incumbent.version == 1
+        assert registry.incumbent.name == "incumbent"
+        assert registry.history == [
+            {"version": 1, "name": "incumbent", "reason": "boot"}
+        ]
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="stream-key segment"):
+            PolicyRegistry(UniformRandomPolicy(), name="has space")
+        with pytest.raises(ValueError, match="stream-key segment"):
+            PolicyRegistry(UniformRandomPolicy(), name="")
+
+
+class TestCandidates:
+    def test_register_and_lookup(self):
+        registry = PolicyRegistry(UniformRandomPolicy())
+        version = registry.register("greedy", ConstantPolicy(1))
+        assert version.version == 2
+        assert registry.candidate("greedy") is version
+        assert list(registry.candidates()) == ["greedy"]
+
+    def test_register_does_not_change_incumbent(self):
+        registry = PolicyRegistry(UniformRandomPolicy())
+        registry.register("greedy", ConstantPolicy(1))
+        assert registry.incumbent.version == 1
+
+    def test_unknown_candidate_names_the_registered_set(self):
+        registry = PolicyRegistry(UniformRandomPolicy())
+        registry.register("a", ConstantPolicy(0))
+        with pytest.raises(KeyError, match=r"registered: \['a'\]"):
+            registry.candidate("b")
+
+    def test_incumbent_name_collision_rejected(self):
+        registry = PolicyRegistry(UniformRandomPolicy(), name="live")
+        with pytest.raises(ValueError, match="collides"):
+            registry.register("live", ConstantPolicy(0))
+
+    def test_unregister_is_idempotent(self):
+        registry = PolicyRegistry(UniformRandomPolicy())
+        registry.register("greedy", ConstantPolicy(1))
+        registry.unregister("greedy")
+        registry.unregister("greedy")
+        assert registry.candidates() == {}
+
+
+class TestPromotion:
+    def test_promote_swaps_incumbent_and_mints_fresh_version(self):
+        registry = PolicyRegistry(UniformRandomPolicy())
+        registered = registry.register("greedy", ConstantPolicy(1))
+        promoted = registry.promote("greedy")
+        assert registry.incumbent is promoted
+        assert promoted.version > registered.version
+        assert promoted.policy is registered.policy
+        assert "greedy" not in registry.candidates()
+
+    def test_promotion_recorded_in_history(self):
+        registry = PolicyRegistry(UniformRandomPolicy())
+        registry.register("greedy", ConstantPolicy(1))
+        registry.promote("greedy", reason="gate")
+        assert registry.history[-1] == {
+            "version": 3,
+            "name": "greedy",
+            "reason": "gate",
+        }
+
+    def test_versions_never_reused_across_repromotions(self):
+        registry = PolicyRegistry(UniformRandomPolicy())
+        seen = {registry.incumbent.version}
+        for round_ in range(3):
+            registry.register("challenger", ConstantPolicy(round_ % 2))
+            promoted = registry.promote("challenger")
+            assert promoted.version not in seen
+            seen.add(promoted.version)
+            registry.install("incumbent", UniformRandomPolicy())
+            seen.add(registry.incumbent.version)
+
+    def test_install_swaps_directly(self):
+        registry = PolicyRegistry(UniformRandomPolicy())
+        installed = registry.install(
+            "canary-x", ConstantPolicy(0), reason="canary"
+        )
+        assert registry.incumbent is installed
+        assert registry.history[-1]["reason"] == "canary"

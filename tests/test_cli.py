@@ -439,3 +439,73 @@ class TestHarvestSubcommand:
         manifest = json.loads(manifest_out.read_text())
         assert manifest["command"] == "harvest"
         assert manifest["results"][0]["rows_generated"] == 100
+
+
+class TestServeSubcommand:
+    def test_burst_serves_logs_and_verifies(self, tmp_path, capsys):
+        import json
+
+        log = str(tmp_path / "serve.jsonl")
+        manifest_out = str(tmp_path / "manifest.json")
+        code = main(
+            ["serve", "synthetic", "--burst", "500", "--pool-rows", "64",
+             "--seed", "4", "--log", log, "--manifest", manifest_out,
+             "--clients", "2", "--ask", "32"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "serving synthetic on 127.0.0.1" in captured.err
+        assert "burst: 500 decisions" in captured.err
+        manifest = json.loads(open(manifest_out).read())
+        assert manifest["command"] == "serve"
+        assert manifest["serving"]["served"] == 500
+        assert manifest["serving"]["incumbent"]["name"] == "incumbent"
+        # The serve log is a verifiable chain against its manifest…
+        assert main(["verify-ledger", log, "--manifest", manifest_out]) == 0
+        capsys.readouterr()
+        # …and the offline evaluate toolchain ingests it unchanged.
+        assert main(["evaluate", log, "--policy", "uniform"]) == 0
+        assert "uniform-random" in capsys.readouterr().out
+
+    def test_swap_policy_candidates_are_registered(self, tmp_path, capsys):
+        import json
+
+        manifest_out = str(tmp_path / "manifest.json")
+        code = main(
+            ["serve", "synthetic", "--burst", "100", "--pool-rows", "64",
+             "--log", str(tmp_path / "s.jsonl"),
+             "--swap-policy", "greedy=constant:1",
+             "--swap-policy", "explore=eps:0:0.2",
+             "--manifest", manifest_out]
+        )
+        capsys.readouterr()
+        assert code == 0
+        manifest = json.loads(open(manifest_out).read())
+        assert manifest["config"]["swap_policies"] == [
+            "greedy=constant:1", "explore=eps:0:0.2"
+        ]
+
+    def test_monitors_flag_prints_serving_health(self, tmp_path, capsys):
+        code = main(
+            ["serve", "synthetic", "--burst", "200", "--pool-rows", "64",
+             "--monitors"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "serve.latency" in captured.err
+        assert "serve.errors" in captured.err
+        assert "health: OK" in captured.err
+
+    def test_rejects_bad_swap_spec(self, capsys):
+        code = main(
+            ["serve", "synthetic", "--burst", "10",
+             "--swap-policy", "no-equals-sign"]
+        )
+        assert code == 1
+        assert "--swap-policy" in capsys.readouterr().err
+
+    def test_rejects_bad_pool_rows(self, capsys):
+        code = main(["serve", "synthetic", "--burst", "10",
+                     "--pool-rows", "0"])
+        assert code == 1
+        assert "--pool-rows" in capsys.readouterr().err

@@ -56,3 +56,18 @@ class TestDistributedHarvestExample:
         assert "per-shard verification: OK — 5 shard(s)" in out
         assert "shard 1 re-derived in isolation: bit-identical" in out
         assert out.rstrip().endswith("done.")
+
+
+class TestOnlineServingExample:
+    def test_runs_end_to_end(self):
+        result = run_example("online_serving.py")
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        assert "serving synthetic on 127.0.0.1" in out
+        assert "served 1024 decisions under v1 (incumbent)" in out
+        assert "shadowed greedy on 1024 decisions" in out
+        assert "gate promoted greedy" in out
+        assert "post-swap decisions come from v3 (greedy)" in out
+        assert "ledger chain verifies: OK" in out
+        assert "offline toolchain re-reads 1040 logged decisions" in out
+        assert out.rstrip().endswith("done.")

@@ -9,7 +9,7 @@ from benchmarks.perf.gate import check_regressions, main
 
 def artifact(single=2.9, klass=90.0, chunked=4.0, shared=0.4, boot=0.5,
              instr=1.0, harvest=(25.0, 60.0, 13.0), ledger=0.95,
-             obs=0.95):
+             obs=0.95, serve=75_000.0):
     return {
         "single_policy_ips": {"speedup": single},
         "class_search": {"speedup": klass},
@@ -24,6 +24,7 @@ def artifact(single=2.9, klass=90.0, chunked=4.0, shared=0.4, boot=0.5,
         },
         "ledger": {"relative_throughput": ledger},
         "obs": {"monitor_overhead": {"relative_throughput": obs}},
+        "serve": {"decisions_per_sec": serve},
     }
 
 
@@ -102,6 +103,30 @@ class TestAbsoluteFloors:
         del current["obs"]
         baseline = artifact()
         del baseline["obs"]
+        assert check_regressions(current, baseline) == []
+
+    def test_serve_at_floor_passes(self):
+        assert check_regressions(artifact(serve=50_000.0), artifact()) == []
+
+    def test_serve_below_floor_fails(self):
+        failures = check_regressions(artifact(serve=42_000.0), artifact())
+        assert len(failures) == 1
+        assert "serve decisions/sec" in failures[0]
+        assert "absolute floor" in failures[0]
+
+    def test_serve_floor_ignores_generous_baseline(self):
+        # 42k is within 30% of a 100k baseline, but the floor is absolute.
+        failures = check_regressions(
+            artifact(serve=42_000.0), artifact(serve=100_000.0),
+            tolerance=0.30,
+        )
+        assert len(failures) == 1
+
+    def test_old_artifact_without_serve_is_skipped(self):
+        current = artifact()
+        del current["serve"]
+        baseline = artifact()
+        del baseline["serve"]
         assert check_regressions(current, baseline) == []
 
 

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.chaos",
     "repro.obs",
     "repro.audit",
+    "repro.serve",
 ]
 
 
